@@ -1,0 +1,31 @@
+// Shared setup for the bench binaries: flag parsing and Study construction.
+//
+// Every bench accepts --seed N --scale X --threads N --quick and shares the
+// on-disk measurement cache, so the expensive measurement pass runs once for
+// the whole bench suite.
+#pragma once
+
+#include <iostream>
+
+#include "core/study.h"
+#include "util/cli.h"
+
+namespace mlaas {
+
+inline StudyOptions study_options_from_cli(int argc, const char* const* argv) {
+  const BenchOptions bench = parse_bench_options(argc, argv);
+  StudyOptions opt;
+  opt.seed = bench.seed;
+  opt.scale = bench.scale;
+  opt.quick = bench.quick;
+  opt.threads = bench.threads;
+  return opt;
+}
+
+inline void print_bench_header(const std::string& title, const StudyOptions& opt) {
+  std::cout << "==== " << title << " ====\n"
+            << "seed=" << opt.seed << " scale=" << opt.scale
+            << (opt.quick ? " (quick mode)" : "") << "\n\n";
+}
+
+}  // namespace mlaas

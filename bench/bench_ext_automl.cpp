@@ -1,0 +1,79 @@
+// Extension: budget-limited AutoML vs exhaustive search (§7's Auto-WEKA /
+// Auto-sklearn direction applied to the MLaaS setting).
+//
+// On a corpus slice, auto_tune() races random configurations of the most
+// configurable platforms with successive halving under a small training
+// budget; its result is compared against the baseline and the exhaustive
+// "optimized" reference from the shared measurement cache.  The paper's
+// §5.2 found 3 random classifiers are nearly enough — this quantifies the
+// same effect for full configurations under an explicit budget.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "data/split.h"
+#include "eval/auto_tune.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Extension: budget-limited AutoML vs exhaustive grids", opt);
+  Study study(opt);
+  const auto& table = study.measurements();
+
+  // A deterministic slice keeps the on-the-fly tuning affordable.
+  const std::size_t slice = opt.quick ? 8 : 24;
+  const auto& corpus = study.corpus();
+  Rng rng(derive_seed(opt.seed, "automl-slice"));
+  auto picks = rng.sample_without_replacement(corpus.size(), std::min(slice, corpus.size()));
+
+  for (const auto* platform_name : {"Microsoft", "Local"}) {
+    const auto platform = make_platform(platform_name);
+    const std::size_t grid_size =
+        enumerate_configs(*platform, opt.measurement_options()).size();
+    double baseline_sum = 0, tuned_sum = 0, exhaustive_sum = 0;
+    std::size_t n = 0, total_evals = 0;
+    for (const auto i : picks) {
+      const Dataset& ds = corpus[i];
+      const auto split = train_test_split(
+          ds, 0.3, derive_seed(opt.seed, "split-" + ds.meta().id), true);
+
+      const auto baseline = platform->train(split.train, platform->baseline_config(), 1);
+      baseline_sum += f1_score(split.test.y(), baseline->predict(split.test.x()));
+
+      AutoTuneOptions tune;
+      tune.budget = 40;
+      tune.seed = derive_seed(opt.seed, "automl-" + ds.meta().id);
+      const AutoTuneResult result = auto_tune(*platform, split.train, tune);
+      total_evals += static_cast<std::size_t>(result.evaluations);
+      const auto tuned = platform->train(split.train, result.best_config, 1);
+      tuned_sum += f1_score(split.test.y(), tuned->predict(split.test.x()));
+
+      // Exhaustive reference from the shared measurement cache.
+      double best = 0.0;
+      for (const auto& m : table.rows()) {
+        if (m.platform == platform_name && m.dataset_id == ds.meta().id) {
+          best = std::max(best, m.test.f_score);
+        }
+      }
+      exhaustive_sum += best;
+      ++n;
+    }
+    const double dn = static_cast<double>(std::max<std::size_t>(1, n));
+    TextTable t({"Policy", "Avg F", "Train calls/dataset"});
+    t.add_row({"Baseline (zero tuning)", fmt(baseline_sum / dn), "1"});
+    t.add_row({"AutoML (budget 40, halving)", fmt(tuned_sum / dn),
+               fmt(static_cast<double>(total_evals) / dn, 1)});
+    t.add_row({"Exhaustive grid (paper's optimized)", fmt(exhaustive_sum / dn),
+               std::to_string(grid_size)});
+    std::cout << platform_name << " on " << n << " datasets:\n" << t.str() << "\n";
+  }
+  std::cout << "Reading: a ~40-call validation-selected budget recovers a large share of\n"
+               "the exhaustive grid's gain (note: the exhaustive reference selects on the\n"
+               "TEST set, as the paper's optimized number does, so it is an upper bound) —\n"
+               "the §5.2 partial-knowledge result extended to full configurations.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension: dataset complexity vs platform behaviour (§7's complexity-
+// measures literature applied to our corpus).
+//
+// For every corpus dataset: F1 (max Fisher ratio), N1 (boundary density)
+// and L2 (best-linear-separator error), correlated with (a) the hidden
+// auto-selector's family choice and (b) the baseline F-score — making the
+// §6 claim ("black boxes choose by dataset characteristics") quantitative.
+#include <iostream>
+
+#include "bench_common.h"
+#include "data/complexity.h"
+#include "data/split.h"
+#include "linalg/stats.h"
+#include "platform/auto_select.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Extension: dataset complexity vs platform behaviour", opt);
+  Study study(opt);
+  const auto& corpus = study.corpus();
+
+  std::vector<double> l2s, n1s, f1s, chose_nonlinear, google_f;
+  const auto& table = study.measurements();
+  for (const auto& ds : corpus) {
+    const auto measures = compute_complexity(ds, derive_seed(opt.seed, ds.meta().id));
+    l2s.push_back(measures.linear_error_l2);
+    n1s.push_back(measures.boundary_n1);
+    f1s.push_back(measures.fisher_ratio_f1);
+
+    const auto split =
+        train_test_split(ds, 0.3, derive_seed(opt.seed, "split-" + ds.meta().id), true);
+    const auto choice =
+        auto_select_family(split.train, {}, derive_seed(opt.seed, "cx-" + ds.meta().id));
+    chose_nonlinear.push_back(choice.family == ClassifierFamily::kNonLinear ? 1.0 : 0.0);
+
+    double f = 0.0;
+    for (const auto& m : table.rows()) {
+      if (m.platform == "Google" && m.dataset_id == ds.meta().id) f = m.test.f_score;
+    }
+    google_f.push_back(f);
+  }
+
+  TextTable t({"Complexity measure", "corr(. , non-linear choice)", "corr(. , Google F)"});
+  t.add_row({"L2 linear-separator error", fmt(pearson(l2s, chose_nonlinear), 2),
+             fmt(pearson(l2s, google_f), 2)});
+  t.add_row({"N1 boundary density", fmt(pearson(n1s, chose_nonlinear), 2),
+             fmt(pearson(n1s, google_f), 2)});
+  t.add_row({"F1 max Fisher ratio", fmt(pearson(f1s, chose_nonlinear), 2),
+             fmt(pearson(f1s, google_f), 2)});
+  std::cout << t.str()
+            << "\nExpectation: the auto-selector's non-linear choices correlate with L2\n"
+               "(exactly the quantity its internal race estimates), and hard datasets\n"
+               "(high N1) depress the black box's F-score.\n";
+
+  // Distribution summary of the corpus's complexity, for the record.
+  std::cout << "\nCorpus complexity (median [min, max]):\n"
+            << "  L2 " << fmt(quantile(l2s, 0.5)) << " [" << fmt(min_value(l2s)) << ", "
+            << fmt(max_value(l2s)) << "]\n"
+            << "  N1 " << fmt(quantile(n1s, 0.5)) << " [" << fmt(min_value(n1s)) << ", "
+            << fmt(max_value(n1s)) << "]\n";
+  return 0;
+}

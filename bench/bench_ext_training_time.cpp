@@ -1,0 +1,49 @@
+// Extension (paper §8 future work): the training-time dimension of the
+// MLaaS comparison.  For each platform: baseline training cost, the cost
+// distribution across all configurations, and the cost of its optimized
+// (best-F) configurations — the time/performance tradeoff the paper left
+// unexplored.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "linalg/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Extension: training-time dimension (paper §8 future work)", opt);
+  Study study(opt);
+  const auto& table = study.measurements();
+
+  TextTable t({"Platform", "Baseline s/train", "Median s/train", "P90 s/train",
+               "Best-F config s/train", "Optimized F"});
+  for (const auto& platform : study.platform_order()) {
+    const MeasurementTable rows = table.for_platform(platform);
+    if (rows.empty()) continue;
+    std::vector<double> all_secs;
+    for (const auto& m : rows.rows()) all_secs.push_back(m.train_seconds);
+    const MeasurementTable base = rows.baseline();
+    std::vector<double> base_secs;
+    for (const auto& m : base.rows()) base_secs.push_back(m.train_seconds);
+
+    // Cost and quality of the per-dataset best-F configurations.
+    double best_secs = 0.0, best_f = 0.0;
+    const auto best = rows.best_per_dataset();
+    for (const auto* m : best) {
+      best_secs += m->train_seconds;
+      best_f += m->test.f_score;
+    }
+    const double n_best = static_cast<double>(std::max<std::size_t>(1, best.size()));
+
+    t.add_row({platform, fmt(base_secs.empty() ? 0.0 : mean(base_secs), 4),
+               fmt(quantile(all_secs, 0.5), 4), fmt(quantile(all_secs, 0.9), 4),
+               fmt(best_secs / n_best, 4), fmt(best_f / n_best)});
+  }
+  std::cout << t.str()
+            << "\nReading: complex platforms buy their higher optimized F-score with "
+               "longer\n(and more variable) training times — the cost axis the paper "
+               "deferred.\n";
+  return 0;
+}

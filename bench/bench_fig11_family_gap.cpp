@@ -1,0 +1,42 @@
+// Figure 11 + Table 5: F-score CDFs of linear vs non-linear local
+// classifiers on the CIRCLE and LINEAR probe datasets — the family
+// divergence the §6.2 meta-predictor exploits.
+#include <iostream>
+
+#include "bench_common.h"
+#include "linalg/stats.h"
+#include "ml/registry.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Figure 11 / Table 5: linear vs non-linear family gap", opt);
+  Study study(opt);
+
+  // Table 5: family assignment of the local library's classifiers.
+  TextTable t({"Category", "Classifiers"});
+  std::string linear_list, nonlinear_list;
+  for (const auto& name : classifier_names()) {
+    auto& list = classifier_is_linear(name) ? linear_list : nonlinear_list;
+    if (!list.empty()) list += ", ";
+    list += classifier_abbrev(name);
+  }
+  t.add_row({"Linear", linear_list});
+  t.add_row({"Non-Linear", nonlinear_list});
+  std::cout << "Table 5: classifier family assignment\n" << t.str() << "\n";
+
+  for (const bool is_circle : {true, false}) {
+    Dataset probe = is_circle ? study.circle_probe() : study.linear_probe();
+    const auto scores = study.family_gap(probe);
+    std::cout << "Figure 11(" << (is_circle ? "a" : "b") << "): " << probe.meta().name
+              << " — F-score distribution by family\n"
+              << "linear family (" << scores.linear_f.size() << " experiments, mean "
+              << fmt(mean(scores.linear_f)) << "):\n"
+              << render_cdf(scores.linear_f, 10, "F") << "non-linear family ("
+              << scores.nonlinear_f.size() << " experiments, mean "
+              << fmt(mean(scores.nonlinear_f)) << "):\n"
+              << render_cdf(scores.nonlinear_f, 10, "F") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 12: validation performance of the per-dataset classifier-family
+// predictors (§6.2).  The paper found 64/119 datasets with validation
+// F-score > 0.95; those "selected" datasets power the black-box inference.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Figure 12: family-predictor validation performance", opt);
+  Study study(opt);
+  const auto report = study.family_predictors();
+
+  std::vector<double> validation, test;
+  std::size_t trainable = 0;
+  for (const auto& p : report.predictors) {
+    if (!p.trainable) continue;
+    ++trainable;
+    validation.push_back(p.validation_f);
+    test.push_back(p.test_f);
+  }
+  std::cout << "Figure 12: CDF of validation F-score across " << trainable
+            << " trainable meta-datasets\n"
+            << render_cdf(validation, 15, "valF") << "\n";
+  std::cout << "Selected datasets (validation F > 0.95): " << report.selected.size() << " / "
+            << report.predictors.size() << " (paper: 64 / 119)\n";
+
+  // Paper check: selected predictors generalize (test F > 0.96 in paper).
+  std::size_t generalize = 0;
+  for (const auto& p : report.predictors) {
+    for (const auto& id : report.selected) {
+      if (p.dataset_id == id && p.test_f > 0.9) ++generalize;
+    }
+  }
+  std::cout << "Selected predictors with held-out test F > 0.9: " << generalize << " / "
+            << report.selected.size() << "\n";
+  return 0;
+}

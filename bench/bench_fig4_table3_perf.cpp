@@ -1,0 +1,38 @@
+// Figure 4 + Table 3: baseline vs optimized performance of every platform,
+// with Friedman rankings over all four metrics.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Figure 4 / Table 3: baseline vs optimized performance", opt);
+  Study study(opt);
+
+  const auto baseline = study.baseline();
+  const auto optimized = study.optimized();
+
+  std::cout << render_fig4(baseline, optimized, study.platform_order()) << "\n";
+  std::cout << render_platform_summaries("Table 3(a): baseline performance", baseline) << "\n";
+  std::cout << render_platform_summaries("Table 3(b): optimized performance", optimized)
+            << "\n";
+
+  // Paper-shape checks reported inline (EXPERIMENTS.md records them).
+  auto f_of = [](const std::vector<PlatformSummary>& summaries, const std::string& p) {
+    for (const auto& s : summaries) {
+      if (s.platform == p) return s.avg.f_score;
+    }
+    return 0.0;
+  };
+  std::cout << "Shape checks (paper expectation):\n"
+            << "  optimized(Local) > optimized(Google): "
+            << (f_of(optimized, "Local") > f_of(optimized, "Google") ? "yes" : "NO") << "\n"
+            << "  optimized(Microsoft) ~ optimized(Local) (gap): "
+            << fmt(f_of(optimized, "Local") - f_of(optimized, "Microsoft")) << "\n"
+            << "  baseline(black boxes) competitive (Google - Microsoft): "
+            << fmt(f_of(baseline, "Google") - f_of(baseline, "Microsoft")) << "\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 5: relative F-score improvement over the baseline when tuning ONE
+// control dimension (FEAT / CLF / PARA) with the others held at baseline.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Figure 5: improvement from tuning individual controls", opt);
+  Study study(opt);
+  const auto improvements = study.control_improvements_fig5();
+  std::cout << render_fig5(improvements) << "\n";
+
+  // §4.2 headline numbers: average improvement per dimension.
+  double sums[3] = {0, 0, 0};
+  int counts[3] = {0, 0, 0};
+  for (const auto& ci : improvements) {
+    if (!ci.supported) continue;
+    const int d = static_cast<int>(ci.dimension);
+    sums[d] += ci.relative_improvement;
+    counts[d] += 1;
+  }
+  std::cout << "Average improvement across platforms (paper: CLF 14.6% > FEAT 6.1% > "
+               "PARA 3.4%):\n";
+  for (const ControlDimension dim :
+       {ControlDimension::kClf, ControlDimension::kFeat, ControlDimension::kPara}) {
+    const int d = static_cast<int>(dim);
+    std::cout << "  " << to_string(dim) << ": "
+              << fmt_pct(counts[d] > 0 ? sums[d] / counts[d] : 0.0) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 6: performance variation across all configurations per platform
+// (the "risk" axis of the complexity/performance tradeoff, §5.1).
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Figure 6: performance variation across configurations", opt);
+  Study study(opt);
+  const auto variations = study.variation_fig6();
+  std::cout << render_fig6(variations) << "\n";
+
+  // Paper shape: range grows with complexity (Local/Microsoft widest).
+  double local = 0, microsoft = 0, amazon = 0;
+  for (const auto& v : variations) {
+    if (v.platform == "Local") local = v.range();
+    if (v.platform == "Microsoft") microsoft = v.range();
+    if (v.platform == "Amazon") amazon = v.range();
+  }
+  std::cout << "Shape checks: range(Local) >= range(Microsoft) >= range(Amazon): "
+            << (local >= microsoft && microsoft >= amazon ? "yes" : "partial") << "\n";
+  return 0;
+}

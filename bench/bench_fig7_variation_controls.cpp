@@ -1,0 +1,35 @@
+// Figure 7: share of each platform's performance variation attributable to
+// tuning a single control dimension (§5.2); CLF dominates in the paper.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Figure 7: variation from tuning individual controls", opt);
+  Study study(opt);
+  const auto variations = study.variation_fig7();
+  std::cout << render_fig7(variations) << "\n";
+
+  double clf = 0, para = 0;
+  int n_clf = 0, n_para = 0;
+  for (const auto& v : variations) {
+    if (!v.supported) continue;
+    if (v.dimension == ControlDimension::kClf) {
+      clf += v.normalized_range;
+      ++n_clf;
+    }
+    if (v.dimension == ControlDimension::kPara) {
+      para += v.normalized_range;
+      ++n_para;
+    }
+  }
+  std::cout << "Shape check (paper: CLF captures most variation, >80% for "
+               "Microsoft/PredictionIO): avg normalized CLF="
+            << fmt(n_clf ? clf / n_clf : 0.0)
+            << " vs PARA=" << fmt(n_para ? para / n_para : 0.0) << "\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 8: expected best F-score when exploring a random subset of k
+// classifiers (§5.2's partial-knowledge analysis).
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Figure 8: performance vs number of classifiers explored", opt);
+  Study study(opt);
+  const auto curves = study.subset_curves();
+  std::cout << render_fig8(curves) << "\n";
+
+  // Paper shape: k=3 recovers most of the full-roster optimum.
+  for (const auto& curve : curves) {
+    if (curve.points.size() < 3) continue;
+    const double k3 = curve.points[2].expected_best_f;
+    const double all = curve.points.back().expected_best_f;
+    std::cout << curve.platform << ": best-of-3 reaches " << fmt_pct(all > 0 ? k3 / all : 0)
+              << " of the all-classifier optimum\n";
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figures 9, 10 and 13: the CIRCLE/LINEAR probe datasets and the decision
+// boundaries the black-box platforms (Google, ABM) and Amazon produce on
+// them.  Boundaries are rendered as ASCII maps ('#' = class 1) with a
+// linear-fit score quantifying the shape.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Figures 9/10/13: probe datasets and decision boundaries", opt);
+  Study study(opt);
+
+  const Dataset circle = study.circle_probe();
+  const Dataset linear = study.linear_probe();
+
+  // Figure 9: dataset visualizations.
+  for (const Dataset* probe : {&circle, &linear}) {
+    AsciiCanvas canvas(56, 24, -2.0, 2.0, -2.0, 2.0);
+    for (std::size_t i = 0; i < probe->n_samples(); ++i) {
+      canvas.plot(probe->x()(i, 0), probe->x()(i, 1), probe->y()[i] == 1 ? '#' : '.');
+    }
+    std::cout << "Figure 9: " << probe->meta().name << " dataset ('#' = class 1)\n"
+              << canvas.str() << "\n";
+  }
+
+  // Figures 10 & 13: per-platform boundaries.
+  struct Probe {
+    const char* figure;
+    const char* platform;
+    const Dataset* dataset;
+    bool expect_linear;
+  };
+  const Probe probes[] = {
+      {"Figure 10(a)", "Google", &circle, false}, {"Figure 10(b)", "Google", &linear, true},
+      {"Figure 10(c)", "ABM", &circle, false},    {"Figure 10(d)", "ABM", &linear, true},
+      {"Figure 13", "Amazon", &circle, false},
+  };
+  for (const auto& p : probes) {
+    const BoundaryMap map = study.boundary(p.platform, *p.dataset);
+    std::cout << p.figure << ": " << p.platform << " decision boundary on "
+              << p.dataset->meta().name << "\n"
+              << render_boundary(map, 48) << "linear-fit accuracy: "
+              << fmt(map.linear_fit_accuracy) << " -> "
+              << (boundary_is_linear(map) ? "LINEAR" : "NON-LINEAR") << " (paper: "
+              << (p.expect_linear ? "linear" : "non-linear") << ")\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Micro-benchmarks (google-benchmark): train and predict throughput of every
+// registry classifier on a fixed synthetic workload.  Not a paper figure —
+// this documents the cost model behind the measurement harness.
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "ml/registry.h"
+
+namespace {
+
+using namespace mlaas;
+
+const Dataset& workload() {
+  static const Dataset ds = [] {
+    MakeClassificationOptions opt;
+    opt.n_samples = 400;
+    opt.n_features = 16;
+    opt.n_informative = 6;
+    opt.n_redundant = 4;
+    opt.n_clusters_per_class = 2;
+    opt.class_sep = 1.2;
+    return make_classification(opt, 42);
+  }();
+  return ds;
+}
+
+void BM_Train(benchmark::State& state, const std::string& name) {
+  const Dataset& ds = workload();
+  for (auto _ : state) {
+    auto clf = make_classifier(name, {}, 1);
+    clf->fit(ds.x(), ds.y());
+    benchmark::DoNotOptimize(clf);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(ds.n_samples()));
+}
+
+void BM_Predict(benchmark::State& state, const std::string& name) {
+  const Dataset& ds = workload();
+  auto clf = make_classifier(name, {}, 1);
+  clf->fit(ds.x(), ds.y());
+  for (auto _ : state) {
+    auto labels = clf->predict(ds.x());
+    benchmark::DoNotOptimize(labels);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(ds.n_samples()));
+}
+
+const int registered = [] {
+  for (const auto& name : classifier_names()) {
+    benchmark::RegisterBenchmark(("train/" + name).c_str(),
+                                 [name](benchmark::State& s) { BM_Train(s, name); });
+    benchmark::RegisterBenchmark(("predict/" + name).c_str(),
+                                 [name](benchmark::State& s) { BM_Predict(s, name); });
+  }
+  return 0;
+}();
+
+}  // namespace
+
+BENCHMARK_MAIN();

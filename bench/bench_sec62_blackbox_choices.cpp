@@ -1,0 +1,58 @@
+// §6.2 results: inferred classifier-family choices of the black-box
+// platforms (Google, ABM) and of Amazon, on the family-predictable datasets.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Section 6.2: inferred black-box classifier choices", opt);
+  Study study(opt);
+
+  std::map<std::string, std::vector<BlackBoxChoice>> choices;
+  for (const auto& platform : {"Google", "ABM", "Amazon"}) {
+    choices[platform] = study.blackbox_choices(platform);
+  }
+
+  TextTable t({"Platform", "Datasets", "Linear", "Non-linear", "% linear"});
+  for (const auto& [platform, list] : choices) {
+    std::size_t linear = 0;
+    for (const auto& c : list) linear += c.family == ClassifierFamily::kLinear ? 1 : 0;
+    const std::size_t nonlinear = list.size() - linear;
+    t.add_row({platform, std::to_string(list.size()), std::to_string(linear),
+               std::to_string(nonlinear),
+               list.empty() ? "-" : fmt_pct(static_cast<double>(linear) /
+                                            static_cast<double>(list.size()))});
+  }
+  std::cout << t.str()
+            << "(paper: Google 60.9% linear, ABM 68.8% linear on 64 datasets)\n\n";
+
+  // Google vs ABM agreement.
+  std::map<std::string, ClassifierFamily> google_by_id;
+  for (const auto& c : choices["Google"]) google_by_id[c.dataset_id] = c.family;
+  std::size_t agree = 0, total = 0;
+  for (const auto& c : choices["ABM"]) {
+    auto it = google_by_id.find(c.dataset_id);
+    if (it == google_by_id.end()) continue;
+    ++total;
+    agree += it->second == c.family ? 1 : 0;
+  }
+  if (total > 0) {
+    std::cout << "Google/ABM agreement: " << agree << "/" << total << " ("
+              << fmt_pct(static_cast<double>(agree) / static_cast<double>(total))
+              << "; paper: 76.6%)\n";
+  }
+
+  // Amazon: share of datasets with majority non-linear configurations.
+  std::size_t amazon_nonlinear = 0;
+  for (const auto& c : choices["Amazon"]) {
+    amazon_nonlinear += c.family == ClassifierFamily::kNonLinear ? 1 : 0;
+  }
+  std::cout << "Amazon datasets predicted majority non-linear: " << amazon_nonlinear << "/"
+            << choices["Amazon"].size()
+            << " (paper: 10/64 despite the documented logistic regression)\n";
+  return 0;
+}

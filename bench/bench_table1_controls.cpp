@@ -1,0 +1,47 @@
+// Table 1: the control surface of each platform — feature-selection
+// methods, classifiers, and the tunable parameters of each classifier.
+// Also reproduces Figure 1's pipeline-step checkmarks.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Table 1 / Figure 1: platform control surfaces", opt);
+
+  TextTable steps({"Platform", "Preproc+FeatSel", "Classifier choice", "Param tuning"});
+  for (const auto& name : platform_names()) {
+    const ControlSurface s = make_platform(name)->controls();
+    steps.add_row({name, s.feature_selection ? "yes" : "-",
+                   s.classifier_choice ? "yes" : "-", s.parameter_tuning ? "yes" : "-"});
+  }
+  std::cout << "Figure 1: pipeline steps exposed per platform\n" << steps.str() << "\n";
+
+  for (const auto& name : platform_names()) {
+    const ControlSurface s = make_platform(name)->controls();
+    if (s.classifiers.empty()) {
+      std::cout << name << ": fully automated (1-click), no controls\n\n";
+      continue;
+    }
+    std::cout << name << "\n";
+    if (s.feature_selection) {
+      std::cout << "  FEAT: ";
+      for (std::size_t i = 0; i < s.feature_steps.size(); ++i) {
+        std::cout << (i ? ", " : "") << s.feature_steps[i];
+      }
+      std::cout << "\n";
+    }
+    TextTable t({"Classifier", "#params", "Parameter list (PARA)"});
+    for (const auto& spec : s.classifiers) {
+      std::string params;
+      for (std::size_t i = 0; i < spec.params.size(); ++i) {
+        params += (i ? ", " : "") + spec.params[i].name;
+      }
+      t.add_row({spec.classifier, std::to_string(spec.params.size()), params});
+    }
+    std::cout << t.str() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 6 + Figure 14 + §6.3: the naïve LR-vs-DT switching strategy against
+// Google and ABM — win counts, choice-agreement breakdown, the CDF of
+// F-score gaps where the naïve strategy wins, and the datasets where
+// switching families is likely the only fix.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mlaas;
+  const StudyOptions opt = study_options_from_cli(argc, argv);
+  print_bench_header("Table 6 / Figure 14: naive strategy vs black-box platforms", opt);
+  Study study(opt);
+
+  for (const auto& platform : {"Google", "ABM"}) {
+    const NaiveComparison cmp = study.naive_vs(platform);
+    std::cout << "=== Naive (best of default LR / default DT) vs " << platform << " ===\n";
+    std::cout << "Datasets compared (family-predictable): " << cmp.n_datasets << "\n";
+    std::cout << "Naive wins: " << cmp.naive_wins << " (paper: 43/64 vs Google, 48/64 vs "
+                 "ABM)\n";
+
+    TextTable t({"", std::string(platform) + ": Linear",
+                 std::string(platform) + ": Non-linear"});
+    const std::size_t wins = std::max<std::size_t>(1, cmp.naive_wins);
+    auto cell = [&](std::size_t count) {
+      return std::to_string(count) + " (" +
+             fmt_pct(static_cast<double>(count) / static_cast<double>(wins)) + ")";
+    };
+    t.add_row({"Naive: Linear", cell(cmp.wins_breakdown[0][0]), cell(cmp.wins_breakdown[0][1])});
+    t.add_row({"Naive: Non-linear", cell(cmp.wins_breakdown[1][0]),
+               cell(cmp.wins_breakdown[1][1])});
+    std::cout << "Table 6: breakdown of naive wins by classifier choices\n" << t.str();
+
+    if (!cmp.win_gaps.empty()) {
+      std::cout << "Figure 14: CDF of F-score gap where naive wins\n"
+                << render_cdf(cmp.win_gaps, 10, "gap");
+    }
+    std::cout << "Datasets where switching family is likely the best option (§6.3): "
+              << cmp.switching_is_best << " (paper: 3 for Google, 4 for ABM)\n\n";
+  }
+  return 0;
+}

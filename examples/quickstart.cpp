@@ -1,0 +1,48 @@
+// Quickstart: generate a dataset, train a classifier through a simulated
+// MLaaS platform, and compare it to a hand-picked local classifier.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+#include <iostream>
+
+#include "data/generators.h"
+#include "data/split.h"
+#include "ml/metrics.h"
+#include "ml/registry.h"
+#include "platform/all_platforms.h"
+
+int main() {
+  using namespace mlaas;
+
+  // 1. A binary-classification dataset (two interleaved moons).
+  const Dataset dataset = make_moons(600, 0.2, /*seed=*/42);
+  const auto split = train_test_split(dataset, 0.3, /*seed=*/42);
+  std::cout << "Dataset: " << dataset.n_samples() << " samples, " << dataset.n_features()
+            << " features, " << split.train.n_samples() << " train / "
+            << split.test.n_samples() << " test\n\n";
+
+  // 2. Upload to a fully automated MLaaS platform — one call, no knobs.
+  const auto google = make_platform("Google");
+  const auto model = google->train(split.train, /*config=*/{}, /*seed=*/1);
+  const auto platform_metrics = compute_metrics(split.test.y(), model->predict(split.test.x()));
+  std::cout << "Google (automated)   F-score: " << platform_metrics.f_score
+            << "  accuracy: " << platform_metrics.accuracy << "\n";
+
+  // 3. A configurable platform: pick the classifier and a parameter.
+  const auto microsoft = make_platform("Microsoft");
+  PipelineConfig config;
+  config.classifier = "boosted_trees";
+  config.params.set("n_estimators", 80LL);
+  const auto tuned = microsoft->train(split.train, config, /*seed=*/1);
+  const auto tuned_metrics = compute_metrics(split.test.y(), tuned->predict(split.test.x()));
+  std::cout << "Microsoft (tuned BST) F-score: " << tuned_metrics.f_score
+            << "  accuracy: " << tuned_metrics.accuracy << "\n";
+
+  // 4. Or skip platforms entirely and use the ML library directly.
+  auto local = make_classifier("random_forest", ParamMap{{"n_estimators", 40LL}}, /*seed=*/1);
+  local->fit(split.train.x(), split.train.y());
+  const auto local_metrics = compute_metrics(split.test.y(), local->predict(split.test.x()));
+  std::cout << "Local random forest  F-score: " << local_metrics.f_score
+            << "  accuracy: " << local_metrics.accuracy << "\n";
+  return 0;
+}

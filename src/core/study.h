@@ -1,0 +1,88 @@
+// mlaas::Study — the public entry point of the library.
+//
+// A Study owns the corpus, the platform roster and the measurement table
+// (computed once, cached on disk), and exposes each of the paper's
+// experiments as a method.  Bench binaries and examples are thin wrappers
+// over this class.
+//
+//   mlaas::StudyOptions opt;
+//   mlaas::Study study(opt);
+//   auto fig4 = study.optimized();            // Figure 4 / Table 3(b)
+//   auto fig8 = study.subset_curves();        // Figure 8
+//
+// See DESIGN.md for the experiment-to-method index.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "eval/aggregate.h"
+#include "eval/attribution.h"
+#include "eval/boundary.h"
+#include "eval/family.h"
+#include "eval/family_predictor.h"
+#include "eval/measurement.h"
+#include "eval/naive_strategy.h"
+#include "eval/subset_analysis.h"
+#include "eval/variation.h"
+
+namespace mlaas {
+
+struct StudyOptions {
+  std::uint64_t seed = 42;
+  double scale = 1.0;        // grid/corpus scaling knob (DESIGN.md)
+  bool quick = false;        // tiny corpus for smoke runs
+  int threads = 0;
+  /// Empty disables the on-disk measurement cache.
+  std::string cache_path_override;
+  bool verbose = true;
+
+  CorpusOptions corpus_options() const;
+  MeasurementOptions measurement_options() const;
+  std::string cache_path() const;
+};
+
+class Study {
+ public:
+  explicit Study(StudyOptions options = {});
+
+  const StudyOptions& options() const { return options_; }
+  const std::vector<Dataset>& corpus();
+  const std::vector<PlatformPtr>& platforms();
+  std::vector<std::string> platform_order() const;  // complexity order
+
+  /// The measurement table (computed on first use; cached to disk).
+  const MeasurementTable& measurements();
+
+  // ---- Experiments (paper table/figure index in DESIGN.md) ----
+  std::vector<PlatformSummary> baseline();                      // Table 3(a)
+  std::vector<PlatformSummary> optimized();                     // Fig 4 / Table 3(b)
+  std::vector<ControlImprovement> control_improvements_fig5();  // Fig 5
+  std::vector<std::pair<std::string, double>> table4(const std::string& platform,
+                                                     bool optimized_params);
+  std::vector<VariationSummary> variation_fig6();               // Fig 6
+  std::vector<DimensionVariation> variation_fig7();             // Fig 7
+  std::vector<SubsetCurve> subset_curves();                     // Fig 8
+
+  Dataset circle_probe() const;                                 // Fig 9(a)
+  Dataset linear_probe() const;                                 // Fig 9(b)
+  BoundaryMap boundary(const std::string& platform, const Dataset& probe);  // Fig 10/13
+  FamilyScores family_gap(const Dataset& probe);                // Fig 11 / Table 5
+  FamilyPredictorReport family_predictors();                    // Fig 12 / §6.2
+  std::vector<BlackBoxChoice> blackbox_choices(const std::string& platform);  // §6.2
+  std::vector<NaiveResult> naive_strategy();                    // §6.3
+  NaiveComparison naive_vs(const std::string& platform);        // Table 6 / Fig 14
+
+ private:
+  StudyOptions options_;
+  std::optional<std::vector<Dataset>> corpus_;
+  std::vector<PlatformPtr> platforms_;
+  std::optional<MeasurementTable> measurements_;
+  std::optional<FamilyPredictorReport> family_report_;
+  std::optional<std::vector<NaiveResult>> naive_;
+};
+
+}  // namespace mlaas

@@ -1,0 +1,113 @@
+#include "data/complexity.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "linalg/stats.h"
+#include "linalg/vector_ops.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+namespace {
+
+/// Standardized copy of x (z-scores), so distances are scale-free.
+Matrix standardized(const Matrix& x) {
+  Matrix out = x;
+  for (std::size_t c = 0; c < out.cols(); ++c) {
+    const auto col = out.col(c);
+    const double m = mean(col);
+    const double s = stddev(col);
+    const double inv = s > 0 ? 1.0 / s : 0.0;
+    for (std::size_t r = 0; r < out.rows(); ++r) out(r, c) = (out(r, c) - m) * inv;
+  }
+  return out;
+}
+
+}  // namespace
+
+ComplexityMeasures compute_complexity(const Dataset& dataset, std::uint64_t seed,
+                                      std::size_t max_samples) {
+  ComplexityMeasures measures;
+  const Dataset* working = &dataset;
+  Dataset subsampled;
+  if (dataset.n_samples() > max_samples) {
+    Rng rng(derive_seed(seed, "complexity-subsample"));
+    auto idx = rng.sample_without_replacement(dataset.n_samples(), max_samples);
+    std::sort(idx.begin(), idx.end());
+    subsampled = dataset.subset(idx);
+    working = &subsampled;
+  }
+  const Matrix& x = working->x();
+  const std::vector<int>& y = working->y();
+  const std::size_t n = x.rows();
+  if (n < 4) return measures;
+
+  // F1: max per-feature Fisher discriminant ratio.
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    measures.fisher_ratio_f1 =
+        std::max(measures.fisher_ratio_f1, fisher_score(x.col(c), y));
+  }
+
+  // N1: nearest-neighbor label disagreement on standardized features.
+  const Matrix xs = standardized(x);
+  std::size_t disagreements = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = i;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d = squared_distance(xs.row(i), xs.row(j));
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    disagreements += y[i] != y[best_j] ? 1 : 0;
+  }
+  measures.boundary_n1 = static_cast<double>(disagreements) / static_cast<double>(n);
+
+  // L2: training error of a Fisher linear discriminant — the cheapest honest
+  // "best linear separator" estimate (no iterative tuning involved).
+  {
+    std::vector<double> mean0(x.cols(), 0.0), mean1(x.cols(), 0.0);
+    std::size_t n0 = 0, n1 = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      auto& m = y[r] == 1 ? mean1 : mean0;
+      (y[r] == 1 ? n1 : n0) += 1;
+      for (std::size_t c = 0; c < x.cols(); ++c) m[c] += xs(r, c);
+    }
+    if (n0 == 0 || n1 == 0) return measures;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      mean0[c] /= static_cast<double>(n0);
+      mean1[c] /= static_cast<double>(n1);
+    }
+    // Project on the mean-difference direction (diagonal-covariance Fisher).
+    std::vector<double> w(x.cols());
+    for (std::size_t c = 0; c < x.cols(); ++c) w[c] = mean1[c] - mean0[c];
+    const double norm = norm2(w);
+    if (norm == 0.0) {
+      measures.linear_error_l2 = 0.5;
+      return measures;
+    }
+    scale_inplace(w, 1.0 / norm);
+    // Optimal threshold along the projection by scanning class-boundary
+    // candidates.
+    std::vector<std::pair<double, int>> projected(n);
+    for (std::size_t r = 0; r < n; ++r) projected[r] = {dot(xs.row(r), w), y[r]};
+    std::sort(projected.begin(), projected.end());
+    // Sweep thresholds: errors = (#pos below cut) + (#neg above cut).
+    std::size_t pos_below = 0, neg_below = 0;
+    std::size_t best_errors = std::min(n0, n1);  // degenerate all-one-side cuts
+    for (std::size_t r = 0; r + 1 < n; ++r) {
+      (projected[r].second == 1 ? pos_below : neg_below) += 1;
+      const std::size_t errors = pos_below + (n0 - neg_below);
+      best_errors = std::min(best_errors, std::min(errors, n - errors));
+    }
+    measures.linear_error_l2 =
+        static_cast<double>(best_errors) / static_cast<double>(n);
+  }
+  return measures;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,32 @@
+// Dataset complexity measures (Ho & Basu-style descriptors).
+//
+// §6 of the paper infers that black-box platforms choose classifiers from
+// dataset characteristics, and §7 surveys work relating classifier
+// performance to data-complexity measures [44, 46, 48, 78].  This module
+// implements the standard descriptors used by that literature:
+//   F1 — maximum Fisher discriminant ratio across features (class
+//        separability along single axes; higher = easier);
+//   N1 — fraction of points whose nearest neighbor has the other label
+//        (boundary density; higher = harder / more non-linear);
+//   L2 — error rate of the best linear separator (direct linearity measure;
+//        the quantity the black boxes' hidden tests effectively estimate).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace mlaas {
+
+struct ComplexityMeasures {
+  double fisher_ratio_f1 = 0.0;  // max over features; higher = easier
+  double boundary_n1 = 0.0;      // in [0,1]; higher = denser class boundary
+  double linear_error_l2 = 0.0;  // in [0,1]; higher = less linearly separable
+};
+
+/// Computes all measures.  For large datasets N1/L2 run on a seeded
+/// subsample of `max_samples` points to stay O(max_samples^2).
+ComplexityMeasures compute_complexity(const Dataset& dataset, std::uint64_t seed,
+                                      std::size_t max_samples = 600);
+
+}  // namespace mlaas

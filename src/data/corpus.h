@@ -1,0 +1,46 @@
+// The 119-dataset corpus (§3.1).
+//
+// The paper's corpus (94 UCI + 16 sklearn synthetic + 9 applied-ML datasets)
+// is reproduced as a deterministic synthetic corpus whose marginal statistics
+// match Figure 3:
+//   - domain breakdown: 44 life science, 18 computer & games, 17 synthetic,
+//     10 social science, 10 physical science, 7 financial & business,
+//     13 other;
+//   - sample counts log-uniform in [15, 245057] (Fig 3b);
+//   - feature counts log-uniform in [1, 4702] (Fig 3c);
+//   - a mix of linear/non-linear generating processes, class imbalance,
+//     categorical features and missing values (imputed with per-feature
+//     medians before use, as in §3.1).
+//
+// Nominal sizes are recorded in DatasetMeta; actual generated sizes are
+// capped (CorpusOptions) to keep single-machine runtime bounded.  See
+// DESIGN.md "Runtime scaling".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mlaas {
+
+struct CorpusOptions {
+  std::uint64_t seed = 42;
+  /// Hard caps on generated size; nominal sizes (for Fig 3) are uncapped.
+  std::size_t max_samples = 900;
+  std::size_t max_features = 40;
+  /// Multiplies the caps; scale=1 is the default single-core budget.
+  double scale = 1.0;
+  /// Number of datasets; the paper uses 119.
+  std::size_t n_datasets = 119;
+  /// Replace missing values with medians after generation (§3.1).
+  bool impute = true;
+};
+
+/// Build the full corpus.  Deterministic in options.seed.
+std::vector<Dataset> build_corpus(const CorpusOptions& options = {});
+
+/// Domain counts matching Figure 3(a) for a 119-dataset corpus.
+std::vector<std::pair<Domain, std::size_t>> corpus_domain_plan(std::size_t n_datasets);
+
+}  // namespace mlaas

@@ -1,0 +1,173 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mlaas {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char delim) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, delim)) cells.push_back(cell);
+  if (!line.empty() && line.back() == delim) cells.emplace_back();
+  return cells;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool is_missing(const std::string& s) { return s.empty() || s == "?" || s == "NA" || s == "nan"; }
+
+bool parse_double(const std::string& s, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+Dataset load_csv(std::istream& in, const CsvOptions& options) {
+  std::vector<std::vector<std::string>> raw;
+  std::vector<std::string> header;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty()) continue;
+    auto cells = split_line(line, options.delimiter);
+    for (auto& c : cells) c = trim(c);
+    if (first && options.has_header) {
+      header = std::move(cells);
+      first = false;
+      continue;
+    }
+    first = false;
+    raw.push_back(std::move(cells));
+  }
+  if (raw.empty()) throw std::invalid_argument("load_csv: no data rows");
+
+  const std::size_t n_cols = raw.front().size();
+  for (const auto& row : raw) {
+    if (row.size() != n_cols) throw std::invalid_argument("load_csv: ragged rows");
+  }
+  const std::size_t label_col =
+      options.label_column < 0 ? n_cols - 1 : static_cast<std::size_t>(options.label_column);
+  if (label_col >= n_cols) throw std::invalid_argument("load_csv: label column out of range");
+
+  // Decide per-column types: numeric if every non-missing cell parses.
+  std::vector<bool> numeric(n_cols, true);
+  for (const auto& row : raw) {
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      double unused;
+      if (!is_missing(row[c]) && !parse_double(row[c], unused)) numeric[c] = false;
+    }
+  }
+
+  const std::size_t n_features = n_cols - 1;
+  Matrix x(raw.size(), n_features);
+  std::vector<ColumnType> types;
+  std::vector<std::string> names;
+  // Per-column category dictionaries ({C1..CN} -> {1..N}, §3.1).
+  std::vector<std::map<std::string, double>> dict(n_cols);
+
+  std::vector<int> y(raw.size());
+  std::map<std::string, int> label_dict;
+
+  for (std::size_t c = 0, f = 0; c < n_cols; ++c) {
+    if (c == label_col) continue;
+    types.push_back(numeric[c] ? ColumnType::kNumeric : ColumnType::kCategorical);
+    names.push_back(c < header.size() && !header[c].empty() ? header[c]
+                                                            : "f" + std::to_string(f));
+    ++f;
+  }
+
+  for (std::size_t r = 0; r < raw.size(); ++r) {
+    std::size_t f = 0;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      const std::string& cell = raw[r][c];
+      if (c == label_col) {
+        if (is_missing(cell)) throw std::invalid_argument("load_csv: missing label");
+        int lbl;
+        double num;
+        if (!options.positive_label.empty()) {
+          lbl = cell == options.positive_label ? 1 : 0;
+        } else if (parse_double(cell, num) && (num == 0.0 || num == 1.0)) {
+          lbl = static_cast<int>(num);
+        } else {
+          auto [it, inserted] = label_dict.emplace(cell, static_cast<int>(label_dict.size()));
+          (void)inserted;
+          lbl = it->second;
+        }
+        if (lbl != 0 && lbl != 1) {
+          throw std::invalid_argument("load_csv: more than two label values");
+        }
+        y[r] = lbl;
+        continue;
+      }
+      double v;
+      if (is_missing(cell)) {
+        v = std::numeric_limits<double>::quiet_NaN();
+      } else if (numeric[c]) {
+        parse_double(cell, v);
+      } else {
+        auto [it, inserted] = dict[c].emplace(cell, static_cast<double>(dict[c].size() + 1));
+        (void)inserted;
+        v = it->second;
+      }
+      x(r, f) = v;
+      ++f;
+    }
+  }
+
+  Dataset ds(std::move(x), std::move(y), std::move(types));
+  ds.set_feature_names(std::move(names));
+  return ds;
+}
+
+Dataset load_csv_file(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_csv_file: cannot open " + path);
+  return load_csv(in, options);
+}
+
+void save_csv(const Dataset& dataset, std::ostream& out) {
+  for (const auto& name : dataset.feature_names()) out << name << ",";
+  out << "label\n";
+  out.precision(12);
+  for (std::size_t r = 0; r < dataset.n_samples(); ++r) {
+    for (std::size_t c = 0; c < dataset.n_features(); ++c) {
+      const double v = dataset.x()(r, c);
+      if (std::isnan(v)) {
+        out << "?";
+      } else {
+        out << v;
+      }
+      out << ",";
+    }
+    out << dataset.y()[r] << "\n";
+  }
+}
+
+void save_csv_file(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_csv_file: cannot open " + path);
+  save_csv(dataset, out);
+}
+
+}  // namespace mlaas

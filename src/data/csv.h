@@ -1,0 +1,30 @@
+// CSV import/export for datasets.
+//
+// Import follows the paper's preprocessing conventions (§3.1): string-valued
+// columns are treated as categorical and mapped {C1..CN} -> {1..N} in order
+// of first appearance; empty cells and "?" become NaN (imputed later).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace mlaas {
+
+struct CsvOptions {
+  bool has_header = true;
+  char delimiter = ',';
+  /// Index of the label column; -1 means the last column.
+  int label_column = -1;
+  /// Label value mapped to class 1; empty means "second distinct value seen".
+  std::string positive_label;
+};
+
+Dataset load_csv(std::istream& in, const CsvOptions& options = {});
+Dataset load_csv_file(const std::string& path, const CsvOptions& options = {});
+
+void save_csv(const Dataset& dataset, std::ostream& out);
+void save_csv_file(const Dataset& dataset, const std::string& path);
+
+}  // namespace mlaas

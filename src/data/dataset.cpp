@@ -1,0 +1,70 @@
+#include "data/dataset.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mlaas {
+
+std::string to_string(Domain d) {
+  switch (d) {
+    case Domain::kLifeScience: return "Life Science";
+    case Domain::kComputerGames: return "Computer & Games";
+    case Domain::kSynthetic: return "Synthetic";
+    case Domain::kSocialScience: return "Social Science";
+    case Domain::kPhysicalScience: return "Physical Science";
+    case Domain::kFinancial: return "Financial & Business";
+    case Domain::kOther: return "Other";
+  }
+  return "Unknown";
+}
+
+Dataset::Dataset(Matrix x, std::vector<int> y)
+    : Dataset(std::move(x), std::move(y), {}) {}
+
+Dataset::Dataset(Matrix x, std::vector<int> y, std::vector<ColumnType> column_types)
+    : x_(std::move(x)), y_(std::move(y)), types_(std::move(column_types)) {
+  if (types_.empty()) types_.assign(x_.cols(), ColumnType::kNumeric);
+  names_.reserve(x_.cols());
+  for (std::size_t c = 0; c < x_.cols(); ++c) names_.push_back("f" + std::to_string(c));
+  check();
+}
+
+void Dataset::set_feature_names(std::vector<std::string> names) {
+  if (names.size() != n_features()) {
+    throw std::invalid_argument("Dataset: feature name count mismatch");
+  }
+  names_ = std::move(names);
+}
+
+bool Dataset::has_missing() const {
+  for (double v : x_.data()) {
+    if (std::isnan(v)) return true;
+  }
+  return false;
+}
+
+double Dataset::positive_fraction() const {
+  if (y_.empty()) return 0.0;
+  std::size_t pos = 0;
+  for (int v : y_) pos += v == 1 ? 1 : 0;
+  return static_cast<double>(pos) / static_cast<double>(y_.size());
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> idx) const {
+  std::vector<int> y(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) y[i] = y_[idx[i]];
+  Dataset out(x_.select_rows(idx), std::move(y), types_);
+  out.names_ = names_;
+  out.meta_ = meta_;
+  return out;
+}
+
+void Dataset::check() const {
+  if (x_.rows() != y_.size()) throw std::invalid_argument("Dataset: X/y size mismatch");
+  if (types_.size() != x_.cols()) throw std::invalid_argument("Dataset: schema size mismatch");
+  for (int v : y_) {
+    if (v != 0 && v != 1) throw std::invalid_argument("Dataset: labels must be binary 0/1");
+  }
+}
+
+}  // namespace mlaas

@@ -1,0 +1,245 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mlaas {
+
+namespace {
+
+Dataset finalize(Matrix x, std::vector<int> y, bool linear, std::string name) {
+  Dataset ds(std::move(x), std::move(y));
+  ds.meta().name = std::move(name);
+  ds.meta().domain = Domain::kSynthetic;
+  ds.meta().linear_ground_truth = linear;
+  ds.meta().nominal_samples = ds.n_samples();
+  ds.meta().nominal_features = ds.n_features();
+  return ds;
+}
+
+}  // namespace
+
+Dataset make_classification(const MakeClassificationOptions& opt, std::uint64_t seed) {
+  if (opt.n_informative == 0) throw std::invalid_argument("make_classification: need informative features");
+  if (opt.n_informative + opt.n_redundant > opt.n_features) {
+    throw std::invalid_argument("make_classification: informative+redundant > features");
+  }
+  Rng rng(seed);
+  const std::size_t n = opt.n_samples;
+  const std::size_t d = opt.n_features;
+  const std::size_t di = opt.n_informative;
+  const std::size_t dr = opt.n_redundant;
+
+  // Cluster centroids on hypercube vertices scaled by class_sep.
+  const std::size_t n_clusters = 2 * std::max<std::size_t>(1, opt.n_clusters_per_class);
+  std::vector<std::vector<double>> centroids(n_clusters, std::vector<double>(di));
+  for (auto& c : centroids) {
+    for (auto& v : c) v = (rng.chance(0.5) ? 1.0 : -1.0) * opt.class_sep;
+  }
+
+  // Random linear map informative -> redundant.
+  Matrix redundant_map(di, dr);
+  for (std::size_t i = 0; i < di; ++i) {
+    for (std::size_t j = 0; j < dr; ++j) redundant_map(i, j) = rng.normal();
+  }
+
+  Matrix x(n, d);
+  std::vector<int> y(n);
+  const std::size_t n_pos = static_cast<std::size_t>(
+      std::llround(opt.weight_class1 * static_cast<double>(n)));
+  for (std::size_t r = 0; r < n; ++r) {
+    const int label = r < n_pos ? 1 : 0;
+    const std::size_t cluster =
+        static_cast<std::size_t>(label) * opt.n_clusters_per_class +
+        rng.index(std::max<std::size_t>(1, opt.n_clusters_per_class));
+    std::vector<double> info(di);
+    for (std::size_t i = 0; i < di; ++i) info[i] = centroids[cluster][i] + rng.normal();
+    for (std::size_t i = 0; i < di; ++i) x(r, i) = info[i];
+    for (std::size_t j = 0; j < dr; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < di; ++i) acc += info[i] * redundant_map(i, j);
+      x(r, di + j) = acc / std::sqrt(static_cast<double>(di));
+    }
+    for (std::size_t j = di + dr; j < d; ++j) x(r, j) = rng.normal();  // noise features
+    y[r] = rng.chance(opt.flip_y) ? 1 - label : label;
+  }
+
+  if (opt.shuffle_features && d > 1) {
+    std::vector<std::size_t> perm(d);
+    for (std::size_t i = 0; i < d; ++i) perm[i] = i;
+    rng.shuffle(perm);
+    x = x.select_cols(perm);
+  }
+  // Shuffle rows so class blocks are interleaved.
+  std::vector<std::size_t> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  rng.shuffle(rows);
+  Matrix xs = x.select_rows(rows);
+  std::vector<int> ys(n);
+  for (std::size_t i = 0; i < n; ++i) ys[i] = y[rows[i]];
+
+  const bool linear = opt.n_clusters_per_class <= 1;
+  return finalize(std::move(xs), std::move(ys), linear, "make_classification");
+}
+
+Dataset make_circles(std::size_t n_samples, double noise, double factor, std::uint64_t seed) {
+  if (factor <= 0.0 || factor >= 1.0) throw std::invalid_argument("make_circles: factor in (0,1)");
+  Rng rng(seed);
+  Matrix x(n_samples, 2);
+  std::vector<int> y(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const bool inner = i % 2 == 0;
+    const double radius = inner ? factor : 1.0;
+    const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    x(i, 0) = radius * std::cos(theta) + rng.normal(0.0, noise);
+    x(i, 1) = radius * std::sin(theta) + rng.normal(0.0, noise);
+    y[i] = inner ? 1 : 0;
+  }
+  return finalize(std::move(x), std::move(y), false, "make_circles");
+}
+
+Dataset make_moons(std::size_t n_samples, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n_samples, 2);
+  std::vector<int> y(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const bool upper = i % 2 == 0;
+    const double t = rng.uniform(0.0, std::numbers::pi);
+    if (upper) {
+      x(i, 0) = std::cos(t);
+      x(i, 1) = std::sin(t);
+    } else {
+      x(i, 0) = 1.0 - std::cos(t);
+      x(i, 1) = 0.5 - std::sin(t);
+    }
+    x(i, 0) += rng.normal(0.0, noise);
+    x(i, 1) += rng.normal(0.0, noise);
+    y[i] = upper ? 0 : 1;
+  }
+  return finalize(std::move(x), std::move(y), false, "make_moons");
+}
+
+Dataset make_blobs(std::size_t n_samples, std::size_t n_features, double cluster_std,
+                   double center_box, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> centers(2, std::vector<double>(n_features));
+  for (auto& c : centers) {
+    for (auto& v : c) v = rng.uniform(-center_box, center_box);
+  }
+  Matrix x(n_samples, n_features);
+  std::vector<int> y(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const int label = static_cast<int>(i % 2);
+    for (std::size_t j = 0; j < n_features; ++j) {
+      x(i, j) = centers[static_cast<std::size_t>(label)][j] + rng.normal(0.0, cluster_std);
+    }
+    y[i] = label;
+  }
+  return finalize(std::move(x), std::move(y), true, "make_blobs");
+}
+
+Dataset make_gaussian_quantiles(std::size_t n_samples, std::size_t n_features,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n_samples, n_features);
+  std::vector<double> radius(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    double r2 = 0.0;
+    for (std::size_t j = 0; j < n_features; ++j) {
+      x(i, j) = rng.normal();
+      r2 += x(i, j) * x(i, j);
+    }
+    radius[i] = r2;
+  }
+  // Median split on squared radius -> inner shell = class 0, outer = class 1.
+  std::vector<double> sorted = radius;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n_samples / 2),
+                   sorted.end());
+  const double cut = sorted[n_samples / 2];
+  std::vector<int> y(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) y[i] = radius[i] >= cut ? 1 : 0;
+  return finalize(std::move(x), std::move(y), false, "make_gaussian_quantiles");
+}
+
+Dataset make_xor(std::size_t n_samples, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n_samples, 2);
+  std::vector<int> y(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const double a = rng.chance(0.5) ? 1.0 : -1.0;
+    const double b = rng.chance(0.5) ? 1.0 : -1.0;
+    x(i, 0) = a + rng.normal(0.0, noise);
+    x(i, 1) = b + rng.normal(0.0, noise);
+    y[i] = (a > 0) != (b > 0) ? 1 : 0;
+  }
+  return finalize(std::move(x), std::move(y), false, "make_xor");
+}
+
+Dataset make_spirals(std::size_t n_samples, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n_samples, 2);
+  std::vector<int> y(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const double t = rng.uniform(0.25, 3.0) * std::numbers::pi;
+    const double sign = label == 0 ? 1.0 : -1.0;
+    x(i, 0) = sign * t * std::cos(t) / 8.0 + rng.normal(0.0, noise);
+    x(i, 1) = sign * t * std::sin(t) / 8.0 + rng.normal(0.0, noise);
+    y[i] = label;
+  }
+  return finalize(std::move(x), std::move(y), false, "make_spirals");
+}
+
+Dataset make_sparse_linear(std::size_t n_samples, std::size_t n_features,
+                           std::size_t n_informative, double flip_y, std::uint64_t seed) {
+  if (n_informative == 0 || n_informative > n_features) {
+    throw std::invalid_argument("make_sparse_linear: bad n_informative");
+  }
+  Rng rng(seed);
+  std::vector<double> w(n_features, 0.0);
+  auto idx = rng.sample_without_replacement(n_features, n_informative);
+  for (auto j : idx) w[j] = rng.normal(0.0, 2.0);
+  const double bias = rng.normal(0.0, 0.5);
+  Matrix x(n_samples, n_features);
+  std::vector<int> y(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    double z = bias;
+    for (std::size_t j = 0; j < n_features; ++j) {
+      x(i, j) = rng.normal();
+      z += w[j] * x(i, j);
+    }
+    int label = z > 0 ? 1 : 0;
+    if (rng.chance(flip_y)) label = 1 - label;
+    y[i] = label;
+  }
+  return finalize(std::move(x), std::move(y), true, "make_sparse_linear");
+}
+
+Dataset make_circle_probe(std::uint64_t seed, std::size_t n_samples) {
+  Dataset ds = make_circles(n_samples, 0.08, 0.5, seed);
+  ds.meta().id = "probe-circle";
+  ds.meta().name = "CIRCLE";
+  return ds;
+}
+
+Dataset make_linear_probe(std::uint64_t seed, std::size_t n_samples) {
+  MakeClassificationOptions opt;
+  opt.n_samples = n_samples;
+  opt.n_features = 2;
+  opt.n_informative = 2;
+  opt.n_redundant = 0;
+  opt.class_sep = 1.6;
+  opt.flip_y = 0.04;  // noisy, as in §6.1 (non-linear models overfit it)
+  opt.shuffle_features = false;
+  Dataset ds = make_classification(opt, seed);
+  ds.meta().id = "probe-linear";
+  ds.meta().name = "LINEAR";
+  return ds;
+}
+
+}  // namespace mlaas

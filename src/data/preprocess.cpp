@@ -1,0 +1,30 @@
+#include "data/preprocess.h"
+
+#include <cmath>
+
+#include "linalg/stats.h"
+
+namespace mlaas {
+
+void impute_median(Dataset& dataset) {
+  Matrix& x = dataset.x();
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    std::vector<double> present;
+    present.reserve(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      if (!std::isnan(x(r, c))) present.push_back(x(r, c));
+    }
+    const double fill = present.empty() ? 0.0 : median(present);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      if (std::isnan(x(r, c))) x(r, c) = fill;
+    }
+  }
+}
+
+std::size_t count_missing(const Dataset& dataset) {
+  std::size_t n = 0;
+  for (double v : dataset.x().data()) n += std::isnan(v) ? 1 : 0;
+  return n;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,17 @@
+// Local preprocessing applied before "uploading" to platforms (§3.1):
+// median imputation of missing values.  Categorical mapping happens at CSV
+// load / generation time.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace mlaas {
+
+/// Replace NaN cells with the per-feature median of non-missing values
+/// (paper §3.1).  A fully-missing column becomes all zeros.
+void impute_median(Dataset& dataset);
+
+/// Count NaN cells.
+std::size_t count_missing(const Dataset& dataset);
+
+}  // namespace mlaas

@@ -1,0 +1,25 @@
+// Train/test and cross-validation splits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mlaas {
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Random split with the paper's 70/30 default (§3.1).  Stratified: both
+/// splits preserve the class ratio (and each side receives at least one
+/// sample of each class present, when sizes allow).
+TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
+                                std::uint64_t seed, bool stratified = true);
+
+/// K-fold index assignment: returns fold id in [0,k) per sample, stratified.
+std::vector<int> kfold_assignment(const std::vector<int>& y, int k, std::uint64_t seed);
+
+}  // namespace mlaas

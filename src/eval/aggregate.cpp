@@ -1,0 +1,135 @@
+#include "eval/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "eval/friedman.h"
+
+namespace mlaas {
+
+namespace {
+
+/// For each platform and dataset, reduce its rows to one representative
+/// Metrics via best-F selection.
+std::map<std::string, std::map<std::string, Metrics>> reduce_best(
+    const MeasurementTable& table) {
+  std::map<std::string, std::map<std::string, Metrics>> best;  // platform -> dataset -> m
+  for (const auto& row : table.rows()) {
+    auto& slot = best[row.platform];
+    auto [it, inserted] = slot.emplace(row.dataset_id, row.test);
+    if (!inserted && row.test.f_score > it->second.f_score) it->second = row.test;
+  }
+  return best;
+}
+
+std::vector<PlatformSummary> summarize(
+    const std::map<std::string, std::map<std::string, Metrics>>& per_platform) {
+  // Intersection of datasets present for all platforms keeps the Friedman
+  // blocks complete.
+  std::vector<std::string> platforms;
+  for (const auto& [p, _] : per_platform) platforms.push_back(p);
+
+  std::vector<std::string> datasets;
+  if (!platforms.empty()) {
+    for (const auto& [d, _] : per_platform.begin()->second) {
+      bool everywhere = true;
+      for (const auto& [p, per_dataset] : per_platform) {
+        everywhere = everywhere && per_dataset.count(d) > 0;
+      }
+      if (everywhere) datasets.push_back(d);
+    }
+  }
+
+  auto collect = [&](auto metric_of) {
+    std::vector<std::vector<double>> scores(datasets.size(),
+                                            std::vector<double>(platforms.size()));
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+      for (std::size_t p = 0; p < platforms.size(); ++p) {
+        scores[d][p] = metric_of(per_platform.at(platforms[p]).at(datasets[d]));
+      }
+    }
+    return friedman_ranking(platforms, scores);
+  };
+  const auto rank_f = collect([](const Metrics& m) { return m.f_score; });
+  const auto rank_acc = collect([](const Metrics& m) { return m.accuracy; });
+  const auto rank_prec = collect([](const Metrics& m) { return m.precision; });
+  const auto rank_rec = collect([](const Metrics& m) { return m.recall; });
+
+  std::vector<PlatformSummary> out;
+  for (std::size_t p = 0; p < platforms.size(); ++p) {
+    PlatformSummary s;
+    s.platform = platforms[p];
+    s.n_datasets = datasets.size();
+    double sum_f2 = 0.0;
+    for (const auto& d : datasets) {
+      const Metrics& m = per_platform.at(platforms[p]).at(d);
+      s.avg.f_score += m.f_score;
+      s.avg.accuracy += m.accuracy;
+      s.avg.precision += m.precision;
+      s.avg.recall += m.recall;
+      sum_f2 += m.f_score * m.f_score;
+    }
+    const double n = static_cast<double>(std::max<std::size_t>(1, datasets.size()));
+    s.avg.f_score /= n;
+    s.avg.accuracy /= n;
+    s.avg.precision /= n;
+    s.avg.recall /= n;
+    const double var = std::max(0.0, sum_f2 / n - s.avg.f_score * s.avg.f_score);
+    s.f_std_error = std::sqrt(var / n);
+    s.rank_f = rank_f.average_rank[p];
+    s.rank_acc = rank_acc.average_rank[p];
+    s.rank_prec = rank_prec.average_rank[p];
+    s.rank_rec = rank_rec.average_rank[p];
+    s.avg_rank = (s.rank_f + s.rank_acc + s.rank_prec + s.rank_rec) / 4.0;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PlatformSummary& a, const PlatformSummary& b) {
+              return a.avg_rank < b.avg_rank;
+            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<PlatformSummary> baseline_summary(const MeasurementTable& table) {
+  return summarize(reduce_best(table.baseline()));
+}
+
+std::vector<PlatformSummary> optimized_summary(const MeasurementTable& table) {
+  return summarize(reduce_best(table));
+}
+
+std::vector<std::pair<std::string, double>> classifier_win_shares(
+    const MeasurementTable& table, const std::string& platform, bool optimized_params) {
+  MeasurementTable rows = table.for_platform(platform).filter([&](const Measurement& m) {
+    if (m.classifier == "auto" || m.feature_step != "none") return false;
+    return optimized_params || m.default_params;
+  });
+  // Per dataset, the classifier achieving the top F-score.
+  std::map<std::string, const Measurement*> best;
+  for (const auto& row : rows.rows()) {
+    auto [it, inserted] = best.emplace(row.dataset_id, &row);
+    if (!inserted && row.test.f_score > it->second->test.f_score) it->second = &row;
+  }
+  std::map<std::string, double> wins;
+  for (const auto& [d, row] : best) wins[row->classifier] += 1.0;
+  const double n = static_cast<double>(std::max<std::size_t>(1, best.size()));
+  std::vector<std::pair<std::string, double>> out(wins.begin(), wins.end());
+  for (auto& [clf, share] : out) share /= n;
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+std::map<std::string, double> best_f_per_dataset(const MeasurementTable& table) {
+  std::map<std::string, double> best;
+  for (const auto& row : table.rows()) {
+    auto [it, inserted] = best.emplace(row.dataset_id, row.test.f_score);
+    if (!inserted) it->second = std::max(it->second, row.test.f_score);
+  }
+  return best;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,38 @@
+// Baseline / optimized aggregation (§4.1, Figure 4, Tables 3 & 4).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/measurement.h"
+
+namespace mlaas {
+
+struct PlatformSummary {
+  std::string platform;
+  Metrics avg;                 // metric means across datasets
+  double f_std_error = 0.0;    // standard error of the per-dataset F-scores
+  // Friedman ranks across datasets (lower = consistently better).
+  double rank_f = 0.0, rank_acc = 0.0, rank_prec = 0.0, rank_rec = 0.0;
+  double avg_rank = 0.0;       // mean of the four ranks (Table 3 ordering)
+  std::size_t n_datasets = 0;
+};
+
+/// Baseline (§3.2's zero-control reference): one row per platform.
+std::vector<PlatformSummary> baseline_summary(const MeasurementTable& table);
+
+/// Optimized (§4.1): per platform, the best configuration per dataset.
+std::vector<PlatformSummary> optimized_summary(const MeasurementTable& table);
+
+/// Table 4: per platform, the share of datasets on which each classifier
+/// achieves the top F-score.  `optimized_params=false` restricts to
+/// default-parameter rows (Table 4a); true allows any parameters (4b).
+/// Returns classifier -> fraction-of-datasets-won, sorted descending.
+std::vector<std::pair<std::string, double>> classifier_win_shares(
+    const MeasurementTable& table, const std::string& platform, bool optimized_params);
+
+/// Per-dataset best F-score for a platform (optionally filtered).
+std::map<std::string, double> best_f_per_dataset(const MeasurementTable& table);
+
+}  // namespace mlaas

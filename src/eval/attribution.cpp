@@ -1,0 +1,84 @@
+#include "eval/attribution.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mlaas {
+
+std::string to_string(ControlDimension dim) {
+  switch (dim) {
+    case ControlDimension::kFeat: return "Feature Selection";
+    case ControlDimension::kClf: return "Classifier Selection";
+    case ControlDimension::kPara: return "Parameter Tuning";
+  }
+  return "?";
+}
+
+MeasurementTable single_dimension_rows(const MeasurementTable& table,
+                                       const std::string& platform, ControlDimension dim) {
+  return table.for_platform(platform).filter([dim](const Measurement& m) {
+    if (m.classifier == "auto") return false;
+    switch (dim) {
+      case ControlDimension::kFeat:
+        // FEAT varies; CLF at baseline (LR), PARA at defaults.
+        return m.classifier == "logistic_regression" && m.default_params;
+      case ControlDimension::kClf:
+        return m.feature_step == "none" && m.default_params;
+      case ControlDimension::kPara:
+        return m.feature_step == "none" && m.classifier == "logistic_regression";
+    }
+    return false;
+  });
+}
+
+namespace {
+
+/// Average across datasets of the best F-score per dataset.
+double avg_best_f(const MeasurementTable& rows) {
+  std::map<std::string, double> best;
+  for (const auto& m : rows.rows()) {
+    auto [it, inserted] = best.emplace(m.dataset_id, m.test.f_score);
+    if (!inserted) it->second = std::max(it->second, m.test.f_score);
+  }
+  if (best.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [d, f] : best) sum += f;
+  return sum / static_cast<double>(best.size());
+}
+
+}  // namespace
+
+std::vector<ControlImprovement> control_improvements(const MeasurementTable& table,
+                                                     const std::vector<std::string>& platforms) {
+  std::vector<ControlImprovement> out;
+  for (const auto& platform : platforms) {
+    const MeasurementTable platform_rows = table.for_platform(platform);
+    const double baseline = avg_best_f(platform_rows.baseline());
+    for (ControlDimension dim :
+         {ControlDimension::kFeat, ControlDimension::kClf, ControlDimension::kPara}) {
+      ControlImprovement ci;
+      ci.platform = platform;
+      ci.dimension = dim;
+      ci.baseline_f = baseline;
+      const MeasurementTable rows = single_dimension_rows(table, platform, dim);
+      // A dimension is "supported" when the platform has rows beyond the
+      // baseline along it (e.g. Amazon has no CLF rows, BigML no FEAT rows).
+      bool varies = false;
+      for (const auto& m : rows.rows()) {
+        varies = varies ||
+                 (dim == ControlDimension::kFeat && m.feature_step != "none") ||
+                 (dim == ControlDimension::kClf && m.classifier != "logistic_regression") ||
+                 (dim == ControlDimension::kPara && !m.default_params);
+      }
+      ci.supported = varies;
+      if (varies && baseline > 0.0) {
+        ci.tuned_f = avg_best_f(rows);
+        ci.relative_improvement = (ci.tuned_f - baseline) / baseline;
+      }
+      out.push_back(ci);
+    }
+  }
+  return out;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,39 @@
+// Per-control attribution (§4.2, Figure 5): how much does tuning ONE control
+// dimension — Feature selection (FEAT), Classifier choice (CLF), or
+// Parameter tuning (PARA) — improve average F-score over the baseline, with
+// the other dimensions held at baseline settings?
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/measurement.h"
+
+namespace mlaas {
+
+enum class ControlDimension { kFeat, kClf, kPara };
+
+std::string to_string(ControlDimension dim);
+
+struct ControlImprovement {
+  std::string platform;
+  ControlDimension dimension;
+  double baseline_f = 0.0;
+  double tuned_f = 0.0;
+  /// Relative improvement (tuned - baseline) / baseline, Figure 5's y-axis.
+  double relative_improvement = 0.0;
+  bool supported = true;  // false = white box in the figure
+};
+
+/// Rows of the measurement table that vary ONLY the given dimension (others
+/// at baseline: no FEAT, LR, default params).
+MeasurementTable single_dimension_rows(const MeasurementTable& table,
+                                       const std::string& platform, ControlDimension dim);
+
+/// Figure 5: improvement per platform per dimension.  Unsupported
+/// (platform, dimension) pairs are returned with supported=false.
+std::vector<ControlImprovement> control_improvements(const MeasurementTable& table,
+                                                     const std::vector<std::string>& platforms);
+
+}  // namespace mlaas

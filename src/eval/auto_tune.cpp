@@ -1,0 +1,103 @@
+#include "eval/auto_tune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/split.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+std::vector<PipelineConfig> sample_configs(const Platform& platform, std::size_t count,
+                                           std::uint64_t seed) {
+  const ControlSurface surface = platform.controls();
+  if (surface.classifiers.empty()) {
+    throw std::invalid_argument("sample_configs: platform exposes no controls");
+  }
+  Rng rng(derive_seed(seed, "autotune-sample"));
+  std::vector<PipelineConfig> configs;
+  configs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PipelineConfig config;
+    if (surface.feature_selection && rng.chance(0.5)) {
+      config.feature_step = surface.feature_steps[rng.index(surface.feature_steps.size())];
+    }
+    const ClassifierGridSpec& spec =
+        surface.classifiers[rng.index(surface.classifiers.size())];
+    config.classifier = spec.classifier;
+    config.params = spec.fixed;
+    for (const auto& param : spec.params) {
+      const auto values = param.sweep_values();
+      config.params.set(param.name, values[rng.index(values.size())]);
+    }
+    if (!surface.parameter_tuning) config.params = spec.default_config();
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+AutoTuneResult auto_tune(const Platform& platform, const Dataset& train,
+                         const AutoTuneOptions& options) {
+  if (options.budget < 2) throw std::invalid_argument("auto_tune: budget too small");
+  const int rounds = std::max(1, options.rounds);
+  const int eta = std::max(2, options.eta);
+
+  // Budget split: with n0 starting candidates halved each round, total cost
+  // is n0 * (1 + 1/eta + 1/eta^2 + ...) <= n0 * eta/(eta-1).
+  const double series = static_cast<double>(eta) / (eta - 1);
+  const auto n0 = static_cast<std::size_t>(
+      std::max(2.0, std::floor(static_cast<double>(options.budget) / series)));
+
+  // Fixed validation split; training subsample grows each round.
+  const auto split = train_test_split(train, options.validation_fraction,
+                                      derive_seed(options.seed, "autotune-split"), true);
+
+  struct Candidate {
+    PipelineConfig config;
+    double f = 0.0;
+  };
+  std::vector<Candidate> field;
+  for (auto& config : sample_configs(platform, n0, options.seed)) {
+    field.push_back({std::move(config), 0.0});
+  }
+
+  AutoTuneResult result;
+  Rng rng(derive_seed(options.seed, "autotune-subsample"));
+  for (int round = 0; round < rounds && field.size() > 1; ++round) {
+    // Data fraction ramps 1/eta^(rounds-1-round) ... up to 1.
+    const double fraction =
+        1.0 / std::pow(static_cast<double>(eta), static_cast<double>(rounds - 1 - round));
+    const auto n_sub = static_cast<std::size_t>(
+        std::max(16.0, fraction * static_cast<double>(split.train.n_samples())));
+    Dataset subsample = split.train;
+    if (n_sub < split.train.n_samples()) {
+      auto idx = rng.sample_without_replacement(split.train.n_samples(), n_sub);
+      std::sort(idx.begin(), idx.end());
+      subsample = split.train.subset(idx);
+    }
+    for (auto& candidate : field) {
+      try {
+        const auto model = platform.train(
+            subsample, candidate.config,
+            derive_seed(options.seed, "autotune-" + candidate.config.key()));
+        candidate.f = f1_score(split.test.y(), model->predict(split.test.x()));
+      } catch (const std::invalid_argument&) {
+        candidate.f = -1.0;  // invalid combination: eliminated this round
+      }
+      ++result.evaluations;
+    }
+    std::stable_sort(field.begin(), field.end(),
+                     [](const Candidate& a, const Candidate& b) { return a.f > b.f; });
+    const std::size_t keep = std::max<std::size_t>(
+        1, field.size() / static_cast<std::size_t>(eta));
+    field.resize(keep);
+  }
+
+  result.best_config = field.front().config;
+  result.best_validation_f = field.front().f;
+  return result;
+}
+
+}  // namespace mlaas

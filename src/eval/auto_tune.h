@@ -1,0 +1,51 @@
+// Budget-limited automated configuration search (extension).
+//
+// §7 of the paper surveys AutoML systems (Auto-WEKA, Auto-sklearn) that
+// search the joint classifier/parameter space under a budget instead of
+// exhaustive grids.  auto_tune() brings that capability to any simulated
+// platform: random candidates from the FEAT x CLF x PARA surface are raced
+// with successive halving — all candidates start on a small training
+// subsample, the better half advances to more data — so good configurations
+// are found with a fraction of the full grid's training cost.
+//
+// bench_ext_automl compares this against the paper's exhaustive "optimized"
+// reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "platform/platform.h"
+
+namespace mlaas {
+
+struct AutoTuneOptions {
+  /// Total training-call budget across all rounds.
+  int budget = 48;
+  /// Candidates eliminated per round: keep 1/eta of the field.
+  int eta = 2;
+  /// Successive-halving rounds (data fraction doubles each round).
+  int rounds = 3;
+  double validation_fraction = 0.3;
+  std::uint64_t seed = 0;
+};
+
+struct AutoTuneResult {
+  PipelineConfig best_config;
+  double best_validation_f = 0.0;
+  int evaluations = 0;  // actual training calls spent
+};
+
+/// Search the platform's configuration space under a budget.  Throws
+/// std::invalid_argument when the platform exposes no controls (black-box
+/// platforms have nothing to tune).
+AutoTuneResult auto_tune(const Platform& platform, const Dataset& train,
+                         const AutoTuneOptions& options);
+
+/// Uniform sample from the platform's FEAT x CLF x PARA space (grid values
+/// follow the paper's sweep rule).
+std::vector<PipelineConfig> sample_configs(const Platform& platform, std::size_t count,
+                                           std::uint64_t seed);
+
+}  // namespace mlaas

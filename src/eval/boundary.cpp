@@ -1,0 +1,85 @@
+#include "eval/boundary.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/split.h"
+#include "linalg/stats.h"
+#include "ml/registry.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+BoundaryMap probe_decision_boundary(const Platform& platform, const Dataset& probe,
+                                    std::uint64_t seed, int resolution) {
+  if (probe.n_features() != 2) {
+    throw std::invalid_argument("probe_decision_boundary: probe must have 2 features");
+  }
+  const auto split =
+      train_test_split(probe, 0.3, derive_seed(seed, "boundary-split"), true);
+  const auto model = platform.train(split.train, PipelineConfig{},
+                                    derive_seed(seed, "boundary-train"));
+
+  BoundaryMap map;
+  map.resolution = resolution;
+  const auto x0 = probe.x().col(0);
+  const auto x1 = probe.x().col(1);
+  const double mx = 0.15 * (max_value(x0) - min_value(x0));
+  const double my = 0.15 * (max_value(x1) - min_value(x1));
+  map.x_lo = min_value(x0) - mx;
+  map.x_hi = max_value(x0) + mx;
+  map.y_lo = min_value(x1) - my;
+  map.y_hi = max_value(x1) + my;
+
+  Matrix mesh(static_cast<std::size_t>(resolution) * static_cast<std::size_t>(resolution), 2);
+  for (int r = 0; r < resolution; ++r) {
+    const double y = map.y_lo + (map.y_hi - map.y_lo) * (r + 0.5) / resolution;
+    for (int c = 0; c < resolution; ++c) {
+      const double x = map.x_lo + (map.x_hi - map.x_lo) * (c + 0.5) / resolution;
+      const std::size_t i =
+          static_cast<std::size_t>(r) * static_cast<std::size_t>(resolution) +
+          static_cast<std::size_t>(c);
+      mesh(i, 0) = x;
+      mesh(i, 1) = y;
+    }
+  }
+  map.labels = model->predict(mesh);
+
+  std::size_t pos = 0;
+  for (int v : map.labels) pos += v == 1 ? 1 : 0;
+  map.positive_fraction = static_cast<double>(pos) / static_cast<double>(map.labels.size());
+
+  // Linearity: accuracy of the best linear separator on the mesh labels.
+  if (pos == 0 || pos == map.labels.size()) {
+    map.linear_fit_accuracy = 1.0;
+  } else {
+    auto lda = make_classifier("lda", ParamMap{{"shrinkage", 0.05}},
+                               derive_seed(seed, "boundary-lda"));
+    lda->fit(mesh, map.labels);
+    const auto fitted = lda->predict(mesh);
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < fitted.size(); ++i) {
+      agree += fitted[i] == map.labels[i] ? 1 : 0;
+    }
+    map.linear_fit_accuracy = static_cast<double>(agree) / static_cast<double>(fitted.size());
+  }
+  return map;
+}
+
+std::string render_boundary(const BoundaryMap& map, int display_resolution) {
+  std::string out;
+  const int step = std::max(1, map.resolution / display_resolution);
+  for (int r = map.resolution - 1; r >= 0; r -= step) {
+    for (int c = 0; c < map.resolution; c += step) {
+      out += map.at(r, c) == 1 ? '#' : '.';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool boundary_is_linear(const BoundaryMap& map, double threshold) {
+  return map.linear_fit_accuracy >= threshold;
+}
+
+}  // namespace mlaas

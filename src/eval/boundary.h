@@ -1,0 +1,41 @@
+// Decision-boundary probing (§6.1, Figures 9, 10 and 13).
+//
+// A platform is trained on a 2-feature probe dataset (CIRCLE or LINEAR) and
+// queried on a 100x100 mesh grid; the predicted-label map reveals the shape
+// of the hidden classifier's decision boundary.  A linearity score (how well
+// a linear separator explains the mesh labels) quantifies the shape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "platform/platform.h"
+
+namespace mlaas {
+
+struct BoundaryMap {
+  int resolution = 0;           // mesh is resolution x resolution
+  double x_lo = 0, x_hi = 0, y_lo = 0, y_hi = 0;
+  std::vector<int> labels;      // row-major, labels[r * resolution + c]
+  double linear_fit_accuracy = 0.0;  // best linear explanation of the mesh
+  double positive_fraction = 0.0;
+
+  int at(int row, int col) const { return labels[static_cast<std::size_t>(row) *
+                                                 static_cast<std::size_t>(resolution) +
+                                                 static_cast<std::size_t>(col)]; }
+};
+
+/// Train `platform` on `probe` (which must have exactly 2 features) and map
+/// its decision boundary on a mesh covering the data range plus margin.
+BoundaryMap probe_decision_boundary(const Platform& platform, const Dataset& probe,
+                                    std::uint64_t seed, int resolution = 100);
+
+/// ASCII rendering ('.' = class 0, '#' = class 1) for terminal output.
+std::string render_boundary(const BoundaryMap& map, int display_resolution = 40);
+
+/// True when the mesh is explained by a linear separator with >= threshold
+/// accuracy.
+bool boundary_is_linear(const BoundaryMap& map, double threshold = 0.97);
+
+}  // namespace mlaas

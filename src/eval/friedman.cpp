@@ -1,0 +1,42 @@
+#include "eval/friedman.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/stats.h"
+
+namespace mlaas {
+
+FriedmanResult friedman_ranking(const std::vector<std::string>& entities,
+                                const std::vector<std::vector<double>>& scores) {
+  const std::size_t k = entities.size();
+  if (k == 0) throw std::invalid_argument("friedman_ranking: no entities");
+  FriedmanResult result;
+  result.entities = entities;
+  result.average_rank.assign(k, 0.0);
+
+  for (const auto& row : scores) {
+    if (row.size() != k) throw std::invalid_argument("friedman_ranking: ragged scores");
+    bool ok = true;
+    for (double v : row) ok = ok && std::isfinite(v);
+    if (!ok) continue;
+    // fractional_ranks ranks ascending; we want rank 1 = highest score.
+    std::vector<double> negated(k);
+    for (std::size_t e = 0; e < k; ++e) negated[e] = -row[e];
+    const auto ranks = fractional_ranks(negated);
+    for (std::size_t e = 0; e < k; ++e) result.average_rank[e] += ranks[e];
+    ++result.n_blocks;
+  }
+  if (result.n_blocks == 0) return result;
+  for (double& r : result.average_rank) r /= static_cast<double>(result.n_blocks);
+
+  // Friedman chi-squared: 12n/(k(k+1)) * sum(R_j^2) - 3n(k+1).
+  const double n = static_cast<double>(result.n_blocks);
+  const double kk = static_cast<double>(k);
+  double sum_r2 = 0.0;
+  for (double r : result.average_rank) sum_r2 += r * r;
+  result.chi_squared = 12.0 * n / (kk * (kk + 1.0)) * sum_r2 - 3.0 * n * (kk + 1.0);
+  return result;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,28 @@
+// Friedman ranking (§3.2, Table 3).
+//
+// For each dataset, the compared entities (platforms, classifiers, ...) are
+// ranked by a metric (rank 1 = best, ties share fractional ranks); the
+// Friedman rank of an entity is its rank averaged across datasets.  A lower
+// Friedman rank means consistently better performance.  Also provides the
+// Friedman chi-squared test statistic used to check that the ranking is
+// statistically meaningful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlaas {
+
+struct FriedmanResult {
+  std::vector<std::string> entities;
+  std::vector<double> average_rank;  // parallel to entities
+  double chi_squared = 0.0;          // Friedman test statistic
+  std::size_t n_blocks = 0;          // datasets actually compared
+};
+
+/// scores[d][e] = metric of entity e on dataset d (higher = better).
+/// Rows with any NaN are skipped.
+FriedmanResult friedman_ranking(const std::vector<std::string>& entities,
+                                const std::vector<std::vector<double>>& scores);
+
+}  // namespace mlaas

@@ -1,0 +1,292 @@
+#include "eval/measurement.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "data/split.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mlaas {
+
+void MeasurementTable::append(const MeasurementTable& other) {
+  rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+}
+
+MeasurementTable MeasurementTable::filter(
+    const std::function<bool(const Measurement&)>& pred) const {
+  MeasurementTable out;
+  for (const auto& row : rows_) {
+    if (pred(row)) out.add(row);
+  }
+  return out;
+}
+
+MeasurementTable MeasurementTable::for_platform(const std::string& platform) const {
+  return filter([&](const Measurement& m) { return m.platform == platform; });
+}
+
+MeasurementTable MeasurementTable::for_dataset(const std::string& dataset_id) const {
+  return filter([&](const Measurement& m) { return m.dataset_id == dataset_id; });
+}
+
+MeasurementTable MeasurementTable::baseline() const {
+  return filter([](const Measurement& m) {
+    const bool default_clf =
+        m.classifier == "auto" || m.classifier == "logistic_regression";
+    return m.feature_step == "none" && default_clf && m.default_params;
+  });
+}
+
+namespace {
+std::vector<std::string> distinct(const std::vector<Measurement>& rows,
+                                  const std::function<std::string(const Measurement&)>& get) {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  for (const auto& row : rows) {
+    if (seen.insert(get(row)).second) out.push_back(get(row));
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<std::string> MeasurementTable::platforms() const {
+  return distinct(rows_, [](const Measurement& m) { return m.platform; });
+}
+
+std::vector<std::string> MeasurementTable::dataset_ids() const {
+  return distinct(rows_, [](const Measurement& m) { return m.dataset_id; });
+}
+
+std::vector<std::string> MeasurementTable::classifiers() const {
+  return distinct(rows_, [](const Measurement& m) { return m.classifier; });
+}
+
+std::vector<const Measurement*> MeasurementTable::best_per_dataset() const {
+  std::map<std::string, const Measurement*> best;
+  for (const auto& row : rows_) {
+    auto [it, inserted] = best.emplace(row.dataset_id, &row);
+    if (!inserted && row.test.f_score > it->second->test.f_score) it->second = &row;
+  }
+  std::vector<const Measurement*> out;
+  out.reserve(best.size());
+  for (const auto& [id, row] : best) out.push_back(row);
+  return out;
+}
+
+void MeasurementTable::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("MeasurementTable: cannot write " + path);
+  out << "dataset\tplatform\tfeat\tclf\tparams\tdefault\tf\tacc\tprec\trec\tsec\tsig\n";
+  out.precision(10);
+  for (const auto& m : rows_) {
+    out << m.dataset_id << '\t' << m.platform << '\t' << m.feature_step << '\t'
+        << m.classifier << '\t' << m.params << '\t' << (m.default_params ? 1 : 0) << '\t'
+        << m.test.f_score << '\t' << m.test.accuracy << '\t' << m.test.precision << '\t'
+        << m.test.recall << '\t' << m.train_seconds << '\t' << m.label_signature << '\n';
+  }
+}
+
+MeasurementTable MeasurementTable::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("MeasurementTable: cannot read " + path);
+  MeasurementTable table;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    Measurement m;
+    std::string def, f, acc, prec, rec, sec;
+    std::getline(ss, m.dataset_id, '\t');
+    std::getline(ss, m.platform, '\t');
+    std::getline(ss, m.feature_step, '\t');
+    std::getline(ss, m.classifier, '\t');
+    std::getline(ss, m.params, '\t');
+    std::getline(ss, def, '\t');
+    std::getline(ss, f, '\t');
+    std::getline(ss, acc, '\t');
+    std::getline(ss, prec, '\t');
+    std::getline(ss, rec, '\t');
+    std::getline(ss, sec, '\t');
+    std::getline(ss, m.label_signature, '\t');
+    m.default_params = def == "1";
+    m.test.f_score = std::stod(f);
+    m.test.accuracy = std::stod(acc);
+    m.test.precision = std::stod(prec);
+    m.test.recall = std::stod(rec);
+    m.train_seconds = sec.empty() ? 0.0 : std::stod(sec);  // older caches lack the column
+    table.add(std::move(m));
+  }
+  return table;
+}
+
+std::vector<PipelineConfig> enumerate_configs(const Platform& platform,
+                                              const MeasurementOptions& options) {
+  const ControlSurface surface = platform.controls();
+  const std::size_t para_cap = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             options.scale * static_cast<double>(options.max_para_configs))));
+
+  std::vector<PipelineConfig> configs;
+  std::set<std::string> seen;
+  auto push = [&](PipelineConfig config) {
+    if (seen.insert(config.key()).second) configs.push_back(std::move(config));
+  };
+
+  // Baseline first (black-box platforms only ever have this row).
+  push(platform.baseline_config());
+  if (!surface.classifier_choice && !surface.parameter_tuning &&
+      !surface.feature_selection) {
+    return configs;
+  }
+
+  // CLF dimension: every classifier at its platform defaults.
+  for (const auto& spec : surface.classifiers) {
+    PipelineConfig config;
+    config.classifier = spec.classifier;
+    config.params = spec.default_config();
+    push(config);
+  }
+
+  // PARA dimension: each classifier's grid (capped), no FEAT.
+  if (surface.parameter_tuning) {
+    for (const auto& spec : surface.classifiers) {
+      for (auto& params : expand_grid(spec, para_cap, options.seed)) {
+        PipelineConfig config;
+        config.classifier = spec.classifier;
+        config.params = std::move(params);
+        push(std::move(config));
+      }
+    }
+  }
+
+  // FEAT dimension: every feature step with every classifier at defaults.
+  if (surface.feature_selection) {
+    for (const auto& feat : surface.feature_steps) {
+      for (const auto& spec : surface.classifiers) {
+        PipelineConfig config;
+        config.feature_step = feat;
+        config.classifier = spec.classifier;
+        config.params = spec.default_config();
+        push(std::move(config));
+      }
+    }
+  }
+
+  // Joint FEAT x CLF x PARA sample (the paper's full cross product, scaled).
+  if (surface.feature_selection && surface.parameter_tuning) {
+    const std::size_t joint = static_cast<std::size_t>(
+        std::llround(options.scale * static_cast<double>(options.joint_sample)));
+    Rng rng(derive_seed(options.seed, "joint-" + platform.name()));
+    for (std::size_t k = 0; k < joint; ++k) {
+      const auto& feat = surface.feature_steps[rng.index(surface.feature_steps.size())];
+      const auto& spec = surface.classifiers[rng.index(surface.classifiers.size())];
+      const auto grid = expand_grid(spec, para_cap, options.seed);
+      PipelineConfig config;
+      config.feature_step = feat;
+      config.classifier = spec.classifier;
+      config.params = grid[rng.index(grid.size())];
+      push(std::move(config));
+    }
+  }
+  return configs;
+}
+
+std::optional<Measurement> measure_one(const Dataset& dataset, const Platform& platform,
+                                       const PipelineConfig& config,
+                                       const MeasurementOptions& options) {
+  // The split depends only on (study seed, dataset), so every platform and
+  // configuration sees the same train/test partition (§3.1).
+  const auto split = train_test_split(
+      dataset, options.test_fraction,
+      derive_seed(options.seed, "split-" + dataset.meta().id), /*stratified=*/true);
+  Measurement m;
+  m.dataset_id = dataset.meta().id;
+  m.platform = platform.name();
+  m.feature_step = config.feature_step.empty() ? "none" : config.feature_step;
+  m.classifier = config.classifier.empty() ? "auto" : config.classifier;
+  m.params = config.params.to_string();
+  const ControlSurface surface = platform.controls();
+  if (const ClassifierGridSpec* spec = surface.find(config.classifier)) {
+    m.default_params = config.params == spec->default_config();
+  } else {
+    m.default_params = config.params.empty();
+  }
+  try {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto model = platform.train(
+        split.train, config,
+        derive_seed(options.seed, "train-" + dataset.meta().id + "-" + config.key()));
+    m.train_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const auto predictions = model->predict(split.test.x());
+    m.test = compute_metrics(split.test.y(), predictions);
+    const std::size_t sig = std::min(kLabelSignatureSize, predictions.size());
+    m.label_signature.reserve(sig);
+    for (std::size_t i = 0; i < sig; ++i) {
+      m.label_signature += predictions[i] == 1 ? '1' : '0';
+    }
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // config outside this platform's surface
+  }
+  return m;
+}
+
+MeasurementTable run_measurements(const std::vector<Dataset>& corpus,
+                                  const std::vector<PlatformPtr>& platforms,
+                                  const MeasurementOptions& options) {
+  // Pre-enumerate configs once per platform.
+  std::vector<std::vector<PipelineConfig>> configs;
+  configs.reserve(platforms.size());
+  for (const auto& p : platforms) configs.push_back(enumerate_configs(*p, options));
+
+  // One work item per dataset keeps results deterministic under threading.
+  std::vector<MeasurementTable> per_dataset(corpus.size());
+  ThreadPool pool(options.threads == 0 ? 0 : static_cast<std::size_t>(options.threads));
+  pool.parallel_for(corpus.size(), [&](std::size_t d) {
+    const Dataset& dataset = corpus[d];
+    for (std::size_t p = 0; p < platforms.size(); ++p) {
+      for (const auto& config : configs[p]) {
+        if (auto m = measure_one(dataset, *platforms[p], config, options)) {
+          per_dataset[d].add(std::move(*m));
+        }
+      }
+    }
+    if (options.verbose) {
+      std::cerr << "[measure] " << dataset.meta().id << " done (" << (d + 1) << "/"
+                << corpus.size() << ")\n";
+    }
+  });
+
+  MeasurementTable table;
+  for (const auto& t : per_dataset) table.append(t);
+  return table;
+}
+
+MeasurementTable run_or_load(const std::vector<Dataset>& corpus,
+                             const std::vector<PlatformPtr>& platforms,
+                             const MeasurementOptions& options,
+                             const std::string& cache_path) {
+  {
+    std::ifstream probe(cache_path);
+    if (probe.good()) return MeasurementTable::load_csv(cache_path);
+  }
+  MeasurementTable table = run_measurements(corpus, platforms, options);
+  table.save_csv(cache_path);
+  return table;
+}
+
+std::string default_cache_path(std::uint64_t seed, double scale) {
+  std::ostringstream os;
+  os << "mlaas_measurements_seed" << seed << "_scale" << scale << ".tsv";
+  return os.str();
+}
+
+}  // namespace mlaas

@@ -1,0 +1,115 @@
+// Measurement collection (§3.2, Table 2).
+//
+// For every (dataset, platform, configuration) triple the runner trains a
+// model on the 70% split and records test-set metrics on the held-out 30% —
+// one row per measurement, the in-process analogue of the paper's 2.1M
+// cloud measurements.  Tables are cached to CSV so every bench binary can
+// share one measurement pass.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/metrics.h"
+#include "platform/all_platforms.h"
+
+namespace mlaas {
+
+struct Measurement {
+  std::string dataset_id;
+  std::string platform;
+  std::string feature_step;  // "none" when absent
+  std::string classifier;    // "auto" for black-box platforms
+  std::string params;        // canonical ParamMap string
+  bool default_params = false;  // params equal the platform's defaults
+  Metrics test;
+  /// Wall-clock training cost — the "training time" evaluation dimension the
+  /// paper defers to future work (§8).
+  double train_seconds = 0.0;
+  /// Predicted labels on the first kLabelSignatureSize test samples (a '0'/
+  /// '1' string).  §6.2 trains the classifier-family meta-predictor on
+  /// "aggregated performance metrics and the predicted labels"; the
+  /// signature carries the latter.  Identical sample order across configs of
+  /// a dataset (the split is seeded per dataset).
+  std::string label_signature;
+};
+
+inline constexpr std::size_t kLabelSignatureSize = 256;
+
+class MeasurementTable {
+ public:
+  void add(Measurement m) { rows_.push_back(std::move(m)); }
+  void append(const MeasurementTable& other);
+  const std::vector<Measurement>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Rows matching a predicate.
+  MeasurementTable filter(const std::function<bool(const Measurement&)>& pred) const;
+  MeasurementTable for_platform(const std::string& platform) const;
+  MeasurementTable for_dataset(const std::string& dataset_id) const;
+
+  /// Baseline rows (§3.2): no FEAT, LR (or automated), default parameters.
+  MeasurementTable baseline() const;
+
+  /// Distinct values of a column.
+  std::vector<std::string> platforms() const;
+  std::vector<std::string> dataset_ids() const;
+  std::vector<std::string> classifiers() const;
+
+  /// Best test F-score per dataset (the paper's "optimized" aggregation).
+  /// Returns (dataset_id, best row) pairs.
+  std::vector<const Measurement*> best_per_dataset() const;
+
+  void save_csv(const std::string& path) const;
+  static MeasurementTable load_csv(const std::string& path);
+
+ private:
+  std::vector<Measurement> rows_;
+};
+
+struct MeasurementOptions {
+  std::uint64_t seed = 42;
+  /// Multiplies the per-classifier parameter-grid cap and the joint sample
+  /// toward the paper's full grids.
+  double scale = 1.0;
+  std::size_t max_para_configs = 12;  // per-classifier PARA cap (scaled)
+  std::size_t joint_sample = 40;      // extra FEAT x CLF x PARA joint draws (scaled)
+  double test_fraction = 0.3;         // §3.1's 70/30 split
+  int threads = 0;                    // 0 = hardware concurrency
+  bool verbose = false;
+};
+
+/// The configuration set measured for one platform (§3.2): the baseline, all
+/// FEAT x default-CLF combos, all CLF defaults, each classifier's PARA grid,
+/// FEAT x CLF defaults, and a seeded joint FEAT x CLF x PARA sample.
+/// Deduplicated by config key.
+std::vector<PipelineConfig> enumerate_configs(const Platform& platform,
+                                              const MeasurementOptions& options);
+
+/// Run the full study: every platform on every corpus dataset.
+MeasurementTable run_measurements(const std::vector<Dataset>& corpus,
+                                  const std::vector<PlatformPtr>& platforms,
+                                  const MeasurementOptions& options);
+
+/// Train/evaluate one (dataset, platform, config) and return the row;
+/// nullopt when the platform rejects the config.
+std::optional<Measurement> measure_one(const Dataset& dataset, const Platform& platform,
+                                       const PipelineConfig& config,
+                                       const MeasurementOptions& options);
+
+/// Cache wrapper: load `cache_path` when present, otherwise compute via
+/// run_measurements and save.
+MeasurementTable run_or_load(const std::vector<Dataset>& corpus,
+                             const std::vector<PlatformPtr>& platforms,
+                             const MeasurementOptions& options,
+                             const std::string& cache_path);
+
+/// Default cache path for a seed/scale pair (shared by all bench binaries).
+std::string default_cache_path(std::uint64_t seed, double scale);
+
+}  // namespace mlaas

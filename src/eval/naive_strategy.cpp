@@ -1,0 +1,103 @@
+#include "eval/naive_strategy.h"
+
+#include <algorithm>
+
+#include "data/split.h"
+#include "ml/metrics.h"
+#include "ml/registry.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+std::vector<NaiveResult> run_naive_strategy(const std::vector<Dataset>& corpus,
+                                            const MeasurementOptions& options) {
+  std::vector<NaiveResult> out;
+  out.reserve(corpus.size());
+  for (const auto& dataset : corpus) {
+    // Identical split to the platform measurements (§3.1).
+    const auto split = train_test_split(
+        dataset, options.test_fraction,
+        derive_seed(options.seed, "split-" + dataset.meta().id), true);
+    NaiveResult r;
+    r.dataset_id = dataset.meta().id;
+
+    auto lr = make_classifier("logistic_regression", {},
+                              derive_seed(options.seed, "naive-lr-" + r.dataset_id));
+    lr->fit(split.train.x(), split.train.y());
+    r.lr_f = f1_score(split.test.y(), lr->predict(split.test.x()));
+
+    auto dt = make_classifier("decision_tree", {},
+                              derive_seed(options.seed, "naive-dt-" + r.dataset_id));
+    dt->fit(split.train.x(), split.train.y());
+    r.dt_f = f1_score(split.test.y(), dt->predict(split.test.x()));
+
+    r.chosen = r.dt_f > r.lr_f ? ClassifierFamily::kNonLinear : ClassifierFamily::kLinear;
+    r.naive_f = std::max(r.lr_f, r.dt_f);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+namespace {
+
+/// Best Local-library F-score per dataset over one classifier family.
+std::map<std::string, double> best_family_f(const MeasurementTable& table,
+                                            ClassifierFamily family) {
+  std::map<std::string, double> best;
+  const MeasurementTable local_rows = table.for_platform("Local");
+  for (const auto& m : local_rows.rows()) {
+    if (m.classifier == "auto") continue;
+    const bool linear = classifier_is_linear(m.classifier);
+    if ((family == ClassifierFamily::kLinear) != linear) continue;
+    auto [it, inserted] = best.emplace(m.dataset_id, m.test.f_score);
+    if (!inserted) it->second = std::max(it->second, m.test.f_score);
+  }
+  return best;
+}
+
+}  // namespace
+
+NaiveComparison compare_naive_vs_blackbox(const std::vector<NaiveResult>& naive,
+                                          const std::vector<BlackBoxChoice>& choices,
+                                          const MeasurementTable& table,
+                                          const std::string& platform) {
+  std::map<std::string, const NaiveResult*> naive_by_id;
+  for (const auto& r : naive) naive_by_id[r.dataset_id] = &r;
+
+  // Platform's F-score per dataset (black boxes have a single row).
+  std::map<std::string, double> platform_f;
+  const MeasurementTable platform_rows = table.for_platform(platform);
+  for (const auto& m : platform_rows.rows()) {
+    auto [it, inserted] = platform_f.emplace(m.dataset_id, m.test.f_score);
+    if (!inserted) it->second = std::max(it->second, m.test.f_score);
+  }
+  const auto best_linear = best_family_f(table, ClassifierFamily::kLinear);
+  const auto best_nonlinear = best_family_f(table, ClassifierFamily::kNonLinear);
+
+  NaiveComparison cmp;
+  cmp.platform = platform;
+  for (const auto& choice : choices) {
+    auto nit = naive_by_id.find(choice.dataset_id);
+    auto pit = platform_f.find(choice.dataset_id);
+    if (nit == naive_by_id.end() || pit == platform_f.end()) continue;
+    ++cmp.n_datasets;
+    const NaiveResult& nr = *nit->second;
+    const double gap = nr.naive_f - pit->second;
+    if (gap <= 0.0) continue;
+    ++cmp.naive_wins;
+    const int ni = nr.chosen == ClassifierFamily::kLinear ? 0 : 1;
+    const int pi = choice.family == ClassifierFamily::kLinear ? 0 : 1;
+    ++cmp.wins_breakdown[ni][pi];
+    cmp.win_gaps.push_back(gap);
+    if (ni != pi) cmp.switch_gaps.push_back(gap);
+
+    // §6.3: would the platform's family, optimally tuned, still lose?
+    const auto& other = nr.chosen == ClassifierFamily::kLinear ? best_nonlinear : best_linear;
+    auto oit = other.find(choice.dataset_id);
+    const double other_best = oit == other.end() ? 0.0 : oit->second;
+    if (nr.naive_f > other_best && nr.naive_f > pit->second) ++cmp.switching_is_best;
+  }
+  return cmp;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,58 @@
+// The naïve classifier-switching strategy (§6.3, Table 6, Figure 14).
+//
+// For every dataset, train a default-parameter Logistic Regression and a
+// default-parameter Decision Tree (no feature selection), and pick the one
+// with the higher test F-score.  Comparing this trivial strategy against
+// Google's and ABM's automated choices quantifies how much the black-box
+// platforms' hidden optimizations leave on the table.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/family_predictor.h"
+#include "eval/measurement.h"
+
+namespace mlaas {
+
+struct NaiveResult {
+  std::string dataset_id;
+  double lr_f = 0.0;             // default logistic regression
+  double dt_f = 0.0;             // default decision tree
+  ClassifierFamily chosen = ClassifierFamily::kLinear;
+  double naive_f = 0.0;          // max(lr_f, dt_f)
+};
+
+/// Train LR and DT with default parameters on each corpus dataset (same
+/// 70/30 split as the platform measurements).
+std::vector<NaiveResult> run_naive_strategy(const std::vector<Dataset>& corpus,
+                                            const MeasurementOptions& options);
+
+struct NaiveComparison {
+  std::string platform;
+  std::size_t n_datasets = 0;      // selected datasets compared
+  std::size_t naive_wins = 0;
+  /// Table 6 breakdown over datasets where naïve wins:
+  /// wins_breakdown[naive_family][platform_family], 0 = linear.
+  std::size_t wins_breakdown[2][2] = {{0, 0}, {0, 0}};
+  std::vector<double> win_gaps;    // F-score gaps where naïve wins (Fig 14)
+  /// Gaps restricted to datasets where naïve and the platform chose
+  /// DIFFERENT families (the "could improve by switching" cases).
+  std::vector<double> switch_gaps;
+  /// §6.3: datasets where naïve beats the platform even against the optimal
+  /// configuration of the other (unchosen) family — switching is likely the
+  /// only fix.
+  std::size_t switching_is_best = 0;
+};
+
+/// Compare the naïve strategy against one black-box platform on the
+/// family-predictable datasets.  `optimal_other_family_f` (per dataset) is
+/// the best Local-library F-score over the family the naïve strategy did
+/// NOT choose; derived from `table`.
+NaiveComparison compare_naive_vs_blackbox(const std::vector<NaiveResult>& naive,
+                                          const std::vector<BlackBoxChoice>& choices,
+                                          const MeasurementTable& table,
+                                          const std::string& platform);
+
+}  // namespace mlaas

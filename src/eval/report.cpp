@@ -1,0 +1,130 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ml/registry.h"
+#include "util/table.h"
+
+namespace mlaas {
+
+std::string render_platform_summaries(const std::string& title,
+                                      const std::vector<PlatformSummary>& summaries) {
+  TextTable t({"Platform", "Avg Fried. Rank", "Avg F-score", "Avg Accuracy", "Avg Precision",
+               "Avg Recall"});
+  for (const auto& s : summaries) {
+    t.add_row({s.platform, fmt(s.avg_rank, 1), fmt_with_rank(s.avg.f_score, s.rank_f),
+               fmt_with_rank(s.avg.accuracy, s.rank_acc),
+               fmt_with_rank(s.avg.precision, s.rank_prec),
+               fmt_with_rank(s.avg.recall, s.rank_rec)});
+  }
+  return title + "\n" + t.str();
+}
+
+namespace {
+const PlatformSummary* find_summary(const std::vector<PlatformSummary>& summaries,
+                                    const std::string& platform) {
+  for (const auto& s : summaries) {
+    if (s.platform == platform) return &s;
+  }
+  return nullptr;
+}
+}  // namespace
+
+std::string render_fig4(const std::vector<PlatformSummary>& baseline,
+                        const std::vector<PlatformSummary>& optimized,
+                        const std::vector<std::string>& platform_order) {
+  TextTable t({"Platform (complexity ->)", "Baseline F", "Optimized F", "+/- (std err)"});
+  for (const auto& p : platform_order) {
+    const PlatformSummary* b = find_summary(baseline, p);
+    const PlatformSummary* o = find_summary(optimized, p);
+    if (b == nullptr || o == nullptr) continue;
+    t.add_row({p, fmt(b->avg.f_score), fmt(o->avg.f_score), fmt(o->f_std_error, 4)});
+  }
+  return "Figure 4: baseline vs optimized average F-score (complexity-ordered)\n" + t.str();
+}
+
+std::string render_fig5(const std::vector<ControlImprovement>& improvements) {
+  // Group by dimension, columns per platform, as in the figure's panels.
+  TextTable t({"Platform", "Control", "Baseline F", "Tuned F", "Improvement"});
+  for (const auto& ci : improvements) {
+    if (!ci.supported) {
+      t.add_row({ci.platform, to_string(ci.dimension), fmt(ci.baseline_f), "-", "no data"});
+    } else {
+      t.add_row({ci.platform, to_string(ci.dimension), fmt(ci.baseline_f), fmt(ci.tuned_f),
+                 fmt_pct(ci.relative_improvement)});
+    }
+  }
+  return "Figure 5: relative F-score improvement over baseline per control dimension\n" +
+         t.str();
+}
+
+std::string render_fig6(const std::vector<VariationSummary>& variations) {
+  TextTable t({"Platform (complexity ->)", "Min F", "Q1", "Median", "Q3", "Max F", "Range",
+               "#Configs"});
+  for (const auto& v : variations) {
+    t.add_row({v.platform, fmt(v.min_f), fmt(v.q1_f), fmt(v.median_f), fmt(v.q3_f),
+               fmt(v.max_f), fmt(v.range()), std::to_string(v.n_configs)});
+  }
+  return "Figure 6: performance variation across configurations (per-config "
+         "cross-dataset average F)\n" +
+         t.str();
+}
+
+std::string render_fig7(const std::vector<DimensionVariation>& variations) {
+  TextTable t({"Platform", "Control", "Range", "Normalized by overall"});
+  for (const auto& v : variations) {
+    if (!v.supported) {
+      t.add_row({v.platform, to_string(v.dimension), "-", "no data"});
+    } else {
+      t.add_row({v.platform, to_string(v.dimension), fmt(v.range), fmt(v.normalized_range, 2)});
+    }
+  }
+  return "Figure 7: performance variation from tuning each control alone\n" + t.str();
+}
+
+std::string render_fig8(const std::vector<SubsetCurve>& curves) {
+  std::size_t max_k = 0;
+  for (const auto& c : curves) max_k = std::max(max_k, c.points.size());
+  std::vector<std::string> header{"k classifiers"};
+  for (const auto& c : curves) header.push_back(c.platform);
+  TextTable t(std::move(header));
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (const auto& c : curves) {
+      const auto it = std::find_if(c.points.begin(), c.points.end(),
+                                   [&](const SubsetCurvePoint& p) {
+                                     return static_cast<std::size_t>(p.k) == k;
+                                   });
+      row.push_back(it == c.points.end() ? "" : fmt(it->expected_best_f));
+    }
+    t.add_row(std::move(row));
+  }
+  return "Figure 8: expected best F-score vs number of classifiers explored\n" + t.str();
+}
+
+std::string render_table4(const std::string& title,
+                          const std::vector<std::string>& platforms,
+                          const std::vector<std::vector<std::pair<std::string, double>>>& tops) {
+  std::vector<std::string> header{"Rank"};
+  for (const auto& p : platforms) header.push_back(p);
+  TextTable t(std::move(header));
+  std::size_t depth = 0;
+  for (const auto& top : tops) depth = std::max(depth, top.size());
+  depth = std::min<std::size_t>(depth, 4);  // Table 4 reports the top four
+  for (std::size_t rank = 0; rank < depth; ++rank) {
+    std::vector<std::string> row{std::to_string(rank + 1)};
+    for (const auto& top : tops) {
+      if (rank < top.size()) {
+        row.push_back(classifier_abbrev(top[rank].first) + " (" +
+                      fmt_pct(top[rank].second) + ")");
+      } else {
+        row.emplace_back();
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  return title + "\n" + t.str();
+}
+
+}  // namespace mlaas

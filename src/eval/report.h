@@ -1,0 +1,40 @@
+// Paper-style table rendering for the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/aggregate.h"
+#include "eval/attribution.h"
+#include "eval/subset_analysis.h"
+#include "eval/variation.h"
+
+namespace mlaas {
+
+/// Table 3 style: platform, avg Friedman rank, then metric (rank) cells.
+std::string render_platform_summaries(const std::string& title,
+                                      const std::vector<PlatformSummary>& summaries);
+
+/// Figure 4 style: baseline vs optimized per platform in complexity order.
+std::string render_fig4(const std::vector<PlatformSummary>& baseline,
+                        const std::vector<PlatformSummary>& optimized,
+                        const std::vector<std::string>& platform_order);
+
+/// Figure 5 style: relative improvement per platform per control dimension.
+std::string render_fig5(const std::vector<ControlImprovement>& improvements);
+
+/// Figure 6 style: per-platform variation boxes.
+std::string render_fig6(const std::vector<VariationSummary>& variations);
+
+/// Figure 7 style: normalized per-dimension variation.
+std::string render_fig7(const std::vector<DimensionVariation>& variations);
+
+/// Figure 8 style: best-of-k curves.
+std::string render_fig8(const std::vector<SubsetCurve>& curves);
+
+/// Table 4 style: top classifiers with win shares.
+std::string render_table4(const std::string& title,
+                          const std::vector<std::string>& platforms,
+                          const std::vector<std::vector<std::pair<std::string, double>>>& tops);
+
+}  // namespace mlaas

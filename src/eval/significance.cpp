@@ -1,0 +1,88 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/stats.h"
+
+namespace mlaas {
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+WilcoxonResult wilcoxon_signed_rank(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("wilcoxon_signed_rank: size mismatch");
+  }
+  std::vector<double> abs_diff;
+  std::vector<int> sign;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d == 0.0) continue;  // standard practice: drop zero differences
+    abs_diff.push_back(std::abs(d));
+    sign.push_back(d > 0 ? 1 : -1);
+  }
+  WilcoxonResult result;
+  result.n_effective = abs_diff.size();
+  if (result.n_effective == 0) return result;  // identical: p = 1
+
+  const auto ranks = fractional_ranks(abs_diff);
+  double w_plus = 0.0, w_minus = 0.0;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    (sign[i] > 0 ? w_plus : w_minus) += ranks[i];
+  }
+  result.w_statistic = std::min(w_plus, w_minus);
+
+  const double n = static_cast<double>(result.n_effective);
+  const double mean = n * (n + 1.0) / 4.0;
+  const double sd = std::sqrt(n * (n + 1.0) * (2.0 * n + 1.0) / 24.0);
+  if (sd == 0.0) return result;
+  result.z = (result.w_statistic - mean) / sd;
+  result.p_value = std::clamp(2.0 * normal_cdf(result.z), 0.0, 1.0);
+  return result;
+}
+
+double nemenyi_critical_difference(std::size_t k, std::size_t n) {
+  // q_0.05 values (studentized range / sqrt(2)) for k = 2..10 (Demšar 2006).
+  static const double q05[] = {1.960, 2.343, 2.569, 2.728, 2.850,
+                               2.949, 3.031, 3.102, 3.164};
+  if (k < 2 || k > 10) {
+    throw std::invalid_argument("nemenyi_critical_difference: k must be in [2,10]");
+  }
+  if (n == 0) throw std::invalid_argument("nemenyi_critical_difference: n must be > 0");
+  const double kk = static_cast<double>(k);
+  return q05[k - 2] * std::sqrt(kk * (kk + 1.0) / (6.0 * static_cast<double>(n)));
+}
+
+std::vector<PairwiseComparison> pairwise_comparisons(
+    const std::vector<std::string>& entities,
+    const std::vector<std::vector<double>>& scores) {
+  const FriedmanResult friedman = friedman_ranking(entities, scores);
+  const double cd = nemenyi_critical_difference(entities.size(), friedman.n_blocks);
+
+  std::vector<PairwiseComparison> out;
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    for (std::size_t j = i + 1; j < entities.size(); ++j) {
+      PairwiseComparison cmp;
+      cmp.a = entities[i];
+      cmp.b = entities[j];
+      std::vector<double> a, b;
+      for (const auto& row : scores) {
+        if (row.size() != entities.size()) continue;
+        bool finite = true;
+        for (double v : row) finite = finite && std::isfinite(v);
+        if (!finite) continue;
+        a.push_back(row[i]);
+        b.push_back(row[j]);
+      }
+      cmp.wilcoxon = wilcoxon_signed_rank(a, b);
+      cmp.rank_difference =
+          std::abs(friedman.average_rank[i] - friedman.average_rank[j]);
+      cmp.nemenyi_significant = cmp.rank_difference > cd;
+      out.push_back(std::move(cmp));
+    }
+  }
+  return out;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,52 @@
+// Statistical comparison machinery (Demšar 2006; García & Herrera 2008 —
+// the methodology the paper's evaluation design cites in §7 [19, 20, 29]).
+//
+// - Wilcoxon signed-rank test: paired per-dataset comparison of two
+//   platforms/classifiers (normal approximation, two-sided).
+// - Nemenyi critical difference: the post-hoc companion of the Friedman
+//   test — two entities differ significantly when their average ranks are
+//   more than CD apart.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/friedman.h"
+
+namespace mlaas {
+
+struct WilcoxonResult {
+  double w_statistic = 0.0;  // min(W+, W-)
+  double z = 0.0;            // normal approximation
+  double p_value = 1.0;      // two-sided
+  std::size_t n_effective = 0;  // pairs with non-zero difference
+  bool significant_at_05() const { return p_value < 0.05; }
+};
+
+/// Paired Wilcoxon signed-rank test over per-dataset scores (ties on
+/// |difference| share fractional ranks; zero differences are dropped).
+WilcoxonResult wilcoxon_signed_rank(std::span<const double> a, std::span<const double> b);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+/// Nemenyi critical difference for k entities over n datasets at alpha=0.05
+/// (two ranks differing by more than this are significantly different).
+/// Supported k: 2..10; throws std::invalid_argument otherwise.
+double nemenyi_critical_difference(std::size_t k, std::size_t n);
+
+struct PairwiseComparison {
+  std::string a, b;
+  WilcoxonResult wilcoxon;
+  double rank_difference = 0.0;  // |Friedman rank(a) - rank(b)|
+  bool nemenyi_significant = false;
+};
+
+/// All-pairs comparison: scores[d][e] as in friedman_ranking.
+std::vector<PairwiseComparison> pairwise_comparisons(
+    const std::vector<std::string>& entities,
+    const std::vector<std::vector<double>>& scores);
+
+}  // namespace mlaas

@@ -1,0 +1,73 @@
+#include "eval/subset_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace mlaas {
+
+double expected_subset_max(std::vector<double> values, int k) {
+  const int n = static_cast<int>(values.size());
+  if (k < 1 || k > n) throw std::invalid_argument("expected_subset_max: bad k");
+  std::sort(values.begin(), values.end(), std::greater<>());
+  // P(item at sorted position i is the subset max) = C(n-1-i, k-1) / C(n, k).
+  // Computed iteratively to avoid factorial overflow.
+  double expectation = 0.0;
+  // Start with i = 0: C(n-1, k-1) / C(n, k) = k / n.
+  double p = static_cast<double>(k) / static_cast<double>(n);
+  for (int i = 0; i < n; ++i) {
+    expectation += p * values[static_cast<std::size_t>(i)];
+    // Transition: C(n-2-i, k-1)/C(n-1-i, k-1) = (n-k-i)/(n-1-i).
+    const double num = static_cast<double>(n - k - i);
+    const double den = static_cast<double>(n - 1 - i);
+    p = den > 0 ? p * std::max(0.0, num) / den : 0.0;
+  }
+  return expectation;
+}
+
+SubsetCurve classifier_subset_curve(const MeasurementTable& table,
+                                    const std::string& platform) {
+  // Per dataset, per classifier: best F across its configurations (no FEAT).
+  const MeasurementTable rows = table.for_platform(platform).filter(
+      [](const Measurement& m) { return m.classifier != "auto" && m.feature_step == "none"; });
+  std::map<std::string, std::map<std::string, double>> best;  // dataset -> clf -> f
+  for (const auto& m : rows.rows()) {
+    auto& slot = best[m.dataset_id];
+    auto [it, inserted] = slot.emplace(m.classifier, m.test.f_score);
+    if (!inserted) it->second = std::max(it->second, m.test.f_score);
+  }
+
+  // Classifier roster: intersection across datasets (all datasets see the
+  // same CLF menu, so this is just the distinct set).
+  const auto classifiers = rows.classifiers();
+  const int n_clf = static_cast<int>(classifiers.size());
+
+  SubsetCurve curve;
+  curve.platform = platform;
+  for (int k = 1; k <= n_clf; ++k) {
+    SubsetCurvePoint point;
+    point.k = k;
+    std::vector<double> per_dataset;
+    for (const auto& [dataset, per_clf] : best) {
+      std::vector<double> values;
+      values.reserve(per_clf.size());
+      for (const auto& [clf, f] : per_clf) values.push_back(f);
+      if (static_cast<int>(values.size()) < k) continue;
+      per_dataset.push_back(expected_subset_max(values, k));
+    }
+    if (per_dataset.empty()) continue;
+    double sum = 0.0, sum2 = 0.0;
+    for (double f : per_dataset) {
+      sum += f;
+      sum2 += f * f;
+    }
+    const double n = static_cast<double>(per_dataset.size());
+    point.expected_best_f = sum / n;
+    point.std_dev = std::sqrt(std::max(0.0, sum2 / n - point.expected_best_f * point.expected_best_f));
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace mlaas

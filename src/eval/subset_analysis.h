@@ -1,0 +1,37 @@
+// Partial-knowledge analysis (§5.2, Figure 8): expected best F-score when a
+// user experiments with a random subset of k classifiers instead of all of
+// them.
+//
+// The expectation over all C(n,k) subsets is computed in closed form: sort
+// per-dataset best-per-classifier F-scores descending; the i-th best is the
+// subset maximum with probability C(n-i, k-1) / C(n, k).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/measurement.h"
+
+namespace mlaas {
+
+struct SubsetCurvePoint {
+  int k = 0;                 // number of classifiers explored
+  double expected_best_f = 0.0;
+  double std_dev = 0.0;      // spread of the subset maxima across datasets
+};
+
+struct SubsetCurve {
+  std::string platform;
+  std::vector<SubsetCurvePoint> points;  // k = 1 .. n_classifiers
+};
+
+/// Expected best-of-k-random-classifiers curve for one platform, averaged
+/// across datasets.  Uses each classifier's best configuration per dataset
+/// (FEAT held at none, parameters free), matching §5.2.
+SubsetCurve classifier_subset_curve(const MeasurementTable& table,
+                                    const std::string& platform);
+
+/// E[max of a uniformly random k-subset] given per-item values.
+double expected_subset_max(std::vector<double> values, int k);
+
+}  // namespace mlaas

@@ -1,0 +1,77 @@
+#include "eval/variation.h"
+
+#include <algorithm>
+#include <map>
+
+#include "linalg/stats.h"
+
+namespace mlaas {
+
+namespace {
+
+std::vector<double> config_averages_of(const MeasurementTable& rows) {
+  // config key -> (sum, count) across datasets.
+  std::map<std::string, std::pair<double, std::size_t>> acc;
+  for (const auto& m : rows.rows()) {
+    const std::string key = m.feature_step + "|" + m.classifier + "|" + m.params;
+    auto& slot = acc[key];
+    slot.first += m.test.f_score;
+    slot.second += 1;
+  }
+  std::vector<double> out;
+  out.reserve(acc.size());
+  for (const auto& [key, sum_count] : acc) {
+    out.push_back(sum_count.first / static_cast<double>(sum_count.second));
+  }
+  return out;
+}
+
+VariationSummary summarize_config_averages(const std::string& platform,
+                                           std::vector<double> averages) {
+  VariationSummary s;
+  s.platform = platform;
+  s.n_configs = averages.size();
+  if (averages.empty()) return s;
+  s.min_f = min_value(averages);
+  s.max_f = max_value(averages);
+  s.q1_f = quantile(averages, 0.25);
+  s.median_f = quantile(averages, 0.5);
+  s.q3_f = quantile(averages, 0.75);
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> config_averages(const MeasurementTable& table,
+                                    const std::string& platform) {
+  return config_averages_of(table.for_platform(platform));
+}
+
+VariationSummary overall_variation(const MeasurementTable& table, const std::string& platform) {
+  return summarize_config_averages(platform, config_averages(table, platform));
+}
+
+std::vector<DimensionVariation> dimension_variations(const MeasurementTable& table,
+                                                     const std::vector<std::string>& platforms) {
+  std::vector<DimensionVariation> out;
+  for (const auto& platform : platforms) {
+    const double overall = overall_variation(table, platform).range();
+    for (ControlDimension dim :
+         {ControlDimension::kFeat, ControlDimension::kClf, ControlDimension::kPara}) {
+      DimensionVariation v;
+      v.platform = platform;
+      v.dimension = dim;
+      const auto averages =
+          config_averages_of(single_dimension_rows(table, platform, dim));
+      v.supported = averages.size() > 1;
+      if (v.supported) {
+        v.range = max_value(averages) - min_value(averages);
+        v.normalized_range = overall > 0 ? v.range / overall : 0.0;
+      }
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,48 @@
+// Performance-variation analysis (§5.1 Figure 6, §5.2 Figure 7).
+//
+// For each configuration of a platform, average its F-score across all
+// datasets; the spread of those per-configuration averages is the
+// platform's performance variation — the "risk" of a poorly chosen
+// configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/attribution.h"
+#include "eval/measurement.h"
+
+namespace mlaas {
+
+struct VariationSummary {
+  std::string platform;
+  double min_f = 0.0;   // worst configuration's cross-dataset average
+  double q1_f = 0.0;
+  double median_f = 0.0;
+  double q3_f = 0.0;
+  double max_f = 0.0;   // best configuration's cross-dataset average
+  std::size_t n_configs = 0;
+
+  double range() const { return max_f - min_f; }
+};
+
+/// Per-configuration cross-dataset average F-scores of a platform.
+std::vector<double> config_averages(const MeasurementTable& table,
+                                    const std::string& platform);
+
+/// Figure 6: variation across ALL configurations.
+VariationSummary overall_variation(const MeasurementTable& table, const std::string& platform);
+
+struct DimensionVariation {
+  std::string platform;
+  ControlDimension dimension;
+  double range = 0.0;             // variation when tuning this dim alone
+  double normalized_range = 0.0;  // Figure 7's y-axis: range / overall range
+  bool supported = true;
+};
+
+/// Figure 7: per-dimension variation, normalized by the overall variation.
+std::vector<DimensionVariation> dimension_variations(const MeasurementTable& table,
+                                                     const std::vector<std::string>& platforms);
+
+}  // namespace mlaas

@@ -1,0 +1,31 @@
+// Free functions over std::span<const double> used throughout the ML code.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mlaas {
+
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+double norm1(std::span<const double> a);
+/// a += scale * b
+void axpy(std::span<double> a, double scale, std::span<const double> b);
+/// a *= scale
+void scale_inplace(std::span<double> a, double scale);
+/// Squared Euclidean distance.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+/// Minkowski distance with exponent p (p >= 1).
+double minkowski_distance(std::span<const double> a, std::span<const double> b, double p);
+
+/// Index of the maximum element (first on ties). Requires non-empty input.
+std::size_t argmax(std::span<const double> v);
+
+/// Numerically stable logistic sigmoid.
+double sigmoid(double z);
+/// log(1 + exp(z)) without overflow.
+double log1p_exp(double z);
+
+std::vector<double> softmax(std::span<const double> v);
+
+}  // namespace mlaas

@@ -1,0 +1,155 @@
+#include "ml/feature/scalers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/stats.h"
+#include "linalg/vector_ops.h"
+
+namespace mlaas {
+
+void StandardScaler::fit(const Matrix& x, const std::vector<int>&) {
+  mean_.resize(x.cols());
+  std_.resize(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const auto col = x.col(c);
+    mean_[c] = mean(col);
+    const double s = stddev(col);
+    std_[c] = s > 0 ? s : 1.0;
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  if (x.cols() != mean_.size()) throw std::invalid_argument("StandardScaler: column mismatch");
+  Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) = (out(r, c) - mean_[c]) / std_[c];
+  }
+  return out;
+}
+
+void MinMaxScaler::fit(const Matrix& x, const std::vector<int>&) {
+  min_.resize(x.cols());
+  range_.resize(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const auto col = x.col(c);
+    min_[c] = min_value(col);
+    const double r = max_value(col) - min_[c];
+    range_[c] = r > 0 ? r : 1.0;
+  }
+}
+
+Matrix MinMaxScaler::transform(const Matrix& x) const {
+  if (x.cols() != min_.size()) throw std::invalid_argument("MinMaxScaler: column mismatch");
+  Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) = (out(r, c) - min_[c]) / range_[c];
+  }
+  return out;
+}
+
+void MaxAbsScaler::fit(const Matrix& x, const std::vector<int>&) {
+  scale_.resize(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    double m = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) m = std::max(m, std::abs(x(r, c)));
+    scale_[c] = m > 0 ? m : 1.0;
+  }
+}
+
+Matrix MaxAbsScaler::transform(const Matrix& x) const {
+  if (x.cols() != scale_.size()) throw std::invalid_argument("MaxAbsScaler: column mismatch");
+  Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= scale_[c];
+  }
+  return out;
+}
+
+RowNormalizer::RowNormalizer(int p) : p_(p) {
+  if (p != 1 && p != 2) throw std::invalid_argument("RowNormalizer: p must be 1 or 2");
+}
+
+void RowNormalizer::fit(const Matrix&, const std::vector<int>&) {}
+
+Matrix RowNormalizer::transform(const Matrix& x) const {
+  Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    const double n = p_ == 1 ? norm1(row) : norm2(row);
+    if (n > 0) scale_inplace(row, 1.0 / n);
+  }
+  return out;
+}
+
+void GaussianNorm::fit(const Matrix& x, const std::vector<int>&) {
+  sorted_cols_.resize(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    sorted_cols_[c] = x.col(c);
+    std::sort(sorted_cols_[c].begin(), sorted_cols_[c].end());
+  }
+}
+
+Matrix GaussianNorm::transform(const Matrix& x) const {
+  if (x.cols() != sorted_cols_.size()) throw std::invalid_argument("GaussianNorm: column mismatch");
+  Matrix out = x;
+  for (std::size_t c = 0; c < out.cols(); ++c) {
+    const auto& sorted = sorted_cols_[c];
+    const double n = static_cast<double>(sorted.size());
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      // Empirical CDF position via binary search, midpoint of [lower, upper]
+      // bound so ties map to their average rank.
+      const double v = out(r, c);
+      const auto lo = std::lower_bound(sorted.begin(), sorted.end(), v) - sorted.begin();
+      const auto hi = std::upper_bound(sorted.begin(), sorted.end(), v) - sorted.begin();
+      double q = (static_cast<double>(lo) + static_cast<double>(hi)) / (2.0 * n);
+      q = std::clamp(q, 1.0 / (n + 1.0), n / (n + 1.0));
+      out(r, c) = inverse_normal_cdf(q);
+    }
+  }
+  return out;
+}
+
+double inverse_normal_cdf(double p) {
+  if (p <= 0.0 || p >= 1.0) throw std::invalid_argument("inverse_normal_cdf: p in (0,1)");
+  // Peter Acklam's rational approximation (relative error < 1.15e-9).
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+TransformerPtr make_scaler(const std::string& name) {
+  if (name == "standard_scaler") return std::make_unique<StandardScaler>();
+  if (name == "minmax_scaler") return std::make_unique<MinMaxScaler>();
+  if (name == "maxabs_scaler") return std::make_unique<MaxAbsScaler>();
+  if (name == "l1_normalizer") return std::make_unique<RowNormalizer>(1);
+  if (name == "l2_normalizer") return std::make_unique<RowNormalizer>(2);
+  if (name == "gaussian_norm") return std::make_unique<GaussianNorm>();
+  throw std::invalid_argument("make_scaler: unknown scaler " + name);
+}
+
+}  // namespace mlaas

@@ -1,0 +1,96 @@
+// Data-transformation steps (the Preprocessing control of Figure 1).
+//
+// Implements the scaler/normalizer set exposed by the local library row of
+// Table 1: StandardScaler, MinMaxScaler, MaxAbsScaler, L1Normalization,
+// L2Normalization and GaussianNorm (rank-based mapping to a standard normal,
+// the analogue of sklearn's QuantileTransformer(output="normal")).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mlaas {
+
+/// A fitted feature-space transformation.  fit() learns statistics on
+/// training data; transform() applies them to any matrix with the same
+/// column count.
+class Transformer {
+ public:
+  virtual ~Transformer() = default;
+  virtual void fit(const Matrix& x, const std::vector<int>& y) = 0;
+  virtual Matrix transform(const Matrix& x) const = 0;
+  virtual std::string name() const = 0;
+};
+
+using TransformerPtr = std::unique_ptr<Transformer>;
+
+/// (x - mean) / std per column.
+class StandardScaler final : public Transformer {
+ public:
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  Matrix transform(const Matrix& x) const override;
+  std::string name() const override { return "standard_scaler"; }
+
+  const std::vector<double>& means() const { return mean_; }
+  const std::vector<double>& stds() const { return std_; }
+
+ private:
+  std::vector<double> mean_, std_;
+};
+
+/// (x - min) / (max - min) per column.
+class MinMaxScaler final : public Transformer {
+ public:
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  Matrix transform(const Matrix& x) const override;
+  std::string name() const override { return "minmax_scaler"; }
+
+ private:
+  std::vector<double> min_, range_;
+};
+
+/// x / max(|x|) per column.
+class MaxAbsScaler final : public Transformer {
+ public:
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  Matrix transform(const Matrix& x) const override;
+  std::string name() const override { return "maxabs_scaler"; }
+
+ private:
+  std::vector<double> scale_;
+};
+
+/// Row-wise Lp normalization (stateless).
+class RowNormalizer final : public Transformer {
+ public:
+  explicit RowNormalizer(int p);  // p = 1 or 2
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  Matrix transform(const Matrix& x) const override;
+  std::string name() const override { return p_ == 1 ? "l1_normalizer" : "l2_normalizer"; }
+
+ private:
+  int p_;
+};
+
+/// Per-column rank -> standard-normal quantile mapping; new values are
+/// mapped by interpolation against the training order statistics.
+class GaussianNorm final : public Transformer {
+ public:
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  Matrix transform(const Matrix& x) const override;
+  std::string name() const override { return "gaussian_norm"; }
+
+ private:
+  std::vector<std::vector<double>> sorted_cols_;
+};
+
+/// Inverse standard-normal CDF (Acklam's rational approximation).
+double inverse_normal_cdf(double p);
+
+/// Factory by registry name; throws std::invalid_argument on unknown names.
+TransformerPtr make_scaler(const std::string& name);
+
+}  // namespace mlaas

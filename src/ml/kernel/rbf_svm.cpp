@@ -1,0 +1,113 @@
+#include "ml/kernel/rbf_svm.h"
+
+#include "ml/serialize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "ml/feature/scalers.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+RbfSvm::RbfSvm(const ParamMap& params, std::uint64_t seed) : seed_(seed) {
+  c_ = std::max(1e-6, params.get_double("C", 1.0));
+  gamma_param_ = std::max(0.0, params.get_double("gamma", 0.0));
+  max_iter_ = std::clamp<long long>(params.get_int("max_iter", 20), 1, 100);
+}
+
+void RbfSvm::fit(const Matrix& x, const std::vector<int>& y) {
+  alpha_.clear();
+  if (check_single_class(y)) return;
+
+  StandardScaler scaler;
+  scaler.fit(x, y);
+  support_x_ = scaler.transform(x);
+  feat_mean_ = scaler.means();
+  feat_std_ = scaler.stds();
+  const std::size_t n = support_x_.rows();
+  gamma_ = gamma_param_ > 0 ? gamma_param_ : 1.0 / static_cast<double>(x.cols());
+  const double lambda = 1.0 / (c_ * static_cast<double>(n));
+  const auto ys = to_signed_labels(y);
+
+  // Kernel cache for small problems.
+  const bool cache = n <= 4096;
+  Matrix k;
+  if (cache) {
+    k = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      k(i, i) = 1.0;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double v = std::exp(-gamma_ * squared_distance(support_x_.row(i),
+                                                             support_x_.row(j)));
+        k(i, j) = v;
+        k(j, i) = v;
+      }
+    }
+  }
+  auto kernel = [&](std::size_t i, std::size_t j) {
+    if (cache) return k(i, j);
+    return std::exp(-gamma_ * squared_distance(support_x_.row(i), support_x_.row(j)));
+  };
+
+  // Kernelized Pegasos: alpha_[i] counts margin violations of point i; the
+  // decision function at step t is (1/(lambda t)) sum_i alpha_i y_i K(x_i, .)
+  std::vector<double> counts(n, 0.0);
+  Rng rng(derive_seed(seed_, "rbfsvm"));
+  std::size_t t = 1;
+  for (long long epoch = 0; epoch < max_iter_; ++epoch) {
+    for (std::size_t step = 0; step < n; ++step, ++t) {
+      const std::size_t i = rng.index(n);
+      double f = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (counts[j] != 0.0) f += counts[j] * ys[j] * kernel(j, i);
+      }
+      f /= lambda * static_cast<double>(t);
+      if (ys[i] * f < 1.0) counts[i] += 1.0;
+    }
+  }
+  alpha_.resize(n);
+  const double scale = 1.0 / (lambda * static_cast<double>(t));
+  for (std::size_t i = 0; i < n; ++i) alpha_[i] = counts[i] * ys[i] * scale;
+}
+
+std::vector<double> RbfSvm::predict_score(const Matrix& x) const {
+  std::vector<double> out(x.rows(), single_class_score());
+  if (single_class()) return out;
+  std::vector<double> row(x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      row[c] = (x(r, c) - feat_mean_[c]) / feat_std_[c];
+    }
+    double f = 0.0;
+    for (std::size_t i = 0; i < support_x_.rows(); ++i) {
+      if (alpha_[i] != 0.0) {
+        f += alpha_[i] * std::exp(-gamma_ * squared_distance(row, support_x_.row(i)));
+      }
+    }
+    out[r] = sigmoid(f);
+  }
+  return out;
+}
+
+
+void RbfSvm::save(std::ostream& out) const {
+  save_base(out);
+  model_io::write_double(out, gamma_);
+  model_io::write_vec(out, alpha_);
+  model_io::write_matrix(out, support_x_);
+  model_io::write_vec(out, feat_mean_);
+  model_io::write_vec(out, feat_std_);
+}
+
+void RbfSvm::load(std::istream& in) {
+  load_base(in);
+  gamma_ = model_io::read_double(in);
+  alpha_ = model_io::read_vec(in);
+  support_x_ = model_io::read_matrix(in);
+  feat_mean_ = model_io::read_vec(in);
+  feat_std_ = model_io::read_vec(in);
+}
+
+}  // namespace mlaas

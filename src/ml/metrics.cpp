@@ -1,0 +1,52 @@
+#include "ml/metrics.h"
+
+#include <stdexcept>
+
+namespace mlaas {
+
+ConfusionMatrix confusion_matrix(const std::vector<int>& y_true,
+                                 const std::vector<int>& y_pred) {
+  if (y_true.size() != y_pred.size()) {
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  }
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const bool t = y_true[i] == 1;
+    const bool p = y_pred[i] == 1;
+    if (t && p) ++cm.tp;
+    else if (!t && p) ++cm.fp;
+    else if (t && !p) ++cm.fn;
+    else ++cm.tn;
+  }
+  return cm;
+}
+
+Metrics compute_metrics(const std::vector<int>& y_true, const std::vector<int>& y_pred) {
+  const ConfusionMatrix cm = confusion_matrix(y_true, y_pred);
+  Metrics m;
+  const double total = static_cast<double>(cm.total());
+  m.accuracy = total > 0 ? static_cast<double>(cm.tp + cm.tn) / total : 0.0;
+  const double pd = static_cast<double>(cm.tp + cm.fp);
+  const double rd = static_cast<double>(cm.tp + cm.fn);
+  m.precision = pd > 0 ? static_cast<double>(cm.tp) / pd : 0.0;
+  m.recall = rd > 0 ? static_cast<double>(cm.tp) / rd : 0.0;
+  m.f_score = (m.precision + m.recall) > 0
+                  ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+                  : 0.0;
+  return m;
+}
+
+double accuracy_score(const std::vector<int>& y_true, const std::vector<int>& y_pred) {
+  return compute_metrics(y_true, y_pred).accuracy;
+}
+double precision_score(const std::vector<int>& y_true, const std::vector<int>& y_pred) {
+  return compute_metrics(y_true, y_pred).precision;
+}
+double recall_score(const std::vector<int>& y_true, const std::vector<int>& y_pred) {
+  return compute_metrics(y_true, y_pred).recall;
+}
+double f1_score(const std::vector<int>& y_true, const std::vector<int>& y_pred) {
+  return compute_metrics(y_true, y_pred).f_score;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,35 @@
+// Binary-classification metrics (§3.2).
+//
+// The paper reports per-dataset F-score (harmonic mean of precision and
+// recall on the positive class), plus accuracy/precision/recall in Table 3.
+// Zero-denominator cases follow sklearn's zero_division=0 convention.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlaas {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+  std::size_t total() const { return tp + fp + tn + fn; }
+};
+
+ConfusionMatrix confusion_matrix(const std::vector<int>& y_true,
+                                 const std::vector<int>& y_pred);
+
+struct Metrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_score = 0.0;
+};
+
+Metrics compute_metrics(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+double accuracy_score(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+double precision_score(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+double recall_score(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+double f1_score(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+}  // namespace mlaas

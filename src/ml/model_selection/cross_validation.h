@@ -1,0 +1,33 @@
+// Stratified k-fold cross-validation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "data/dataset.h"
+#include "ml/classifier.h"
+#include "ml/metrics.h"
+
+namespace mlaas {
+
+/// Build-a-fresh-classifier callback (one per fold).
+using ClassifierFactory = std::function<ClassifierPtr()>;
+
+struct CvResult {
+  Metrics mean;        // metric means across folds
+  double f_score_std = 0.0;
+  int folds = 0;
+};
+
+/// k-fold CV of a classifier on a dataset; returns averaged test-fold
+/// metrics.  Folds are stratified; k is reduced when the minority class is
+/// too small.
+CvResult cross_validate(const ClassifierFactory& factory, const Dataset& dataset, int k,
+                        std::uint64_t seed);
+
+/// Convenience: CV by registry name + params.
+CvResult cross_validate(const std::string& classifier, const ParamMap& params,
+                        const Dataset& dataset, int k, std::uint64_t seed);
+
+}  // namespace mlaas

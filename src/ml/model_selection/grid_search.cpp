@@ -1,0 +1,26 @@
+#include "ml/model_selection/grid_search.h"
+
+#include "util/rng.h"
+
+namespace mlaas {
+
+GridSearchResult grid_search(const ClassifierGridSpec& spec, const Dataset& train, int cv_folds,
+                             std::uint64_t seed, std::size_t max_configs) {
+  const auto grid = expand_grid(spec, max_configs, seed);
+  GridSearchResult result;
+  result.n_configs = grid.size();
+  result.best_params = spec.default_config();
+  double best = -1.0;
+  for (const auto& params : grid) {
+    const CvResult cv = cross_validate(spec.classifier, params, train, cv_folds,
+                                       derive_seed(seed, params.to_string()));
+    if (cv.mean.f_score > best) {
+      best = cv.mean.f_score;
+      result.best_params = params;
+      result.best_cv_f_score = best;
+    }
+  }
+  return result;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,24 @@
+// Grid search over a ClassifierGridSpec using cross-validation.
+//
+// The measurement harness enumerates configurations itself (the paper
+// evaluates every configuration on the held-out test set); GridSearch is the
+// library-user-facing tuner used by the examples.
+#pragma once
+
+#include "ml/model_selection/cross_validation.h"
+#include "ml/model_selection/param_grid.h"
+
+namespace mlaas {
+
+struct GridSearchResult {
+  ParamMap best_params;
+  double best_cv_f_score = 0.0;
+  std::size_t n_configs = 0;
+};
+
+/// Cross-validated search over the spec's grid; ties break toward earlier
+/// (more-default) configurations.
+GridSearchResult grid_search(const ClassifierGridSpec& spec, const Dataset& train, int cv_folds,
+                             std::uint64_t seed, std::size_t max_configs = 0);
+
+}  // namespace mlaas

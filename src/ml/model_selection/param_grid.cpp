@@ -1,0 +1,138 @@
+#include "ml/model_selection/param_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mlaas {
+
+ParamSpec ParamSpec::number(std::string name, double def, double lo, double hi) {
+  ParamSpec s;
+  s.name = std::move(name);
+  s.kind = Kind::kDouble;
+  s.default_double = def;
+  s.min_value = lo;
+  s.max_value = hi;
+  return s;
+}
+
+ParamSpec ParamSpec::integer(std::string name, long long def, long long lo, long long hi) {
+  ParamSpec s;
+  s.name = std::move(name);
+  s.kind = Kind::kInt;
+  s.default_int = def;
+  s.min_value = static_cast<double>(lo);
+  s.max_value = static_cast<double>(hi);
+  return s;
+}
+
+ParamSpec ParamSpec::categorical(std::string name, std::vector<std::string> options) {
+  if (options.empty()) throw std::invalid_argument("ParamSpec: empty categorical options");
+  ParamSpec s;
+  s.name = std::move(name);
+  s.kind = Kind::kCategorical;
+  s.options = std::move(options);
+  return s;
+}
+
+ParamSpec ParamSpec::boolean(std::string name, bool def) {
+  ParamSpec s;
+  s.name = std::move(name);
+  s.kind = Kind::kBool;
+  s.default_int = def ? 1 : 0;
+  return s;
+}
+
+std::vector<ParamValue> ParamSpec::sweep_values() const {
+  switch (kind) {
+    case Kind::kCategorical: {
+      std::vector<ParamValue> out;
+      for (const auto& o : options) out.emplace_back(o);
+      return out;
+    }
+    case Kind::kBool:
+      return {ParamValue{false}, ParamValue{true}};
+    case Kind::kDouble: {
+      std::set<double> vals;
+      for (double v : {default_double / 100.0, default_double, default_double * 100.0}) {
+        vals.insert(std::clamp(v, min_value, max_value));
+      }
+      std::vector<ParamValue> out;
+      for (double v : vals) out.emplace_back(v);
+      return out;
+    }
+    case Kind::kInt: {
+      std::set<long long> vals;
+      const double lo = min_value, hi = max_value;
+      for (double v : {static_cast<double>(default_int) / 100.0,
+                       static_cast<double>(default_int),
+                       static_cast<double>(default_int) * 100.0}) {
+        vals.insert(static_cast<long long>(std::llround(std::clamp(v, lo, hi))));
+      }
+      std::vector<ParamValue> out;
+      for (long long v : vals) out.emplace_back(v);
+      return out;
+    }
+  }
+  return {};
+}
+
+ParamValue ParamSpec::default_value() const {
+  switch (kind) {
+    case Kind::kCategorical: return options.front();
+    case Kind::kBool: return default_int != 0;
+    case Kind::kDouble: return default_double;
+    case Kind::kInt: return default_int;
+  }
+  return 0.0;
+}
+
+ParamMap ClassifierGridSpec::default_config() const {
+  ParamMap config = fixed;
+  for (const auto& p : params) config.set(p.name, p.default_value());
+  return config;
+}
+
+std::size_t grid_size(const ClassifierGridSpec& spec) {
+  std::size_t total = 1;
+  for (const auto& p : spec.params) total *= p.sweep_values().size();
+  return total;
+}
+
+std::vector<ParamMap> expand_grid(const ClassifierGridSpec& spec, std::size_t max_configs,
+                                  std::uint64_t seed) {
+  std::vector<ParamMap> grid{spec.fixed};
+  for (const auto& p : spec.params) {
+    const auto values = p.sweep_values();
+    std::vector<ParamMap> next;
+    next.reserve(grid.size() * values.size());
+    for (const auto& base : grid) {
+      for (const auto& v : values) {
+        ParamMap config = base;
+        config.set(p.name, v);
+        next.push_back(std::move(config));
+      }
+    }
+    grid = std::move(next);
+  }
+  if (max_configs == 0 || grid.size() <= max_configs) return grid;
+
+  // Deterministic subsample keeping the default configuration.
+  const ParamMap def = spec.default_config();
+  std::vector<ParamMap> out{def};
+  std::vector<std::size_t> pool;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (!(grid[i] == def)) pool.push_back(i);
+  }
+  Rng rng(derive_seed(seed, "grid-" + spec.classifier));
+  const std::size_t keep = std::min(max_configs - 1, pool.size());
+  auto chosen = rng.sample_without_replacement(pool.size(), keep);
+  std::sort(chosen.begin(), chosen.end());
+  for (auto c : chosen) out.push_back(grid[pool[c]]);
+  return out;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,60 @@
+// Parameter-grid construction (§3.2).
+//
+// The paper's sweep rule: categorical parameters enumerate all options;
+// numeric parameters take {default/100, default, default*100}, clamped to
+// their valid range.  expand_grid produces the full cross product, with an
+// optional deterministic subsample cap so platform grids stay within the
+// single-machine budget (the default configuration is always kept).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ml/params.h"
+
+namespace mlaas {
+
+struct ParamSpec {
+  enum class Kind { kDouble, kInt, kCategorical, kBool };
+
+  std::string name;
+  Kind kind = Kind::kDouble;
+  double default_double = 0.0;
+  long long default_int = 0;
+  std::vector<std::string> options;  // categorical values
+  double min_value = std::numeric_limits<double>::lowest();
+  double max_value = std::numeric_limits<double>::max();
+
+  static ParamSpec number(std::string name, double def, double lo, double hi);
+  static ParamSpec integer(std::string name, long long def, long long lo, long long hi);
+  static ParamSpec categorical(std::string name, std::vector<std::string> options);
+  static ParamSpec boolean(std::string name, bool def);
+
+  /// Values this parameter sweeps (paper's /100, x1, x100 rule for numerics).
+  std::vector<ParamValue> sweep_values() const;
+  ParamValue default_value() const;
+};
+
+/// A classifier plus its tunable parameters — one CLF row of Table 1.
+struct ClassifierGridSpec {
+  std::string classifier;
+  /// Platform-specific fixed defaults (not swept), e.g. iteration budgets.
+  ParamMap fixed;
+  std::vector<ParamSpec> params;
+
+  /// The platform's default configuration for this classifier.
+  ParamMap default_config() const;
+};
+
+/// Cross product of sweeps; max_configs == 0 means unlimited.  When capped,
+/// the default configuration is kept and the remainder is a deterministic
+/// stratified subsample (seeded).
+std::vector<ParamMap> expand_grid(const ClassifierGridSpec& spec, std::size_t max_configs,
+                                  std::uint64_t seed);
+
+/// Count of the uncapped cross product.
+std::size_t grid_size(const ClassifierGridSpec& spec);
+
+}  // namespace mlaas

@@ -1,0 +1,67 @@
+#include "ml/neighbors/knn.h"
+
+#include "ml/serialize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace mlaas {
+
+KNearestNeighbors::KNearestNeighbors(const ParamMap& params, std::uint64_t) {
+  n_neighbors_ = std::max<long long>(1, params.get_int("n_neighbors", 5));
+  distance_weighted_ = params.get_string("weights", "uniform") == "distance";
+  p_ = std::max(1.0, params.get_double("p", 2.0));
+}
+
+void KNearestNeighbors::fit(const Matrix& x, const std::vector<int>& y) {
+  check_single_class(y);
+  train_x_ = x;
+  train_y_ = y;
+}
+
+std::vector<double> KNearestNeighbors::predict_score(const Matrix& x) const {
+  std::vector<double> out(x.rows(), single_class_score());
+  if (single_class()) return out;
+  const std::size_t n_train = train_x_.rows();
+  const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(n_neighbors_), n_train);
+
+  std::vector<std::pair<double, std::size_t>> dist(n_train);
+  for (std::size_t q = 0; q < x.rows(); ++q) {
+    const auto query = x.row(q);
+    for (std::size_t i = 0; i < n_train; ++i) {
+      dist[i] = {minkowski_distance(query, train_x_.row(i), p_), i};
+    }
+    std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k), dist.end());
+    double pos = 0.0, total = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double w = distance_weighted_ ? 1.0 / (dist[j].first + 1e-9) : 1.0;
+      total += w;
+      if (train_y_[dist[j].second] == 1) pos += w;
+    }
+    out[q] = total > 0 ? pos / total : 0.5;
+  }
+  return out;
+}
+
+
+void KNearestNeighbors::save(std::ostream& out) const {
+  save_base(out);
+  model_io::write_int(out, n_neighbors_);
+  model_io::write_int(out, distance_weighted_ ? 1 : 0);
+  model_io::write_double(out, p_);
+  model_io::write_matrix(out, train_x_);
+  model_io::write_ivec(out, train_y_);
+}
+
+void KNearestNeighbors::load(std::istream& in) {
+  load_base(in);
+  n_neighbors_ = model_io::read_int(in);
+  distance_weighted_ = model_io::read_int(in) != 0;
+  p_ = model_io::read_double(in);
+  train_x_ = model_io::read_matrix(in);
+  train_y_ = model_io::read_ivec(in);
+}
+
+}  // namespace mlaas

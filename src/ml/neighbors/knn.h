@@ -1,0 +1,38 @@
+// k-nearest-neighbors classifier (brute force).
+//
+// Parameters (local library row of Table 1):
+//   n_neighbors  (default 5)
+//   weights      "uniform" | "distance"
+//   p            Minkowski exponent, 1 or 2 (default 2)
+//
+// Distances are computed on raw features, matching sklearn (the paper notes
+// in §3.1 that categorical-to-integer mapping can hurt distance-based
+// classifiers; that behaviour is preserved).
+#pragma once
+
+#include "ml/classifier.h"
+
+namespace mlaas {
+
+class KNearestNeighbors final : public Classifier {
+ public:
+  explicit KNearestNeighbors(const ParamMap& params = {}, std::uint64_t seed = 0);
+
+  void fit(const Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> predict_score(const Matrix& x) const override;
+  std::string name() const override { return "knn"; }
+  bool is_linear() const override { return false; }
+
+  void save(std::ostream& out) const override;
+  void load(std::istream& in) override;
+
+ private:
+  long long n_neighbors_;
+  bool distance_weighted_;
+  double p_;
+
+  Matrix train_x_;
+  std::vector<int> train_y_;
+};
+
+}  // namespace mlaas

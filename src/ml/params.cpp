@@ -1,0 +1,114 @@
+#include "ml/params.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mlaas {
+
+std::string to_string(const ParamValue& v) {
+  return std::visit(
+      [](const auto& x) -> std::string {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return x;
+        } else if constexpr (std::is_same_v<T, bool>) {
+          return x ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, double>) {
+          std::ostringstream os;
+          os << x;
+          return os.str();
+        } else {
+          return std::to_string(x);
+        }
+      },
+      v);
+}
+
+ParamMap::ParamMap(std::initializer_list<std::pair<const std::string, ParamValue>> init)
+    : values_(init) {}
+
+void ParamMap::set(const std::string& name, ParamValue value) {
+  values_[name] = std::move(value);
+}
+
+bool ParamMap::contains(const std::string& name) const { return values_.count(name) > 0; }
+
+double ParamMap::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  if (const double* d = std::get_if<double>(&it->second)) return *d;
+  if (const long long* i = std::get_if<long long>(&it->second)) return static_cast<double>(*i);
+  throw std::invalid_argument("ParamMap: " + name + " is not numeric");
+}
+
+long long ParamMap::get_int(const std::string& name, long long def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  if (const long long* i = std::get_if<long long>(&it->second)) return *i;
+  if (const double* d = std::get_if<double>(&it->second)) return static_cast<long long>(*d);
+  throw std::invalid_argument("ParamMap: " + name + " is not numeric");
+}
+
+std::string ParamMap::get_string(const std::string& name, const std::string& def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  if (const std::string* s = std::get_if<std::string>(&it->second)) return *s;
+  throw std::invalid_argument("ParamMap: " + name + " is not a string");
+}
+
+bool ParamMap::get_bool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  if (const bool* b = std::get_if<bool>(&it->second)) return *b;
+  throw std::invalid_argument("ParamMap: " + name + " is not a bool");
+}
+
+ParamMap parse_params(const std::string& text) {
+  ParamMap out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("parse_params: expected k=v, got '" + entry + "'");
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (value == "true" || value == "false") {
+      out.set(key, value == "true");
+      continue;
+    }
+    try {
+      std::size_t consumed = 0;
+      const long long as_int = std::stoll(value, &consumed);
+      if (consumed == value.size()) {
+        out.set(key, as_int);
+        continue;
+      }
+      const double as_double = std::stod(value, &consumed);
+      if (consumed == value.size()) {
+        out.set(key, as_double);
+        continue;
+      }
+    } catch (const std::exception&) {
+      // falls through to string
+    }
+    out.set(key, value);
+  }
+  return out;
+}
+
+std::string ParamMap::to_string() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    if (!out.empty()) out += ",";
+    out += k + "=" + mlaas::to_string(v);
+  }
+  return out;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,57 @@
+// Hyper-parameter maps.
+//
+// Classifier and feature-selection hyper-parameters travel as string-keyed
+// variant maps so the platform layer can expose grids generically (§3.2:
+// categorical params enumerate all options; numeric params sweep
+// {default/100, default, default*100}).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mlaas {
+
+using ParamValue = std::variant<double, long long, std::string, bool>;
+
+std::string to_string(const ParamValue& v);
+
+class ParamMap {
+ public:
+  ParamMap() = default;
+  ParamMap(std::initializer_list<std::pair<const std::string, ParamValue>> init);
+
+  void set(const std::string& name, ParamValue value);
+  bool contains(const std::string& name) const;
+
+  /// Typed getters with defaults.  Numeric getters convert between
+  /// double/long long; wrong-category access throws std::invalid_argument.
+  double get_double(const std::string& name, double def) const;
+  long long get_int(const std::string& name, long long def) const;
+  std::string get_string(const std::string& name, const std::string& def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  /// Canonical "k=v,k=v" form (sorted keys) — stable cache/grouping key.
+  std::string to_string() const;
+
+  bool operator==(const ParamMap&) const = default;
+
+ private:
+  std::map<std::string, ParamValue> values_;
+};
+
+/// Parse "k=v,k=v" into a ParamMap with type inference: integers become
+/// long long, other numbers double, true/false bool, everything else string.
+/// Inverse of ParamMap::to_string() for round-trippable values.  Throws
+/// std::invalid_argument on malformed input.
+ParamMap parse_params(const std::string& text);
+
+}  // namespace mlaas

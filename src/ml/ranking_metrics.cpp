@@ -1,0 +1,58 @@
+#include "ml/ranking_metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/stats.h"
+
+namespace mlaas {
+
+double roc_auc_score(const std::vector<int>& y_true, const std::vector<double>& scores) {
+  if (y_true.size() != scores.size()) {
+    throw std::invalid_argument("roc_auc_score: size mismatch");
+  }
+  std::size_t n_pos = 0;
+  for (int y : y_true) n_pos += y == 1 ? 1 : 0;
+  const std::size_t n_neg = y_true.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+
+  // AUC = (rank-sum of positives - n_pos(n_pos+1)/2) / (n_pos * n_neg).
+  const auto ranks = fractional_ranks(scores);
+  double rank_sum = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == 1) rank_sum += ranks[i];
+  }
+  const double n_pos_d = static_cast<double>(n_pos);
+  return (rank_sum - n_pos_d * (n_pos_d + 1.0) / 2.0) /
+         (n_pos_d * static_cast<double>(n_neg));
+}
+
+double average_precision_score(const std::vector<int>& y_true,
+                               const std::vector<double>& scores) {
+  if (y_true.size() != scores.size()) {
+    throw std::invalid_argument("average_precision_score: size mismatch");
+  }
+  std::size_t n_pos = 0;
+  for (int y : y_true) n_pos += y == 1 ? 1 : 0;
+  if (n_pos == 0) return 0.0;
+
+  // Sort by descending score; sum precision at each recall step:
+  // AP = sum_k (R_k - R_{k-1}) * P_k.
+  std::vector<std::size_t> order(y_true.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  double ap = 0.0;
+  std::size_t tp = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    if (y_true[order[k]] != 1) continue;
+    ++tp;
+    const double precision = static_cast<double>(tp) / static_cast<double>(k + 1);
+    ap += precision / static_cast<double>(n_pos);
+  }
+  return ap;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,22 @@
+// Score-based (threshold-free) metrics: ROC-AUC and average precision.
+//
+// §3.2 of the paper rules these out for the cross-platform comparison
+// because PredictionIO and several BigML classifiers expose labels only;
+// they are provided here for the platforms and classifiers that DO expose
+// scores (see TrainedModel::exposes_scores), and for library users.
+#pragma once
+
+#include <vector>
+
+namespace mlaas {
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney U) formulation;
+/// ties share fractional ranks.  Returns 0.5 when one class is absent.
+double roc_auc_score(const std::vector<int>& y_true, const std::vector<double>& scores);
+
+/// Average precision (area under the precision-recall curve, step-wise, as
+/// sklearn computes it).  Returns 0.0 when there are no positives.
+double average_precision_score(const std::vector<int>& y_true,
+                               const std::vector<double>& scores);
+
+}  // namespace mlaas

@@ -1,0 +1,72 @@
+#include "ml/registry.h"
+
+#include <stdexcept>
+
+#include "ml/bayes/naive_bayes.h"
+#include "ml/kernel/rbf_svm.h"
+#include "ml/linear/averaged_perceptron.h"
+#include "ml/linear/bayes_point_machine.h"
+#include "ml/linear/lda.h"
+#include "ml/linear/linear_svm.h"
+#include "ml/linear/logistic_regression.h"
+#include "ml/neighbors/knn.h"
+#include "ml/neural/mlp.h"
+#include "ml/tree/bagging.h"
+#include "ml/tree/boosted_trees.h"
+#include "ml/tree/decision_jungle.h"
+#include "ml/tree/decision_tree.h"
+#include "ml/tree/random_forest.h"
+
+namespace mlaas {
+
+ClassifierPtr make_classifier(const std::string& name, const ParamMap& params,
+                              std::uint64_t seed) {
+  if (name == "logistic_regression") return std::make_unique<LogisticRegression>(params, seed);
+  if (name == "naive_bayes") return std::make_unique<GaussianNaiveBayes>(params, seed);
+  if (name == "linear_svm") return std::make_unique<LinearSvm>(params, seed);
+  if (name == "lda") return std::make_unique<LinearDiscriminantAnalysis>(params, seed);
+  if (name == "averaged_perceptron") return std::make_unique<AveragedPerceptron>(params, seed);
+  if (name == "bayes_point_machine") return std::make_unique<BayesPointMachine>(params, seed);
+  if (name == "knn") return std::make_unique<KNearestNeighbors>(params, seed);
+  if (name == "decision_tree") return std::make_unique<DecisionTree>(params, seed);
+  if (name == "random_forest") return std::make_unique<RandomForest>(params, seed);
+  if (name == "bagging") return std::make_unique<BaggedTrees>(params, seed);
+  if (name == "boosted_trees") return std::make_unique<BoostedDecisionTrees>(params, seed);
+  if (name == "decision_jungle") return std::make_unique<DecisionJungle>(params, seed);
+  if (name == "mlp") return std::make_unique<MultiLayerPerceptron>(params, seed);
+  if (name == "rbf_svm") return std::make_unique<RbfSvm>(params, seed);
+  throw std::invalid_argument("make_classifier: unknown classifier " + name);
+}
+
+std::vector<std::string> classifier_names() {
+  return {"logistic_regression", "naive_bayes",  "linear_svm",       "lda",
+          "averaged_perceptron", "bayes_point_machine", "knn",       "decision_tree",
+          "random_forest",       "bagging",      "boosted_trees",    "decision_jungle",
+          "mlp",                 "rbf_svm"};
+}
+
+std::string classifier_abbrev(const std::string& name) {
+  if (name == "logistic_regression") return "LR";
+  if (name == "naive_bayes") return "NB";
+  if (name == "linear_svm") return "SVM";
+  if (name == "lda") return "LDA";
+  if (name == "averaged_perceptron") return "AP";
+  if (name == "bayes_point_machine") return "BPM";
+  if (name == "knn") return "KNN";
+  if (name == "decision_tree") return "DT";
+  if (name == "random_forest") return "RF";
+  if (name == "bagging") return "BAG";
+  if (name == "boosted_trees") return "BST";
+  if (name == "decision_jungle") return "DJ";
+  if (name == "mlp") return "MLP";
+  if (name == "rbf_svm") return "RBF";
+  return name;
+}
+
+bool classifier_is_linear(const std::string& name) {
+  // Table 5's family assignment (NB counted as linear, as in the paper).
+  return name == "logistic_regression" || name == "naive_bayes" || name == "linear_svm" ||
+         name == "lda" || name == "averaged_perceptron" || name == "bayes_point_machine";
+}
+
+}  // namespace mlaas

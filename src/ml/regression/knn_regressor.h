@@ -1,0 +1,29 @@
+// k-nearest-neighbors regression (brute force, mean or distance-weighted
+// mean of neighbor targets).
+//
+// Parameters: n_neighbors (default 5), weights "uniform"|"distance",
+// p Minkowski exponent (default 2).
+#pragma once
+
+#include "ml/regression/regressor.h"
+
+namespace mlaas {
+
+class KnnRegressor final : public Regressor {
+ public:
+  explicit KnnRegressor(const ParamMap& params = {}, std::uint64_t seed = 0);
+
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& x) const override;
+  std::string name() const override { return "knn_regressor"; }
+
+ private:
+  long long n_neighbors_;
+  bool distance_weighted_;
+  double p_;
+
+  Matrix train_x_;
+  std::vector<double> train_y_;
+};
+
+}  // namespace mlaas

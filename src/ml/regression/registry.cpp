@@ -1,0 +1,34 @@
+#include <stdexcept>
+
+#include "ml/regression/knn_regressor.h"
+#include "ml/regression/linear_regression.h"
+#include "ml/regression/tree_regressors.h"
+
+namespace mlaas {
+
+RegressorPtr make_regressor(const std::string& name, const ParamMap& params,
+                            std::uint64_t seed) {
+  if (name == "linear_regression") return std::make_unique<LinearRegression>(params, seed);
+  if (name == "ridge") {
+    ParamMap p = params;
+    if (!p.contains("alpha")) p.set("alpha", 1.0);
+    return std::make_unique<LinearRegression>(p, seed);
+  }
+  if (name == "regression_tree") return std::make_unique<RegressionTree>(params, seed);
+  if (name == "random_forest_regressor") {
+    return std::make_unique<RandomForestRegressor>(params, seed);
+  }
+  if (name == "boosted_trees_regressor") {
+    return std::make_unique<BoostedTreesRegressor>(params, seed);
+  }
+  if (name == "knn_regressor") return std::make_unique<KnnRegressor>(params, seed);
+  throw std::invalid_argument("make_regressor: unknown regressor " + name);
+}
+
+std::vector<std::string> regressor_names() {
+  return {"linear_regression",       "ridge",
+          "regression_tree",         "random_forest_regressor",
+          "boosted_trees_regressor", "knn_regressor"};
+}
+
+}  // namespace mlaas

@@ -1,0 +1,51 @@
+#include "ml/regression/regression_metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/stats.h"
+
+namespace mlaas {
+
+namespace {
+void check(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("regression metrics: empty or mismatched inputs");
+  }
+}
+}  // namespace
+
+double mean_squared_error(const std::vector<double>& y_true,
+                          const std::vector<double>& y_pred) {
+  check(y_true, y_pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const double d = y_true[i] - y_pred[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(y_true.size());
+}
+
+double root_mean_squared_error(const std::vector<double>& y_true,
+                               const std::vector<double>& y_pred) {
+  return std::sqrt(mean_squared_error(y_true, y_pred));
+}
+
+double mean_absolute_error(const std::vector<double>& y_true,
+                           const std::vector<double>& y_pred) {
+  check(y_true, y_pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) acc += std::abs(y_true[i] - y_pred[i]);
+  return acc / static_cast<double>(y_true.size());
+}
+
+double r2_score(const std::vector<double>& y_true, const std::vector<double>& y_pred) {
+  check(y_true, y_pred);
+  const double ss_res = mean_squared_error(y_true, y_pred) *
+                        static_cast<double>(y_true.size());
+  const double ss_tot = variance(y_true) * static_cast<double>(y_true.size());
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;  // constant targets
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,20 @@
+// Regression metrics: MSE, RMSE, MAE and R^2.
+#pragma once
+
+#include <vector>
+
+namespace mlaas {
+
+double mean_squared_error(const std::vector<double>& y_true,
+                          const std::vector<double>& y_pred);
+double root_mean_squared_error(const std::vector<double>& y_true,
+                               const std::vector<double>& y_pred);
+double mean_absolute_error(const std::vector<double>& y_true,
+                           const std::vector<double>& y_pred);
+/// Coefficient of determination; 1 = perfect, 0 = mean predictor, can be
+/// negative for models worse than the mean.  Constant targets give 0 for a
+/// perfect fit and -inf-free 0 otherwise (sklearn convention adjusted to
+/// stay finite).
+double r2_score(const std::vector<double>& y_true, const std::vector<double>& y_pred);
+
+}  // namespace mlaas

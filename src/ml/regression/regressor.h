@@ -1,0 +1,43 @@
+// Regression interface.
+//
+// §3 of the paper notes that binary classification and REGRESSION are the
+// two learning tasks every studied MLaaS platform supports; the study
+// measures classification, and this module supplies the other task for
+// library completeness: the same substrates (linear solvers, CART trees,
+// ensembles, neighbors) behind a Regressor interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "ml/params.h"
+
+namespace mlaas {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Train on X (n x d) with real-valued targets.
+  virtual void fit(const Matrix& x, const std::vector<double>& y) = 0;
+  /// Predicted targets per row; only valid after fit().
+  virtual std::vector<double> predict(const Matrix& x) const = 0;
+  /// Registry name, e.g. "ridge".
+  virtual std::string name() const = 0;
+};
+
+using RegressorPtr = std::unique_ptr<Regressor>;
+
+/// Construct a regressor by registry name:
+///   linear_regression, ridge, regression_tree, random_forest_regressor,
+///   boosted_trees_regressor, knn_regressor
+/// Throws std::invalid_argument for unknown names.
+RegressorPtr make_regressor(const std::string& name, const ParamMap& params = {},
+                            std::uint64_t seed = 0);
+
+std::vector<std::string> regressor_names();
+
+}  // namespace mlaas

@@ -1,0 +1,68 @@
+// Tree-based regressors, reusing the shared CART core (TreeModel, MSE
+// criterion): a single regression tree, a bagged random forest, and
+// gradient-boosted regression trees (squared loss).
+//
+// Parameters follow the classification counterparts:
+//   regression_tree:          max_depth, min_samples_leaf, max_features
+//   random_forest_regressor:  n_estimators (default 10), max_depth,
+//                             max_features ("all"/"sqrt"/"log2")
+//   boosted_trees_regressor:  n_estimators (default 40), learning_rate
+//                             (default 0.1), max_leaves, min_instances_per_leaf
+#pragma once
+
+#include "ml/regression/regressor.h"
+#include "ml/tree/tree_model.h"
+
+namespace mlaas {
+
+class RegressionTree final : public Regressor {
+ public:
+  explicit RegressionTree(const ParamMap& params = {}, std::uint64_t seed = 0);
+
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& x) const override;
+  std::string name() const override { return "regression_tree"; }
+
+  const TreeModel& tree() const { return tree_; }
+
+ private:
+  ParamMap params_;
+  std::uint64_t seed_;
+  TreeModel tree_;
+};
+
+class RandomForestRegressor final : public Regressor {
+ public:
+  explicit RandomForestRegressor(const ParamMap& params = {}, std::uint64_t seed = 0);
+
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& x) const override;
+  std::string name() const override { return "random_forest_regressor"; }
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  ParamMap params_;
+  std::uint64_t seed_;
+  std::vector<TreeModel> trees_;
+};
+
+class BoostedTreesRegressor final : public Regressor {
+ public:
+  explicit BoostedTreesRegressor(const ParamMap& params = {}, std::uint64_t seed = 0);
+
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& x) const override;
+  std::string name() const override { return "boosted_trees_regressor"; }
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  ParamMap params_;
+  std::uint64_t seed_;
+  double learning_rate_ = 0.1;
+  double base_prediction_ = 0.0;
+  std::vector<TreeModel> trees_;
+};
+
+}  // namespace mlaas

@@ -1,0 +1,94 @@
+#include "ml/tree/bagging.h"
+
+#include "ml/serialize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/tree/decision_tree.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+BaggedTrees::BaggedTrees(const ParamMap& params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+void BaggedTrees::fit(const Matrix& x, const std::vector<int>& y) {
+  members_.clear();
+  if (check_single_class(y)) return;
+
+  const auto n_estimators = static_cast<std::size_t>(
+      std::clamp<long long>(params_.get_int("n_estimators", 10), 1, 500));
+  const double feature_fraction =
+      std::clamp(params_.get_double("max_features", 1.0), 0.05, 1.0);
+  const std::size_t d = x.cols();
+  const std::size_t n = x.rows();
+  const auto n_member_features = static_cast<std::size_t>(
+      std::max(1.0, std::round(feature_fraction * static_cast<double>(d))));
+
+  ParamMap tree_params = params_;
+  tree_params.set("max_features", std::string("all"));
+  TreeOptions base_opt = tree_options_from_params(tree_params, d, seed_);
+
+  std::vector<double> targets(n);
+  for (std::size_t i = 0; i < n; ++i) targets[i] = y[i] == 1 ? 1.0 : 0.0;
+
+  members_.resize(n_estimators);
+  std::vector<std::size_t> boot_rows(n);
+  std::vector<double> boot_targets(n);
+  for (std::size_t t = 0; t < n_estimators; ++t) {
+    Rng rng(derive_seed(seed_, "bag-" + std::to_string(t)));
+    auto& member = members_[t];
+    member.features = n_member_features == d
+                          ? std::vector<std::size_t>{}
+                          : rng.sample_without_replacement(d, n_member_features);
+    std::sort(member.features.begin(), member.features.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      boot_rows[i] = rng.index(n);
+      boot_targets[i] = targets[boot_rows[i]];
+    }
+    Matrix boot_x = x.select_rows(boot_rows);
+    if (!member.features.empty()) boot_x = boot_x.select_cols(member.features);
+    TreeOptions opt = base_opt;
+    opt.seed = derive_seed(seed_, "bag-tree-" + std::to_string(t));
+    member.tree.fit(boot_x, boot_targets, {}, opt);
+  }
+}
+
+std::vector<double> BaggedTrees::predict_score(const Matrix& x) const {
+  std::vector<double> out(x.rows(), single_class_score());
+  if (single_class()) return out;
+  std::fill(out.begin(), out.end(), 0.0);
+  for (const auto& member : members_) {
+    const Matrix view =
+        member.features.empty() ? x : x.select_cols(member.features);
+    const auto scores = member.tree.predict(view);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += scores[i];
+  }
+  const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, members_.size()));
+  for (double& v : out) v *= inv;
+  return out;
+}
+
+
+void BaggedTrees::save(std::ostream& out) const {
+  save_base(out);
+  model_io::write_int(out, static_cast<long long>(members_.size()));
+  for (const auto& member : members_) {
+    std::vector<int> features(member.features.begin(), member.features.end());
+    model_io::write_ivec(out, features);
+    member.tree.save(out);
+  }
+}
+
+void BaggedTrees::load(std::istream& in) {
+  load_base(in);
+  members_.assign(static_cast<std::size_t>(model_io::read_int(in)), Member{});
+  for (auto& member : members_) {
+    const auto features = model_io::read_ivec(in);
+    member.features.assign(features.begin(), features.end());
+    member.tree.load(in);
+  }
+}
+
+}  // namespace mlaas

@@ -1,0 +1,79 @@
+#include "ml/tree/random_forest.h"
+
+#include "ml/serialize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/tree/decision_tree.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+RandomForest::RandomForest(const ParamMap& params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+void RandomForest::fit(const Matrix& x, const std::vector<int>& y) {
+  trees_.clear();
+  if (check_single_class(y)) return;
+
+  const auto n_estimators = static_cast<std::size_t>(
+      std::clamp<long long>(params_.get_int("n_estimators", 10), 1, 500));
+  const bool bootstrap = params_.get_string("resampling", "bagging") != "replicate";
+
+  // Forests default to sqrt feature sampling unless told otherwise.
+  ParamMap tree_params = params_;
+  if (!params_.contains("max_features")) tree_params.set("max_features", std::string("sqrt"));
+  TreeOptions opt = tree_options_from_params(tree_params, x.cols(), seed_);
+  opt.random_splits = static_cast<int>(
+      std::clamp<long long>(params_.get_int("random_splits", 0), 0, 1024));
+
+  const std::size_t n = x.rows();
+  std::vector<double> targets(n);
+  std::vector<double> boot_targets(n);
+  std::vector<std::size_t> boot_rows(n);
+  for (std::size_t i = 0; i < n; ++i) targets[i] = y[i] == 1 ? 1.0 : 0.0;
+
+  trees_.resize(n_estimators);
+  for (std::size_t t = 0; t < n_estimators; ++t) {
+    opt.seed = derive_seed(seed_, "rf-" + std::to_string(t));
+    if (bootstrap) {
+      Rng rng(derive_seed(opt.seed, "bootstrap"));
+      for (std::size_t i = 0; i < n; ++i) {
+        boot_rows[i] = rng.index(n);
+        boot_targets[i] = targets[boot_rows[i]];
+      }
+      trees_[t].fit(x.select_rows(boot_rows), boot_targets, {}, opt);
+    } else {
+      trees_[t].fit(x, targets, {}, opt);
+    }
+  }
+}
+
+std::vector<double> RandomForest::predict_score(const Matrix& x) const {
+  std::vector<double> out(x.rows(), single_class_score());
+  if (single_class()) return out;
+  std::fill(out.begin(), out.end(), 0.0);
+  for (const auto& tree : trees_) {
+    const auto scores = tree.predict(x);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += scores[i];
+  }
+  const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, trees_.size()));
+  for (double& v : out) v *= inv;
+  return out;
+}
+
+
+void RandomForest::save(std::ostream& out) const {
+  save_base(out);
+  model_io::write_int(out, static_cast<long long>(trees_.size()));
+  for (const auto& tree : trees_) tree.save(out);
+}
+
+void RandomForest::load(std::istream& in) {
+  load_base(in);
+  trees_.assign(static_cast<std::size_t>(model_io::read_int(in)), TreeModel{});
+  for (auto& tree : trees_) tree.load(in);
+}
+
+}  // namespace mlaas

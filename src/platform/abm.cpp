@@ -1,0 +1,48 @@
+#include "platform/abm.h"
+
+#include <stdexcept>
+
+#include "platform/auto_select.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+namespace {
+
+class AbmModel final : public TrainedModel {
+ public:
+  explicit AbmModel(ClassifierPtr clf) : clf_(std::move(clf)) {}
+  std::vector<int> predict(const Matrix& x) const override { return clf_->predict(x); }
+
+ private:
+  ClassifierPtr clf_;
+};
+
+}  // namespace
+
+TrainedModelPtr AbmPlatform::train(const Dataset& train, const PipelineConfig& config,
+                                   std::uint64_t seed) const {
+  if (!config.feature_step.empty() || !config.classifier.empty() || !config.params.empty()) {
+    throw std::invalid_argument("ABM: fully automated platform, no controls available");
+  }
+  AutoSelectOptions options;
+  options.linear_bias = 0.05;  // strong linear preference (§6.2: 68.8% linear)
+  options.folds = 2;           // cheapest possible internal race
+  options.max_probe_samples = 300;
+  const auto choice = auto_select_family(train, options, derive_seed(seed, "abm"));
+
+  ClassifierPtr clf;
+  if (choice.family == ClassifierFamily::kLinear) {
+    // Modest iteration budget: ABM optimizes for turnaround, not accuracy.
+    clf = make_classifier("logistic_regression", ParamMap{{"max_iter", 30LL}},
+                          derive_seed(seed, "abm-lr"));
+  } else {
+    // Unpruned CART: the blocky non-linear boundary of Figure 10(c).
+    clf = make_classifier("decision_tree", ParamMap{{"max_depth", 0LL}},
+                          derive_seed(seed, "abm-dt"));
+  }
+  clf->fit(train.x(), train.y());
+  return std::make_unique<AbmModel>(std::move(clf));
+}
+
+}  // namespace mlaas

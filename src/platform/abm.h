@@ -1,0 +1,24 @@
+// ABM (Automatic Business Modeler) simulator — fully automated "1-click"
+// platform (Figure 1: no user-controllable steps).
+//
+// Hidden pipeline: the auto-selector races the linear vs non-linear family
+// with a strong linear bias (the paper measured ABM choosing linear on 68.8%
+// of datasets, more than Google); the linear arm is a lightly-trained
+// logistic regression, the non-linear arm an unpruned decision tree (§6.1's
+// rectangular decision boundary on CIRCLE).
+#pragma once
+
+#include "platform/platform.h"
+
+namespace mlaas {
+
+class AbmPlatform final : public Platform {
+ public:
+  std::string name() const override { return "ABM"; }
+  int complexity_rank() const override { return 1; }
+  ControlSurface controls() const override { return {}; }
+  TrainedModelPtr train(const Dataset& train, const PipelineConfig& config,
+                        std::uint64_t seed) const override;
+};
+
+}  // namespace mlaas

@@ -1,0 +1,46 @@
+#include "platform/all_platforms.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "platform/abm.h"
+#include "platform/amazon_ml.h"
+#include "platform/bigml.h"
+#include "platform/google_prediction.h"
+#include "platform/local_sklearn.h"
+#include "platform/microsoft_azure.h"
+#include "platform/predictionio.h"
+
+namespace mlaas {
+
+std::vector<PlatformPtr> make_all_platforms() {
+  std::vector<PlatformPtr> platforms;
+  platforms.push_back(std::make_unique<GooglePredictionPlatform>());
+  platforms.push_back(std::make_unique<AbmPlatform>());
+  platforms.push_back(std::make_unique<AmazonMlPlatform>());
+  platforms.push_back(std::make_unique<BigMlPlatform>());
+  platforms.push_back(std::make_unique<PredictionIoPlatform>());
+  platforms.push_back(std::make_unique<MicrosoftAzurePlatform>());
+  platforms.push_back(std::make_unique<LocalSklearnPlatform>());
+  std::sort(platforms.begin(), platforms.end(), [](const auto& a, const auto& b) {
+    return a->complexity_rank() < b->complexity_rank();
+  });
+  return platforms;
+}
+
+PlatformPtr make_platform(const std::string& name) {
+  if (name == "Google") return std::make_unique<GooglePredictionPlatform>();
+  if (name == "ABM") return std::make_unique<AbmPlatform>();
+  if (name == "Amazon") return std::make_unique<AmazonMlPlatform>();
+  if (name == "BigML") return std::make_unique<BigMlPlatform>();
+  if (name == "PredictionIO") return std::make_unique<PredictionIoPlatform>();
+  if (name == "Microsoft") return std::make_unique<MicrosoftAzurePlatform>();
+  if (name == "Local") return std::make_unique<LocalSklearnPlatform>();
+  throw std::invalid_argument("make_platform: unknown platform " + name);
+}
+
+std::vector<std::string> platform_names() {
+  return {"Google", "ABM", "Amazon", "BigML", "PredictionIO", "Microsoft", "Local"};
+}
+
+}  // namespace mlaas

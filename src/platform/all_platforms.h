@@ -1,0 +1,20 @@
+// Factory for the full platform roster of the study.
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.h"
+
+namespace mlaas {
+
+/// All 7 systems in complexity order (Figure 2's x-axis):
+/// Google, ABM, Amazon, BigML, PredictionIO, Microsoft, Local.
+std::vector<PlatformPtr> make_all_platforms();
+
+/// Single platform by name; throws std::invalid_argument for unknown names.
+PlatformPtr make_platform(const std::string& name);
+
+/// Names in complexity order.
+std::vector<std::string> platform_names();
+
+}  // namespace mlaas

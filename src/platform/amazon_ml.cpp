@@ -1,0 +1,110 @@
+#include "platform/amazon_ml.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/stats.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+namespace {
+
+/// Amazon's default recipe: quantile-bin each numeric feature and one-hot
+/// encode the bin id.  The downstream linear model then learns a weight per
+/// bin, i.e. a piecewise-constant (non-linear) response per feature.
+class QuantileBinner {
+ public:
+  void fit(const Matrix& x, int n_bins) {
+    edges_.assign(x.cols(), {});
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const auto col = x.col(c);
+      auto& edges = edges_[c];
+      for (int b = 1; b < n_bins; ++b) {
+        edges.push_back(quantile(col, static_cast<double>(b) / n_bins));
+      }
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+  }
+
+  Matrix transform(const Matrix& x) const {
+    std::size_t total_bins = 0;
+    for (const auto& edges : edges_) total_bins += edges.size() + 1;
+    Matrix out(x.rows(), total_bins);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      std::size_t offset = 0;
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        const auto& edges = edges_[c];
+        const std::size_t bin = static_cast<std::size_t>(
+            std::upper_bound(edges.begin(), edges.end(), x(r, c)) - edges.begin());
+        out(r, offset + bin) = 1.0;
+        offset += edges.size() + 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<double>> edges_;
+};
+
+class AmazonModel final : public TrainedModel {
+ public:
+  AmazonModel(QuantileBinner binner, ClassifierPtr clf)
+      : binner_(std::move(binner)), clf_(std::move(clf)) {}
+
+  std::vector<int> predict(const Matrix& x) const override {
+    return clf_->predict(binner_.transform(x));
+  }
+  bool exposes_scores() const override { return true; }
+  std::vector<double> predict_score(const Matrix& x) const override {
+    return clf_->predict_score(binner_.transform(x));
+  }
+
+ private:
+  QuantileBinner binner_;
+  ClassifierPtr clf_;
+};
+
+constexpr int kDefaultBins = 8;
+
+}  // namespace
+
+ControlSurface AmazonMlPlatform::controls() const {
+  ControlSurface surface;
+  surface.parameter_tuning = true;  // the only exposed control (Figure 1)
+  ClassifierGridSpec lr;
+  lr.classifier = "logistic_regression";
+  // Table 1: maxIter, regParam, shuffleType (SGD passes / L2 lambda / order).
+  lr.params = {
+      ParamSpec::integer("max_iter", 10, 1, 200),
+      ParamSpec::number("reg_param", 1e-6, 1e-8, 1.0),
+      ParamSpec::categorical("shuffle_type", {"auto", "none"}),
+  };
+  surface.classifiers.push_back(std::move(lr));
+  return surface;
+}
+
+TrainedModelPtr AmazonMlPlatform::train(const Dataset& train, const PipelineConfig& config,
+                                        std::uint64_t seed) const {
+  if (!config.feature_step.empty()) {
+    throw std::invalid_argument("Amazon: feature selection is not supported");
+  }
+  if (!config.classifier.empty() && config.classifier != "logistic_regression") {
+    throw std::invalid_argument("Amazon: classifier is fixed to logistic regression");
+  }
+  const ControlSurface surface = controls();
+  ParamMap params = surface.classifiers.front().default_config();
+  for (const auto& [k, v] : config.params) params.set(k, v);
+
+  QuantileBinner binner;
+  binner.fit(train.x(), kDefaultBins);
+  const Matrix binned = binner.transform(train.x());
+
+  auto clf = make_classifier("logistic_regression", params, derive_seed(seed, "amazon"));
+  clf->fit(binned, train.y());
+  return std::make_unique<AmazonModel>(std::move(binner), std::move(clf));
+}
+
+}  // namespace mlaas

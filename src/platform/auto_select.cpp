@@ -1,0 +1,43 @@
+#include "platform/auto_select.h"
+
+#include <algorithm>
+
+#include "ml/model_selection/cross_validation.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+std::string to_string(ClassifierFamily family) {
+  return family == ClassifierFamily::kLinear ? "linear" : "non-linear";
+}
+
+AutoSelectResult auto_select_family(const Dataset& train, const AutoSelectOptions& options,
+                                    std::uint64_t seed) {
+  // Subsample for the probe race.
+  const Dataset* probe = &train;
+  Dataset subsampled;
+  if (train.n_samples() > options.max_probe_samples) {
+    Rng rng(derive_seed(seed, "autoselect-subsample"));
+    auto idx = rng.sample_without_replacement(train.n_samples(), options.max_probe_samples);
+    std::sort(idx.begin(), idx.end());
+    subsampled = train.subset(idx);
+    probe = &subsampled;
+  }
+
+  ParamMap lr_params{{"max_iter", 50LL}};
+  ParamMap dt_params{{"max_depth", 10LL}, {"min_samples_leaf", 2LL}};
+  const CvResult linear = cross_validate("logistic_regression", lr_params, *probe,
+                                         options.folds, derive_seed(seed, "probe-linear"));
+  const CvResult nonlinear = cross_validate("decision_tree", dt_params, *probe,
+                                            options.folds, derive_seed(seed, "probe-nonlinear"));
+
+  AutoSelectResult result;
+  result.linear_cv_f = linear.mean.f_score;
+  result.nonlinear_cv_f = nonlinear.mean.f_score;
+  result.family = nonlinear.mean.f_score > linear.mean.f_score + options.linear_bias
+                      ? ClassifierFamily::kNonLinear
+                      : ClassifierFamily::kLinear;
+  return result;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,41 @@
+// Internal classifier auto-selection used by black-box platforms (§6).
+//
+// Google and ABM automate the whole pipeline; the paper's §6.1 shows both
+// switch between a linear and a non-linear classifier depending on the
+// dataset.  This module is the *hidden* mechanism of our simulators: a quick
+// stratified cross-validation race between a linear probe (logistic
+// regression) and a non-linear probe (decision tree), with a configurable
+// bias toward the linear family (cheap to serve, strong prior for tabular
+// data).  Because the test runs on a subsample with few folds, the choice is
+// imperfect — reproducing the paper's finding that black-box platforms
+// occasionally pick the wrong family (§6.3).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace mlaas {
+
+enum class ClassifierFamily { kLinear, kNonLinear };
+
+std::string to_string(ClassifierFamily family);
+
+struct AutoSelectOptions {
+  /// Non-linear must beat linear by this CV margin to be chosen.
+  double linear_bias = 0.02;
+  int folds = 3;
+  /// Subsample cap for the internal race (keeps serving cheap, adds noise).
+  std::size_t max_probe_samples = 400;
+};
+
+struct AutoSelectResult {
+  ClassifierFamily family = ClassifierFamily::kLinear;
+  double linear_cv_f = 0.0;
+  double nonlinear_cv_f = 0.0;
+};
+
+AutoSelectResult auto_select_family(const Dataset& train, const AutoSelectOptions& options,
+                                    std::uint64_t seed);
+
+}  // namespace mlaas

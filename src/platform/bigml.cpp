@@ -1,0 +1,56 @@
+#include "platform/bigml.h"
+
+namespace mlaas {
+
+ControlSurface BigMlPlatform::controls() const {
+  ControlSurface surface;
+  surface.classifier_choice = true;
+  surface.parameter_tuning = true;
+
+  ClassifierGridSpec lr;
+  lr.classifier = "logistic_regression";
+  // BigML LR: regularization (L1/L2), strength (C), eps (stop tolerance).
+  lr.params = {
+      ParamSpec::categorical("penalty", {"l2", "l1"}),
+      ParamSpec::number("C", 1.0, 0.1, 1e4),
+      ParamSpec::number("tolerance", 1e-4, 1e-8, 1e-1),
+  };
+  surface.classifiers.push_back(std::move(lr));
+
+  const auto tree_knobs = [] {
+    return std::vector<ParamSpec>{
+        ParamSpec::integer("node_threshold", 512, 3, 2047),
+        ParamSpec::categorical("ordering", {"standard", "random"}),
+    };
+  };
+
+  ClassifierGridSpec dt;
+  dt.classifier = "decision_tree";
+  dt.params = tree_knobs();
+  dt.params.push_back(ParamSpec::boolean("random_candidates", false));
+  surface.classifiers.push_back(std::move(dt));
+
+  ClassifierGridSpec bag;
+  bag.classifier = "bagging";
+  bag.params = tree_knobs();
+  bag.params.insert(bag.params.begin() + 1, ParamSpec::integer("n_estimators", 10, 1, 32));
+  surface.classifiers.push_back(std::move(bag));
+
+  ClassifierGridSpec rf;
+  rf.classifier = "random_forest";
+  rf.params = tree_knobs();
+  rf.params.insert(rf.params.begin() + 1, ParamSpec::integer("n_estimators", 10, 1, 32));
+  surface.classifiers.push_back(std::move(rf));
+  return surface;
+}
+
+TrainedModelPtr BigMlPlatform::train(const Dataset& train, const PipelineConfig& config,
+                                     std::uint64_t seed) const {
+  // BigML's non-LR models return labels without scores (§3.2); expose
+  // scores only for logistic regression.
+  const bool scores = config.classifier.empty() || config.classifier == "logistic_regression";
+  return train_pipeline(controls(), name(), train, config, seed, "logistic_regression",
+                        scores);
+}
+
+}  // namespace mlaas

@@ -1,0 +1,23 @@
+// BigML simulator.
+//
+// Exposes classifier choice and parameter tuning (Figure 1).  Table 1:
+// Logistic Regression (regularization, strength, eps), Decision Tree
+// (node threshold, ordering, random candidates), Bagging (node threshold,
+// number of models, ordering), Random Forests (node threshold, number of
+// models, ordering).
+#pragma once
+
+#include "platform/platform.h"
+
+namespace mlaas {
+
+class BigMlPlatform final : public Platform {
+ public:
+  std::string name() const override { return "BigML"; }
+  int complexity_rank() const override { return 3; }
+  ControlSurface controls() const override;
+  TrainedModelPtr train(const Dataset& train, const PipelineConfig& config,
+                        std::uint64_t seed) const override;
+};
+
+}  // namespace mlaas

@@ -1,0 +1,48 @@
+#include "platform/google_prediction.h"
+
+#include <stdexcept>
+
+#include "platform/auto_select.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+namespace {
+
+class GoogleModel final : public TrainedModel {
+ public:
+  explicit GoogleModel(ClassifierPtr clf) : clf_(std::move(clf)) {}
+  std::vector<int> predict(const Matrix& x) const override { return clf_->predict(x); }
+
+ private:
+  ClassifierPtr clf_;
+};
+
+}  // namespace
+
+TrainedModelPtr GooglePredictionPlatform::train(const Dataset& train,
+                                                const PipelineConfig& config,
+                                                std::uint64_t seed) const {
+  if (!config.feature_step.empty() || !config.classifier.empty() || !config.params.empty()) {
+    throw std::invalid_argument("Google: fully automated platform, no controls available");
+  }
+  AutoSelectOptions options;
+  options.linear_bias = 0.02;  // milder preference than ABM (§6.2: 60.9% linear)
+  options.folds = 3;
+  options.max_probe_samples = 400;
+  const auto choice = auto_select_family(train, options, derive_seed(seed, "google"));
+
+  ClassifierPtr clf;
+  if (choice.family == ClassifierFamily::kLinear) {
+    clf = make_classifier("logistic_regression", ParamMap{{"max_iter", 100LL}},
+                          derive_seed(seed, "google-lr"));
+  } else {
+    // Kernel classifier: the smooth circular boundary of Figure 10(a).
+    clf = make_classifier("rbf_svm", ParamMap{{"C", 1.0}, {"max_iter", 20LL}},
+                          derive_seed(seed, "google-rbf"));
+  }
+  clf->fit(train.x(), train.y());
+  return std::make_unique<GoogleModel>(std::move(clf));
+}
+
+}  // namespace mlaas

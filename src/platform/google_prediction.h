@@ -1,0 +1,24 @@
+// Google Prediction API simulator — fully automated black-box platform
+// (Figure 1: no user-controllable steps).
+//
+// Hidden pipeline: an auto-selector with a mild linear bias (§6.2 measured
+// Google choosing linear on 60.9% of datasets); the linear arm is a
+// well-trained logistic regression, the non-linear arm an RBF-kernel SVM —
+// §6.1 infers from the circular CIRCLE boundary that Google uses a
+// kernel-based non-linear classifier (Figure 10(a)).
+#pragma once
+
+#include "platform/platform.h"
+
+namespace mlaas {
+
+class GooglePredictionPlatform final : public Platform {
+ public:
+  std::string name() const override { return "Google"; }
+  int complexity_rank() const override { return 0; }
+  ControlSurface controls() const override { return {}; }
+  TrainedModelPtr train(const Dataset& train, const PipelineConfig& config,
+                        std::uint64_t seed) const override;
+};
+
+}  // namespace mlaas

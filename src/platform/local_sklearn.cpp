@@ -1,0 +1,105 @@
+#include "platform/local_sklearn.h"
+
+namespace mlaas {
+
+ControlSurface LocalSklearnPlatform::controls() const {
+  ControlSurface surface;
+  surface.feature_selection = true;
+  surface.classifier_choice = true;
+  surface.parameter_tuning = true;
+  surface.feature_steps = {
+      "filter_f_classif", "filter_mutual_info", "gaussian_norm", "minmax_scaler",
+      "maxabs_scaler",    "l1_normalizer",      "l2_normalizer", "standard_scaler",
+  };
+
+  ClassifierGridSpec lr;
+  lr.classifier = "logistic_regression";
+  lr.params = {
+      ParamSpec::categorical("penalty", {"l2", "l1"}),
+      ParamSpec::number("C", 1.0, 0.1, 1e4),
+      ParamSpec::categorical("solver", {"sgd", "gd"}),
+  };
+  surface.classifiers.push_back(std::move(lr));
+
+  ClassifierGridSpec nb;
+  nb.classifier = "naive_bayes";
+  nb.params = {ParamSpec::categorical("prior", {"empirical", "uniform"})};
+  surface.classifiers.push_back(std::move(nb));
+
+  ClassifierGridSpec svm;
+  svm.classifier = "linear_svm";
+  svm.params = {
+      ParamSpec::number("C", 1.0, 0.1, 1e4),
+      ParamSpec::categorical("loss", {"hinge", "squared_hinge"}),
+      ParamSpec::integer("max_iter", 100, 1, 200),
+  };
+  surface.classifiers.push_back(std::move(svm));
+
+  ClassifierGridSpec lda;
+  lda.classifier = "lda";
+  lda.params = {
+      ParamSpec::categorical("solver", {"lsqr", "eigen"}),
+      ParamSpec::number("shrinkage", 0.1, 0.0, 1.0),
+  };
+  surface.classifiers.push_back(std::move(lda));
+
+  ClassifierGridSpec knn;
+  knn.classifier = "knn";
+  knn.params = {
+      ParamSpec::integer("n_neighbors", 5, 1, 25),
+      ParamSpec::categorical("weights", {"uniform", "distance"}),
+      ParamSpec::integer("p", 2, 1, 2),
+  };
+  surface.classifiers.push_back(std::move(knn));
+
+  ClassifierGridSpec dt;
+  dt.classifier = "decision_tree";
+  dt.params = {
+      ParamSpec::categorical("criterion", {"gini", "entropy"}),
+      ParamSpec::categorical("max_features", {"all", "sqrt", "log2"}),
+  };
+  surface.classifiers.push_back(std::move(dt));
+
+  ClassifierGridSpec bst;
+  bst.classifier = "boosted_trees";
+  bst.params = {
+      ParamSpec::integer("n_estimators", 40, 10, 80),
+      ParamSpec::number("learning_rate", 0.2, 0.05, 1.0),
+      ParamSpec::categorical("max_features", {"all", "sqrt"}),
+  };
+  surface.classifiers.push_back(std::move(bst));
+
+  ClassifierGridSpec bag;
+  bag.classifier = "bagging";
+  bag.params = {
+      ParamSpec::integer("n_estimators", 10, 1, 32),
+      ParamSpec::number("max_features", 1.0, 0.25, 1.0),
+  };
+  surface.classifiers.push_back(std::move(bag));
+
+  ClassifierGridSpec rf;
+  rf.classifier = "random_forest";
+  rf.params = {
+      ParamSpec::integer("n_estimators", 10, 1, 32),
+      ParamSpec::categorical("max_features", {"sqrt", "log2", "all"}),
+  };
+  surface.classifiers.push_back(std::move(rf));
+
+  ClassifierGridSpec mlp;
+  mlp.classifier = "mlp";
+  mlp.params = {
+      ParamSpec::categorical("activation", {"relu", "tanh", "logistic"}),
+      ParamSpec::categorical("solver", {"adam", "sgd"}),
+      ParamSpec::number("alpha", 1e-4, 1e-6, 1e-1),
+  };
+  surface.classifiers.push_back(std::move(mlp));
+  return surface;
+}
+
+TrainedModelPtr LocalSklearnPlatform::train(const Dataset& train, const PipelineConfig& config,
+                                            std::uint64_t seed) const {
+  return train_pipeline(controls(), name(), train, config, seed, "logistic_regression",
+                        /*expose_scores=*/true);
+}
+
+}  // namespace mlaas

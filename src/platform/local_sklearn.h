@@ -1,0 +1,23 @@
+// Local scikit-learn stand-in — the "full control" endpoint of the
+// complexity spectrum (§3.2's `local` reference point).
+//
+// FEAT (Table 1): FClassif, MutualInfoClassif, GaussianNorm, MinMaxScaler,
+// MaxAbsScaler, L1Normalization, L2Normalization, StandardScaler.
+// CLF: the 10 classifiers of Table 1's scikit-learn row with their
+// 2-3-parameter grids.
+#pragma once
+
+#include "platform/platform.h"
+
+namespace mlaas {
+
+class LocalSklearnPlatform final : public Platform {
+ public:
+  std::string name() const override { return "Local"; }
+  int complexity_rank() const override { return 6; }
+  ControlSurface controls() const override;
+  TrainedModelPtr train(const Dataset& train, const PipelineConfig& config,
+                        std::uint64_t seed) const override;
+};
+
+}  // namespace mlaas

@@ -1,0 +1,91 @@
+#include "platform/microsoft_azure.h"
+
+namespace mlaas {
+
+ControlSurface MicrosoftAzurePlatform::controls() const {
+  ControlSurface surface;
+  surface.feature_selection = true;
+  surface.classifier_choice = true;
+  surface.parameter_tuning = true;
+  surface.feature_steps = {
+      "fisher_lda",      "filter_pearson", "filter_mutual_info", "filter_kendall",
+      "filter_spearman", "filter_chi2",    "filter_fisher",      "filter_count",
+  };
+
+  // Logistic Regression: optimization tolerance, L1 weight, L2 weight,
+  // L-BFGS memory size (mapped to the iteration budget).  The heavy default
+  // regularization (weight 1.0) is Azure's documented default.
+  ClassifierGridSpec lr;
+  lr.classifier = "logistic_regression";
+  lr.fixed.set("penalty", std::string("l2"));
+  lr.fixed.set("solver", std::string("gd"));
+  lr.params = {
+      ParamSpec::number("tolerance", 1e-7, 1e-9, 1e-3),
+      ParamSpec::number("reg_param", 1.0, 1e-4, 50.0),
+      ParamSpec::integer("max_iter", 30, 5, 200),
+  };
+  surface.classifiers.push_back(std::move(lr));
+
+  ClassifierGridSpec svm;
+  svm.classifier = "linear_svm";
+  svm.params = {
+      ParamSpec::integer("max_iter", 1, 1, 100),
+      ParamSpec::number("lambda", 1e-3, 1e-6, 1.0),
+  };
+  surface.classifiers.push_back(std::move(svm));
+
+  ClassifierGridSpec ap;
+  ap.classifier = "averaged_perceptron";
+  ap.params = {
+      ParamSpec::number("learning_rate", 1.0, 1e-3, 10.0),
+      ParamSpec::integer("max_iter", 10, 1, 200),
+  };
+  surface.classifiers.push_back(std::move(ap));
+
+  ClassifierGridSpec bpm;
+  bpm.classifier = "bayes_point_machine";
+  bpm.params = {ParamSpec::integer("training_iterations", 30, 1, 150)};
+  surface.classifiers.push_back(std::move(bpm));
+
+  ClassifierGridSpec bst;
+  bst.classifier = "boosted_trees";
+  bst.params = {
+      ParamSpec::integer("max_leaves", 20, 2, 128),
+      ParamSpec::integer("min_instances_per_leaf", 10, 1, 50),
+      ParamSpec::number("learning_rate", 0.2, 0.05, 1.0),
+      ParamSpec::integer("n_estimators", 40, 10, 80),
+  };
+  surface.classifiers.push_back(std::move(bst));
+
+  ClassifierGridSpec rf;
+  rf.classifier = "random_forest";
+  rf.params = {
+      ParamSpec::categorical("resampling", {"bagging", "replicate"}),
+      ParamSpec::integer("n_estimators", 8, 1, 48),
+      ParamSpec::integer("max_depth", 16, 1, 64),
+      ParamSpec::integer("random_splits", 0, 0, 64),
+      ParamSpec::integer("min_samples_leaf", 1, 1, 20),
+  };
+  surface.classifiers.push_back(std::move(rf));
+
+  ClassifierGridSpec dj;
+  dj.classifier = "decision_jungle";
+  dj.params = {
+      ParamSpec::categorical("resampling", {"bagging", "replicate"}),
+      ParamSpec::integer("n_dags", 8, 1, 48),
+      ParamSpec::integer("max_depth", 16, 1, 64),
+      ParamSpec::integer("max_width", 32, 2, 256),
+      ParamSpec::integer("optimization_steps", 16, 1, 64),
+  };
+  surface.classifiers.push_back(std::move(dj));
+  return surface;
+}
+
+TrainedModelPtr MicrosoftAzurePlatform::train(const Dataset& train,
+                                              const PipelineConfig& config,
+                                              std::uint64_t seed) const {
+  return train_pipeline(controls(), name(), train, config, seed, "logistic_regression",
+                        /*expose_scores=*/true);
+}
+
+}  // namespace mlaas

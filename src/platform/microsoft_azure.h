@@ -1,0 +1,28 @@
+// Microsoft Azure ML Studio simulator — the most configurable platform
+// (Figure 1: every pipeline step except program implementation).
+//
+// FEAT (Table 1): Fisher LDA extraction plus 7 filter statistics (Pearson,
+// Mutual information, Kendall, Spearman, Chi-squared, Fisher, Count).
+// CLF/PARA: the 7 classifiers the paper measured — Logistic Regression,
+// SVM, Averaged Perceptron, Bayes Point Machine, Boosted Decision Tree,
+// Random Forest, Decision Jungle — with Table 1's parameter lists.
+//
+// Azure's LR defaults regularize heavily (L1 = L2 = 1.0), which reproduces
+// the paper's observation that Microsoft has the *weakest baseline* yet the
+// *strongest optimized* performance (Table 3).
+#pragma once
+
+#include "platform/platform.h"
+
+namespace mlaas {
+
+class MicrosoftAzurePlatform final : public Platform {
+ public:
+  std::string name() const override { return "Microsoft"; }
+  int complexity_rank() const override { return 5; }
+  ControlSurface controls() const override;
+  TrainedModelPtr train(const Dataset& train, const PipelineConfig& config,
+                        std::uint64_t seed) const override;
+};
+
+}  // namespace mlaas

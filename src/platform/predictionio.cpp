@@ -1,0 +1,46 @@
+#include "platform/predictionio.h"
+
+namespace mlaas {
+
+ControlSurface PredictionIoPlatform::controls() const {
+  ControlSurface surface;
+  surface.classifier_choice = true;
+  surface.parameter_tuning = true;
+
+  ClassifierGridSpec lr;
+  lr.classifier = "logistic_regression";
+  // Spark MLlib defaults: maxIter=100, regParam=0 (swept from a small
+  // floor), fitIntercept=true.
+  lr.fixed.set("solver", std::string("sgd"));
+  lr.params = {
+      ParamSpec::integer("max_iter", 100, 1, 200),
+      ParamSpec::number("reg_param", 1e-4, 1e-6, 1.0),
+      ParamSpec::boolean("fit_intercept", true),
+  };
+  surface.classifiers.push_back(std::move(lr));
+
+  ClassifierGridSpec nb;
+  nb.classifier = "naive_bayes";
+  nb.params = {ParamSpec::number("lambda", 1e-3, 1e-9, 1.0)};
+  surface.classifiers.push_back(std::move(nb));
+
+  ClassifierGridSpec dt;
+  dt.classifier = "decision_tree";
+  // Spark default maxDepth=5; numClasses is fixed at 2 for binary tasks and
+  // kept for Table 1 parity (it does not alter the model).
+  dt.params = {
+      ParamSpec::integer("num_classes", 2, 2, 2),
+      ParamSpec::integer("max_depth", 5, 1, 30),
+  };
+  surface.classifiers.push_back(std::move(dt));
+  return surface;
+}
+
+TrainedModelPtr PredictionIoPlatform::train(const Dataset& train, const PipelineConfig& config,
+                                            std::uint64_t seed) const {
+  // PredictionIO returns labels only — no prediction scores (§3.2).
+  return train_pipeline(controls(), name(), train, config, seed, "logistic_regression",
+                        /*expose_scores=*/false);
+}
+
+}  // namespace mlaas

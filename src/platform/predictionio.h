@@ -1,0 +1,23 @@
+// PredictionIO simulator.
+//
+// Exposes classifier choice and parameter tuning (Figure 1).  The measured
+// subset of Table 1: Logistic Regression (maxIter, regParam, fitIntercept),
+// Naive Bayes (lambda), Decision Tree (numClasses, maxDepth).  Defaults
+// follow Spark MLlib (PredictionIO's engine).  Trained models do not expose
+// prediction scores (§3.2).
+#pragma once
+
+#include "platform/platform.h"
+
+namespace mlaas {
+
+class PredictionIoPlatform final : public Platform {
+ public:
+  std::string name() const override { return "PredictionIO"; }
+  int complexity_rank() const override { return 4; }
+  ControlSurface controls() const override;
+  TrainedModelPtr train(const Dataset& train, const PipelineConfig& config,
+                        std::uint64_t seed) const override;
+};
+
+}  // namespace mlaas

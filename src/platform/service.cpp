@@ -1,0 +1,145 @@
+#include "platform/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlaas {
+
+std::string to_string(ServiceStatus status) {
+  switch (status) {
+    case ServiceStatus::kOk: return "ok";
+    case ServiceStatus::kRateLimited: return "rate-limited";
+    case ServiceStatus::kTransientError: return "transient-error";
+    case ServiceStatus::kQuotaExhausted: return "quota-exhausted";
+    case ServiceStatus::kNotFound: return "not-found";
+    case ServiceStatus::kBadRequest: return "bad-request";
+  }
+  return "?";
+}
+
+MlaasService::MlaasService(PlatformPtr platform, ServiceQuota quota, std::uint64_t seed)
+    : platform_(std::move(platform)),
+      quota_(quota),
+      rng_(derive_seed(seed, "mlaas-service")) {
+  if (!platform_) throw std::invalid_argument("MlaasService: null platform");
+  platform_name_ = platform_->name();
+}
+
+void MlaasService::advance_clock(double seconds) {
+  clock_seconds_ += std::max(0.0, seconds);
+}
+
+ServiceStatus MlaasService::admit(std::size_t work_samples) {
+  ++stats_.requests;
+  // Drop window entries that have aged out.
+  const double window_start = clock_seconds_ - quota_.window_seconds;
+  request_times_.erase(
+      std::remove_if(request_times_.begin(), request_times_.end(),
+                     [&](double t) { return t < window_start; }),
+      request_times_.end());
+  if (request_times_.size() >= quota_.requests_per_window) {
+    ++stats_.rate_limited;
+    return ServiceStatus::kRateLimited;
+  }
+  request_times_.push_back(clock_seconds_);
+  // Latency accrues whether or not the request ultimately succeeds.
+  advance_clock(quota_.base_latency_seconds +
+                quota_.per_sample_latency_seconds * static_cast<double>(work_samples));
+  if (quota_.fault_rate > 0.0 && rng_.chance(quota_.fault_rate)) {
+    ++stats_.transient_errors;
+    return ServiceStatus::kTransientError;
+  }
+  return ServiceStatus::kOk;
+}
+
+ServiceStatus MlaasService::upload(const Dataset& dataset, std::string* handle) {
+  if (handle == nullptr) throw std::invalid_argument("upload: null handle out-param");
+  const ServiceStatus admitted = admit(dataset.n_samples());
+  if (admitted != ServiceStatus::kOk) return admitted;
+  *handle = "ds-" + std::to_string(next_handle_++);
+  datasets_.emplace(*handle, dataset);
+  return ServiceStatus::kOk;
+}
+
+ServiceStatus MlaasService::train(const std::string& dataset_handle,
+                                  const PipelineConfig& config, std::string* model_handle) {
+  if (model_handle == nullptr) throw std::invalid_argument("train: null handle out-param");
+  auto it = datasets_.find(dataset_handle);
+  if (it == datasets_.end()) return ServiceStatus::kNotFound;
+  if (quota_.max_training_jobs > 0 && stats_.trainings >= quota_.max_training_jobs) {
+    return ServiceStatus::kQuotaExhausted;
+  }
+  const ServiceStatus admitted = admit(it->second.n_samples() * 10);  // training is slow
+  if (admitted != ServiceStatus::kOk) return admitted;
+  try {
+    auto model = platform_->train(it->second, config,
+                                  derive_seed(rng_.next(), "service-train"));
+    ++stats_.trainings;
+    *model_handle = "model-" + std::to_string(next_handle_++);
+    models_.emplace(*model_handle, std::move(model));
+    return ServiceStatus::kOk;
+  } catch (const std::invalid_argument&) {
+    return ServiceStatus::kBadRequest;
+  }
+}
+
+ServiceStatus MlaasService::predict(const std::string& model_handle, const Matrix& x,
+                                    std::vector<int>* labels) {
+  if (labels == nullptr) throw std::invalid_argument("predict: null labels out-param");
+  auto it = models_.find(model_handle);
+  if (it == models_.end()) return ServiceStatus::kNotFound;
+  const ServiceStatus admitted = admit(x.rows());
+  if (admitted != ServiceStatus::kOk) return admitted;
+  *labels = it->second->predict(x);
+  return ServiceStatus::kOk;
+}
+
+RetryingClient::RetryingClient(MlaasService& service, int max_attempts,
+                               double initial_backoff_seconds)
+    : service_(service),
+      max_attempts_(std::max(1, max_attempts)),
+      initial_backoff_(initial_backoff_seconds) {}
+
+ServiceStatus RetryingClient::with_retries(const std::function<ServiceStatus()>& call) {
+  double backoff = initial_backoff_;
+  ServiceStatus status = ServiceStatus::kOk;
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    status = call();
+    switch (status) {
+      case ServiceStatus::kOk:
+      case ServiceStatus::kQuotaExhausted:
+      case ServiceStatus::kNotFound:
+      case ServiceStatus::kBadRequest:
+        return status;  // success or permanent failure: stop retrying
+      case ServiceStatus::kRateLimited:
+      case ServiceStatus::kTransientError:
+        ++retries_;
+        service_.advance_clock(backoff);
+        backoff *= 2.0;
+        break;
+    }
+  }
+  return status;
+}
+
+std::optional<std::vector<int>> RetryingClient::train_and_predict(
+    const Dataset& train, const PipelineConfig& config, const Matrix& query) {
+  std::string dataset_handle;
+  if (with_retries([&] { return service_.upload(train, &dataset_handle); }) !=
+      ServiceStatus::kOk) {
+    return std::nullopt;
+  }
+  std::string model_handle;
+  if (with_retries([&] { return service_.train(dataset_handle, config, &model_handle); }) !=
+      ServiceStatus::kOk) {
+    return std::nullopt;
+  }
+  std::vector<int> labels;
+  if (with_retries([&] { return service_.predict(model_handle, query, &labels); }) !=
+      ServiceStatus::kOk) {
+    return std::nullopt;
+  }
+  return labels;
+}
+
+}  // namespace mlaas

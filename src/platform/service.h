@@ -1,0 +1,124 @@
+// Simulated MLaaS web service.
+//
+// The paper's measurements ran against live cloud endpoints over ~5 months,
+// dealing with upload/train/query round-trips, rate limits and transient
+// failures (§8 notes that strict rate limits excluded some providers
+// entirely).  MlaasService wraps a Platform behind exactly that kind of
+// API: handle-based upload/train/predict calls, a token-bucket rate limit,
+// a training-job quota, seeded transient faults, and a simulated wall clock
+// advanced by per-request latency — so the operational behaviour of a
+// measurement campaign can be studied deterministically, without a network.
+//
+// RetryingClient layers exponential backoff on top, the way the paper's
+// scripts had to.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+/// Operational envelope of a simulated service.
+struct ServiceQuota {
+  /// Token-bucket rate limit: this many requests per rolling window.
+  std::size_t requests_per_window = 60;
+  double window_seconds = 60.0;
+  /// Total training jobs allowed (0 = unlimited) — free-tier style quota.
+  std::size_t max_training_jobs = 0;
+  /// Probability any request fails transiently (HTTP-503 style).
+  double fault_rate = 0.0;
+  /// Simulated latency model: fixed + per-sample cost.
+  double base_latency_seconds = 0.2;
+  double per_sample_latency_seconds = 1e-4;
+};
+
+enum class ServiceStatus {
+  kOk,
+  kRateLimited,      // retry after the window drains
+  kTransientError,   // retry immediately (with backoff)
+  kQuotaExhausted,   // permanent for this service instance
+  kNotFound,         // unknown dataset/model handle
+  kBadRequest,       // config rejected by the platform
+};
+
+std::string to_string(ServiceStatus status);
+
+class MlaasService {
+ public:
+  MlaasService(PlatformPtr platform, ServiceQuota quota, std::uint64_t seed);
+
+  const std::string& platform_name() const { return platform_name_; }
+  /// Simulated wall-clock (seconds since service creation).
+  double now() const { return clock_seconds_; }
+  /// Let a client "sleep": advances the simulated clock (used for backoff
+  /// and for waiting out rate-limit windows).
+  void advance_clock(double seconds);
+
+  /// Upload a training set; on kOk fills `handle`.
+  ServiceStatus upload(const Dataset& dataset, std::string* handle);
+  /// Train a model on an uploaded dataset; on kOk fills `model_handle`.
+  ServiceStatus train(const std::string& dataset_handle, const PipelineConfig& config,
+                      std::string* model_handle);
+  /// Query a trained model; on kOk fills `labels`.
+  ServiceStatus predict(const std::string& model_handle, const Matrix& x,
+                        std::vector<int>* labels);
+
+  struct Stats {
+    std::size_t requests = 0;
+    std::size_t rate_limited = 0;
+    std::size_t transient_errors = 0;
+    std::size_t trainings = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Common request admission: clock, rate limit, fault injection.
+  ServiceStatus admit(std::size_t work_samples);
+
+  PlatformPtr platform_;
+  std::string platform_name_;
+  ServiceQuota quota_;
+  Rng rng_;
+  double clock_seconds_ = 0.0;
+  std::vector<double> request_times_;  // within the current window
+  Stats stats_;
+
+  std::map<std::string, Dataset> datasets_;
+  std::map<std::string, TrainedModelPtr> models_;
+  std::size_t next_handle_ = 0;
+};
+
+/// Exponential-backoff wrapper: retries rate-limited and transient failures
+/// by advancing the service clock (sleeping, in simulation).
+class RetryingClient {
+ public:
+  explicit RetryingClient(MlaasService& service, int max_attempts = 6,
+                          double initial_backoff_seconds = 1.0);
+
+  /// Convenience end-to-end call: upload + train + predict with retries.
+  /// Returns labels, or nullopt if any step exhausted its retries or hit a
+  /// permanent error.
+  std::optional<std::vector<int>> train_and_predict(const Dataset& train,
+                                                    const PipelineConfig& config,
+                                                    const Matrix& query);
+
+  std::size_t total_retries() const { return retries_; }
+
+ private:
+  ServiceStatus with_retries(const std::function<ServiceStatus()>& call);
+
+  MlaasService& service_;
+  int max_attempts_;
+  double initial_backoff_;
+  std::size_t retries_ = 0;
+};
+
+}  // namespace mlaas

@@ -1,0 +1,64 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace mlaas {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + std::string(arg));
+    }
+    arg.remove_prefix(2);
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[std::string(arg)] = argv[++i];
+    } else {
+      flags_[std::string(arg)] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::optional<std::string> CliFlags::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliFlags::get_or(const std::string& name, const std::string& def) const {
+  return get(name).value_or(def);
+}
+
+long long CliFlags::int_or(const std::string& name, long long def) const {
+  auto v = get(name);
+  return v ? std::stoll(*v) : def;
+}
+
+double CliFlags::double_or(const std::string& name, double def) const {
+  auto v = get(name);
+  return v ? std::stod(*v) : def;
+}
+
+bool CliFlags::bool_or(const std::string& name, bool def) const {
+  auto v = get(name);
+  if (!v) return def;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+BenchOptions parse_bench_options(int argc, const char* const* argv) {
+  CliFlags flags(argc, argv);
+  BenchOptions opt;
+  if (const char* env = std::getenv("MLAAS_SEED")) opt.seed = std::strtoull(env, nullptr, 10);
+  if (const char* env = std::getenv("MLAAS_SCALE")) opt.scale = std::strtod(env, nullptr);
+  opt.seed = static_cast<std::uint64_t>(flags.int_or("seed", static_cast<long long>(opt.seed)));
+  opt.scale = flags.double_or("scale", opt.scale);
+  opt.threads = static_cast<int>(flags.int_or("threads", 0));
+  opt.quick = flags.bool_or("quick", false);
+  return opt;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,40 @@
+// Tiny command-line flag parser shared by bench/example binaries.
+//
+// Supports "--name value" and "--name=value"; unknown flags raise an error so
+// typos are caught.  Also reads MLAAS_SCALE / MLAAS_SEED environment
+// variables as defaults for the common knobs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace mlaas {
+
+class CliFlags {
+ public:
+  /// Parse argv; throws std::invalid_argument on malformed input.
+  CliFlags(int argc, const char* const* argv);
+
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& def) const;
+  long long int_or(const std::string& name, long long def) const;
+  double double_or(const std::string& name, double def) const;
+  bool bool_or(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+/// Common bench configuration derived from flags + environment.
+struct BenchOptions {
+  std::uint64_t seed = 42;      // --seed / MLAAS_SEED
+  double scale = 1.0;           // --scale / MLAAS_SCALE: grid & corpus scaling
+  int threads = 0;              // --threads (0 = hardware)
+  bool quick = false;           // --quick: tiny corpus for smoke runs
+};
+
+BenchOptions parse_bench_options(int argc, const char* const* argv);
+
+}  // namespace mlaas

@@ -1,0 +1,106 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mlaas {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    std::string s = "+";
+    for (auto w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      s += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : line(row);
+  }
+  out += rule();
+  return out;
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_with_rank(double v, double rank, int precision) {
+  return fmt(v, precision) + " (" + fmt(rank, 1) + ")";
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt(100.0 * fraction, precision) + "%";
+}
+
+std::string render_cdf(std::vector<double> values, int points, const std::string& x_label) {
+  std::ostringstream os;
+  if (values.empty()) return "(empty)\n";
+  std::sort(values.begin(), values.end());
+  os << x_label << "\tCDF\n";
+  const std::size_t n = values.size();
+  for (int p = 1; p <= points; ++p) {
+    const double q = static_cast<double>(p) / points;
+    std::size_t i = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+    i = std::min(i, n - 1);
+    os << fmt(values[i], 4) << "\t" << fmt(q, 3) << "\n";
+  }
+  return os.str();
+}
+
+AsciiCanvas::AsciiCanvas(int width, int height, double x_lo, double x_hi, double y_lo,
+                         double y_hi)
+    : width_(width),
+      height_(height),
+      x_lo_(x_lo),
+      x_hi_(x_hi),
+      y_lo_(y_lo),
+      y_hi_(y_hi),
+      grid_(height, std::string(width, ' ')) {}
+
+void AsciiCanvas::plot(double x, double y, char c) {
+  if (x < x_lo_ || x >= x_hi_ || y < y_lo_ || y >= y_hi_) return;
+  const int col = static_cast<int>((x - x_lo_) / (x_hi_ - x_lo_) * width_);
+  const int row = static_cast<int>((y - y_lo_) / (y_hi_ - y_lo_) * height_);
+  // Flip vertically so larger y is drawn higher.
+  grid_[static_cast<std::size_t>(height_ - 1 - row)][static_cast<std::size_t>(col)] = c;
+}
+
+std::string AsciiCanvas::str() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(height_) * (static_cast<std::size_t>(width_) + 1));
+  for (const auto& row : grid_) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mlaas

@@ -1,0 +1,57 @@
+// Plain-text table and CDF rendering used by the benchmark harness to print
+// paper-style tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mlaas {
+
+/// Column-aligned text table.  Usage:
+///   TextTable t({"Platform", "F-score"});
+///   t.add_row({"Microsoft", "0.837"});
+///   std::cout << t.str();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+/// Format a double with fixed precision.
+std::string fmt(double v, int precision = 3);
+/// Format "value (rank)" cells as in Table 3.
+std::string fmt_with_rank(double v, double rank, int precision = 3);
+/// Percentage string, e.g. 14.6%.
+std::string fmt_pct(double fraction, int precision = 1);
+
+/// Print an empirical CDF of `values` as (x, F(x)) pairs at `points` evenly
+/// spaced quantiles — the text analogue of the paper's CDF figures.
+std::string render_cdf(std::vector<double> values, int points = 20,
+                       const std::string& x_label = "x");
+
+/// Simple ASCII scatter plot on a grid (used for decision boundaries and the
+/// CIRCLE/LINEAR dataset visualizations).
+class AsciiCanvas {
+ public:
+  AsciiCanvas(int width, int height, double x_lo, double x_hi, double y_lo, double y_hi);
+
+  void plot(double x, double y, char c);
+  std::string str() const;
+
+ private:
+  int width_, height_;
+  double x_lo_, x_hi_, y_lo_, y_hi_;
+  std::vector<std::string> grid_;
+};
+
+}  // namespace mlaas

@@ -1,0 +1,74 @@
+#include "data/complexity.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace mlaas {
+namespace {
+
+TEST(Complexity, EasyBlobsAreSimple) {
+  const Dataset easy = make_blobs(300, 3, 0.4, 8.0, 1);
+  const auto m = compute_complexity(easy, 1);
+  EXPECT_GT(m.fisher_ratio_f1, 2.0);   // strong single-axis separation
+  EXPECT_LT(m.boundary_n1, 0.05);      // almost no boundary points
+  EXPECT_LT(m.linear_error_l2, 0.05);  // linearly separable
+}
+
+TEST(Complexity, CirclesAreNonLinear) {
+  const Dataset circles = make_circles(400, 0.05, 0.5, 2);
+  const auto m = compute_complexity(circles, 2);
+  EXPECT_LT(m.fisher_ratio_f1, 0.5);   // no single axis separates rings
+  EXPECT_GT(m.linear_error_l2, 0.25);  // far from linearly separable
+}
+
+TEST(Complexity, XorIsNonLinearButLocallySimple) {
+  const Dataset xor_data = make_xor(400, 0.15, 3);
+  const auto m = compute_complexity(xor_data, 3);
+  // A diagonal threshold can isolate one of XOR's two class-0 clusters, so
+  // the best linear separator errs on ~25% of the points — still far from
+  // separable.
+  EXPECT_GT(m.linear_error_l2, 0.2);
+  EXPECT_LT(m.boundary_n1, 0.3);      // clusters are still locally pure
+}
+
+TEST(Complexity, OrdersLinearVsNonLinearCorpusMembers) {
+  const Dataset linear = make_sparse_linear(400, 8, 4, 0.0, 4);
+  const Dataset rings = make_circles(400, 0.05, 0.5, 4);
+  const auto ml = compute_complexity(linear, 4);
+  const auto mr = compute_complexity(rings, 4);
+  EXPECT_LT(ml.linear_error_l2, mr.linear_error_l2);
+}
+
+TEST(Complexity, NoiseRaisesBoundaryDensity) {
+  const Dataset clean = make_moons(300, 0.05, 5);
+  const Dataset noisy = make_moons(300, 0.4, 5);
+  EXPECT_LT(compute_complexity(clean, 5).boundary_n1,
+            compute_complexity(noisy, 5).boundary_n1);
+}
+
+TEST(Complexity, SubsamplingKeepsMeasuresStable) {
+  const Dataset big = make_circles(2000, 0.08, 0.5, 6);
+  const auto full = compute_complexity(big, 6, 2000);
+  const auto sub = compute_complexity(big, 6, 400);
+  EXPECT_NEAR(full.linear_error_l2, sub.linear_error_l2, 0.1);
+  EXPECT_NEAR(full.boundary_n1, sub.boundary_n1, 0.1);
+}
+
+TEST(Complexity, TinyDatasetReturnsZeros) {
+  Matrix x{{1, 2}, {3, 4}};
+  const Dataset tiny(std::move(x), {0, 1});
+  const auto m = compute_complexity(tiny, 7);
+  EXPECT_DOUBLE_EQ(m.boundary_n1, 0.0);
+  EXPECT_DOUBLE_EQ(m.linear_error_l2, 0.0);
+}
+
+TEST(Complexity, SingleClassIsDegenerateButSafe) {
+  Matrix x(10, 2);
+  const Dataset one_class(std::move(x), std::vector<int>(10, 1));
+  const auto m = compute_complexity(one_class, 8);
+  EXPECT_DOUBLE_EQ(m.linear_error_l2, 0.0);
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,95 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace mlaas {
+namespace {
+
+TEST(Csv, LoadsNumericWithHeader) {
+  std::istringstream in("a,b,label\n1.5,2,0\n3,4,1\n");
+  const Dataset ds = load_csv(in);
+  EXPECT_EQ(ds.n_samples(), 2u);
+  EXPECT_EQ(ds.n_features(), 2u);
+  EXPECT_DOUBLE_EQ(ds.x()(0, 0), 1.5);
+  EXPECT_EQ(ds.y(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(ds.feature_names()[0], "a");
+}
+
+TEST(Csv, CategoricalMappedToOneBasedCodes) {
+  // §3.1: {C1..CN} -> {1..N} in order of first appearance.
+  std::istringstream in("color,label\nred,0\nblue,1\nred,1\ngreen,0\n");
+  const Dataset ds = load_csv(in);
+  EXPECT_EQ(ds.column_type(0), ColumnType::kCategorical);
+  EXPECT_DOUBLE_EQ(ds.x()(0, 0), 1.0);  // red
+  EXPECT_DOUBLE_EQ(ds.x()(1, 0), 2.0);  // blue
+  EXPECT_DOUBLE_EQ(ds.x()(2, 0), 1.0);  // red again
+  EXPECT_DOUBLE_EQ(ds.x()(3, 0), 3.0);  // green
+}
+
+TEST(Csv, MissingValuesBecomeNaN) {
+  std::istringstream in("a,b,label\n1,?,0\n,2,1\n");
+  const Dataset ds = load_csv(in);
+  EXPECT_TRUE(std::isnan(ds.x()(0, 1)));
+  EXPECT_TRUE(std::isnan(ds.x()(1, 0)));
+}
+
+TEST(Csv, StringLabelsMapped) {
+  std::istringstream in("a,label\n1,spam\n2,ham\n3,spam\n");
+  const Dataset ds = load_csv(in);
+  EXPECT_EQ(ds.y()[0], 0);
+  EXPECT_EQ(ds.y()[1], 1);
+  EXPECT_EQ(ds.y()[2], 0);
+}
+
+TEST(Csv, PositiveLabelOption) {
+  CsvOptions opt;
+  opt.positive_label = "spam";
+  std::istringstream in("a,label\n1,spam\n2,ham\n");
+  const Dataset ds = load_csv(in, opt);
+  EXPECT_EQ(ds.y()[0], 1);
+  EXPECT_EQ(ds.y()[1], 0);
+}
+
+TEST(Csv, LabelColumnSelection) {
+  CsvOptions opt;
+  opt.label_column = 0;
+  std::istringstream in("label,a\n1,5\n0,6\n");
+  const Dataset ds = load_csv(in, opt);
+  EXPECT_EQ(ds.n_features(), 1u);
+  EXPECT_DOUBLE_EQ(ds.x()(0, 0), 5.0);
+  EXPECT_EQ(ds.y()[0], 1);
+}
+
+TEST(Csv, ThreeLabelValuesThrow) {
+  std::istringstream in("a,label\n1,x\n2,y\n3,z\n");
+  EXPECT_THROW(load_csv(in), std::invalid_argument);
+}
+
+TEST(Csv, RaggedRowsThrow) {
+  std::istringstream in("a,b,label\n1,2,0\n1,1\n");
+  EXPECT_THROW(load_csv(in), std::invalid_argument);
+}
+
+TEST(Csv, EmptyInputThrows) {
+  std::istringstream in("a,label\n");
+  EXPECT_THROW(load_csv(in), std::invalid_argument);
+}
+
+TEST(Csv, RoundTripPreservesData) {
+  std::istringstream in("a,b,label\n1,2,0\n3,?,1\n");
+  const Dataset ds = load_csv(in);
+  std::ostringstream out;
+  save_csv(ds, out);
+  std::istringstream in2(out.str());
+  const Dataset ds2 = load_csv(in2);
+  EXPECT_EQ(ds2.n_samples(), ds.n_samples());
+  EXPECT_EQ(ds2.y(), ds.y());
+  EXPECT_DOUBLE_EQ(ds2.x()(1, 0), 3.0);
+  EXPECT_TRUE(std::isnan(ds2.x()(1, 1)));
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,60 @@
+// Property-style CSV round-trip: randomly generated datasets (varying size,
+// dimensionality, missing values) must survive save -> load exactly (modulo
+// NaN identity).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "data/csv.h"
+#include "data/generators.h"
+#include "util/rng.h"
+
+namespace mlaas {
+namespace {
+
+class CsvRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsvRoundTrip, SaveLoadPreservesEverything) {
+  Rng rng(GetParam());
+  MakeClassificationOptions opt;
+  opt.n_samples = 20 + rng.index(80);
+  opt.n_features = 1 + rng.index(12);
+  opt.n_informative = 1;
+  opt.n_redundant = 0;
+  Dataset ds = make_classification(opt, GetParam());
+
+  // Sprinkle missing values.
+  for (std::size_t r = 0; r < ds.n_samples(); ++r) {
+    for (std::size_t c = 0; c < ds.n_features(); ++c) {
+      if (rng.chance(0.07)) ds.x()(r, c) = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+
+  std::ostringstream out;
+  save_csv(ds, out);
+  std::istringstream in(out.str());
+  const Dataset loaded = load_csv(in);
+
+  ASSERT_EQ(loaded.n_samples(), ds.n_samples());
+  ASSERT_EQ(loaded.n_features(), ds.n_features());
+  EXPECT_EQ(loaded.y(), ds.y());
+  EXPECT_EQ(loaded.feature_names(), ds.feature_names());
+  for (std::size_t r = 0; r < ds.n_samples(); ++r) {
+    for (std::size_t c = 0; c < ds.n_features(); ++c) {
+      const double a = ds.x()(r, c);
+      const double b = loaded.x()(r, c);
+      if (std::isnan(a)) {
+        EXPECT_TRUE(std::isnan(b)) << r << "," << c;
+      } else {
+        EXPECT_NEAR(a, b, 1e-9) << r << "," << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTrip, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mlaas

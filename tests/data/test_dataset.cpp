@@ -1,0 +1,78 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mlaas {
+namespace {
+
+Dataset tiny() {
+  Matrix x{{1, 2}, {3, 4}, {5, 6}, {7, 8}};
+  return Dataset(std::move(x), {0, 1, 0, 1});
+}
+
+TEST(Dataset, BasicShape) {
+  const Dataset ds = tiny();
+  EXPECT_EQ(ds.n_samples(), 4u);
+  EXPECT_EQ(ds.n_features(), 2u);
+  EXPECT_EQ(ds.column_types().size(), 2u);
+  EXPECT_EQ(ds.column_type(0), ColumnType::kNumeric);
+}
+
+TEST(Dataset, DefaultFeatureNames) {
+  const Dataset ds = tiny();
+  EXPECT_EQ(ds.feature_names()[0], "f0");
+  EXPECT_EQ(ds.feature_names()[1], "f1");
+}
+
+TEST(Dataset, SetFeatureNamesValidatesCount) {
+  Dataset ds = tiny();
+  EXPECT_THROW(ds.set_feature_names({"only-one"}), std::invalid_argument);
+  ds.set_feature_names({"a", "b"});
+  EXPECT_EQ(ds.feature_names()[1], "b");
+}
+
+TEST(Dataset, SizeMismatchThrows) {
+  Matrix x(3, 2);
+  EXPECT_THROW(Dataset(std::move(x), {0, 1}), std::invalid_argument);
+}
+
+TEST(Dataset, NonBinaryLabelThrows) {
+  Matrix x(2, 1);
+  EXPECT_THROW(Dataset(std::move(x), {0, 2}), std::invalid_argument);
+}
+
+TEST(Dataset, PositiveFraction) {
+  EXPECT_DOUBLE_EQ(tiny().positive_fraction(), 0.5);
+}
+
+TEST(Dataset, HasMissingDetectsNaN) {
+  Dataset ds = tiny();
+  EXPECT_FALSE(ds.has_missing());
+  ds.x()(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(ds.has_missing());
+}
+
+TEST(Dataset, SubsetPreservesSchemaAndMeta) {
+  Dataset ds = tiny();
+  ds.meta().id = "tiny";
+  ds.set_feature_names({"a", "b"});
+  const std::vector<std::size_t> idx{1, 3};
+  const Dataset sub = ds.subset(idx);
+  EXPECT_EQ(sub.n_samples(), 2u);
+  EXPECT_EQ(sub.y(), (std::vector<int>{1, 1}));
+  EXPECT_DOUBLE_EQ(sub.x()(0, 0), 3.0);
+  EXPECT_EQ(sub.meta().id, "tiny");
+  EXPECT_EQ(sub.feature_names()[0], "a");
+}
+
+TEST(DomainToString, AllValuesNamed) {
+  EXPECT_EQ(to_string(Domain::kLifeScience), "Life Science");
+  EXPECT_EQ(to_string(Domain::kSynthetic), "Synthetic");
+  EXPECT_EQ(to_string(Domain::kOther), "Other");
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,136 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mlaas {
+namespace {
+
+TEST(MakeClassification, ShapeAndLabels) {
+  MakeClassificationOptions opt;
+  opt.n_samples = 200;
+  opt.n_features = 10;
+  opt.n_informative = 4;
+  opt.n_redundant = 2;
+  const Dataset ds = make_classification(opt, 1);
+  EXPECT_EQ(ds.n_samples(), 200u);
+  EXPECT_EQ(ds.n_features(), 10u);
+  EXPECT_NEAR(ds.positive_fraction(), 0.5, 0.05);
+}
+
+TEST(MakeClassification, DeterministicForSeed) {
+  MakeClassificationOptions opt;
+  opt.n_samples = 50;
+  opt.n_features = 4;
+  const Dataset a = make_classification(opt, 9);
+  const Dataset b = make_classification(opt, 9);
+  EXPECT_EQ(a.y(), b.y());
+  for (std::size_t i = 0; i < a.x().data().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.x().data()[i], b.x().data()[i]);
+  }
+}
+
+TEST(MakeClassification, ClassWeightRespected) {
+  MakeClassificationOptions opt;
+  opt.n_samples = 400;
+  opt.n_features = 4;
+  opt.weight_class1 = 0.2;
+  opt.flip_y = 0.0;
+  const Dataset ds = make_classification(opt, 3);
+  EXPECT_NEAR(ds.positive_fraction(), 0.2, 0.03);
+}
+
+TEST(MakeClassification, SingleClusterMarkedLinear) {
+  MakeClassificationOptions opt;
+  opt.n_clusters_per_class = 1;
+  const Dataset linear = make_classification(opt, 4);
+  EXPECT_TRUE(linear.meta().linear_ground_truth);
+  opt.n_clusters_per_class = 2;
+  opt.n_features = 4;
+  opt.n_informative = 2;
+  const Dataset nonlinear = make_classification(opt, 4);
+  EXPECT_FALSE(nonlinear.meta().linear_ground_truth);
+}
+
+TEST(MakeClassification, ValidatesArguments) {
+  MakeClassificationOptions opt;
+  opt.n_features = 3;
+  opt.n_informative = 3;
+  opt.n_redundant = 1;
+  EXPECT_THROW(make_classification(opt, 1), std::invalid_argument);
+}
+
+TEST(MakeCircles, RadialSeparation) {
+  const Dataset ds = make_circles(400, 0.0, 0.5, 2);
+  for (std::size_t i = 0; i < ds.n_samples(); ++i) {
+    const double r = std::hypot(ds.x()(i, 0), ds.x()(i, 1));
+    if (ds.y()[i] == 1) {
+      EXPECT_NEAR(r, 0.5, 0.01);
+    } else {
+      EXPECT_NEAR(r, 1.0, 0.01);
+    }
+  }
+  EXPECT_FALSE(ds.meta().linear_ground_truth);
+}
+
+TEST(MakeCircles, FactorValidation) {
+  EXPECT_THROW(make_circles(10, 0.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(make_circles(10, 0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(MakeMoons, TwoBalancedClasses) {
+  const Dataset ds = make_moons(300, 0.1, 5);
+  EXPECT_EQ(ds.n_features(), 2u);
+  EXPECT_NEAR(ds.positive_fraction(), 0.5, 0.02);
+}
+
+TEST(MakeBlobs, SeparableByConstruction) {
+  const Dataset ds = make_blobs(200, 3, 0.5, 10.0, 6);
+  EXPECT_EQ(ds.n_features(), 3u);
+  EXPECT_TRUE(ds.meta().linear_ground_truth);
+}
+
+TEST(MakeGaussianQuantiles, MedianSplitBalanced) {
+  const Dataset ds = make_gaussian_quantiles(301, 4, 7);
+  EXPECT_NEAR(ds.positive_fraction(), 0.5, 0.01);
+}
+
+TEST(MakeXor, LabelsMatchQuadrant) {
+  const Dataset ds = make_xor(400, 0.0, 8);
+  for (std::size_t i = 0; i < ds.n_samples(); ++i) {
+    const bool expected = (ds.x()(i, 0) > 0) != (ds.x()(i, 1) > 0);
+    EXPECT_EQ(ds.y()[i], expected ? 1 : 0);
+  }
+}
+
+TEST(MakeSpirals, BalancedAndTwoDim) {
+  const Dataset ds = make_spirals(200, 0.01, 9);
+  EXPECT_EQ(ds.n_features(), 2u);
+  EXPECT_NEAR(ds.positive_fraction(), 0.5, 0.01);
+}
+
+TEST(MakeSparseLinear, GroundTruthLinear) {
+  const Dataset ds = make_sparse_linear(300, 20, 5, 0.0, 10);
+  EXPECT_TRUE(ds.meta().linear_ground_truth);
+  EXPECT_EQ(ds.n_features(), 20u);
+}
+
+TEST(MakeSparseLinear, Validation) {
+  EXPECT_THROW(make_sparse_linear(10, 5, 0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(make_sparse_linear(10, 5, 6, 0.0, 1), std::invalid_argument);
+}
+
+TEST(Probes, NamedAndTwoDimensional) {
+  const Dataset circle = make_circle_probe(42);
+  const Dataset linear = make_linear_probe(42);
+  EXPECT_EQ(circle.meta().name, "CIRCLE");
+  EXPECT_EQ(linear.meta().name, "LINEAR");
+  EXPECT_EQ(circle.n_features(), 2u);
+  EXPECT_EQ(linear.n_features(), 2u);
+  EXPECT_FALSE(circle.meta().linear_ground_truth);
+  EXPECT_TRUE(linear.meta().linear_ground_truth);
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,40 @@
+#include "data/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mlaas {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(Preprocess, MedianImputationFillsNaN) {
+  Matrix x{{1, kNaN}, {3, 10}, {kNaN, 20}, {5, 30}};
+  Dataset ds(std::move(x), {0, 1, 0, 1});
+  EXPECT_EQ(count_missing(ds), 2u);
+  impute_median(ds);
+  EXPECT_EQ(count_missing(ds), 0u);
+  EXPECT_DOUBLE_EQ(ds.x()(2, 0), 3.0);   // median of {1,3,5}
+  EXPECT_DOUBLE_EQ(ds.x()(0, 1), 20.0);  // median of {10,20,30}
+}
+
+TEST(Preprocess, FullyMissingColumnBecomesZero) {
+  Matrix x{{kNaN}, {kNaN}};
+  Dataset ds(std::move(x), {0, 1});
+  impute_median(ds);
+  EXPECT_DOUBLE_EQ(ds.x()(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ds.x()(1, 0), 0.0);
+}
+
+TEST(Preprocess, NoOpWithoutMissing) {
+  Matrix x{{1, 2}, {3, 4}};
+  Dataset ds(std::move(x), {0, 1});
+  impute_median(ds);
+  EXPECT_DOUBLE_EQ(ds.x()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ds.x()(1, 1), 4.0);
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,98 @@
+#include "eval/attribution.h"
+
+#include <gtest/gtest.h>
+
+namespace mlaas {
+namespace {
+
+Measurement row(const std::string& platform, const std::string& feat, const std::string& clf,
+                bool default_params, double f, const std::string& dataset = "d1") {
+  Measurement m;
+  m.dataset_id = dataset;
+  m.platform = platform;
+  m.feature_step = feat;
+  m.classifier = clf;
+  m.default_params = default_params;
+  m.test.f_score = f;
+  return m;
+}
+
+MeasurementTable demo() {
+  MeasurementTable t;
+  // Baseline: LR default, no FEAT.
+  t.add(row("P", "none", "logistic_regression", true, 0.5));
+  // FEAT-only rows (LR default).
+  t.add(row("P", "standard_scaler", "logistic_regression", true, 0.6));
+  // CLF-only rows (default params, no FEAT).
+  t.add(row("P", "none", "boosted_trees", true, 0.8));
+  // PARA-only rows (LR, tuned).
+  t.add(row("P", "none", "logistic_regression", false, 0.55));
+  // Joint row: must be excluded from every single-dimension set.
+  t.add(row("P", "standard_scaler", "boosted_trees", false, 0.99));
+  return t;
+}
+
+TEST(Attribution, SingleDimensionRowSelection) {
+  const auto feat = single_dimension_rows(demo(), "P", ControlDimension::kFeat);
+  EXPECT_EQ(feat.size(), 2u);  // baseline + scaler row
+  const auto clf = single_dimension_rows(demo(), "P", ControlDimension::kClf);
+  EXPECT_EQ(clf.size(), 2u);  // baseline + BST default
+  const auto para = single_dimension_rows(demo(), "P", ControlDimension::kPara);
+  EXPECT_EQ(para.size(), 2u);  // baseline + tuned LR
+}
+
+TEST(Attribution, ImprovementsComputedPerDimension) {
+  const auto improvements = control_improvements(demo(), {"P"});
+  ASSERT_EQ(improvements.size(), 3u);
+  for (const auto& ci : improvements) {
+    EXPECT_TRUE(ci.supported);
+    EXPECT_NEAR(ci.baseline_f, 0.5, 1e-12);
+    switch (ci.dimension) {
+      case ControlDimension::kFeat:
+        EXPECT_NEAR(ci.relative_improvement, 0.2, 1e-9);  // 0.6 vs 0.5
+        break;
+      case ControlDimension::kClf:
+        EXPECT_NEAR(ci.relative_improvement, 0.6, 1e-9);  // 0.8 vs 0.5
+        break;
+      case ControlDimension::kPara:
+        EXPECT_NEAR(ci.relative_improvement, 0.1, 1e-9);  // 0.55 vs 0.5
+        break;
+    }
+  }
+}
+
+TEST(Attribution, ClassifierDominatesInThisFixture) {
+  // The paper's headline: CLF provides the largest improvement (§4.2).
+  const auto improvements = control_improvements(demo(), {"P"});
+  double feat = 0, clf = 0, para = 0;
+  for (const auto& ci : improvements) {
+    if (ci.dimension == ControlDimension::kFeat) feat = ci.relative_improvement;
+    if (ci.dimension == ControlDimension::kClf) clf = ci.relative_improvement;
+    if (ci.dimension == ControlDimension::kPara) para = ci.relative_improvement;
+  }
+  EXPECT_GT(clf, feat);
+  EXPECT_GT(clf, para);
+}
+
+TEST(Attribution, UnsupportedDimensionFlagged) {
+  MeasurementTable t;
+  t.add(row("Amazon", "none", "logistic_regression", true, 0.5));
+  t.add(row("Amazon", "none", "logistic_regression", false, 0.6));
+  const auto improvements = control_improvements(t, {"Amazon"});
+  for (const auto& ci : improvements) {
+    if (ci.dimension == ControlDimension::kPara) {
+      EXPECT_TRUE(ci.supported);
+    } else {
+      EXPECT_FALSE(ci.supported);  // no FEAT / CLF rows exist
+    }
+  }
+}
+
+TEST(Attribution, DimensionNames) {
+  EXPECT_EQ(to_string(ControlDimension::kFeat), "Feature Selection");
+  EXPECT_EQ(to_string(ControlDimension::kClf), "Classifier Selection");
+  EXPECT_EQ(to_string(ControlDimension::kPara), "Parameter Tuning");
+}
+
+}  // namespace
+}  // namespace mlaas

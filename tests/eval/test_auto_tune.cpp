@@ -1,0 +1,100 @@
+#include "eval/auto_tune.h"
+
+#include "platform/all_platforms.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generators.h"
+#include "data/split.h"
+#include "ml/metrics.h"
+
+namespace mlaas {
+namespace {
+
+TEST(SampleConfigs, DrawsValidConfigsFromTheSurface) {
+  const auto platform = make_platform("Microsoft");
+  const ControlSurface surface = platform->controls();
+  const auto configs = sample_configs(*platform, 40, 1);
+  ASSERT_EQ(configs.size(), 40u);
+  std::set<std::string> classifiers;
+  for (const auto& config : configs) {
+    EXPECT_NE(surface.find(config.classifier), nullptr);
+    classifiers.insert(config.classifier);
+    if (!config.feature_step.empty()) {
+      EXPECT_NE(std::find(surface.feature_steps.begin(), surface.feature_steps.end(),
+                          config.feature_step),
+                surface.feature_steps.end());
+    }
+  }
+  EXPECT_GT(classifiers.size(), 2u);  // explores multiple classifiers
+}
+
+TEST(SampleConfigs, BlackBoxThrows) {
+  const auto google = make_platform("Google");
+  EXPECT_THROW(sample_configs(*google, 5, 1), std::invalid_argument);
+}
+
+TEST(SampleConfigs, DeterministicForSeed) {
+  const auto platform = make_platform("Local");
+  const auto a = sample_configs(*platform, 10, 9);
+  const auto b = sample_configs(*platform, 10, 9);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].key(), b[i].key());
+}
+
+TEST(AutoTune, BeatsTheBaselineOnNonLinearData) {
+  // Circles: the LR baseline fails; a budget search must find a non-linear
+  // configuration.
+  const Dataset ds = make_circles(500, 0.08, 0.5, 21);
+  const auto split = train_test_split(ds, 0.3, 21);
+  const auto platform = make_platform("Local");
+
+  AutoTuneOptions options;
+  options.budget = 32;
+  options.seed = 21;
+  const AutoTuneResult result = auto_tune(*platform, split.train, options);
+  EXPECT_LE(result.evaluations, options.budget + 8);  // small rounding slack
+  EXPECT_GT(result.best_validation_f, 0.85);
+
+  const auto baseline_model =
+      platform->train(split.train, platform->baseline_config(), 1);
+  const auto tuned_model = platform->train(split.train, result.best_config, 1);
+  const double baseline_f = f1_score(split.test.y(), baseline_model->predict(split.test.x()));
+  const double tuned_f = f1_score(split.test.y(), tuned_model->predict(split.test.x()));
+  EXPECT_GT(tuned_f, baseline_f + 0.1);
+}
+
+TEST(AutoTune, RespectsBudgetScaling) {
+  const Dataset ds = make_moons(300, 0.2, 22);
+  const auto platform = make_platform("PredictionIO");
+  AutoTuneOptions small;
+  small.budget = 8;
+  small.seed = 3;
+  const auto result = auto_tune(*platform, ds, small);
+  EXPECT_LE(result.evaluations, 16);
+  EXPECT_GT(result.best_validation_f, 0.0);
+}
+
+TEST(AutoTune, TinyBudgetRejected) {
+  const Dataset ds = make_moons(100, 0.2, 23);
+  const auto platform = make_platform("Local");
+  AutoTuneOptions options;
+  options.budget = 1;
+  EXPECT_THROW(auto_tune(*platform, ds, options), std::invalid_argument);
+}
+
+TEST(AutoTune, DeterministicForSeed) {
+  const Dataset ds = make_moons(240, 0.25, 24);
+  const auto platform = make_platform("BigML");
+  AutoTuneOptions options;
+  options.budget = 16;
+  options.seed = 5;
+  const auto a = auto_tune(*platform, ds, options);
+  const auto b = auto_tune(*platform, ds, options);
+  EXPECT_EQ(a.best_config.key(), b.best_config.key());
+  EXPECT_DOUBLE_EQ(a.best_validation_f, b.best_validation_f);
+}
+
+}  // namespace
+}  // namespace mlaas

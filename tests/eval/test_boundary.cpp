@@ -1,0 +1,61 @@
+#include "eval/boundary.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "platform/all_platforms.h"
+
+namespace mlaas {
+namespace {
+
+TEST(Boundary, LinearPlatformYieldsLinearMap) {
+  // Local baseline = logistic regression -> linear separator on LINEAR.
+  const auto local = make_platform("Local");
+  const auto map = probe_decision_boundary(*local, make_linear_probe(1, 500), 1, 60);
+  EXPECT_TRUE(boundary_is_linear(map));
+  EXPECT_GT(map.linear_fit_accuracy, 0.97);
+}
+
+TEST(Boundary, MeshBoundsCoverDataWithMargin) {
+  const Dataset probe = make_circle_probe(2, 300);
+  const auto local = make_platform("Local");
+  const auto map = probe_decision_boundary(*local, probe, 2, 20);
+  double x_min = 1e9, x_max = -1e9;
+  for (std::size_t i = 0; i < probe.n_samples(); ++i) {
+    x_min = std::min(x_min, probe.x()(i, 0));
+    x_max = std::max(x_max, probe.x()(i, 0));
+  }
+  EXPECT_LT(map.x_lo, x_min);
+  EXPECT_GT(map.x_hi, x_max);
+}
+
+TEST(Boundary, AtIndexingIsRowMajor) {
+  BoundaryMap map;
+  map.resolution = 2;
+  map.labels = {0, 1, 1, 0};
+  EXPECT_EQ(map.at(0, 1), 1);
+  EXPECT_EQ(map.at(1, 0), 1);
+  EXPECT_EQ(map.at(1, 1), 0);
+}
+
+TEST(Boundary, ConstantMapIsTriviallyLinear) {
+  BoundaryMap map;
+  map.resolution = 2;
+  map.labels = {1, 1, 1, 1};
+  map.linear_fit_accuracy = 1.0;
+  EXPECT_TRUE(boundary_is_linear(map));
+}
+
+TEST(Boundary, RenderDownsamples) {
+  const auto local = make_platform("Local");
+  const auto map = probe_decision_boundary(*local, make_linear_probe(3, 300), 3, 40);
+  const std::string art = render_boundary(map, 10);
+  // 10-ish lines of 40/4 characters each.
+  std::size_t lines = 0;
+  for (char c : art) lines += c == '\n' ? 1 : 0;
+  EXPECT_GE(lines, 9u);
+  EXPECT_LE(lines, 11u);
+}
+
+}  // namespace
+}  // namespace mlaas

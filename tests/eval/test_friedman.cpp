@@ -1,0 +1,57 @@
+#include "eval/friedman.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace mlaas {
+namespace {
+
+TEST(Friedman, ConsistentWinnerGetsRankOne) {
+  const std::vector<std::string> entities{"A", "B", "C"};
+  const std::vector<std::vector<double>> scores{
+      {0.9, 0.5, 0.1}, {0.8, 0.6, 0.2}, {0.95, 0.4, 0.3}};
+  const auto result = friedman_ranking(entities, scores);
+  EXPECT_DOUBLE_EQ(result.average_rank[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.average_rank[1], 2.0);
+  EXPECT_DOUBLE_EQ(result.average_rank[2], 3.0);
+  EXPECT_EQ(result.n_blocks, 3u);
+}
+
+TEST(Friedman, TiesShareFractionalRank) {
+  const auto result = friedman_ranking({"A", "B"}, {{0.5, 0.5}});
+  EXPECT_DOUBLE_EQ(result.average_rank[0], 1.5);
+  EXPECT_DOUBLE_EQ(result.average_rank[1], 1.5);
+}
+
+TEST(Friedman, MixedOutcomesAverage) {
+  const auto result = friedman_ranking({"A", "B"}, {{1.0, 0.0}, {0.0, 1.0}});
+  EXPECT_DOUBLE_EQ(result.average_rank[0], 1.5);
+  EXPECT_DOUBLE_EQ(result.average_rank[1], 1.5);
+}
+
+TEST(Friedman, SkipsRowsWithNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto result = friedman_ranking({"A", "B"}, {{1.0, 0.0}, {nan, 1.0}});
+  EXPECT_EQ(result.n_blocks, 1u);
+  EXPECT_DOUBLE_EQ(result.average_rank[0], 1.0);
+}
+
+TEST(Friedman, ChiSquaredZeroWhenNoDifference) {
+  const auto result = friedman_ranking({"A", "B"}, {{0.5, 0.5}, {0.4, 0.4}});
+  EXPECT_NEAR(result.chi_squared, 0.0, 1e-9);
+}
+
+TEST(Friedman, ChiSquaredLargeForConsistentOrdering) {
+  std::vector<std::vector<double>> scores(30, {0.9, 0.5, 0.1});
+  const auto result = friedman_ranking({"A", "B", "C"}, scores);
+  EXPECT_GT(result.chi_squared, 30.0);
+}
+
+TEST(Friedman, ValidationErrors) {
+  EXPECT_THROW(friedman_ranking({}, {}), std::invalid_argument);
+  EXPECT_THROW(friedman_ranking({"A", "B"}, {{1.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,197 @@
+#include "eval/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "data/generators.h"
+
+namespace mlaas {
+namespace {
+
+MeasurementOptions fast_options() {
+  MeasurementOptions opt;
+  opt.seed = 42;
+  opt.max_para_configs = 4;
+  opt.joint_sample = 5;
+  opt.threads = 2;
+  return opt;
+}
+
+std::vector<Dataset> tiny_corpus() {
+  std::vector<Dataset> corpus;
+  corpus.push_back(make_blobs(80, 3, 1.0, 5.0, 1));
+  corpus.back().meta().id = "blob-0";
+  corpus.push_back(make_circles(80, 0.08, 0.5, 2));
+  corpus.back().meta().id = "circle-0";
+  return corpus;
+}
+
+TEST(EnumerateConfigs, BlackBoxHasExactlyBaseline) {
+  const auto google = make_platform("Google");
+  const auto configs = enumerate_configs(*google, fast_options());
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_TRUE(configs[0].classifier.empty());
+}
+
+TEST(EnumerateConfigs, AmazonCoversItsParaGrid) {
+  const auto amazon = make_platform("Amazon");
+  const auto configs = enumerate_configs(*amazon, fast_options());
+  EXPECT_GT(configs.size(), 2u);
+  for (const auto& config : configs) EXPECT_TRUE(config.feature_step.empty());
+}
+
+TEST(EnumerateConfigs, NoDuplicateKeys) {
+  for (const auto& name : platform_names()) {
+    const auto platform = make_platform(name);
+    const auto configs = enumerate_configs(*platform, fast_options());
+    std::set<std::string> keys;
+    for (const auto& config : configs) {
+      EXPECT_TRUE(keys.insert(config.key()).second) << name << ": " << config.key();
+    }
+  }
+}
+
+TEST(EnumerateConfigs, MicrosoftIncludesFeatAndJointConfigs) {
+  const auto microsoft = make_platform("Microsoft");
+  const ControlSurface surface = microsoft->controls();
+  const auto configs = enumerate_configs(*microsoft, fast_options());
+  bool any_feat = false, any_joint = false;
+  for (const auto& config : configs) {
+    if (!config.feature_step.empty() && config.feature_step != "none") {
+      any_feat = true;
+      const ClassifierGridSpec* spec = surface.find(config.classifier);
+      if (spec != nullptr && !(config.params == spec->default_config())) any_joint = true;
+    }
+  }
+  EXPECT_TRUE(any_feat);
+  EXPECT_TRUE(any_joint);
+}
+
+TEST(EnumerateConfigs, ScaleGrowsTheGrid) {
+  const auto local = make_platform("Local");
+  MeasurementOptions small = fast_options();
+  MeasurementOptions large = fast_options();
+  large.scale = 3.0;
+  EXPECT_GT(enumerate_configs(*local, large).size(),
+            enumerate_configs(*local, small).size());
+}
+
+TEST(MeasureOne, ProducesSaneMetrics) {
+  const auto local = make_platform("Local");
+  const auto corpus = tiny_corpus();
+  const auto m = measure_one(corpus[0], *local, local->baseline_config(), fast_options());
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->dataset_id, "blob-0");
+  EXPECT_EQ(m->platform, "Local");
+  EXPECT_EQ(m->classifier, "logistic_regression");
+  EXPECT_TRUE(m->default_params);
+  EXPECT_GT(m->test.f_score, 0.8);
+}
+
+TEST(MeasureOne, InvalidConfigReturnsNullopt) {
+  const auto amazon = make_platform("Amazon");
+  PipelineConfig config;
+  config.classifier = "decision_tree";
+  const auto m = measure_one(tiny_corpus()[0], *amazon, config, fast_options());
+  EXPECT_FALSE(m.has_value());
+}
+
+TEST(RunMeasurements, CoversAllPlatformsAndDatasets) {
+  std::vector<PlatformPtr> platforms;
+  platforms.push_back(make_platform("Google"));
+  platforms.push_back(make_platform("Amazon"));
+  platforms.push_back(make_platform("PredictionIO"));
+  const auto table = run_measurements(tiny_corpus(), platforms, fast_options());
+  EXPECT_EQ(table.platforms().size(), 3u);
+  EXPECT_EQ(table.dataset_ids().size(), 2u);
+  EXPECT_GT(table.size(), 10u);
+}
+
+TEST(RunMeasurements, DeterministicUnderThreading) {
+  std::vector<PlatformPtr> platforms;
+  platforms.push_back(make_platform("Amazon"));
+  MeasurementOptions serial = fast_options();
+  serial.threads = 1;
+  MeasurementOptions parallel = fast_options();
+  parallel.threads = 4;
+  const auto a = run_measurements(tiny_corpus(), platforms, serial);
+  const auto b = run_measurements(tiny_corpus(), platforms, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.rows()[i].params, b.rows()[i].params);
+    EXPECT_DOUBLE_EQ(a.rows()[i].test.f_score, b.rows()[i].test.f_score);
+  }
+}
+
+TEST(MeasurementTable, FiltersAndBaseline) {
+  MeasurementTable table;
+  Measurement m;
+  m.dataset_id = "d1";
+  m.platform = "Local";
+  m.feature_step = "none";
+  m.classifier = "logistic_regression";
+  m.default_params = true;
+  m.test.f_score = 0.7;
+  table.add(m);
+  m.classifier = "mlp";
+  m.test.f_score = 0.9;
+  table.add(m);
+  m.feature_step = "standard_scaler";
+  table.add(m);
+
+  EXPECT_EQ(table.baseline().size(), 1u);
+  EXPECT_EQ(table.for_platform("Local").size(), 3u);
+  EXPECT_EQ(table.for_platform("Google").size(), 0u);
+  EXPECT_EQ(table.classifiers().size(), 2u);
+  const auto best = table.best_per_dataset();
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_DOUBLE_EQ(best[0]->test.f_score, 0.9);
+}
+
+TEST(MeasurementTable, CsvRoundTrip) {
+  MeasurementTable table;
+  Measurement m;
+  m.dataset_id = "d1";
+  m.platform = "BigML";
+  m.feature_step = "none";
+  m.classifier = "decision_tree";
+  m.params = "max_depth=5,ordering=random";
+  m.default_params = false;
+  m.test = {0.91, 0.87, 0.88, 0.875};
+  m.train_seconds = 0.125;
+  m.label_signature = "0110";
+  table.add(m);
+
+  const std::string path = ::testing::TempDir() + "/mlaas_table_roundtrip.tsv";
+  table.save_csv(path);
+  const auto loaded = MeasurementTable::load_csv(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  const auto& row = loaded.rows()[0];
+  EXPECT_EQ(row.params, m.params);
+  EXPECT_EQ(row.default_params, false);
+  EXPECT_DOUBLE_EQ(row.test.f_score, m.test.f_score);
+  EXPECT_DOUBLE_EQ(row.test.recall, m.test.recall);
+  EXPECT_DOUBLE_EQ(row.train_seconds, 0.125);
+  EXPECT_EQ(row.label_signature, "0110");
+  std::remove(path.c_str());
+}
+
+TEST(RunOrLoad, UsesCacheOnSecondCall) {
+  std::vector<PlatformPtr> platforms;
+  platforms.push_back(make_platform("Google"));
+  const std::string path = ::testing::TempDir() + "/mlaas_cache_test.tsv";
+  std::remove(path.c_str());
+  const auto corpus = tiny_corpus();
+  const auto first = run_or_load(corpus, platforms, fast_options(), path);
+  const auto second = run_or_load(corpus, platforms, fast_options(), path);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_NEAR(first.rows()[i].test.f_score, second.rows()[i].test.f_score, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mlaas

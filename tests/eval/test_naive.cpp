@@ -1,0 +1,82 @@
+#include "eval/naive_strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace mlaas {
+namespace {
+
+TEST(NaiveStrategy, ChoosesTreeOnCircleLinearOnBlobs) {
+  std::vector<Dataset> corpus;
+  corpus.push_back(make_circle_probe(1, 400));
+  corpus.back().meta().id = "circle";
+  corpus.push_back(make_blobs(400, 4, 1.0, 6.0, 2));
+  corpus.back().meta().id = "blobs";
+  MeasurementOptions opt;
+  const auto results = run_naive_strategy(corpus, opt);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].chosen, ClassifierFamily::kNonLinear);
+  EXPECT_GT(results[0].dt_f, results[0].lr_f);
+  EXPECT_DOUBLE_EQ(results[0].naive_f, std::max(results[0].lr_f, results[0].dt_f));
+  // Blobs: both are strong; naive_f must be the max either way.
+  EXPECT_GT(results[1].naive_f, 0.9);
+}
+
+Measurement row(const std::string& platform, const std::string& clf, double f,
+                const std::string& dataset) {
+  Measurement m;
+  m.dataset_id = dataset;
+  m.platform = platform;
+  m.feature_step = "none";
+  m.classifier = clf;
+  m.test.f_score = f;
+  return m;
+}
+
+TEST(NaiveComparison, CountsWinsAndBreakdown) {
+  std::vector<NaiveResult> naive(2);
+  naive[0] = {"d1", 0.5, 0.9, ClassifierFamily::kNonLinear, 0.9};
+  naive[1] = {"d2", 0.8, 0.6, ClassifierFamily::kLinear, 0.8};
+
+  std::vector<BlackBoxChoice> choices(2);
+  choices[0] = {"d1", ClassifierFamily::kLinear, 0.0, 1};
+  choices[1] = {"d2", ClassifierFamily::kLinear, 0.0, 1};
+
+  MeasurementTable table;
+  table.add(row("Google", "auto", 0.7, "d1"));   // naive 0.9 beats 0.7
+  table.add(row("Google", "auto", 0.95, "d2"));  // naive 0.8 loses
+  // Local rows provide "optimal other family" references.
+  table.add(row("Local", "logistic_regression", 0.6, "d1"));
+  table.add(row("Local", "decision_tree", 0.85, "d2"));
+
+  const auto cmp = compare_naive_vs_blackbox(naive, choices, table, "Google");
+  EXPECT_EQ(cmp.n_datasets, 2u);
+  EXPECT_EQ(cmp.naive_wins, 1u);
+  EXPECT_EQ(cmp.wins_breakdown[1][0], 1u);  // naive non-linear vs Google linear
+  ASSERT_EQ(cmp.win_gaps.size(), 1u);
+  EXPECT_NEAR(cmp.win_gaps[0], 0.2, 1e-12);
+  EXPECT_EQ(cmp.switch_gaps.size(), 1u);
+  // d1: naive (non-linear, 0.9) > optimal linear (0.6) and > Google -> switching best.
+  EXPECT_EQ(cmp.switching_is_best, 1u);
+}
+
+TEST(NaiveComparison, NoChoicesMeansEmptyComparison) {
+  const auto cmp = compare_naive_vs_blackbox({}, {}, MeasurementTable{}, "Google");
+  EXPECT_EQ(cmp.n_datasets, 0u);
+  EXPECT_EQ(cmp.naive_wins, 0u);
+}
+
+TEST(NaiveStrategy, DeterministicForSeed) {
+  std::vector<Dataset> corpus;
+  corpus.push_back(make_moons(300, 0.2, 9));
+  corpus.back().meta().id = "moons";
+  MeasurementOptions opt;
+  const auto a = run_naive_strategy(corpus, opt);
+  const auto b = run_naive_strategy(corpus, opt);
+  EXPECT_DOUBLE_EQ(a[0].naive_f, b[0].naive_f);
+  EXPECT_EQ(a[0].chosen, b[0].chosen);
+}
+
+}  // namespace
+}  // namespace mlaas

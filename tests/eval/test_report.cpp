@@ -1,0 +1,93 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace mlaas {
+namespace {
+
+PlatformSummary summary(const std::string& name, double f, double rank) {
+  PlatformSummary s;
+  s.platform = name;
+  s.avg.f_score = f;
+  s.avg.accuracy = f;
+  s.avg.precision = f;
+  s.avg.recall = f;
+  s.rank_f = s.rank_acc = s.rank_prec = s.rank_rec = rank;
+  s.avg_rank = rank;
+  return s;
+}
+
+TEST(Report, PlatformSummariesContainValuesAndRanks) {
+  const auto text = render_platform_summaries(
+      "Table 3(a)", {summary("Amazon", 0.748, 253.7), summary("Google", 0.706, 267.7)});
+  EXPECT_NE(text.find("Table 3(a)"), std::string::npos);
+  EXPECT_NE(text.find("Amazon"), std::string::npos);
+  EXPECT_NE(text.find("0.748 (253.7)"), std::string::npos);
+}
+
+TEST(Report, Fig4OrdersByGivenComplexity) {
+  const auto text = render_fig4({summary("Google", 0.7, 2), summary("Local", 0.67, 1)},
+                                {summary("Google", 0.7, 2), summary("Local", 0.84, 1)},
+                                {"Google", "Local"});
+  const auto google_pos = text.find("Google");
+  const auto local_pos = text.find("Local");
+  EXPECT_NE(google_pos, std::string::npos);
+  EXPECT_LT(google_pos, local_pos);
+  EXPECT_NE(text.find("0.840"), std::string::npos);
+}
+
+TEST(Report, Fig4SkipsMissingPlatforms) {
+  const auto text = render_fig4({summary("Google", 0.7, 1)}, {summary("Google", 0.7, 1)},
+                                {"Google", "Atlantis"});
+  EXPECT_EQ(text.find("Atlantis"), std::string::npos);
+}
+
+TEST(Report, Fig5MarksUnsupportedAsNoData) {
+  ControlImprovement supported{"P", ControlDimension::kClf, 0.5, 0.6, 0.2, true};
+  ControlImprovement missing{"P", ControlDimension::kFeat, 0.5, 0.0, 0.0, false};
+  const auto text = render_fig5({supported, missing});
+  EXPECT_NE(text.find("20.0%"), std::string::npos);
+  EXPECT_NE(text.find("no data"), std::string::npos);
+}
+
+TEST(Report, Fig6ShowsRangeColumns) {
+  VariationSummary v;
+  v.platform = "Microsoft";
+  v.min_f = 0.49;
+  v.q1_f = 0.6;
+  v.median_f = 0.7;
+  v.q3_f = 0.73;
+  v.max_f = 0.75;
+  v.n_configs = 42;
+  const auto text = render_fig6({v});
+  EXPECT_NE(text.find("0.490"), std::string::npos);
+  EXPECT_NE(text.find("0.260"), std::string::npos);  // range
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(Report, Fig8AlignsCurvesByK) {
+  SubsetCurve a;
+  a.platform = "Local";
+  a.points = {{1, 0.6, 0.0}, {2, 0.7, 0.0}};
+  SubsetCurve b;
+  b.platform = "BigML";
+  b.points = {{1, 0.5, 0.0}};
+  const auto text = render_fig8({a, b});
+  EXPECT_NE(text.find("Local"), std::string::npos);
+  EXPECT_NE(text.find("BigML"), std::string::npos);
+  EXPECT_NE(text.find("0.700"), std::string::npos);
+}
+
+TEST(Report, Table4UsesAbbreviationsAndPercent) {
+  const auto text = render_table4(
+      "Table 4(a)", {"Local"},
+      {{{"boosted_trees", 0.244}, {"knn", 0.126}, {"decision_tree", 0.109},
+        {"random_forest", 0.109}, {"mlp", 0.05}}});
+  EXPECT_NE(text.find("BST (24.4%)"), std::string::npos);
+  EXPECT_NE(text.find("KNN"), std::string::npos);
+  // Only top 4 shown.
+  EXPECT_EQ(text.find("MLP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,95 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mlaas {
+namespace {
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(Wilcoxon, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a{0.5, 0.6, 0.7};
+  const auto result = wilcoxon_signed_rank(a, a);
+  EXPECT_EQ(result.n_effective, 0u);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  EXPECT_FALSE(result.significant_at_05());
+}
+
+TEST(Wilcoxon, ConsistentLargeDifferenceIsSignificant) {
+  Rng rng(1);
+  std::vector<double> a(40), b(40);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    b[i] = rng.uniform(0.4, 0.6);
+    a[i] = b[i] + rng.uniform(0.05, 0.15);  // a always wins
+  }
+  const auto result = wilcoxon_signed_rank(a, b);
+  EXPECT_EQ(result.n_effective, 40u);
+  EXPECT_TRUE(result.significant_at_05());
+  EXPECT_LT(result.p_value, 1e-4);
+}
+
+TEST(Wilcoxon, SymmetricNoiseNotSignificant) {
+  Rng rng(2);
+  std::vector<double> a(60), b(60);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.normal();
+    b[i] = a[i] + rng.normal(0.0, 0.1);  // unbiased perturbation
+  }
+  const auto result = wilcoxon_signed_rank(a, b);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(Wilcoxon, DropsZeroDifferences) {
+  const std::vector<double> a{0.5, 0.6, 0.9};
+  const std::vector<double> b{0.5, 0.4, 0.7};
+  const auto result = wilcoxon_signed_rank(a, b);
+  EXPECT_EQ(result.n_effective, 2u);
+}
+
+TEST(Wilcoxon, SizeMismatchThrows) {
+  EXPECT_THROW(wilcoxon_signed_rank(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Nemenyi, KnownCriticalDifferences) {
+  // Demšar 2006: k=7 over 119 datasets (the paper's setting):
+  // CD = 2.949 * sqrt(7*8 / (6*119)) ~ 0.826.
+  EXPECT_NEAR(nemenyi_critical_difference(7, 119), 0.826, 0.01);
+  // CD shrinks with more datasets.
+  EXPECT_LT(nemenyi_critical_difference(7, 1000), nemenyi_critical_difference(7, 100));
+}
+
+TEST(Nemenyi, RangeValidation) {
+  EXPECT_THROW(nemenyi_critical_difference(1, 10), std::invalid_argument);
+  EXPECT_THROW(nemenyi_critical_difference(11, 10), std::invalid_argument);
+  EXPECT_THROW(nemenyi_critical_difference(3, 0), std::invalid_argument);
+}
+
+TEST(Pairwise, DetectsClearWinnerAndTie) {
+  Rng rng(3);
+  std::vector<std::vector<double>> scores;
+  for (int d = 0; d < 50; ++d) {
+    const double base = rng.uniform(0.4, 0.6);
+    // A clearly best; B and C statistically tied.
+    scores.push_back({base + 0.2, base + rng.normal(0.0, 0.01), base + rng.normal(0.0, 0.01)});
+  }
+  const auto comparisons = pairwise_comparisons({"A", "B", "C"}, scores);
+  ASSERT_EQ(comparisons.size(), 3u);
+  for (const auto& cmp : comparisons) {
+    if (cmp.a == "A") {
+      EXPECT_TRUE(cmp.wilcoxon.significant_at_05()) << cmp.a << " vs " << cmp.b;
+      EXPECT_TRUE(cmp.nemenyi_significant);
+    } else {
+      EXPECT_FALSE(cmp.nemenyi_significant) << cmp.a << " vs " << cmp.b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,104 @@
+#include "eval/subset_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace mlaas {
+namespace {
+
+TEST(ExpectedSubsetMax, FullSubsetIsMaximum) {
+  EXPECT_DOUBLE_EQ(expected_subset_max({0.3, 0.9, 0.5}, 3), 0.9);
+}
+
+TEST(ExpectedSubsetMax, SingletonIsMean) {
+  EXPECT_NEAR(expected_subset_max({0.2, 0.4, 0.6}, 1), 0.4, 1e-12);
+}
+
+TEST(ExpectedSubsetMax, MatchesBruteForceK2) {
+  // Values {a,b,c}: subsets {ab, ac, bc} -> E[max] = (max(ab)+max(ac)+max(bc))/3.
+  const std::vector<double> v{0.2, 0.7, 0.5};
+  const double brute = (0.7 + 0.5 + 0.7) / 3.0;
+  EXPECT_NEAR(expected_subset_max(v, 2), brute, 1e-12);
+}
+
+TEST(ExpectedSubsetMax, MatchesBruteForceK3of5) {
+  const std::vector<double> v{0.1, 0.9, 0.4, 0.6, 0.3};
+  // Brute-force over all C(5,3)=10 subsets.
+  double total = 0.0;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      for (int k = j + 1; k < 5; ++k) {
+        total += std::max({v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(j)],
+                           v[static_cast<std::size_t>(k)]});
+        ++count;
+      }
+    }
+  }
+  EXPECT_NEAR(expected_subset_max(v, 3), total / count, 1e-12);
+}
+
+TEST(ExpectedSubsetMax, MonotoneInK) {
+  const std::vector<double> v{0.1, 0.3, 0.5, 0.7, 0.9};
+  double prev = 0.0;
+  for (int k = 1; k <= 5; ++k) {
+    const double e = expected_subset_max(v, k);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(ExpectedSubsetMax, RejectsBadK) {
+  EXPECT_THROW(expected_subset_max({0.5}, 0), std::invalid_argument);
+  EXPECT_THROW(expected_subset_max({0.5}, 2), std::invalid_argument);
+}
+
+Measurement row(const std::string& clf, double f, const std::string& dataset) {
+  Measurement m;
+  m.dataset_id = dataset;
+  m.platform = "P";
+  m.feature_step = "none";
+  m.classifier = clf;
+  m.test.f_score = f;
+  return m;
+}
+
+TEST(SubsetCurve, CurveRisesTowardBestClassifier) {
+  MeasurementTable t;
+  for (const auto& d : {"d1", "d2"}) {
+    t.add(row("logistic_regression", 0.5, d));
+    t.add(row("decision_tree", 0.7, d));
+    t.add(row("boosted_trees", 0.9, d));
+  }
+  const auto curve = classifier_subset_curve(t, "P");
+  ASSERT_EQ(curve.points.size(), 3u);
+  EXPECT_NEAR(curve.points[0].expected_best_f, 0.7, 1e-12);  // mean
+  EXPECT_NEAR(curve.points[2].expected_best_f, 0.9, 1e-12);  // all -> max
+  EXPECT_GT(curve.points[1].expected_best_f, curve.points[0].expected_best_f);
+}
+
+TEST(SubsetCurve, UsesBestConfigPerClassifier) {
+  MeasurementTable t;
+  t.add(row("logistic_regression", 0.4, "d1"));
+  Measurement tuned = row("logistic_regression", 0.8, "d1");
+  tuned.params = "C=100";
+  t.add(tuned);
+  const auto curve = classifier_subset_curve(t, "P");
+  ASSERT_EQ(curve.points.size(), 1u);
+  EXPECT_NEAR(curve.points[0].expected_best_f, 0.8, 1e-12);
+}
+
+TEST(SubsetCurve, IgnoresFeatureRowsAndAuto) {
+  MeasurementTable t;
+  t.add(row("logistic_regression", 0.5, "d1"));
+  Measurement feat = row("logistic_regression", 0.99, "d1");
+  feat.feature_step = "standard_scaler";
+  t.add(feat);
+  Measurement blackbox = row("auto", 0.99, "d1");
+  t.add(blackbox);
+  const auto curve = classifier_subset_curve(t, "P");
+  ASSERT_EQ(curve.points.size(), 1u);
+  EXPECT_NEAR(curve.points[0].expected_best_f, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,157 @@
+#include "linalg/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mlaas {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, Covariance) {
+  const std::vector<double> a{1, 2, 3}, b{2, 4, 6};
+  EXPECT_NEAR(covariance(a, b), variance(a) * 2.0, 1e-12);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(Stats, QuantileRejectsBadInput) {
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(std::vector<double>{1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, FractionalRanksWithTies) {
+  const auto r = fractional_ranks(std::vector<double>{10, 20, 20, 30});
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantIsZero) {
+  const std::vector<double> a{1, 1, 1}, b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Stats, SpearmanMonotoneNonlinear) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{1, 8, 27, 64, 125};  // monotone but non-linear
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, KendallPerfectAgreement) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{10, 20, 30, 40};
+  EXPECT_NEAR(kendall(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, KendallPerfectDisagreement) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{4, 3, 2, 1};
+  EXPECT_NEAR(kendall(a, b), -1.0, 1e-12);
+}
+
+TEST(Stats, KendallIndependentNearZero) {
+  Rng rng(5);
+  std::vector<double> a(200), b(200);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.normal();
+    b[i] = rng.normal();
+  }
+  EXPECT_NEAR(kendall(a, b), 0.0, 0.12);
+}
+
+TEST(Stats, FisherScoreSeparatesClasses) {
+  std::vector<double> feature;
+  std::vector<int> labels;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const int y = i % 2;
+    feature.push_back(rng.normal(y == 1 ? 5.0 : 0.0, 1.0));
+    labels.push_back(y);
+  }
+  std::vector<double> noise(200);
+  for (auto& v : noise) v = rng.normal();
+  EXPECT_GT(fisher_score(feature, labels), 5.0);
+  EXPECT_LT(fisher_score(noise, labels), 0.5);
+}
+
+TEST(Stats, MutualInformationOrdersInformativeness) {
+  Rng rng(11);
+  std::vector<double> informative, noise;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const int y = i % 2;
+    labels.push_back(y);
+    informative.push_back(rng.normal(y == 1 ? 2.0 : -2.0, 1.0));
+    noise.push_back(rng.normal());
+  }
+  EXPECT_GT(mutual_information(informative, labels), mutual_information(noise, labels) + 0.2);
+}
+
+TEST(Stats, MutualInformationNonNegative) {
+  Rng rng(13);
+  std::vector<double> f(100);
+  std::vector<int> y(100);
+  for (int i = 0; i < 100; ++i) {
+    f[static_cast<std::size_t>(i)] = rng.normal();
+    y[static_cast<std::size_t>(i)] = rng.chance(0.5) ? 1 : 0;
+  }
+  EXPECT_GE(mutual_information(f, y), 0.0);
+}
+
+TEST(Stats, AnovaFSeparatesClasses) {
+  std::vector<double> feature{0, 0.1, -0.1, 5.0, 5.1, 4.9};
+  std::vector<int> labels{0, 0, 0, 1, 1, 1};
+  EXPECT_GT(anova_f(feature, labels), 100.0);
+}
+
+TEST(Stats, ChiSquaredZeroForUninformative) {
+  // Feature mass identical across classes -> statistic ~0.
+  std::vector<double> f{1, 1, 1, 1};
+  std::vector<int> y{0, 1, 0, 1};
+  EXPECT_NEAR(chi_squared(f, y), 0.0, 1e-9);
+}
+
+TEST(Stats, ChiSquaredPositiveForSkewedMass) {
+  std::vector<double> f{10, 10, 0, 0};
+  std::vector<int> y{1, 1, 0, 0};
+  EXPECT_GT(chi_squared(f, y), 1.0);
+}
+
+}  // namespace
+}  // namespace mlaas

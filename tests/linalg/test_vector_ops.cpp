@@ -1,0 +1,89 @@
+#include "linalg/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mlaas {
+namespace {
+
+TEST(VectorOps, Dot) {
+  const std::vector<double> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(VectorOps, Norms) {
+  const std::vector<double> v{3, -4};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm1(v), 7.0);
+}
+
+TEST(VectorOps, Axpy) {
+  std::vector<double> a{1, 1};
+  const std::vector<double> b{2, 3};
+  axpy(a, 2.0, b);
+  EXPECT_EQ(a, (std::vector<double>{5, 7}));
+}
+
+TEST(VectorOps, ScaleInplace) {
+  std::vector<double> a{2, -4};
+  scale_inplace(a, 0.5);
+  EXPECT_EQ(a, (std::vector<double>{1, -2}));
+}
+
+TEST(VectorOps, SquaredDistance) {
+  const std::vector<double> a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+}
+
+TEST(VectorOps, MinkowskiP1IsManhattan) {
+  const std::vector<double> a{0, 0}, b{3, -4};
+  EXPECT_DOUBLE_EQ(minkowski_distance(a, b, 1.0), 7.0);
+}
+
+TEST(VectorOps, MinkowskiP2IsEuclidean) {
+  const std::vector<double> a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(minkowski_distance(a, b, 2.0), 5.0);
+}
+
+TEST(VectorOps, Argmax) {
+  const std::vector<double> v{1, 5, 3, 5};
+  EXPECT_EQ(argmax(v), 1u);  // first of ties
+}
+
+TEST(Sigmoid, SymmetricAndBounded) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(10.0) + sigmoid(-10.0), 1.0, 1e-12);
+  EXPECT_GT(sigmoid(1000.0), 0.999);
+  EXPECT_LT(sigmoid(-1000.0), 0.001);
+}
+
+TEST(Sigmoid, NoOverflowAtExtremes) {
+  EXPECT_TRUE(std::isfinite(sigmoid(1e300)));
+  EXPECT_TRUE(std::isfinite(sigmoid(-1e300)));
+}
+
+TEST(Log1pExp, MatchesReferenceMidRange) {
+  EXPECT_NEAR(log1p_exp(0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(log1p_exp(1.0), std::log1p(std::exp(1.0)), 1e-12);
+}
+
+TEST(Log1pExp, AsymptoticBehaviour) {
+  EXPECT_DOUBLE_EQ(log1p_exp(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(log1p_exp(-100.0), 0.0);
+}
+
+TEST(Softmax, SumsToOne) {
+  const auto p = softmax(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Softmax, StableForLargeInputs) {
+  const auto p = softmax(std::vector<double>{1000.0, 1000.0});
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace mlaas

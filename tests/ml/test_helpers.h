@@ -1,0 +1,39 @@
+// Shared fixtures for classifier tests.
+#pragma once
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "data/split.h"
+#include "ml/classifier.h"
+#include "ml/metrics.h"
+
+namespace mlaas::testing {
+
+/// Linearly separable 2-blob problem.
+inline Dataset separable(std::size_t n = 300, std::uint64_t seed = 1) {
+  return make_blobs(n, 4, 0.6, 6.0, seed);
+}
+
+/// Non-linear concentric-circles problem.
+inline Dataset circles(std::size_t n = 300, std::uint64_t seed = 2) {
+  return make_circles(n, 0.05, 0.5, seed);
+}
+
+/// Train on 70%, return test accuracy.
+inline double holdout_accuracy(Classifier& clf, const Dataset& ds, std::uint64_t seed = 3) {
+  const auto split = train_test_split(ds, 0.3, seed);
+  clf.fit(split.train.x(), split.train.y());
+  return accuracy_score(split.test.y(), clf.predict(split.test.x()));
+}
+
+/// All scores must be valid probabilities.
+inline void expect_scores_in_unit_interval(const Classifier& clf, const Matrix& x) {
+  for (double s : clf.predict_score(x)) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    EXPECT_FALSE(std::isnan(s));
+  }
+}
+
+}  // namespace mlaas::testing

@@ -1,0 +1,71 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace mlaas {
+namespace {
+
+TEST(Metrics, ConfusionMatrixCounts) {
+  const std::vector<int> t{1, 1, 0, 0, 1};
+  const std::vector<int> p{1, 0, 0, 1, 1};
+  const ConfusionMatrix cm = confusion_matrix(t, p);
+  EXPECT_EQ(cm.tp, 2u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_EQ(cm.total(), 5u);
+}
+
+TEST(Metrics, PerfectPrediction) {
+  const std::vector<int> y{1, 0, 1, 0};
+  const Metrics m = compute_metrics(y, y);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f_score, 1.0);
+}
+
+TEST(Metrics, KnownValues) {
+  const std::vector<int> t{1, 1, 1, 0, 0, 0};
+  const std::vector<int> p{1, 1, 0, 1, 0, 0};
+  const Metrics m = compute_metrics(t, p);
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.f_score, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.accuracy, 4.0 / 6.0, 1e-12);
+}
+
+TEST(Metrics, FScoreIsHarmonicMean) {
+  const std::vector<int> t{1, 1, 1, 1, 0, 0, 0, 0};
+  const std::vector<int> p{1, 1, 1, 1, 1, 1, 0, 0};  // prec 4/6, rec 1
+  const Metrics m = compute_metrics(t, p);
+  const double expected = 2.0 * (4.0 / 6.0) * 1.0 / (4.0 / 6.0 + 1.0);
+  EXPECT_NEAR(m.f_score, expected, 1e-12);
+}
+
+TEST(Metrics, ZeroDivisionConventions) {
+  // No positive predictions: precision 0; no positive truths: recall 0.
+  const std::vector<int> t{1, 1, 0};
+  const std::vector<int> p{0, 0, 0};
+  const Metrics m = compute_metrics(t, p);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f_score, 0.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  EXPECT_THROW(compute_metrics({1, 0}, {1}), std::invalid_argument);
+}
+
+TEST(Metrics, ConvenienceWrappersAgree) {
+  const std::vector<int> t{1, 0, 1, 0, 1};
+  const std::vector<int> p{1, 1, 1, 0, 0};
+  const Metrics m = compute_metrics(t, p);
+  EXPECT_DOUBLE_EQ(accuracy_score(t, p), m.accuracy);
+  EXPECT_DOUBLE_EQ(precision_score(t, p), m.precision);
+  EXPECT_DOUBLE_EQ(recall_score(t, p), m.recall);
+  EXPECT_DOUBLE_EQ(f1_score(t, p), m.f_score);
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "ml/model_selection/cross_validation.h"
+#include "ml/model_selection/grid_search.h"
+#include "tests/ml/test_helpers.h"
+
+namespace mlaas {
+namespace {
+
+TEST(CrossValidation, HighScoreOnSeparableData) {
+  const Dataset ds = testing::separable(200, 21);
+  const CvResult cv = cross_validate("logistic_regression", {}, ds, 5, 1);
+  EXPECT_EQ(cv.folds, 5);
+  EXPECT_GT(cv.mean.f_score, 0.9);
+  EXPECT_GT(cv.mean.accuracy, 0.9);
+}
+
+TEST(CrossValidation, LinearModelFailsCirclesNonlinearWins) {
+  const Dataset ds = testing::circles(300, 22);
+  const CvResult lr = cross_validate("logistic_regression", {}, ds, 3, 1);
+  const CvResult dt = cross_validate("decision_tree", {}, ds, 3, 1);
+  EXPECT_GT(dt.mean.f_score, lr.mean.f_score + 0.15);
+}
+
+TEST(CrossValidation, FoldCountReducedForTinyMinority) {
+  Matrix x(20, 1);
+  std::vector<int> y(20, 0);
+  y[0] = y[1] = y[2] = 1;  // minority of 3 -> k must drop to 3
+  for (std::size_t i = 0; i < 20; ++i) x(i, 0) = static_cast<double>(i);
+  const Dataset ds(std::move(x), std::move(y));
+  const CvResult cv = cross_validate("decision_tree", {}, ds, 10, 1);
+  EXPECT_LE(cv.folds, 3);
+}
+
+TEST(CrossValidation, DeterministicForSeed) {
+  const Dataset ds = testing::circles(200, 23);
+  const CvResult a = cross_validate("random_forest", {}, ds, 3, 9);
+  const CvResult b = cross_validate("random_forest", {}, ds, 3, 9);
+  EXPECT_DOUBLE_EQ(a.mean.f_score, b.mean.f_score);
+}
+
+TEST(GridSearch, FindsNonDefaultWhenItHelps) {
+  // Deep trees needed: default max_depth=5 grid should prefer larger depth
+  // on circles with the PredictionIO-style DT grid.
+  const Dataset ds = testing::circles(400, 24);
+  ClassifierGridSpec spec;
+  spec.classifier = "decision_tree";
+  spec.params = {ParamSpec::integer("max_depth", 3, 1, 30)};
+  const GridSearchResult result = grid_search(spec, ds, 3, 1);
+  EXPECT_EQ(result.n_configs, 3u);  // sweep {3/100 -> 1, 3, 300 -> 30}
+  EXPECT_GT(result.best_params.get_int("max_depth", 0), 1);
+  EXPECT_GT(result.best_cv_f_score, 0.8);
+}
+
+TEST(GridSearch, ReportsConfigCount) {
+  const Dataset ds = testing::separable(120, 25);
+  ClassifierGridSpec spec;
+  spec.classifier = "logistic_regression";
+  spec.params = {ParamSpec::categorical("penalty", {"l2", "l1"})};
+  const GridSearchResult result = grid_search(spec, ds, 3, 1);
+  EXPECT_EQ(result.n_configs, 2u);
+}
+
+}  // namespace
+}  // namespace mlaas

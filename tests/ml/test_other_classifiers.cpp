@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "ml/bayes/naive_bayes.h"
+#include "ml/kernel/rbf_svm.h"
+#include "ml/neighbors/knn.h"
+#include "ml/neural/mlp.h"
+#include "tests/ml/test_helpers.h"
+#include "util/rng.h"
+
+namespace mlaas {
+namespace {
+
+using testing::circles;
+using testing::holdout_accuracy;
+using testing::separable;
+
+TEST(NaiveBayes, SeparatesBlobs) {
+  GaussianNaiveBayes clf;
+  EXPECT_GT(holdout_accuracy(clf, separable()), 0.95);
+}
+
+TEST(NaiveBayes, UniformPriorShiftsImbalancedPrediction) {
+  // Highly imbalanced data; uniform prior should recall more positives.
+  Matrix x(200, 1);
+  std::vector<int> y(200, 0);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const bool pos = i < 20;
+    y[i] = pos ? 1 : 0;
+    x(i, 0) = rng.normal(pos ? 1.0 : -1.0, 1.5);
+  }
+  GaussianNaiveBayes empirical(ParamMap{{"prior", std::string("empirical")}});
+  GaussianNaiveBayes uniform(ParamMap{{"prior", std::string("uniform")}});
+  empirical.fit(x, y);
+  uniform.fit(x, y);
+  EXPECT_GE(recall_score(y, uniform.predict(x)), recall_score(y, empirical.predict(x)));
+}
+
+TEST(NaiveBayes, HandlesZeroVarianceFeature) {
+  Matrix x{{1, 0}, {1, 1}, {1, 0}, {1, 5}};
+  GaussianNaiveBayes clf;
+  clf.fit(x, {0, 1, 0, 1});
+  for (double s : clf.predict_score(x)) EXPECT_FALSE(std::isnan(s));
+}
+
+TEST(Knn, LearnsNonLinearBoundary) {
+  KNearestNeighbors clf(ParamMap{{"n_neighbors", 5LL}});
+  EXPECT_GT(holdout_accuracy(clf, circles()), 0.9);
+}
+
+TEST(Knn, KLargerThanTrainSetClamps) {
+  Matrix x{{0}, {1}, {10}, {11}};
+  KNearestNeighbors clf(ParamMap{{"n_neighbors", 100LL}});
+  clf.fit(x, {0, 0, 1, 1});
+  // With k = n every query sees the global label mix (tie -> score 0.5).
+  const auto scores = clf.predict_score(x);
+  for (double s : scores) EXPECT_NEAR(s, 0.5, 1e-9);
+}
+
+TEST(Knn, DistanceWeightingFavorsCloserNeighbors) {
+  Matrix x{{0.0}, {0.4}, {10.0}};
+  KNearestNeighbors clf(ParamMap{{"n_neighbors", 3LL}, {"weights", std::string("distance")}});
+  clf.fit(x, {1, 1, 0});
+  Matrix q{{0.1}};
+  EXPECT_GT(clf.predict_score(q)[0], 0.8);
+}
+
+TEST(Knn, ManhattanMetricSupported) {
+  KNearestNeighbors clf(ParamMap{{"p", 1LL}});
+  EXPECT_GT(holdout_accuracy(clf, circles()), 0.85);
+}
+
+TEST(Mlp, LearnsNonLinearBoundary) {
+  MultiLayerPerceptron clf(ParamMap{{"hidden", 16LL}, {"max_iter", 120LL}});
+  EXPECT_GT(holdout_accuracy(clf, circles()), 0.85);
+}
+
+TEST(Mlp, TanhAndSgdVariant) {
+  MultiLayerPerceptron clf(ParamMap{{"activation", std::string("tanh")},
+                                    {"solver", std::string("sgd")},
+                                    {"max_iter", 150LL}});
+  EXPECT_GT(holdout_accuracy(clf, separable()), 0.9);
+}
+
+TEST(Mlp, TwoHiddenLayers) {
+  MultiLayerPerceptron clf(ParamMap{{"layers", 2LL}, {"hidden", 8LL}, {"max_iter", 150LL}});
+  EXPECT_GT(holdout_accuracy(clf, circles()), 0.8);
+}
+
+TEST(RbfSvm, SolvesCircles) {
+  RbfSvm clf;
+  EXPECT_GT(holdout_accuracy(clf, circles()), 0.9);
+}
+
+TEST(RbfSvm, AlsoHandlesLinearProblem) {
+  RbfSvm clf;
+  EXPECT_GT(holdout_accuracy(clf, separable()), 0.9);
+}
+
+TEST(RbfSvm, GammaOverride) {
+  RbfSvm clf(ParamMap{{"gamma", 2.0}});
+  EXPECT_GT(holdout_accuracy(clf, circles()), 0.85);
+}
+
+TEST(NonLinearFamily, DeclaredCorrectly) {
+  EXPECT_FALSE(KNearestNeighbors().is_linear());
+  EXPECT_FALSE(MultiLayerPerceptron().is_linear());
+  EXPECT_FALSE(RbfSvm().is_linear());
+  EXPECT_TRUE(GaussianNaiveBayes().is_linear());  // Table 5 convention
+}
+
+}  // namespace
+}  // namespace mlaas

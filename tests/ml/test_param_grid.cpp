@@ -1,0 +1,110 @@
+#include "ml/model_selection/param_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mlaas {
+namespace {
+
+TEST(ParamSpec, NumericSweepFollowsPaperRule) {
+  // §3.2: {D/100, D, 100*D}.
+  const auto spec = ParamSpec::number("c", 0.01, 1e-9, 1e9);
+  const auto values = spec.sweep_values();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(std::get<double>(values[0]), 0.0001);
+  EXPECT_DOUBLE_EQ(std::get<double>(values[1]), 0.01);
+  EXPECT_DOUBLE_EQ(std::get<double>(values[2]), 1.0);
+}
+
+TEST(ParamSpec, NumericSweepClampsToValidRange) {
+  const auto spec = ParamSpec::number("c", 1.0, 0.1, 10.0);
+  const auto values = spec.sweep_values();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(std::get<double>(values.front()), 0.1);
+  EXPECT_DOUBLE_EQ(std::get<double>(values.back()), 10.0);
+}
+
+TEST(ParamSpec, IntegerSweepDeduplicatesAfterClamp) {
+  const auto spec = ParamSpec::integer("n", 10, 1, 20);
+  const auto values = spec.sweep_values();
+  // {0->1, 10, 1000->20} -> {1, 10, 20}.
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(std::get<long long>(values[0]), 1);
+  EXPECT_EQ(std::get<long long>(values[2]), 20);
+}
+
+TEST(ParamSpec, CategoricalEnumeratesAllOptions) {
+  const auto spec = ParamSpec::categorical("mode", {"a", "b", "c"});
+  EXPECT_EQ(spec.sweep_values().size(), 3u);
+  EXPECT_EQ(std::get<std::string>(spec.default_value()), "a");
+}
+
+TEST(ParamSpec, BooleanSweepsBothValues) {
+  const auto spec = ParamSpec::boolean("flag", true);
+  EXPECT_EQ(spec.sweep_values().size(), 2u);
+  EXPECT_TRUE(std::get<bool>(spec.default_value()));
+}
+
+TEST(ParamSpec, EmptyCategoricalThrows) {
+  EXPECT_THROW(ParamSpec::categorical("x", {}), std::invalid_argument);
+}
+
+ClassifierGridSpec demo_spec() {
+  ClassifierGridSpec spec;
+  spec.classifier = "demo";
+  spec.fixed.set("solver", std::string("sgd"));
+  spec.params = {
+      ParamSpec::number("c", 1.0, 1e-6, 1e6),
+      ParamSpec::categorical("penalty", {"l2", "l1"}),
+      ParamSpec::boolean("intercept", true),
+  };
+  return spec;
+}
+
+TEST(ExpandGrid, FullCrossProduct) {
+  const auto grid = expand_grid(demo_spec(), 0, 1);
+  EXPECT_EQ(grid.size(), 3u * 2u * 2u);
+  EXPECT_EQ(grid_size(demo_spec()), 12u);
+  // All configs carry the fixed parameter.
+  for (const auto& p : grid) EXPECT_EQ(p.get_string("solver", ""), "sgd");
+  // All configs distinct.
+  std::set<std::string> keys;
+  for (const auto& p : grid) keys.insert(p.to_string());
+  EXPECT_EQ(keys.size(), grid.size());
+}
+
+TEST(ExpandGrid, DefaultConfigUsesDefaults) {
+  const auto def = demo_spec().default_config();
+  EXPECT_DOUBLE_EQ(def.get_double("c", 0), 1.0);
+  EXPECT_EQ(def.get_string("penalty", ""), "l2");
+  EXPECT_TRUE(def.get_bool("intercept", false));
+  EXPECT_EQ(def.get_string("solver", ""), "sgd");
+}
+
+TEST(ExpandGrid, CapKeepsDefaultAndIsDeterministic) {
+  const auto a = expand_grid(demo_spec(), 5, 42);
+  const auto b = expand_grid(demo_spec(), 5, 42);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a[0], demo_spec().default_config());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ExpandGrid, CapSeedChangesSample) {
+  const auto a = expand_grid(demo_spec(), 5, 1);
+  const auto b = expand_grid(demo_spec(), 5, 2);
+  bool differ = false;
+  for (std::size_t i = 1; i < a.size(); ++i) differ = differ || !(a[i] == b[i]);
+  EXPECT_TRUE(differ);
+}
+
+TEST(ExpandGrid, NoParamsYieldsFixedOnly) {
+  ClassifierGridSpec spec;
+  spec.classifier = "plain";
+  const auto grid = expand_grid(spec, 0, 1);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_TRUE(grid[0].empty());
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,61 @@
+#include "ml/params.h"
+
+#include <gtest/gtest.h>
+
+namespace mlaas {
+namespace {
+
+TEST(ParamMap, TypedGettersWithDefaults) {
+  ParamMap p{{"c", 2.5}, {"iters", 10LL}, {"mode", std::string("fast")}, {"flag", true}};
+  EXPECT_DOUBLE_EQ(p.get_double("c", 0.0), 2.5);
+  EXPECT_EQ(p.get_int("iters", 0), 10);
+  EXPECT_EQ(p.get_string("mode", ""), "fast");
+  EXPECT_TRUE(p.get_bool("flag", false));
+  EXPECT_DOUBLE_EQ(p.get_double("missing", -1.0), -1.0);
+  EXPECT_EQ(p.get_string("missing", "d"), "d");
+}
+
+TEST(ParamMap, NumericCrossConversion) {
+  ParamMap p{{"a", 3LL}, {"b", 4.9}};
+  EXPECT_DOUBLE_EQ(p.get_double("a", 0.0), 3.0);
+  EXPECT_EQ(p.get_int("b", 0), 4);
+}
+
+TEST(ParamMap, WrongCategoryThrows) {
+  ParamMap p{{"s", std::string("x")}};
+  EXPECT_THROW(p.get_double("s", 0.0), std::invalid_argument);
+  EXPECT_THROW(p.get_bool("s", false), std::invalid_argument);
+}
+
+TEST(ParamMap, SetOverwrites) {
+  ParamMap p;
+  p.set("k", 1LL);
+  p.set("k", 2LL);
+  EXPECT_EQ(p.get_int("k", 0), 2);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(ParamMap, CanonicalStringSortedAndStable) {
+  ParamMap p;
+  p.set("zeta", 1LL);
+  p.set("alpha", std::string("x"));
+  EXPECT_EQ(p.to_string(), "alpha=x,zeta=1");
+}
+
+TEST(ParamMap, EqualityIgnoresInsertionOrder) {
+  ParamMap a, b;
+  a.set("x", 1LL);
+  a.set("y", 2.0);
+  b.set("y", 2.0);
+  b.set("x", 1LL);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParamValue, ToStringForms) {
+  EXPECT_EQ(to_string(ParamValue{true}), "true");
+  EXPECT_EQ(to_string(ParamValue{std::string("abc")}), "abc");
+  EXPECT_EQ(to_string(ParamValue{7LL}), "7");
+}
+
+}  // namespace
+}  // namespace mlaas

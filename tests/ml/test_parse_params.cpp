@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "ml/params.h"
+
+namespace mlaas {
+namespace {
+
+TEST(ParseParams, InfersTypes) {
+  const ParamMap p = parse_params("n=80,lr=0.1,penalty=l1,intercept=true");
+  EXPECT_EQ(p.get_int("n", 0), 80);
+  EXPECT_DOUBLE_EQ(p.get_double("lr", 0.0), 0.1);
+  EXPECT_EQ(p.get_string("penalty", ""), "l1");
+  EXPECT_TRUE(p.get_bool("intercept", false));
+}
+
+TEST(ParseParams, EmptyIsEmpty) {
+  EXPECT_TRUE(parse_params("").empty());
+  EXPECT_TRUE(parse_params(",,").empty());
+}
+
+TEST(ParseParams, ScientificNotationIsDouble) {
+  const ParamMap p = parse_params("alpha=1e-4");
+  EXPECT_DOUBLE_EQ(p.get_double("alpha", 0.0), 1e-4);
+}
+
+TEST(ParseParams, NegativeNumbers) {
+  const ParamMap p = parse_params("a=-3,b=-2.5");
+  EXPECT_EQ(p.get_int("a", 0), -3);
+  EXPECT_DOUBLE_EQ(p.get_double("b", 0.0), -2.5);
+}
+
+TEST(ParseParams, MixedAlphanumericIsString) {
+  const ParamMap p = parse_params("mode=12abc");
+  EXPECT_EQ(p.get_string("mode", ""), "12abc");
+}
+
+TEST(ParseParams, RoundTripsWithToString) {
+  const ParamMap original = parse_params("C=0.5,penalty=l2,n=10,flag=false");
+  const ParamMap reparsed = parse_params(original.to_string());
+  EXPECT_EQ(original, reparsed);
+}
+
+TEST(ParseParams, MalformedThrows) {
+  EXPECT_THROW(parse_params("novalue"), std::invalid_argument);
+  EXPECT_THROW(parse_params("=5"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlaas

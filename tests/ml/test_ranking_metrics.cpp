@@ -1,0 +1,100 @@
+#include "ml/ranking_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "data/split.h"
+#include "ml/registry.h"
+#include "util/rng.h"
+
+namespace mlaas {
+namespace {
+
+TEST(RocAuc, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(roc_auc_score({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+}
+
+TEST(RocAuc, ReversedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(roc_auc_score({0, 0, 1, 1}, {0.9, 0.8, 0.2, 0.1}), 0.0);
+}
+
+TEST(RocAuc, AllTiedScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(roc_auc_score({0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(RocAuc, KnownMixedValue) {
+  // Positives at ranks {4, 2} of 4: AUC = ((4+2) - 3) / (2*2) = 0.75.
+  EXPECT_DOUBLE_EQ(roc_auc_score({0, 1, 0, 1}, {0.2, 0.3, 0.4, 0.9}), 0.75);
+}
+
+TEST(RocAuc, DegenerateClassesGiveHalf) {
+  EXPECT_DOUBLE_EQ(roc_auc_score({1, 1}, {0.2, 0.9}), 0.5);
+  EXPECT_DOUBLE_EQ(roc_auc_score({0, 0}, {0.2, 0.9}), 0.5);
+}
+
+TEST(RocAuc, InvariantToMonotoneScoreTransforms) {
+  Rng rng(3);
+  std::vector<int> y(200);
+  std::vector<double> s(200), s_squashed(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    y[i] = rng.chance(0.4) ? 1 : 0;
+    s[i] = rng.normal(y[i], 1.0);
+    s_squashed[i] = std::tanh(s[i] / 3.0);  // strictly monotone
+  }
+  EXPECT_NEAR(roc_auc_score(y, s), roc_auc_score(y, s_squashed), 1e-12);
+}
+
+TEST(RocAuc, SizeMismatchThrows) {
+  EXPECT_THROW(roc_auc_score({1}, {0.1, 0.2}), std::invalid_argument);
+}
+
+TEST(AveragePrecision, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(average_precision_score({0, 1, 1}, {0.1, 0.8, 0.9}), 1.0);
+}
+
+TEST(AveragePrecision, KnownValue) {
+  // Order by score desc: y = [1, 0, 1]; AP = (1/1 + 2/3) / 2 = 5/6.
+  EXPECT_NEAR(average_precision_score({1, 0, 1}, {0.5, 0.6, 0.9}), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecision, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(average_precision_score({0, 0}, {0.4, 0.6}), 0.0);
+}
+
+TEST(AveragePrecision, RandomScoresNearPrevalence) {
+  Rng rng(9);
+  std::vector<int> y(5000);
+  std::vector<double> s(5000);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = rng.chance(0.3) ? 1 : 0;
+    s[i] = rng.uniform();
+  }
+  EXPECT_NEAR(average_precision_score(y, s), 0.3, 0.03);
+}
+
+TEST(RankingMetrics, GoodClassifierScoresHighAucOnSeparableData) {
+  const Dataset ds = make_blobs(400, 3, 0.8, 6.0, 11);
+  const auto split = train_test_split(ds, 0.3, 11);
+  auto clf = make_classifier("logistic_regression", {}, 1);
+  clf->fit(split.train.x(), split.train.y());
+  const auto scores = clf->predict_score(split.test.x());
+  EXPECT_GT(roc_auc_score(split.test.y(), scores), 0.97);
+  EXPECT_GT(average_precision_score(split.test.y(), scores), 0.95);
+}
+
+TEST(RankingMetrics, AucDetectsLinearFailureOnCircles) {
+  const Dataset ds = make_circles(400, 0.05, 0.5, 12);
+  const auto split = train_test_split(ds, 0.3, 12);
+  auto linear = make_classifier("logistic_regression", {}, 1);
+  auto tree = make_classifier("decision_tree", {}, 1);
+  linear->fit(split.train.x(), split.train.y());
+  tree->fit(split.train.x(), split.train.y());
+  const double auc_linear = roc_auc_score(split.test.y(), linear->predict_score(split.test.x()));
+  const double auc_tree = roc_auc_score(split.test.y(), tree->predict_score(split.test.x()));
+  EXPECT_GT(auc_tree, auc_linear + 0.2);
+}
+
+}  // namespace
+}  // namespace mlaas

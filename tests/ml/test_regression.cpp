@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/regression/linear_regression.h"
+#include "ml/regression/regression_metrics.h"
+#include "ml/regression/regressor.h"
+#include "ml/regression/tree_regressors.h"
+#include "util/rng.h"
+
+namespace mlaas {
+namespace {
+
+/// y = 3*x0 - 2*x1 + 1 + noise.
+void linear_problem(std::size_t n, double noise, std::uint64_t seed, Matrix* x,
+                    std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*x)(i, 0) = rng.normal();
+    (*x)(i, 1) = rng.normal();
+    (*y)[i] = 3.0 * (*x)(i, 0) - 2.0 * (*x)(i, 1) + 1.0 + rng.normal(0.0, noise);
+  }
+}
+
+/// y = sin(2*x) on [0, pi] — smooth non-linear target.
+void sine_problem(std::size_t n, std::uint64_t seed, Matrix* x, std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 1);
+  y->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (*x)(i, 0) = rng.uniform(0.0, 3.14159);
+    (*y)[i] = std::sin(2.0 * (*x)(i, 0));
+  }
+}
+
+TEST(LinearRegressionTest, RecoversCoefficientsExactly) {
+  Matrix x;
+  std::vector<double> y;
+  linear_problem(200, 0.0, 1, &x, &y);
+  LinearRegression reg;
+  reg.fit(x, y);
+  EXPECT_NEAR(reg.coefficients()[0], 3.0, 1e-6);
+  EXPECT_NEAR(reg.coefficients()[1], -2.0, 1e-6);
+  EXPECT_NEAR(reg.intercept(), 1.0, 1e-6);
+}
+
+TEST(LinearRegressionTest, NoisyFitStillClose) {
+  Matrix x;
+  std::vector<double> y;
+  linear_problem(500, 0.5, 2, &x, &y);
+  LinearRegression reg;
+  reg.fit(x, y);
+  EXPECT_NEAR(reg.coefficients()[0], 3.0, 0.15);
+  EXPECT_GT(r2_score(y, reg.predict(x)), 0.95);
+}
+
+TEST(LinearRegressionTest, RidgeShrinksCoefficients) {
+  Matrix x;
+  std::vector<double> y;
+  linear_problem(100, 0.2, 3, &x, &y);
+  auto ols = make_regressor("linear_regression");
+  auto ridge = make_regressor("ridge", ParamMap{{"alpha", 500.0}});
+  ols->fit(x, y);
+  ridge->fit(x, y);
+  const auto* ols_lr = dynamic_cast<const LinearRegression*>(ols.get());
+  const auto* ridge_lr = dynamic_cast<const LinearRegression*>(ridge.get());
+  ASSERT_NE(ols_lr, nullptr);
+  ASSERT_NE(ridge_lr, nullptr);
+  EXPECT_LT(std::abs(ridge_lr->coefficients()[0]), std::abs(ols_lr->coefficients()[0]));
+}
+
+TEST(LinearRegressionTest, CollinearFeaturesStayFinite) {
+  Matrix x(50, 2);
+  std::vector<double> y(50);
+  Rng rng(4);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = 2.0 * x(i, 0);  // perfectly collinear
+    y[i] = x(i, 0);
+  }
+  LinearRegression reg;
+  reg.fit(x, y);
+  for (double v : reg.predict(x)) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(r2_score(y, reg.predict(x)), 0.99);
+}
+
+TEST(RegressionTreeTest, FitsNonLinearTarget) {
+  Matrix x;
+  std::vector<double> y;
+  sine_problem(400, 5, &x, &y);
+  RegressionTree tree;
+  tree.fit(x, y);
+  EXPECT_GT(r2_score(y, tree.predict(x)), 0.95);
+}
+
+TEST(RandomForestRegressorTest, SmoothsSingleTreeVariance) {
+  Matrix x;
+  std::vector<double> y;
+  Rng rng(6);
+  sine_problem(300, 6, &x, &y);
+  for (double& v : y) v += rng.normal(0.0, 0.2);  // noisy target
+  Matrix xt;
+  std::vector<double> yt;
+  sine_problem(100, 7, &xt, &yt);
+
+  RegressionTree tree;
+  RandomForestRegressor forest(ParamMap{{"n_estimators", 30LL}});
+  tree.fit(x, y);
+  forest.fit(x, y);
+  EXPECT_LE(mean_squared_error(yt, forest.predict(xt)),
+            mean_squared_error(yt, tree.predict(xt)) + 0.01);
+}
+
+TEST(BoostedTreesRegressorTest, BeatsLinearOnSine) {
+  Matrix x;
+  std::vector<double> y;
+  sine_problem(400, 8, &x, &y);
+  LinearRegression linear;
+  BoostedTreesRegressor boosted;
+  linear.fit(x, y);
+  boosted.fit(x, y);
+  EXPECT_GT(r2_score(y, boosted.predict(x)), r2_score(y, linear.predict(x)) + 0.3);
+}
+
+class RegressorProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegressorProperty, FitsLinearProblemReasonably) {
+  Matrix x;
+  std::vector<double> y;
+  linear_problem(300, 0.1, 9, &x, &y);
+  auto reg = make_regressor(GetParam(), {}, 1);
+  reg->fit(x, y);
+  EXPECT_GT(r2_score(y, reg->predict(x)), 0.7) << GetParam();
+}
+
+TEST_P(RegressorProperty, DeterministicForSeed) {
+  Matrix x;
+  std::vector<double> y;
+  sine_problem(150, 10, &x, &y);
+  auto a = make_regressor(GetParam(), {}, 5);
+  auto b = make_regressor(GetParam(), {}, 5);
+  a->fit(x, y);
+  b->fit(x, y);
+  const auto pa = a->predict(x);
+  const auto pb = b->predict(x);
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST_P(RegressorProperty, RejectsMismatchedSizes) {
+  Matrix x(5, 2);
+  auto reg = make_regressor(GetParam(), {}, 1);
+  EXPECT_THROW(reg->fit(x, std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegressors, RegressorProperty,
+                         ::testing::ValuesIn(regressor_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(RegressorRegistry, UnknownNameThrows) {
+  EXPECT_THROW(make_regressor("quantum_regressor"), std::invalid_argument);
+}
+
+TEST(RegressionMetricsTest, KnownValues) {
+  const std::vector<double> t{1, 2, 3};
+  const std::vector<double> p{1, 2, 5};
+  EXPECT_NEAR(mean_squared_error(t, p), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(root_mean_squared_error(t, p), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_NEAR(mean_absolute_error(t, p), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RegressionMetricsTest, R2Anchors) {
+  const std::vector<double> t{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r2_score(t, t), 1.0);
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_NEAR(r2_score(t, mean_pred), 0.0, 1e-12);
+  const std::vector<double> bad{4, 3, 2, 1};
+  EXPECT_LT(r2_score(t, bad), 0.0);
+}
+
+TEST(RegressionMetricsTest, ValidationErrors) {
+  EXPECT_THROW(mean_squared_error({}, {}), std::invalid_argument);
+  EXPECT_THROW(mean_absolute_error({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlaas

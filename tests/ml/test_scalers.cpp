@@ -1,0 +1,131 @@
+#include "ml/feature/scalers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/stats.h"
+#include "linalg/vector_ops.h"
+
+namespace mlaas {
+namespace {
+
+Matrix sample() { return Matrix{{1, 10}, {2, 20}, {3, 30}, {4, 40}}; }
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  StandardScaler s;
+  s.fit(sample(), {});
+  const Matrix t = s.transform(sample());
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(mean(t.col(c)), 0.0, 1e-12);
+    EXPECT_NEAR(stddev(t.col(c)), 1.0, 1e-12);
+  }
+}
+
+TEST(StandardScaler, ConstantColumnSafe) {
+  Matrix x{{5}, {5}, {5}};
+  StandardScaler s;
+  s.fit(x, {});
+  const Matrix t = s.transform(x);
+  EXPECT_DOUBLE_EQ(t(0, 0), 0.0);
+}
+
+TEST(StandardScaler, AppliesTrainStatisticsToNewData) {
+  StandardScaler s;
+  s.fit(sample(), {});
+  Matrix q{{2.5, 25}};
+  const Matrix t = s.transform(q);
+  EXPECT_NEAR(t(0, 0), 0.0, 1e-12);  // 2.5 is the training mean
+}
+
+TEST(MinMaxScaler, MapsToUnitInterval) {
+  MinMaxScaler s;
+  s.fit(sample(), {});
+  const Matrix t = s.transform(sample());
+  EXPECT_DOUBLE_EQ(t(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t(3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t(1, 1), 1.0 / 3.0);
+}
+
+TEST(MaxAbsScaler, DividesByAbsMax) {
+  Matrix x{{-4}, {2}};
+  MaxAbsScaler s;
+  s.fit(x, {});
+  const Matrix t = s.transform(x);
+  EXPECT_DOUBLE_EQ(t(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), 0.5);
+}
+
+TEST(RowNormalizer, L2RowsHaveUnitNorm) {
+  RowNormalizer s(2);
+  s.fit(sample(), {});
+  const Matrix t = s.transform(sample());
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_NEAR(norm2(t.row(r)), 1.0, 1e-12);
+  }
+}
+
+TEST(RowNormalizer, L1RowsSumToOneAbs) {
+  RowNormalizer s(1);
+  s.fit(sample(), {});
+  const Matrix t = s.transform(sample());
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_NEAR(norm1(t.row(r)), 1.0, 1e-12);
+  }
+}
+
+TEST(RowNormalizer, ZeroRowUntouched) {
+  Matrix x{{0, 0}};
+  RowNormalizer s(2);
+  const Matrix t = s.transform(x);
+  EXPECT_DOUBLE_EQ(t(0, 0), 0.0);
+}
+
+TEST(RowNormalizer, RejectsBadP) { EXPECT_THROW(RowNormalizer(3), std::invalid_argument); }
+
+TEST(GaussianNorm, OutputRoughlyStandardNormal) {
+  Matrix x(1000, 1);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    x(i, 0) = std::pow(static_cast<double>(i + 1), 3.0);  // heavily skewed
+  }
+  GaussianNorm g;
+  g.fit(x, {});
+  const Matrix t = g.transform(x);
+  EXPECT_NEAR(mean(t.col(0)), 0.0, 0.05);
+  EXPECT_NEAR(stddev(t.col(0)), 1.0, 0.1);
+}
+
+TEST(GaussianNorm, MonotonePreserving) {
+  Matrix x{{1}, {100}, {3}, {50}};
+  GaussianNorm g;
+  g.fit(x, {});
+  const Matrix t = g.transform(x);
+  EXPECT_LT(t(0, 0), t(2, 0));
+  EXPECT_LT(t(2, 0), t(3, 0));
+  EXPECT_LT(t(3, 0), t(1, 0));
+}
+
+TEST(InverseNormalCdf, MatchesKnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-4);
+  EXPECT_THROW(inverse_normal_cdf(0.0), std::invalid_argument);
+}
+
+TEST(MakeScaler, FactoryKnowsAllNames) {
+  for (const auto* name : {"standard_scaler", "minmax_scaler", "maxabs_scaler",
+                           "l1_normalizer", "l2_normalizer", "gaussian_norm"}) {
+    EXPECT_NE(make_scaler(name), nullptr);
+  }
+  EXPECT_THROW(make_scaler("bogus"), std::invalid_argument);
+}
+
+TEST(Scalers, TransformColumnMismatchThrows) {
+  StandardScaler s;
+  s.fit(sample(), {});
+  Matrix wrong(1, 3);
+  EXPECT_THROW(s.transform(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,100 @@
+// Model persistence round-trips: every registry classifier must predict
+// identically after save -> load, including single-class models.
+#include "ml/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/registry.h"
+#include "tests/ml/test_helpers.h"
+
+namespace mlaas {
+namespace {
+
+class SerializeRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SerializeRoundTrip, PredictionsSurviveRoundTrip) {
+  const Dataset train = testing::circles(200, 3);
+  const Dataset test = testing::circles(80, 4);
+  auto original = make_classifier(GetParam(), {}, 9);
+  original->fit(train.x(), train.y());
+
+  std::stringstream buffer;
+  save_model(buffer, *original);
+  const ClassifierPtr restored = load_model(buffer);
+
+  ASSERT_EQ(restored->name(), GetParam());
+  EXPECT_EQ(restored->predict(test.x()), original->predict(test.x()));
+  const auto a = original->predict_score(test.x());
+  const auto b = restored->predict_score(test.x());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST_P(SerializeRoundTrip, SingleClassModelsRoundTrip) {
+  Matrix x{{1, 2}, {3, 4}, {5, 6}};
+  auto original = make_classifier(GetParam(), {}, 9);
+  original->fit(x, {1, 1, 1});
+  std::stringstream buffer;
+  save_model(buffer, *original);
+  const ClassifierPtr restored = load_model(buffer);
+  EXPECT_EQ(restored->predict(x), (std::vector<int>{1, 1, 1}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassifiers, SerializeRoundTrip,
+                         ::testing::ValuesIn(classifier_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream buffer("not-a-model 1\nlogistic_regression\n");
+  EXPECT_THROW(load_model(buffer), std::runtime_error);
+}
+
+TEST(Serialize, UnsupportedVersionRejected) {
+  std::stringstream buffer("mlaas-model 99\nlogistic_regression\n");
+  EXPECT_THROW(load_model(buffer), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStateRejected) {
+  const Dataset train = testing::separable(100, 5);
+  auto clf = make_classifier("random_forest", {}, 1);
+  clf->fit(train.x(), train.y());
+  std::stringstream buffer;
+  save_model(buffer, *clf);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_model(truncated), std::runtime_error);
+}
+
+TEST(Serialize, UnknownClassifierNameRejected) {
+  std::stringstream buffer("mlaas-model 1\nquantum_svm\n0 0\n");
+  EXPECT_THROW(load_model(buffer), std::invalid_argument);
+}
+
+TEST(ModelIo, PrimitivesRoundTrip) {
+  std::stringstream buffer;
+  model_io::write_double(buffer, 0.1234567890123456789);
+  model_io::write_int(buffer, -42);
+  model_io::write_string(buffer, "hello");
+  model_io::write_vec(buffer, std::vector<double>{1.5, -2.5});
+  model_io::write_ivec(buffer, std::vector<int>{7, 8, 9});
+  Matrix m{{1, 2}, {3, 4}};
+  model_io::write_matrix(buffer, m);
+
+  EXPECT_DOUBLE_EQ(model_io::read_double(buffer), 0.1234567890123456789);
+  EXPECT_EQ(model_io::read_int(buffer), -42);
+  EXPECT_EQ(model_io::read_string(buffer), "hello");
+  EXPECT_EQ(model_io::read_vec(buffer), (std::vector<double>{1.5, -2.5}));
+  EXPECT_EQ(model_io::read_ivec(buffer), (std::vector<int>{7, 8, 9}));
+  EXPECT_EQ(model_io::read_matrix(buffer), m);
+}
+
+TEST(ModelIo, StringsWithWhitespaceRejected) {
+  std::stringstream buffer;
+  EXPECT_THROW(model_io::write_string(buffer, "two words"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,85 @@
+// Structural invariants of TreeModel over randomized inputs: well-formed
+// node links, thresholds within the feature range, leaf values in [0,1] for
+// classification targets, and prediction consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/generators.h"
+#include "ml/tree/tree_model.h"
+
+namespace mlaas {
+namespace {
+
+class TreeInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeInvariants, StructureIsWellFormed) {
+  MakeClassificationOptions opt;
+  opt.n_samples = 150 + (GetParam() % 5) * 60;
+  opt.n_features = 3 + (GetParam() % 7);
+  opt.n_informative = 2;
+  opt.n_redundant = 0;
+  opt.flip_y = 0.1;
+  const Dataset ds = make_classification(opt, GetParam());
+  std::vector<double> targets(ds.n_samples());
+  for (std::size_t i = 0; i < targets.size(); ++i) targets[i] = ds.y()[i];
+
+  TreeOptions topt;
+  topt.max_depth = 1 + GetParam() % 12;
+  topt.min_samples_leaf = 1 + GetParam() % 5;
+  topt.seed = GetParam();
+  TreeModel tree;
+  tree.fit(ds.x(), targets, {}, topt);
+
+  const auto& nodes = tree.nodes();
+  ASSERT_FALSE(nodes.empty());
+  std::set<int> referenced;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& node = nodes[i];
+    if (node.feature >= 0) {
+      // Internal node: valid feature, children in range and after parent
+      // (breadth-first construction), threshold finite.
+      EXPECT_LT(node.feature, static_cast<int>(ds.n_features()));
+      EXPECT_TRUE(std::isfinite(node.threshold));
+      ASSERT_GT(node.left, static_cast<int>(i));
+      ASSERT_GT(node.right, static_cast<int>(i));
+      ASSERT_LT(node.left, static_cast<int>(nodes.size()));
+      ASSERT_LT(node.right, static_cast<int>(nodes.size()));
+      EXPECT_TRUE(referenced.insert(node.left).second);
+      EXPECT_TRUE(referenced.insert(node.right).second);
+    } else {
+      // Classification leaf values are class-1 fractions.
+      EXPECT_GE(node.value, 0.0);
+      EXPECT_LE(node.value, 1.0);
+      EXPECT_GE(node.n_samples, topt.min_samples_leaf);
+    }
+  }
+  // Every node except the root is referenced exactly once (it's a tree).
+  EXPECT_EQ(referenced.size(), nodes.size() - 1);
+  EXPECT_EQ(referenced.count(0), 0u);
+
+  // Depth invariant.
+  EXPECT_LE(tree.depth(), topt.max_depth);
+}
+
+TEST_P(TreeInvariants, PredictionsAreLeafValues) {
+  const Dataset ds = make_moons(200, 0.2, GetParam());
+  std::vector<double> targets(ds.n_samples());
+  for (std::size_t i = 0; i < targets.size(); ++i) targets[i] = ds.y()[i];
+  TreeModel tree;
+  tree.fit(ds.x(), targets, {}, {});
+  std::set<double> leaf_values;
+  for (const auto& node : tree.nodes()) {
+    if (node.feature < 0) leaf_values.insert(node.value);
+  }
+  for (double p : tree.predict(ds.x())) {
+    EXPECT_TRUE(leaf_values.count(p) > 0) << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace mlaas

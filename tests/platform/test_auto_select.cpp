@@ -1,0 +1,55 @@
+#include "platform/auto_select.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace mlaas {
+namespace {
+
+TEST(AutoSelect, PicksNonLinearOnCircles) {
+  const Dataset circle = make_circle_probe(1, 600);
+  const auto result = auto_select_family(circle, {}, 1);
+  EXPECT_EQ(result.family, ClassifierFamily::kNonLinear);
+  EXPECT_GT(result.nonlinear_cv_f, result.linear_cv_f);
+}
+
+TEST(AutoSelect, PicksLinearOnCleanLinearData) {
+  const Dataset blob = make_blobs(600, 4, 0.8, 6.0, 2);
+  const auto result = auto_select_family(blob, {}, 2);
+  EXPECT_EQ(result.family, ClassifierFamily::kLinear);
+}
+
+TEST(AutoSelect, LinearBiasBreaksNearTies) {
+  // With an overwhelming bias the non-linear arm can never win.
+  const Dataset circle = make_circle_probe(3, 400);
+  AutoSelectOptions options;
+  options.linear_bias = 10.0;
+  const auto result = auto_select_family(circle, options, 3);
+  EXPECT_EQ(result.family, ClassifierFamily::kLinear);
+}
+
+TEST(AutoSelect, SubsamplesLargeInputs) {
+  // Functional check: a large dataset still resolves quickly and correctly.
+  const Dataset circle = make_circle_probe(4, 3000);
+  AutoSelectOptions options;
+  options.max_probe_samples = 200;
+  const auto result = auto_select_family(circle, options, 4);
+  EXPECT_EQ(result.family, ClassifierFamily::kNonLinear);
+}
+
+TEST(AutoSelect, DeterministicForSeed) {
+  const Dataset ds = make_moons(300, 0.2, 5);
+  const auto a = auto_select_family(ds, {}, 9);
+  const auto b = auto_select_family(ds, {}, 9);
+  EXPECT_EQ(a.family, b.family);
+  EXPECT_DOUBLE_EQ(a.linear_cv_f, b.linear_cv_f);
+}
+
+TEST(FamilyToString, Names) {
+  EXPECT_EQ(to_string(ClassifierFamily::kLinear), "linear");
+  EXPECT_EQ(to_string(ClassifierFamily::kNonLinear), "non-linear");
+}
+
+}  // namespace
+}  // namespace mlaas

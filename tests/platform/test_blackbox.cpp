@@ -1,0 +1,79 @@
+// Black-box platform behaviour (§6.1): Google and ABM must switch classifier
+// families between CIRCLE and LINEAR, and Amazon's binned logistic
+// regression must produce a non-linear boundary on CIRCLE (Figure 13).
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/split.h"
+#include "eval/boundary.h"
+#include "ml/metrics.h"
+#include "platform/all_platforms.h"
+
+namespace mlaas {
+namespace {
+
+TEST(BlackBox, GoogleSolvesCircle) {
+  const Dataset circle = make_circle_probe(1, 600);
+  const auto split = train_test_split(circle, 0.3, 1);
+  const auto google = make_platform("Google");
+  const auto model = google->train(split.train, {}, 1);
+  EXPECT_GT(accuracy_score(split.test.y(), model->predict(split.test.x())), 0.9);
+}
+
+TEST(BlackBox, AbmSolvesCircle) {
+  const Dataset circle = make_circle_probe(2, 600);
+  const auto split = train_test_split(circle, 0.3, 2);
+  const auto abm = make_platform("ABM");
+  const auto model = abm->train(split.train, {}, 2);
+  EXPECT_GT(accuracy_score(split.test.y(), model->predict(split.test.x())), 0.85);
+}
+
+TEST(BlackBox, GoogleBoundaryNonLinearOnCircleLinearOnLinear) {
+  const auto google = make_platform("Google");
+  const auto circle_map = probe_decision_boundary(*google, make_circle_probe(3, 600), 3);
+  const auto linear_map = probe_decision_boundary(*google, make_linear_probe(3, 600), 3);
+  EXPECT_FALSE(boundary_is_linear(circle_map));
+  EXPECT_TRUE(boundary_is_linear(linear_map));
+}
+
+TEST(BlackBox, AbmBoundaryNonLinearOnCircleLinearOnLinear) {
+  const auto abm = make_platform("ABM");
+  const auto circle_map = probe_decision_boundary(*abm, make_circle_probe(4, 600), 4);
+  const auto linear_map = probe_decision_boundary(*abm, make_linear_probe(4, 600), 4);
+  EXPECT_FALSE(boundary_is_linear(circle_map));
+  EXPECT_TRUE(boundary_is_linear(linear_map));
+}
+
+TEST(BlackBox, AmazonBoundaryNonLinearOnCircle) {
+  // Figure 13: despite the documented LR classifier, Amazon's quantile
+  // binning yields a non-linear boundary on CIRCLE.
+  const auto amazon = make_platform("Amazon");
+  const auto map = probe_decision_boundary(*amazon, make_circle_probe(5, 600), 5);
+  EXPECT_FALSE(boundary_is_linear(map));
+}
+
+TEST(BlackBox, BoundaryMapCoversMesh) {
+  const auto google = make_platform("Google");
+  const auto map = probe_decision_boundary(*google, make_circle_probe(6, 400), 6, 50);
+  EXPECT_EQ(map.resolution, 50);
+  EXPECT_EQ(map.labels.size(), 2500u);
+  EXPECT_GT(map.positive_fraction, 0.05);
+  EXPECT_LT(map.positive_fraction, 0.95);
+}
+
+TEST(BlackBox, RenderBoundaryShowsBothClasses) {
+  const auto abm = make_platform("ABM");
+  const auto map = probe_decision_boundary(*abm, make_circle_probe(7, 400), 7, 60);
+  const std::string art = render_boundary(map, 30);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(Boundary, RequiresTwoFeatures) {
+  const auto google = make_platform("Google");
+  const Dataset high_dim = make_blobs(100, 5, 1.0, 5.0, 8);
+  EXPECT_THROW(probe_decision_boundary(*google, high_dim, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlaas

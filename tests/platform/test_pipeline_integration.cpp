@@ -1,0 +1,113 @@
+// Integration sweep: every FEAT step of the configurable platforms crossed
+// with representative classifiers must produce a working pipeline whose
+// accuracy stays above chance.  This catches shape mismatches between
+// transformers and classifiers (e.g. Fisher-LDA extraction reducing to one
+// column) that unit tests of either side would miss.
+#include <gtest/gtest.h>
+
+#include "platform/all_platforms.h"
+#include "tests/ml/test_helpers.h"
+
+namespace mlaas {
+namespace {
+
+struct PipelineCase {
+  std::string platform;
+  std::string feature_step;
+  std::string classifier;
+};
+
+void PrintTo(const PipelineCase& c, std::ostream* os) {
+  *os << c.platform << "/" << c.feature_step << "/" << c.classifier;
+}
+
+std::vector<PipelineCase> all_feat_clf_cases() {
+  std::vector<PipelineCase> cases;
+  for (const auto& platform_name : {"Microsoft", "Local"}) {
+    const auto platform = make_platform(platform_name);
+    const ControlSurface surface = platform->controls();
+    for (const auto& feat : surface.feature_steps) {
+      // One linear + one tree classifier per FEAT step keeps runtime sane
+      // while exercising every transformer.
+      cases.push_back({platform_name, feat, "logistic_regression"});
+      cases.push_back({platform_name, feat,
+                       surface.find("boosted_trees") ? "boosted_trees" : "decision_tree"});
+    }
+  }
+  return cases;
+}
+
+class FeatClfPipeline : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(FeatClfPipeline, TrainsAndStaysAboveChance) {
+  const PipelineCase& c = GetParam();
+  const auto platform = make_platform(c.platform);
+  // 12-feature problem with redundancy: every filter keeps something useful.
+  MakeClassificationOptions opt;
+  opt.n_samples = 240;
+  opt.n_features = 12;
+  opt.n_informative = 6;
+  opt.n_redundant = 3;
+  opt.class_sep = 1.5;
+  const Dataset ds = make_classification(opt, 7);
+  const auto split = train_test_split(ds, 0.3, 7);
+
+  PipelineConfig config;
+  config.feature_step = c.feature_step;
+  config.classifier = c.classifier;
+  const auto model = platform->train(split.train, config, 1);
+  const double acc = accuracy_score(split.test.y(), model->predict(split.test.x()));
+  EXPECT_GT(acc, 0.65) << c.platform << " " << c.feature_step << " " << c.classifier;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFeatSteps, FeatClfPipeline,
+                         ::testing::ValuesIn(all_feat_clf_cases()),
+                         [](const ::testing::TestParamInfo<PipelineCase>& info) {
+                           std::string name = info.param.platform + "_" +
+                                              info.param.feature_step + "_" +
+                                              info.param.classifier;
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(PipelineIntegration, ParamsReachTheClassifier) {
+  // A BigML random forest with 1 estimator vs 32 must differ in behaviour
+  // on a noisy problem (variance reduction), proving PARA plumbing works.
+  const auto bigml = make_platform("BigML");
+  const Dataset noisy = make_circles(400, 0.25, 0.5, 11);
+  const auto split = train_test_split(noisy, 0.3, 11);
+
+  auto eval = [&](long long n_estimators) {
+    PipelineConfig config;
+    config.classifier = "random_forest";
+    config.params.set("n_estimators", n_estimators);
+    double acc = 0.0;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const auto model = bigml->train(split.train, config, seed);
+      acc += accuracy_score(split.test.y(), model->predict(split.test.x()));
+    }
+    return acc / 3.0;
+  };
+  EXPECT_GE(eval(32), eval(1) - 0.02);
+}
+
+TEST(PipelineIntegration, FeatureStepAppliedAtPredictTime) {
+  // Fisher-LDA reduces to 1 feature; prediction on raw 12-feature inputs
+  // must still work (transform applied inside the model).
+  const auto microsoft = make_platform("Microsoft");
+  MakeClassificationOptions opt;
+  opt.n_samples = 200;
+  opt.n_features = 12;
+  opt.n_informative = 6;
+  const Dataset ds = make_classification(opt, 13);
+  PipelineConfig config;
+  config.feature_step = "fisher_lda";
+  config.classifier = "logistic_regression";
+  const auto model = microsoft->train(ds, config, 1);
+  EXPECT_EQ(model->predict(ds.x()).size(), ds.n_samples());
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "platform/all_platforms.h"
+#include "tests/ml/test_helpers.h"
+
+namespace mlaas {
+namespace {
+
+using testing::circles;
+using testing::separable;
+
+TEST(AllPlatforms, SevenInComplexityOrder) {
+  const auto platforms = make_all_platforms();
+  ASSERT_EQ(platforms.size(), 7u);
+  for (std::size_t i = 1; i < platforms.size(); ++i) {
+    EXPECT_LT(platforms[i - 1]->complexity_rank(), platforms[i]->complexity_rank());
+  }
+  EXPECT_EQ(platforms.front()->name(), "Google");
+  EXPECT_EQ(platforms.back()->name(), "Local");
+}
+
+TEST(AllPlatforms, FactoryByName) {
+  for (const auto& name : platform_names()) {
+    EXPECT_EQ(make_platform(name)->name(), name);
+  }
+  EXPECT_THROW(make_platform("Oracle"), std::invalid_argument);
+}
+
+TEST(ControlSurfaces, MatchFigure1Checkmarks) {
+  // Figure 1/Table 1: which pipeline steps each platform exposes.
+  struct Expected {
+    const char* name;
+    bool feat, clf, para;
+    std::size_t n_classifiers;
+  };
+  const Expected expected[] = {
+      {"Google", false, false, false, 0},   {"ABM", false, false, false, 0},
+      {"Amazon", false, false, true, 1},    {"BigML", false, true, true, 4},
+      {"PredictionIO", false, true, true, 3}, {"Microsoft", true, true, true, 7},
+      {"Local", true, true, true, 10},
+  };
+  for (const auto& e : expected) {
+    const auto platform = make_platform(e.name);
+    const ControlSurface s = platform->controls();
+    EXPECT_EQ(s.feature_selection, e.feat) << e.name;
+    EXPECT_EQ(s.classifier_choice, e.clf) << e.name;
+    EXPECT_EQ(s.parameter_tuning, e.para) << e.name;
+    EXPECT_EQ(s.classifiers.size(), e.n_classifiers) << e.name;
+  }
+}
+
+TEST(ControlSurfaces, MicrosoftHasEightFeatureMethods) {
+  const ControlSurface s = make_platform("Microsoft")->controls();
+  EXPECT_EQ(s.feature_steps.size(), 8u);
+}
+
+TEST(ControlSurfaces, LocalHasEightFeatureMethods) {
+  const ControlSurface s = make_platform("Local")->controls();
+  EXPECT_EQ(s.feature_steps.size(), 8u);
+}
+
+TEST(BaselineConfig, WhiteBoxDefaultsToLogisticRegression) {
+  for (const auto& name : {"Amazon", "BigML", "PredictionIO", "Microsoft", "Local"}) {
+    const auto config = make_platform(name)->baseline_config();
+    if (std::string(name) == "Amazon") {
+      EXPECT_TRUE(config.classifier.empty() || config.classifier == "logistic_regression");
+    } else {
+      EXPECT_EQ(config.classifier, "logistic_regression") << name;
+    }
+  }
+}
+
+TEST(BaselineConfig, BlackBoxIsEmpty) {
+  for (const auto& name : {"Google", "ABM"}) {
+    const auto config = make_platform(name)->baseline_config();
+    EXPECT_TRUE(config.classifier.empty()) << name;
+    EXPECT_TRUE(config.params.empty()) << name;
+  }
+}
+
+class PlatformTrainTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlatformTrainTest, BaselineTrainsAndPredicts) {
+  const auto platform = make_platform(GetParam());
+  const Dataset ds = separable(200, 31);
+  const auto model = platform->train(ds, platform->baseline_config(), 1);
+  const auto labels = model->predict(ds.x());
+  EXPECT_EQ(labels.size(), ds.n_samples());
+  EXPECT_GT(accuracy_score(ds.y(), labels), 0.85) << GetParam();
+}
+
+TEST_P(PlatformTrainTest, RejectsUnsupportedControls) {
+  const auto platform = make_platform(GetParam());
+  const ControlSurface s = platform->controls();
+  const Dataset ds = separable(60, 32);
+  if (!s.feature_selection) {
+    PipelineConfig config = platform->baseline_config();
+    config.feature_step = "filter_pearson";
+    EXPECT_THROW(platform->train(ds, config, 1), std::invalid_argument) << GetParam();
+  }
+  if (!s.classifier_choice) {
+    PipelineConfig config;
+    config.classifier = "mlp";
+    EXPECT_THROW(platform->train(ds, config, 1), std::invalid_argument) << GetParam();
+  }
+}
+
+TEST_P(PlatformTrainTest, UnknownClassifierRejected) {
+  const auto platform = make_platform(GetParam());
+  if (!platform->controls().classifier_choice) return;
+  PipelineConfig config;
+  config.classifier = "quantum_svm";
+  EXPECT_THROW(platform->train(separable(60, 33), config, 1), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, PlatformTrainTest,
+                         ::testing::ValuesIn(platform_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(PipelineConfig, KeyIsCanonical) {
+  PipelineConfig config;
+  EXPECT_EQ(config.key(), "none|auto|");
+  config.feature_step = "filter_pearson";
+  config.classifier = "decision_tree";
+  config.params.set("max_depth", 5LL);
+  EXPECT_EQ(config.key(), "filter_pearson|decision_tree|max_depth=5");
+}
+
+TEST(Microsoft, FeatureSelectionPipelineWorks) {
+  const auto platform = make_platform("Microsoft");
+  PipelineConfig config;
+  config.feature_step = "filter_fisher";
+  config.classifier = "boosted_trees";
+  const Dataset ds = circles(300, 34);
+  const auto model = platform->train(ds, config, 1);
+  EXPECT_GT(accuracy_score(ds.y(), model->predict(ds.x())), 0.85);
+}
+
+TEST(Microsoft, HeavyDefaultRegularizationWeakensBaseline) {
+  // The paper found Microsoft's default LR the weakest baseline (Table 3a);
+  // our simulator reproduces the mechanism via strong default L2.
+  const Dataset hard = make_sparse_linear(300, 25, 6, 0.1, 35);
+  const auto microsoft = make_platform("Microsoft");
+  const auto local = make_platform("Local");
+  const auto split = train_test_split(hard, 0.3, 7);
+  const auto m_model = microsoft->train(split.train, microsoft->baseline_config(), 1);
+  const auto l_model = local->train(split.train, local->baseline_config(), 1);
+  const double m_acc = accuracy_score(split.test.y(), m_model->predict(split.test.x()));
+  const double l_acc = accuracy_score(split.test.y(), l_model->predict(split.test.x()));
+  EXPECT_LE(m_acc, l_acc + 0.05);
+}
+
+TEST(PredictionIo, DoesNotExposeScores) {
+  const auto platform = make_platform("PredictionIO");
+  const Dataset ds = separable(100, 36);
+  const auto model = platform->train(ds, platform->baseline_config(), 1);
+  EXPECT_FALSE(model->exposes_scores());
+  EXPECT_THROW(model->predict_score(ds.x()), std::logic_error);
+}
+
+TEST(Local, ExposesScores) {
+  const auto platform = make_platform("Local");
+  const Dataset ds = separable(100, 37);
+  const auto model = platform->train(ds, platform->baseline_config(), 1);
+  EXPECT_TRUE(model->exposes_scores());
+  for (double s : model->predict_score(ds.x())) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mlaas

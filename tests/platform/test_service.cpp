@@ -1,0 +1,152 @@
+#include "platform/service.h"
+
+#include "platform/all_platforms.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "ml/metrics.h"
+
+namespace mlaas {
+namespace {
+
+Dataset small_data(std::uint64_t seed = 1) { return make_blobs(80, 3, 0.8, 5.0, seed); }
+
+MlaasService make_service(ServiceQuota quota = {}, const std::string& platform = "Local",
+                          std::uint64_t seed = 1) {
+  return MlaasService(make_platform(platform), quota, seed);
+}
+
+TEST(Service, EndToEndFlowWorks) {
+  auto service = make_service();
+  std::string ds, model;
+  ASSERT_EQ(service.upload(small_data(), &ds), ServiceStatus::kOk);
+  ASSERT_EQ(service.train(ds, PipelineConfig{}, &model), ServiceStatus::kOk);
+  std::vector<int> labels;
+  const Dataset query = small_data(1);  // same generating process as train
+  ASSERT_EQ(service.predict(model, query.x(), &labels), ServiceStatus::kOk);
+  EXPECT_EQ(labels.size(), query.n_samples());
+  EXPECT_GT(accuracy_score(query.y(), labels), 0.8);
+}
+
+TEST(Service, UnknownHandlesAreNotFound) {
+  auto service = make_service();
+  std::string model;
+  EXPECT_EQ(service.train("ds-404", {}, &model), ServiceStatus::kNotFound);
+  std::vector<int> labels;
+  EXPECT_EQ(service.predict("model-404", small_data().x(), &labels),
+            ServiceStatus::kNotFound);
+}
+
+TEST(Service, BadConfigIsBadRequest) {
+  auto service = make_service({}, "Amazon");
+  std::string ds, model;
+  ASSERT_EQ(service.upload(small_data(), &ds), ServiceStatus::kOk);
+  PipelineConfig config;
+  config.classifier = "mlp";  // Amazon: classifier is fixed
+  EXPECT_EQ(service.train(ds, config, &model), ServiceStatus::kBadRequest);
+}
+
+TEST(Service, RateLimitKicksInWithinWindow) {
+  ServiceQuota quota;
+  quota.requests_per_window = 3;
+  quota.window_seconds = 1e9;  // effectively never drains
+  auto service = make_service(quota);
+  std::string ds;
+  EXPECT_EQ(service.upload(small_data(1), &ds), ServiceStatus::kOk);
+  EXPECT_EQ(service.upload(small_data(2), &ds), ServiceStatus::kOk);
+  EXPECT_EQ(service.upload(small_data(3), &ds), ServiceStatus::kOk);
+  EXPECT_EQ(service.upload(small_data(4), &ds), ServiceStatus::kRateLimited);
+  EXPECT_EQ(service.stats().rate_limited, 1u);
+}
+
+TEST(Service, RateLimitDrainsWithTheClock) {
+  ServiceQuota quota;
+  quota.requests_per_window = 1;
+  quota.window_seconds = 10.0;
+  auto service = make_service(quota);
+  std::string ds;
+  EXPECT_EQ(service.upload(small_data(1), &ds), ServiceStatus::kOk);
+  EXPECT_EQ(service.upload(small_data(2), &ds), ServiceStatus::kRateLimited);
+  service.advance_clock(11.0);
+  EXPECT_EQ(service.upload(small_data(3), &ds), ServiceStatus::kOk);
+}
+
+TEST(Service, TrainingQuotaIsPermanent) {
+  ServiceQuota quota;
+  quota.max_training_jobs = 1;
+  auto service = make_service(quota);
+  std::string ds, model;
+  ASSERT_EQ(service.upload(small_data(), &ds), ServiceStatus::kOk);
+  ASSERT_EQ(service.train(ds, {}, &model), ServiceStatus::kOk);
+  EXPECT_EQ(service.train(ds, {}, &model), ServiceStatus::kQuotaExhausted);
+}
+
+TEST(Service, ClockAdvancesWithLatencyModel) {
+  ServiceQuota quota;
+  quota.base_latency_seconds = 1.0;
+  quota.per_sample_latency_seconds = 0.01;
+  auto service = make_service(quota);
+  std::string ds;
+  ASSERT_EQ(service.upload(small_data(), &ds), ServiceStatus::kOk);  // 80 samples
+  EXPECT_NEAR(service.now(), 1.0 + 0.8, 1e-9);
+}
+
+TEST(Service, FaultInjectionIsDeterministic) {
+  ServiceQuota quota;
+  quota.fault_rate = 0.5;
+  auto a = make_service(quota, "Local", 7);
+  auto b = make_service(quota, "Local", 7);
+  std::string ha, hb;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.upload(small_data(), &ha), b.upload(small_data(), &hb));
+  }
+  EXPECT_GT(a.stats().transient_errors, 0u);
+}
+
+TEST(RetryingClientTest, SucceedsDespiteTransientFaults) {
+  ServiceQuota quota;
+  quota.fault_rate = 0.4;
+  auto service = make_service(quota, "Local", 11);
+  RetryingClient client(service, /*max_attempts=*/8);
+  const Dataset train = small_data(1);
+  const auto labels = client.train_and_predict(train, {}, train.x());
+  ASSERT_TRUE(labels.has_value());
+  EXPECT_GT(accuracy_score(train.y(), *labels), 0.8);
+  EXPECT_GT(client.total_retries(), 0u);
+}
+
+TEST(RetryingClientTest, BacksOffThroughRateLimits) {
+  ServiceQuota quota;
+  quota.requests_per_window = 1;
+  quota.window_seconds = 2.0;  // backoff (1s, 2s, ...) outlasts the window
+  auto service = make_service(quota);
+  RetryingClient client(service, /*max_attempts=*/6);
+  const Dataset train = small_data(1);
+  const auto labels = client.train_and_predict(train, {}, train.x());
+  ASSERT_TRUE(labels.has_value());
+  EXPECT_GT(client.total_retries(), 0u);
+}
+
+TEST(RetryingClientTest, PermanentErrorsAreNotRetried) {
+  ServiceQuota quota;
+  quota.max_training_jobs = 0;
+  auto service = make_service(quota, "Amazon");
+  RetryingClient client(service);
+  PipelineConfig bad;
+  bad.classifier = "mlp";
+  const Dataset train = small_data(1);
+  const auto before = service.stats().requests;
+  EXPECT_FALSE(client.train_and_predict(train, bad, train.x()).has_value());
+  // upload + exactly one train attempt (no retries of kBadRequest).
+  EXPECT_EQ(service.stats().requests, before + 2);
+}
+
+TEST(ServiceStatusTest, Names) {
+  EXPECT_EQ(to_string(ServiceStatus::kOk), "ok");
+  EXPECT_EQ(to_string(ServiceStatus::kRateLimited), "rate-limited");
+  EXPECT_EQ(to_string(ServiceStatus::kQuotaExhausted), "quota-exhausted");
+}
+
+}  // namespace
+}  // namespace mlaas

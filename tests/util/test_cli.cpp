@@ -1,0 +1,49 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace mlaas {
+namespace {
+
+CliFlags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliFlags, ParsesSpaceSeparated) {
+  const auto flags = parse({"--seed", "99"});
+  EXPECT_EQ(flags.int_or("seed", 0), 99);
+}
+
+TEST(CliFlags, ParsesEqualsForm) {
+  const auto flags = parse({"--scale=2.5"});
+  EXPECT_DOUBLE_EQ(flags.double_or("scale", 1.0), 2.5);
+}
+
+TEST(CliFlags, BareFlagIsTrue) {
+  const auto flags = parse({"--quick"});
+  EXPECT_TRUE(flags.bool_or("quick", false));
+}
+
+TEST(CliFlags, MissingUsesDefault) {
+  const auto flags = parse({});
+  EXPECT_EQ(flags.get_or("name", "def"), "def");
+  EXPECT_EQ(flags.int_or("n", 7), 7);
+  EXPECT_FALSE(flags.get("anything").has_value());
+}
+
+TEST(CliFlags, RejectsPositional) {
+  EXPECT_THROW(parse({"positional"}), std::invalid_argument);
+}
+
+TEST(BenchOptions, ParsesAll) {
+  std::vector<const char*> argv{"prog", "--seed", "5", "--scale", "0.5", "--quick"};
+  const auto opt = parse_bench_options(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(opt.seed, 5u);
+  EXPECT_DOUBLE_EQ(opt.scale, 0.5);
+  EXPECT_TRUE(opt.quick);
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mlaas {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "2"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"only-one"});
+  EXPECT_NE(t.str().find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlignAcrossRows) {
+  TextTable t({"X", "Y"});
+  t.add_row({"short", "1"});
+  t.add_row({"much-longer-cell", "2"});
+  const std::string s = t.str();
+  // All lines must share the same width.
+  std::size_t expected = s.find('\n');
+  for (std::size_t pos = 0; pos < s.size();) {
+    const std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, expected);
+    pos = next + 1;
+  }
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(0.12345, 3), "0.123");
+  EXPECT_EQ(fmt(2.0, 1), "2.0");
+}
+
+TEST(Fmt, WithRank) { EXPECT_EQ(fmt_with_rank(0.748, 250.5), "0.748 (250.5)"); }
+
+TEST(Fmt, Percent) { EXPECT_EQ(fmt_pct(0.146), "14.6%"); }
+
+TEST(RenderCdf, MonotoneOutput) {
+  const std::string s = render_cdf({5.0, 1.0, 3.0, 2.0, 4.0}, 5, "v");
+  EXPECT_NE(s.find("v\tCDF"), std::string::npos);
+  EXPECT_NE(s.find("5.0000\t1.000"), std::string::npos);
+}
+
+TEST(RenderCdf, EmptyInput) { EXPECT_EQ(render_cdf({}, 5), "(empty)\n"); }
+
+TEST(AsciiCanvas, PlotsWithinBounds) {
+  AsciiCanvas canvas(10, 5, 0.0, 1.0, 0.0, 1.0);
+  canvas.plot(0.05, 0.9, '#');
+  canvas.plot(5.0, 5.0, 'X');  // out of bounds, ignored
+  const std::string s = canvas.str();
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_EQ(s.find('X'), std::string::npos);
+}
+
+TEST(AsciiCanvas, VerticalOrientationFlipped) {
+  AsciiCanvas canvas(3, 3, 0.0, 1.0, 0.0, 1.0);
+  canvas.plot(0.1, 0.9, 'T');  // high y should appear on the first line
+  const std::string s = canvas.str();
+  EXPECT_LT(s.find('T'), s.find('\n'));
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,145 @@
+// mlaas_cli — command-line front end for the library.
+//
+//   mlaas_cli list
+//       Platforms, their control surfaces, classifiers and feature steps.
+//   mlaas_cli train --csv data.csv --platform Microsoft
+//              [--clf boosted_trees] [--feat filter_fisher]
+//              [--params "n_estimators=80,learning_rate=0.1"]
+//              [--test-fraction 0.3] [--seed 42] [--label-column -1]
+//       Load a CSV (last column = label by default), 70/30 split, train the
+//       configured pipeline, print test metrics.
+//   mlaas_cli probe --platform Google [--seed 42]
+//       Decision-boundary probe on the CIRCLE and LINEAR datasets (§6.1).
+//   mlaas_cli corpus --out DIR [--seed 42] [--n 119]
+//       Write the synthetic study corpus as CSV files.
+#include <filesystem>
+#include <iostream>
+
+#include "data/corpus.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "data/split.h"
+#include "eval/boundary.h"
+#include "ml/metrics.h"
+#include "platform/all_platforms.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mlaas;
+
+int cmd_list() {
+  TextTable t({"Platform", "FEAT steps", "Classifiers", "Tunable params"});
+  for (const auto& name : platform_names()) {
+    const ControlSurface s = make_platform(name)->controls();
+    std::string classifiers;
+    std::size_t n_params = 0;
+    for (const auto& spec : s.classifiers) {
+      if (!classifiers.empty()) classifiers += ", ";
+      classifiers += classifier_abbrev(spec.classifier);
+      n_params += spec.params.size();
+    }
+    t.add_row({name, std::to_string(s.feature_steps.size()),
+               classifiers.empty() ? "(automated)" : classifiers,
+               std::to_string(n_params)});
+  }
+  std::cout << t.str();
+  std::cout << "\nClassifier registry: ";
+  for (const auto& name : classifier_names()) std::cout << name << " ";
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_train(const CliFlags& flags) {
+  const auto csv_path = flags.get("csv");
+  if (!csv_path) {
+    std::cerr << "train: --csv FILE is required\n";
+    return 2;
+  }
+  CsvOptions csv_options;
+  csv_options.label_column = static_cast<int>(flags.int_or("label-column", -1));
+  const Dataset dataset = load_csv_file(*csv_path, csv_options);
+
+  const std::string platform_name = flags.get_or("platform", "Local");
+  const auto platform = make_platform(platform_name);
+  PipelineConfig config;
+  config.feature_step = flags.get_or("feat", "");
+  config.classifier = flags.get_or("clf", "");
+  config.params = parse_params(flags.get_or("params", ""));
+
+  const auto seed = static_cast<std::uint64_t>(flags.int_or("seed", 42));
+  const double test_fraction = flags.double_or("test-fraction", 0.3);
+  const auto split = train_test_split(dataset, test_fraction, seed);
+
+  const auto model = platform->train(split.train, config, seed);
+  const Metrics m = compute_metrics(split.test.y(), model->predict(split.test.x()));
+
+  std::cout << "dataset:   " << *csv_path << " (" << dataset.n_samples() << " x "
+            << dataset.n_features() << ")\n"
+            << "platform:  " << platform_name << "\n"
+            << "config:    " << config.key() << "\n"
+            << "train/test: " << split.train.n_samples() << "/" << split.test.n_samples()
+            << "\n\n";
+  TextTable t({"Metric", "Value"});
+  t.add_row({"F-score", fmt(m.f_score)});
+  t.add_row({"Accuracy", fmt(m.accuracy)});
+  t.add_row({"Precision", fmt(m.precision)});
+  t.add_row({"Recall", fmt(m.recall)});
+  std::cout << t.str();
+  return 0;
+}
+
+int cmd_probe(const CliFlags& flags) {
+  const std::string platform_name = flags.get_or("platform", "Google");
+  const auto platform = make_platform(platform_name);
+  const auto seed = static_cast<std::uint64_t>(flags.int_or("seed", 42));
+  for (const bool is_circle : {true, false}) {
+    const Dataset probe =
+        is_circle ? make_circle_probe(seed) : make_linear_probe(seed);
+    const BoundaryMap map = probe_decision_boundary(*platform, probe, seed);
+    std::cout << platform_name << " on " << probe.meta().name << ":\n"
+              << render_boundary(map, 44) << "linear-fit accuracy "
+              << fmt(map.linear_fit_accuracy) << " -> "
+              << (boundary_is_linear(map) ? "LINEAR" : "NON-LINEAR") << "\n\n";
+  }
+  return 0;
+}
+
+int cmd_corpus(const CliFlags& flags) {
+  const std::string out_dir = flags.get_or("out", "corpus_csv");
+  CorpusOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.int_or("seed", 42));
+  options.n_datasets = static_cast<std::size_t>(flags.int_or("n", 119));
+  std::filesystem::create_directories(out_dir);
+  const auto corpus = build_corpus(options);
+  for (const auto& ds : corpus) {
+    save_csv_file(ds, out_dir + "/" + ds.meta().id + ".csv");
+  }
+  std::cout << "wrote " << corpus.size() << " datasets to " << out_dir << "/\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: mlaas_cli <list|train|probe|corpus> [flags]\n"
+               "  see the header comment of tools/mlaas_cli.cpp for details\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const CliFlags flags(argc - 1, argv + 1);
+    if (command == "list") return cmd_list();
+    if (command == "train") return cmd_train(flags);
+    if (command == "probe") return cmd_probe(flags);
+    if (command == "corpus") return cmd_corpus(flags);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "mlaas_cli: " << e.what() << "\n";
+    return 1;
+  }
+}

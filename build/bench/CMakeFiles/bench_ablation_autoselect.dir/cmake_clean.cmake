@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_autoselect.dir/bench_ablation_autoselect.cpp.o"
+  "CMakeFiles/bench_ablation_autoselect.dir/bench_ablation_autoselect.cpp.o.d"
+  "bench_ablation_autoselect"
+  "bench_ablation_autoselect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_autoselect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

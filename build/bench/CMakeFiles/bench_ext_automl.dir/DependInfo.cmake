@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_automl.cpp" "bench/CMakeFiles/bench_ext_automl.dir/bench_ext_automl.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_automl.dir/bench_ext_automl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlaas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_automl.dir/bench_ext_automl.cpp.o"
+  "CMakeFiles/bench_ext_automl.dir/bench_ext_automl.cpp.o.d"
+  "bench_ext_automl"
+  "bench_ext_automl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_automl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_complexity.dir/bench_ext_complexity.cpp.o"
+  "CMakeFiles/bench_ext_complexity.dir/bench_ext_complexity.cpp.o.d"
+  "bench_ext_complexity"
+  "bench_ext_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_label_noise.dir/bench_ext_label_noise.cpp.o"
+  "CMakeFiles/bench_ext_label_noise.dir/bench_ext_label_noise.cpp.o.d"
+  "bench_ext_label_noise"
+  "bench_ext_label_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_label_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

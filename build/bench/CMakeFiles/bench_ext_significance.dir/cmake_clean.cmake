@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_significance.dir/bench_ext_significance.cpp.o"
+  "CMakeFiles/bench_ext_significance.dir/bench_ext_significance.cpp.o.d"
+  "bench_ext_significance"
+  "bench_ext_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

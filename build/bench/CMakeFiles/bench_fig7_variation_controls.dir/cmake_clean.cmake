@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_variation_controls.dir/bench_fig7_variation_controls.cpp.o"
+  "CMakeFiles/bench_fig7_variation_controls.dir/bench_fig7_variation_controls.cpp.o.d"
+  "bench_fig7_variation_controls"
+  "bench_fig7_variation_controls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_variation_controls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_subset.dir/bench_fig8_subset.cpp.o"
+  "CMakeFiles/bench_fig8_subset.dir/bench_fig8_subset.cpp.o.d"
+  "bench_fig8_subset"
+  "bench_fig8_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_blackbox_choices.dir/bench_sec62_blackbox_choices.cpp.o"
+  "CMakeFiles/bench_sec62_blackbox_choices.dir/bench_sec62_blackbox_choices.cpp.o.d"
+  "bench_sec62_blackbox_choices"
+  "bench_sec62_blackbox_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_blackbox_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_controls.dir/bench_table1_controls.cpp.o"
+  "CMakeFiles/bench_table1_controls.dir/bench_table1_controls.cpp.o.d"
+  "bench_table1_controls"
+  "bench_table1_controls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_controls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

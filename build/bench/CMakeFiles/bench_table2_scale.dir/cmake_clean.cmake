@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_scale.dir/bench_table2_scale.cpp.o"
+  "CMakeFiles/bench_table2_scale.dir/bench_table2_scale.cpp.o.d"
+  "bench_table2_scale"
+  "bench_table2_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_top_classifiers.dir/bench_table4_top_classifiers.cpp.o"
+  "CMakeFiles/bench_table4_top_classifiers.dir/bench_table4_top_classifiers.cpp.o.d"
+  "bench_table4_top_classifiers"
+  "bench_table4_top_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_top_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_fig14_naive.dir/bench_table6_fig14_naive.cpp.o"
+  "CMakeFiles/bench_table6_fig14_naive.dir/bench_table6_fig14_naive.cpp.o.d"
+  "bench_table6_fig14_naive"
+  "bench_table6_fig14_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_fig14_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_blackbox_probe.dir/blackbox_probe.cpp.o"
+  "CMakeFiles/example_blackbox_probe.dir/blackbox_probe.cpp.o.d"
+  "example_blackbox_probe"
+  "example_blackbox_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_blackbox_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_botnet_detection.dir/botnet_detection.cpp.o"
+  "CMakeFiles/example_botnet_detection.dir/botnet_detection.cpp.o.d"
+  "example_botnet_detection"
+  "example_botnet_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_botnet_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_feature_selection_pipeline.dir/feature_selection_pipeline.cpp.o"
+  "CMakeFiles/example_feature_selection_pipeline.dir/feature_selection_pipeline.cpp.o.d"
+  "example_feature_selection_pipeline"
+  "example_feature_selection_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_feature_selection_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

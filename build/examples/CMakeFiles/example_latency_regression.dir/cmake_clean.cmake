@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_latency_regression.dir/latency_regression.cpp.o"
+  "CMakeFiles/example_latency_regression.dir/latency_regression.cpp.o.d"
+  "example_latency_regression"
+  "example_latency_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_latency_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlaas_core.dir/core/study.cpp.o"
+  "CMakeFiles/mlaas_core.dir/core/study.cpp.o.d"
+  "libmlaas_core.a"
+  "libmlaas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlaas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/complexity.cpp" "src/CMakeFiles/mlaas_data.dir/data/complexity.cpp.o" "gcc" "src/CMakeFiles/mlaas_data.dir/data/complexity.cpp.o.d"
+  "/root/repo/src/data/corpus.cpp" "src/CMakeFiles/mlaas_data.dir/data/corpus.cpp.o" "gcc" "src/CMakeFiles/mlaas_data.dir/data/corpus.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/CMakeFiles/mlaas_data.dir/data/csv.cpp.o" "gcc" "src/CMakeFiles/mlaas_data.dir/data/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/mlaas_data.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/mlaas_data.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/generators.cpp" "src/CMakeFiles/mlaas_data.dir/data/generators.cpp.o" "gcc" "src/CMakeFiles/mlaas_data.dir/data/generators.cpp.o.d"
+  "/root/repo/src/data/preprocess.cpp" "src/CMakeFiles/mlaas_data.dir/data/preprocess.cpp.o" "gcc" "src/CMakeFiles/mlaas_data.dir/data/preprocess.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/CMakeFiles/mlaas_data.dir/data/split.cpp.o" "gcc" "src/CMakeFiles/mlaas_data.dir/data/split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlaas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlaas_data.dir/data/complexity.cpp.o"
+  "CMakeFiles/mlaas_data.dir/data/complexity.cpp.o.d"
+  "CMakeFiles/mlaas_data.dir/data/corpus.cpp.o"
+  "CMakeFiles/mlaas_data.dir/data/corpus.cpp.o.d"
+  "CMakeFiles/mlaas_data.dir/data/csv.cpp.o"
+  "CMakeFiles/mlaas_data.dir/data/csv.cpp.o.d"
+  "CMakeFiles/mlaas_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/mlaas_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/mlaas_data.dir/data/generators.cpp.o"
+  "CMakeFiles/mlaas_data.dir/data/generators.cpp.o.d"
+  "CMakeFiles/mlaas_data.dir/data/preprocess.cpp.o"
+  "CMakeFiles/mlaas_data.dir/data/preprocess.cpp.o.d"
+  "CMakeFiles/mlaas_data.dir/data/split.cpp.o"
+  "CMakeFiles/mlaas_data.dir/data/split.cpp.o.d"
+  "libmlaas_data.a"
+  "libmlaas_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlaas_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/aggregate.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/aggregate.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/aggregate.cpp.o.d"
+  "/root/repo/src/eval/attribution.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/attribution.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/attribution.cpp.o.d"
+  "/root/repo/src/eval/auto_tune.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/auto_tune.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/auto_tune.cpp.o.d"
+  "/root/repo/src/eval/boundary.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/boundary.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/boundary.cpp.o.d"
+  "/root/repo/src/eval/family.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/family.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/family.cpp.o.d"
+  "/root/repo/src/eval/family_predictor.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/family_predictor.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/family_predictor.cpp.o.d"
+  "/root/repo/src/eval/friedman.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/friedman.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/friedman.cpp.o.d"
+  "/root/repo/src/eval/measurement.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/measurement.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/measurement.cpp.o.d"
+  "/root/repo/src/eval/naive_strategy.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/naive_strategy.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/naive_strategy.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/report.cpp.o.d"
+  "/root/repo/src/eval/significance.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/significance.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/significance.cpp.o.d"
+  "/root/repo/src/eval/subset_analysis.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/subset_analysis.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/subset_analysis.cpp.o.d"
+  "/root/repo/src/eval/variation.cpp" "src/CMakeFiles/mlaas_eval.dir/eval/variation.cpp.o" "gcc" "src/CMakeFiles/mlaas_eval.dir/eval/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlaas_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlaas_eval.dir/eval/aggregate.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/aggregate.cpp.o.d"
+  "CMakeFiles/mlaas_eval.dir/eval/attribution.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/attribution.cpp.o.d"
+  "CMakeFiles/mlaas_eval.dir/eval/auto_tune.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/auto_tune.cpp.o.d"
+  "CMakeFiles/mlaas_eval.dir/eval/boundary.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/boundary.cpp.o.d"
+  "CMakeFiles/mlaas_eval.dir/eval/family.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/family.cpp.o.d"
+  "CMakeFiles/mlaas_eval.dir/eval/family_predictor.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/family_predictor.cpp.o.d"
+  "CMakeFiles/mlaas_eval.dir/eval/friedman.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/friedman.cpp.o.d"
+  "CMakeFiles/mlaas_eval.dir/eval/measurement.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/measurement.cpp.o.d"
+  "CMakeFiles/mlaas_eval.dir/eval/naive_strategy.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/naive_strategy.cpp.o.d"
+  "CMakeFiles/mlaas_eval.dir/eval/report.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/report.cpp.o.d"
+  "CMakeFiles/mlaas_eval.dir/eval/significance.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/significance.cpp.o.d"
+  "CMakeFiles/mlaas_eval.dir/eval/subset_analysis.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/subset_analysis.cpp.o.d"
+  "CMakeFiles/mlaas_eval.dir/eval/variation.cpp.o"
+  "CMakeFiles/mlaas_eval.dir/eval/variation.cpp.o.d"
+  "libmlaas_eval.a"
+  "libmlaas_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlaas_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlaas_eval.a"
+)

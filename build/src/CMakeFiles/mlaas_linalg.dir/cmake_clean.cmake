@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlaas_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/mlaas_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/mlaas_linalg.dir/linalg/stats.cpp.o"
+  "CMakeFiles/mlaas_linalg.dir/linalg/stats.cpp.o.d"
+  "CMakeFiles/mlaas_linalg.dir/linalg/vector_ops.cpp.o"
+  "CMakeFiles/mlaas_linalg.dir/linalg/vector_ops.cpp.o.d"
+  "libmlaas_linalg.a"
+  "libmlaas_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlaas_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/bayes/naive_bayes.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/bayes/naive_bayes.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/bayes/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/classifier.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/classifier.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/classifier.cpp.o.d"
+  "/root/repo/src/ml/feature/filters.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/feature/filters.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/feature/filters.cpp.o.d"
+  "/root/repo/src/ml/feature/scalers.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/feature/scalers.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/feature/scalers.cpp.o.d"
+  "/root/repo/src/ml/kernel/rbf_svm.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/kernel/rbf_svm.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/kernel/rbf_svm.cpp.o.d"
+  "/root/repo/src/ml/linear/averaged_perceptron.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/linear/averaged_perceptron.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/linear/averaged_perceptron.cpp.o.d"
+  "/root/repo/src/ml/linear/bayes_point_machine.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/linear/bayes_point_machine.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/linear/bayes_point_machine.cpp.o.d"
+  "/root/repo/src/ml/linear/lda.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/linear/lda.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/linear/lda.cpp.o.d"
+  "/root/repo/src/ml/linear/linear_svm.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/linear/linear_svm.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/linear/linear_svm.cpp.o.d"
+  "/root/repo/src/ml/linear/logistic_regression.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/linear/logistic_regression.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/linear/logistic_regression.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/model_selection/cross_validation.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/model_selection/cross_validation.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/model_selection/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/model_selection/grid_search.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/model_selection/grid_search.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/model_selection/grid_search.cpp.o.d"
+  "/root/repo/src/ml/model_selection/param_grid.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/model_selection/param_grid.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/model_selection/param_grid.cpp.o.d"
+  "/root/repo/src/ml/neighbors/knn.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/neighbors/knn.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/neighbors/knn.cpp.o.d"
+  "/root/repo/src/ml/neural/mlp.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/neural/mlp.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/neural/mlp.cpp.o.d"
+  "/root/repo/src/ml/params.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/params.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/params.cpp.o.d"
+  "/root/repo/src/ml/ranking_metrics.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/ranking_metrics.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/ranking_metrics.cpp.o.d"
+  "/root/repo/src/ml/registry.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/registry.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/registry.cpp.o.d"
+  "/root/repo/src/ml/regression/knn_regressor.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/regression/knn_regressor.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/regression/knn_regressor.cpp.o.d"
+  "/root/repo/src/ml/regression/linear_regression.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/regression/linear_regression.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/regression/linear_regression.cpp.o.d"
+  "/root/repo/src/ml/regression/registry.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/regression/registry.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/regression/registry.cpp.o.d"
+  "/root/repo/src/ml/regression/regression_metrics.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/regression/regression_metrics.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/regression/regression_metrics.cpp.o.d"
+  "/root/repo/src/ml/regression/tree_regressors.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/regression/tree_regressors.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/regression/tree_regressors.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/serialize.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/serialize.cpp.o.d"
+  "/root/repo/src/ml/tree/bagging.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/tree/bagging.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/tree/bagging.cpp.o.d"
+  "/root/repo/src/ml/tree/boosted_trees.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/tree/boosted_trees.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/tree/boosted_trees.cpp.o.d"
+  "/root/repo/src/ml/tree/decision_jungle.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/tree/decision_jungle.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/tree/decision_jungle.cpp.o.d"
+  "/root/repo/src/ml/tree/decision_tree.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/tree/decision_tree.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/tree/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/tree/random_forest.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/tree/random_forest.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/tree/random_forest.cpp.o.d"
+  "/root/repo/src/ml/tree/tree_model.cpp" "src/CMakeFiles/mlaas_ml.dir/ml/tree/tree_model.cpp.o" "gcc" "src/CMakeFiles/mlaas_ml.dir/ml/tree/tree_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlaas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

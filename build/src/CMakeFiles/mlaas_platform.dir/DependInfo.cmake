@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/abm.cpp" "src/CMakeFiles/mlaas_platform.dir/platform/abm.cpp.o" "gcc" "src/CMakeFiles/mlaas_platform.dir/platform/abm.cpp.o.d"
+  "/root/repo/src/platform/all_platforms.cpp" "src/CMakeFiles/mlaas_platform.dir/platform/all_platforms.cpp.o" "gcc" "src/CMakeFiles/mlaas_platform.dir/platform/all_platforms.cpp.o.d"
+  "/root/repo/src/platform/amazon_ml.cpp" "src/CMakeFiles/mlaas_platform.dir/platform/amazon_ml.cpp.o" "gcc" "src/CMakeFiles/mlaas_platform.dir/platform/amazon_ml.cpp.o.d"
+  "/root/repo/src/platform/auto_select.cpp" "src/CMakeFiles/mlaas_platform.dir/platform/auto_select.cpp.o" "gcc" "src/CMakeFiles/mlaas_platform.dir/platform/auto_select.cpp.o.d"
+  "/root/repo/src/platform/bigml.cpp" "src/CMakeFiles/mlaas_platform.dir/platform/bigml.cpp.o" "gcc" "src/CMakeFiles/mlaas_platform.dir/platform/bigml.cpp.o.d"
+  "/root/repo/src/platform/google_prediction.cpp" "src/CMakeFiles/mlaas_platform.dir/platform/google_prediction.cpp.o" "gcc" "src/CMakeFiles/mlaas_platform.dir/platform/google_prediction.cpp.o.d"
+  "/root/repo/src/platform/local_sklearn.cpp" "src/CMakeFiles/mlaas_platform.dir/platform/local_sklearn.cpp.o" "gcc" "src/CMakeFiles/mlaas_platform.dir/platform/local_sklearn.cpp.o.d"
+  "/root/repo/src/platform/microsoft_azure.cpp" "src/CMakeFiles/mlaas_platform.dir/platform/microsoft_azure.cpp.o" "gcc" "src/CMakeFiles/mlaas_platform.dir/platform/microsoft_azure.cpp.o.d"
+  "/root/repo/src/platform/platform.cpp" "src/CMakeFiles/mlaas_platform.dir/platform/platform.cpp.o" "gcc" "src/CMakeFiles/mlaas_platform.dir/platform/platform.cpp.o.d"
+  "/root/repo/src/platform/predictionio.cpp" "src/CMakeFiles/mlaas_platform.dir/platform/predictionio.cpp.o" "gcc" "src/CMakeFiles/mlaas_platform.dir/platform/predictionio.cpp.o.d"
+  "/root/repo/src/platform/service.cpp" "src/CMakeFiles/mlaas_platform.dir/platform/service.cpp.o" "gcc" "src/CMakeFiles/mlaas_platform.dir/platform/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlaas_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

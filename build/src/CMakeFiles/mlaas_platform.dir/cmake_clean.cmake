@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlaas_platform.dir/platform/abm.cpp.o"
+  "CMakeFiles/mlaas_platform.dir/platform/abm.cpp.o.d"
+  "CMakeFiles/mlaas_platform.dir/platform/all_platforms.cpp.o"
+  "CMakeFiles/mlaas_platform.dir/platform/all_platforms.cpp.o.d"
+  "CMakeFiles/mlaas_platform.dir/platform/amazon_ml.cpp.o"
+  "CMakeFiles/mlaas_platform.dir/platform/amazon_ml.cpp.o.d"
+  "CMakeFiles/mlaas_platform.dir/platform/auto_select.cpp.o"
+  "CMakeFiles/mlaas_platform.dir/platform/auto_select.cpp.o.d"
+  "CMakeFiles/mlaas_platform.dir/platform/bigml.cpp.o"
+  "CMakeFiles/mlaas_platform.dir/platform/bigml.cpp.o.d"
+  "CMakeFiles/mlaas_platform.dir/platform/google_prediction.cpp.o"
+  "CMakeFiles/mlaas_platform.dir/platform/google_prediction.cpp.o.d"
+  "CMakeFiles/mlaas_platform.dir/platform/local_sklearn.cpp.o"
+  "CMakeFiles/mlaas_platform.dir/platform/local_sklearn.cpp.o.d"
+  "CMakeFiles/mlaas_platform.dir/platform/microsoft_azure.cpp.o"
+  "CMakeFiles/mlaas_platform.dir/platform/microsoft_azure.cpp.o.d"
+  "CMakeFiles/mlaas_platform.dir/platform/platform.cpp.o"
+  "CMakeFiles/mlaas_platform.dir/platform/platform.cpp.o.d"
+  "CMakeFiles/mlaas_platform.dir/platform/predictionio.cpp.o"
+  "CMakeFiles/mlaas_platform.dir/platform/predictionio.cpp.o.d"
+  "CMakeFiles/mlaas_platform.dir/platform/service.cpp.o"
+  "CMakeFiles/mlaas_platform.dir/platform/service.cpp.o.d"
+  "libmlaas_platform.a"
+  "libmlaas_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlaas_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

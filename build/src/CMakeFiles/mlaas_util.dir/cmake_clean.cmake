@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlaas_util.dir/util/cli.cpp.o"
+  "CMakeFiles/mlaas_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/mlaas_util.dir/util/rng.cpp.o"
+  "CMakeFiles/mlaas_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/mlaas_util.dir/util/table.cpp.o"
+  "CMakeFiles/mlaas_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/mlaas_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/mlaas_util.dir/util/thread_pool.cpp.o.d"
+  "libmlaas_util.a"
+  "libmlaas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlaas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

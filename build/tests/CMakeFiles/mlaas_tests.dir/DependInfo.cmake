@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_study.cpp" "tests/CMakeFiles/mlaas_tests.dir/core/test_study.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/core/test_study.cpp.o.d"
+  "/root/repo/tests/data/test_complexity.cpp" "tests/CMakeFiles/mlaas_tests.dir/data/test_complexity.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/data/test_complexity.cpp.o.d"
+  "/root/repo/tests/data/test_corpus.cpp" "tests/CMakeFiles/mlaas_tests.dir/data/test_corpus.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/data/test_corpus.cpp.o.d"
+  "/root/repo/tests/data/test_csv.cpp" "tests/CMakeFiles/mlaas_tests.dir/data/test_csv.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/data/test_csv.cpp.o.d"
+  "/root/repo/tests/data/test_csv_property.cpp" "tests/CMakeFiles/mlaas_tests.dir/data/test_csv_property.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/data/test_csv_property.cpp.o.d"
+  "/root/repo/tests/data/test_dataset.cpp" "tests/CMakeFiles/mlaas_tests.dir/data/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/data/test_dataset.cpp.o.d"
+  "/root/repo/tests/data/test_generators.cpp" "tests/CMakeFiles/mlaas_tests.dir/data/test_generators.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/data/test_generators.cpp.o.d"
+  "/root/repo/tests/data/test_preprocess.cpp" "tests/CMakeFiles/mlaas_tests.dir/data/test_preprocess.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/data/test_preprocess.cpp.o.d"
+  "/root/repo/tests/data/test_split.cpp" "tests/CMakeFiles/mlaas_tests.dir/data/test_split.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/data/test_split.cpp.o.d"
+  "/root/repo/tests/eval/test_aggregate.cpp" "tests/CMakeFiles/mlaas_tests.dir/eval/test_aggregate.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/eval/test_aggregate.cpp.o.d"
+  "/root/repo/tests/eval/test_attribution.cpp" "tests/CMakeFiles/mlaas_tests.dir/eval/test_attribution.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/eval/test_attribution.cpp.o.d"
+  "/root/repo/tests/eval/test_auto_tune.cpp" "tests/CMakeFiles/mlaas_tests.dir/eval/test_auto_tune.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/eval/test_auto_tune.cpp.o.d"
+  "/root/repo/tests/eval/test_boundary.cpp" "tests/CMakeFiles/mlaas_tests.dir/eval/test_boundary.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/eval/test_boundary.cpp.o.d"
+  "/root/repo/tests/eval/test_family.cpp" "tests/CMakeFiles/mlaas_tests.dir/eval/test_family.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/eval/test_family.cpp.o.d"
+  "/root/repo/tests/eval/test_friedman.cpp" "tests/CMakeFiles/mlaas_tests.dir/eval/test_friedman.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/eval/test_friedman.cpp.o.d"
+  "/root/repo/tests/eval/test_measurement.cpp" "tests/CMakeFiles/mlaas_tests.dir/eval/test_measurement.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/eval/test_measurement.cpp.o.d"
+  "/root/repo/tests/eval/test_naive.cpp" "tests/CMakeFiles/mlaas_tests.dir/eval/test_naive.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/eval/test_naive.cpp.o.d"
+  "/root/repo/tests/eval/test_report.cpp" "tests/CMakeFiles/mlaas_tests.dir/eval/test_report.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/eval/test_report.cpp.o.d"
+  "/root/repo/tests/eval/test_significance.cpp" "tests/CMakeFiles/mlaas_tests.dir/eval/test_significance.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/eval/test_significance.cpp.o.d"
+  "/root/repo/tests/eval/test_subset.cpp" "tests/CMakeFiles/mlaas_tests.dir/eval/test_subset.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/eval/test_subset.cpp.o.d"
+  "/root/repo/tests/eval/test_variation.cpp" "tests/CMakeFiles/mlaas_tests.dir/eval/test_variation.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/eval/test_variation.cpp.o.d"
+  "/root/repo/tests/linalg/test_matrix.cpp" "tests/CMakeFiles/mlaas_tests.dir/linalg/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/linalg/test_matrix.cpp.o.d"
+  "/root/repo/tests/linalg/test_stats.cpp" "tests/CMakeFiles/mlaas_tests.dir/linalg/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/linalg/test_stats.cpp.o.d"
+  "/root/repo/tests/linalg/test_vector_ops.cpp" "tests/CMakeFiles/mlaas_tests.dir/linalg/test_vector_ops.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/linalg/test_vector_ops.cpp.o.d"
+  "/root/repo/tests/ml/test_classifier_properties.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_classifier_properties.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_classifier_properties.cpp.o.d"
+  "/root/repo/tests/ml/test_filters.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_filters.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_filters.cpp.o.d"
+  "/root/repo/tests/ml/test_linear_classifiers.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_linear_classifiers.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_linear_classifiers.cpp.o.d"
+  "/root/repo/tests/ml/test_metrics.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_metrics.cpp.o.d"
+  "/root/repo/tests/ml/test_model_selection.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_model_selection.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_model_selection.cpp.o.d"
+  "/root/repo/tests/ml/test_other_classifiers.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_other_classifiers.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_other_classifiers.cpp.o.d"
+  "/root/repo/tests/ml/test_param_grid.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_param_grid.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_param_grid.cpp.o.d"
+  "/root/repo/tests/ml/test_params.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_params.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_params.cpp.o.d"
+  "/root/repo/tests/ml/test_parse_params.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_parse_params.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_parse_params.cpp.o.d"
+  "/root/repo/tests/ml/test_ranking_metrics.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_ranking_metrics.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_ranking_metrics.cpp.o.d"
+  "/root/repo/tests/ml/test_regression.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_regression.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_regression.cpp.o.d"
+  "/root/repo/tests/ml/test_scaler_properties.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_scaler_properties.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_scaler_properties.cpp.o.d"
+  "/root/repo/tests/ml/test_scalers.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_scalers.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_scalers.cpp.o.d"
+  "/root/repo/tests/ml/test_serialize.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_serialize.cpp.o.d"
+  "/root/repo/tests/ml/test_tree_classifiers.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_tree_classifiers.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_tree_classifiers.cpp.o.d"
+  "/root/repo/tests/ml/test_tree_invariants.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_tree_invariants.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_tree_invariants.cpp.o.d"
+  "/root/repo/tests/ml/test_tree_model.cpp" "tests/CMakeFiles/mlaas_tests.dir/ml/test_tree_model.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/ml/test_tree_model.cpp.o.d"
+  "/root/repo/tests/platform/test_amazon.cpp" "tests/CMakeFiles/mlaas_tests.dir/platform/test_amazon.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/platform/test_amazon.cpp.o.d"
+  "/root/repo/tests/platform/test_auto_select.cpp" "tests/CMakeFiles/mlaas_tests.dir/platform/test_auto_select.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/platform/test_auto_select.cpp.o.d"
+  "/root/repo/tests/platform/test_blackbox.cpp" "tests/CMakeFiles/mlaas_tests.dir/platform/test_blackbox.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/platform/test_blackbox.cpp.o.d"
+  "/root/repo/tests/platform/test_pipeline_integration.cpp" "tests/CMakeFiles/mlaas_tests.dir/platform/test_pipeline_integration.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/platform/test_pipeline_integration.cpp.o.d"
+  "/root/repo/tests/platform/test_platforms.cpp" "tests/CMakeFiles/mlaas_tests.dir/platform/test_platforms.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/platform/test_platforms.cpp.o.d"
+  "/root/repo/tests/platform/test_service.cpp" "tests/CMakeFiles/mlaas_tests.dir/platform/test_service.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/platform/test_service.cpp.o.d"
+  "/root/repo/tests/util/test_cli.cpp" "tests/CMakeFiles/mlaas_tests.dir/util/test_cli.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/util/test_cli.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/mlaas_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/mlaas_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/CMakeFiles/mlaas_tests.dir/util/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/mlaas_tests.dir/util/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlaas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mlaas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

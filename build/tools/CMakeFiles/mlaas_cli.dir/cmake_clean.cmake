@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlaas_cli.dir/mlaas_cli.cpp.o"
+  "CMakeFiles/mlaas_cli.dir/mlaas_cli.cpp.o.d"
+  "mlaas_cli"
+  "mlaas_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlaas_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,8 +1,9 @@
 // Shared setup for the bench binaries: flag parsing and Study construction.
 //
-// Every bench accepts --seed N --scale X --threads N --quick and shares the
-// on-disk measurement cache, so the expensive measurement pass runs once for
-// the whole bench suite.
+// Every bench accepts --seed N --scale X --threads N --quick plus the
+// campaign-envelope knobs --fault-rate F --quota-profile P --retry-budget K,
+// and shares the on-disk measurement cache, so the expensive measurement
+// pass runs once for the whole bench suite.
 #pragma once
 
 #include <iostream>
@@ -19,13 +20,21 @@ inline StudyOptions study_options_from_cli(int argc, const char* const* argv) {
   opt.scale = bench.scale;
   opt.quick = bench.quick;
   opt.threads = bench.threads;
+  opt.fault_rate = bench.fault_rate;
+  opt.quota_profile = bench.quota_profile;
+  opt.retry_budget = bench.retry_budget;
   return opt;
 }
 
 inline void print_bench_header(const std::string& title, const StudyOptions& opt) {
   std::cout << "==== " << title << " ====\n"
             << "seed=" << opt.seed << " scale=" << opt.scale
-            << (opt.quick ? " (quick mode)" : "") << "\n\n";
+            << (opt.quick ? " (quick mode)" : "");
+  if (opt.fault_rate > 0.0 || opt.quota_profile != "default") {
+    std::cout << " fault-rate=" << opt.fault_rate << " quota-profile=" << opt.quota_profile
+              << " retry-budget=" << opt.retry_budget;
+  }
+  std::cout << "\n\n";
 }
 
 }  // namespace mlaas

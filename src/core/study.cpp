@@ -23,6 +23,9 @@ MeasurementOptions StudyOptions::measurement_options() const {
   m.scale = quick ? 0.5 : scale;
   m.threads = threads;
   m.verbose = verbose;
+  m.campaign.fault_rate = fault_rate;
+  m.campaign.quota_profile = quota_profile;
+  m.campaign.retry_budget = retry_budget;
   return m;
 }
 
@@ -45,12 +48,28 @@ const std::vector<PlatformPtr>& Study::platforms() {
 
 std::vector<std::string> Study::platform_order() const { return platform_names(); }
 
+void Study::ensure_measurements() {
+  if (measurements_) return;
+  const MeasurementTable full =
+      run_or_load(corpus(), platforms(), options_.measurement_options(),
+                  options_.cache_path(), &campaign_report_);
+  measurements_ = full.succeeded();
+  measurement_failures_ = full.failures();
+}
+
 const MeasurementTable& Study::measurements() {
-  if (!measurements_) {
-    measurements_ = run_or_load(corpus(), platforms(), options_.measurement_options(),
-                                options_.cache_path());
-  }
+  ensure_measurements();
   return *measurements_;
+}
+
+const MeasurementTable& Study::measurement_failures() {
+  ensure_measurements();
+  return *measurement_failures_;
+}
+
+const CampaignReport& Study::campaign_report() {
+  ensure_measurements();
+  return campaign_report_;
 }
 
 std::vector<PlatformSummary> Study::baseline() { return baseline_summary(measurements()); }

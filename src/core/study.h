@@ -39,6 +39,12 @@ struct StudyOptions {
   /// Empty disables the on-disk measurement cache.
   std::string cache_path_override;
   bool verbose = true;
+  /// Campaign transport envelope (service simulation): probability of a
+  /// transient request fault, named quota profile and per-request retry
+  /// budget.  See eval/measurement.h's CampaignOptions.
+  double fault_rate = 0.0;
+  std::string quota_profile = "default";
+  int retry_budget = 6;
 
   CorpusOptions corpus_options() const;
   MeasurementOptions measurement_options() const;
@@ -54,8 +60,17 @@ class Study {
   const std::vector<PlatformPtr>& platforms();
   std::vector<std::string> platform_order() const;  // complexity order
 
-  /// The measurement table (computed on first use; cached to disk).
+  /// Successful measurements (computed on first use; cached to disk).
+  /// Cells that failed in the service campaign are excluded here — the way
+  /// the paper excluded unreachable providers — and exposed separately.
   const MeasurementTable& measurements();
+  /// Failure rows of the campaign (empty when fault_rate == 0 and no quota
+  /// was exhausted).
+  const MeasurementTable& measurement_failures();
+  /// Per-platform service telemetry of the campaign (requests, retries,
+  /// rate-limit stalls, simulated wall-clock).  Reloaded from the cache
+  /// sidecar on cache hits; empty if the sidecar is missing.
+  const CampaignReport& campaign_report();
 
   // ---- Experiments (paper table/figure index in DESIGN.md) ----
   std::vector<PlatformSummary> baseline();                      // Table 3(a)
@@ -77,10 +92,14 @@ class Study {
   NaiveComparison naive_vs(const std::string& platform);        // Table 6 / Fig 14
 
  private:
+  void ensure_measurements();
+
   StudyOptions options_;
   std::optional<std::vector<Dataset>> corpus_;
   std::vector<PlatformPtr> platforms_;
   std::optional<MeasurementTable> measurements_;
+  std::optional<MeasurementTable> measurement_failures_;
+  CampaignReport campaign_report_;
   std::optional<FamilyPredictorReport> family_report_;
   std::optional<std::vector<NaiveResult>> naive_;
 };

@@ -8,7 +8,7 @@ namespace mlaas {
 FamilyScores split_by_family(const MeasurementTable& table) {
   FamilyScores scores;
   for (const auto& m : table.rows()) {
-    if (m.classifier == "auto") continue;
+    if (!m.ok || m.classifier == "auto") continue;
     (classifier_is_linear(m.classifier) ? scores.linear_f : scores.nonlinear_f)
         .push_back(m.test.f_score);
   }
@@ -19,7 +19,9 @@ FamilyScores family_gap_on_probe(const Dataset& probe, const MeasurementOptions&
   LocalSklearnPlatform local;
   MeasurementTable table;
   for (const auto& config : enumerate_configs(local, options)) {
-    if (auto m = measure_one(probe, local, config, options)) table.add(std::move(*m));
+    if (auto m = measure_one(probe, local, config, options)) {
+      if (m->ok) table.add(std::move(*m));
+    }
   }
   return split_by_family(table);
 }

@@ -36,11 +36,19 @@ MeasurementTable MeasurementTable::for_dataset(const std::string& dataset_id) co
   return filter([&](const Measurement& m) { return m.dataset_id == dataset_id; });
 }
 
+MeasurementTable MeasurementTable::succeeded() const {
+  return filter([](const Measurement& m) { return m.ok; });
+}
+
+MeasurementTable MeasurementTable::failures() const {
+  return filter([](const Measurement& m) { return !m.ok; });
+}
+
 MeasurementTable MeasurementTable::baseline() const {
   return filter([](const Measurement& m) {
     const bool default_clf =
         m.classifier == "auto" || m.classifier == "logistic_regression";
-    return m.feature_step == "none" && default_clf && m.default_params;
+    return m.ok && m.feature_step == "none" && default_clf && m.default_params;
   });
 }
 
@@ -71,6 +79,7 @@ std::vector<std::string> MeasurementTable::classifiers() const {
 std::vector<const Measurement*> MeasurementTable::best_per_dataset() const {
   std::map<std::string, const Measurement*> best;
   for (const auto& row : rows_) {
+    if (!row.ok) continue;  // failed cells carry no metrics
     auto [it, inserted] = best.emplace(row.dataset_id, &row);
     if (!inserted && row.test.f_score > it->second->test.f_score) it->second = &row;
   }
@@ -80,51 +89,281 @@ std::vector<const Measurement*> MeasurementTable::best_per_dataset() const {
   return out;
 }
 
-void MeasurementTable::save_csv(const std::string& path) const {
+namespace {
+
+constexpr const char* kCsvHeader =
+    "dataset\tplatform\tfeat\tclf\tparams\tdefault\tf\tacc\tprec\trec\tsec\tsig\tstatus";
+
+/// Split on tabs, keeping empty fields (istringstream-based getline drops a
+/// trailing empty field, which would mis-count columns on failed rows).
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+double parse_double_field(const std::string& path, std::size_t line_no,
+                          const std::string& column, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument("trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error("MeasurementTable: " + path + ":" + std::to_string(line_no) +
+                             ": bad numeric field '" + column + "' = '" + value + "'");
+  }
+}
+
+}  // namespace
+
+void MeasurementTable::save_csv(const std::string& path,
+                                const std::string& fingerprint) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("MeasurementTable: cannot write " + path);
-  out << "dataset\tplatform\tfeat\tclf\tparams\tdefault\tf\tacc\tprec\trec\tsec\tsig\n";
+  if (!fingerprint.empty()) out << "# " << fingerprint << '\n';
+  out << kCsvHeader << '\n';
   out.precision(10);
   for (const auto& m : rows_) {
     out << m.dataset_id << '\t' << m.platform << '\t' << m.feature_step << '\t'
         << m.classifier << '\t' << m.params << '\t' << (m.default_params ? 1 : 0) << '\t'
         << m.test.f_score << '\t' << m.test.accuracy << '\t' << m.test.precision << '\t'
-        << m.test.recall << '\t' << m.train_seconds << '\t' << m.label_signature << '\n';
+        << m.test.recall << '\t' << m.train_seconds << '\t' << m.label_signature << '\t'
+        << (m.ok ? "ok" : m.failure) << '\n';
   }
 }
 
-MeasurementTable MeasurementTable::load_csv(const std::string& path) {
+MeasurementTable MeasurementTable::load_csv(const std::string& path,
+                                            std::string* fingerprint) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("MeasurementTable: cannot read " + path);
+  if (fingerprint != nullptr) fingerprint->clear();
   MeasurementTable table;
   std::string line;
-  std::getline(in, line);  // header
+  std::size_t line_no = 0;
+  // Optional '# fingerprint' line, then the column header.
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("MeasurementTable: " + path + ": empty file");
+  }
+  ++line_no;
+  if (!line.empty() && line[0] == '#') {
+    std::string fp = line.substr(1);
+    const std::size_t first = fp.find_first_not_of(' ');
+    if (fingerprint != nullptr && first != std::string::npos) {
+      *fingerprint = fp.substr(first);
+    }
+    std::getline(in, line);  // consume the column header
+    ++line_no;
+  }
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    std::istringstream ss(line);
+    const auto fields = split_tabs(line);
+    // v1 caches have 12 columns (no status); v2 append a status column.
+    if (fields.size() != 12 && fields.size() != 13) {
+      throw std::runtime_error("MeasurementTable: " + path + ":" +
+                               std::to_string(line_no) + ": expected 12 or 13 columns, got " +
+                               std::to_string(fields.size()));
+    }
     Measurement m;
-    std::string def, f, acc, prec, rec, sec;
-    std::getline(ss, m.dataset_id, '\t');
-    std::getline(ss, m.platform, '\t');
-    std::getline(ss, m.feature_step, '\t');
-    std::getline(ss, m.classifier, '\t');
-    std::getline(ss, m.params, '\t');
-    std::getline(ss, def, '\t');
-    std::getline(ss, f, '\t');
-    std::getline(ss, acc, '\t');
-    std::getline(ss, prec, '\t');
-    std::getline(ss, rec, '\t');
-    std::getline(ss, sec, '\t');
-    std::getline(ss, m.label_signature, '\t');
-    m.default_params = def == "1";
-    m.test.f_score = std::stod(f);
-    m.test.accuracy = std::stod(acc);
-    m.test.precision = std::stod(prec);
-    m.test.recall = std::stod(rec);
-    m.train_seconds = sec.empty() ? 0.0 : std::stod(sec);  // older caches lack the column
+    m.dataset_id = fields[0];
+    m.platform = fields[1];
+    m.feature_step = fields[2];
+    m.classifier = fields[3];
+    m.params = fields[4];
+    m.default_params = fields[5] == "1";
+    m.test.f_score = parse_double_field(path, line_no, "f", fields[6]);
+    m.test.accuracy = parse_double_field(path, line_no, "acc", fields[7]);
+    m.test.precision = parse_double_field(path, line_no, "prec", fields[8]);
+    m.test.recall = parse_double_field(path, line_no, "rec", fields[9]);
+    m.train_seconds =
+        fields[10].empty() ? 0.0 : parse_double_field(path, line_no, "sec", fields[10]);
+    m.label_signature = fields[11];
+    if (fields.size() == 13 && fields[12] != "ok" && !fields[12].empty()) {
+      m.ok = false;
+      m.failure = fields[12];
+    }
     table.add(std::move(m));
   }
   return table;
+}
+
+ServiceQuota CampaignOptions::quota_for(const std::string& platform) const {
+  ServiceQuota q = ::mlaas::quota_profile(quota_profile, platform);
+  q.fault_rate = fault_rate;
+  return q;
+}
+
+void PlatformCampaignStats::merge(const PlatformCampaignStats& other) {
+  service.merge(other.service);
+  retries += other.retries;
+  backoff_seconds += other.backoff_seconds;
+  simulated_seconds += other.simulated_seconds;
+  cells_total += other.cells_total;
+  cells_ok += other.cells_ok;
+  cells_failed += other.cells_failed;
+  cells_rejected += other.cells_rejected;
+  for (const auto& [status, count] : other.failures_by_status) {
+    failures_by_status[status] += count;
+  }
+}
+
+double PlatformCampaignStats::coverage() const {
+  const std::size_t attempted = cells_ok + cells_failed;
+  return attempted == 0 ? 1.0
+                        : static_cast<double>(cells_ok) / static_cast<double>(attempted);
+}
+
+PlatformCampaignStats CampaignReport::totals() const {
+  PlatformCampaignStats total;
+  total.platform = "TOTAL";
+  for (const auto& p : platforms) total.merge(p);
+  return total;
+}
+
+namespace {
+
+constexpr const char* kReportHeader =
+    "platform\tcells_total\tcells_ok\tcells_failed\tcells_rejected\trequests\tuploads\t"
+    "trainings\tpredictions\trate_limited\ttransient_errors\tserver_errors\tretries\t"
+    "backoff_sec\tsimulated_sec\ttrain_wall_sec\tfailures";
+
+std::string encode_failures(const std::map<std::string, std::size_t>& failures) {
+  if (failures.empty()) return "-";
+  std::string out;
+  for (const auto& [status, count] : failures) {
+    if (!out.empty()) out += ';';
+    out += status + "=" + std::to_string(count);
+  }
+  return out;
+}
+
+void write_report_row(std::ostream& out, const PlatformCampaignStats& p) {
+  out << p.platform << '\t' << p.cells_total << '\t' << p.cells_ok << '\t'
+      << p.cells_failed << '\t' << p.cells_rejected << '\t' << p.service.requests << '\t'
+      << p.service.uploads << '\t' << p.service.trainings << '\t' << p.service.predictions
+      << '\t' << p.service.rate_limited << '\t' << p.service.transient_errors << '\t'
+      << p.service.server_errors << '\t' << p.retries << '\t' << p.backoff_seconds << '\t'
+      << p.simulated_seconds << '\t' << p.service.train_wall_seconds << '\t'
+      << encode_failures(p.failures_by_status) << '\n';
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void CampaignReport::save_tsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("CampaignReport: cannot write " + path);
+  out.precision(10);
+  out << kReportHeader << '\n';
+  for (const auto& p : platforms) write_report_row(out, p);
+}
+
+void CampaignReport::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("CampaignReport: cannot write " + path);
+  out.precision(10);
+  out << "{\n  \"platforms\": [\n";
+  for (std::size_t i = 0; i < platforms.size(); ++i) {
+    const auto& p = platforms[i];
+    out << "    {\n"
+        << "      \"platform\": \"" << json_escape(p.platform) << "\",\n"
+        << "      \"cells\": {\"total\": " << p.cells_total << ", \"ok\": " << p.cells_ok
+        << ", \"failed\": " << p.cells_failed << ", \"rejected\": " << p.cells_rejected
+        << "},\n"
+        << "      \"coverage\": " << p.coverage() << ",\n"
+        << "      \"requests\": " << p.service.requests
+        << ", \"uploads\": " << p.service.uploads
+        << ", \"trainings\": " << p.service.trainings
+        << ", \"predictions\": " << p.service.predictions << ",\n"
+        << "      \"rate_limited\": " << p.service.rate_limited
+        << ", \"transient_errors\": " << p.service.transient_errors
+        << ", \"server_errors\": " << p.service.server_errors
+        << ", \"retries\": " << p.retries << ",\n"
+        << "      \"backoff_seconds\": " << p.backoff_seconds
+        << ", \"simulated_seconds\": " << p.simulated_seconds
+        << ", \"train_wall_seconds\": " << p.service.train_wall_seconds << ",\n"
+        << "      \"failures_by_status\": {";
+    bool first = true;
+    for (const auto& [status, count] : p.failures_by_status) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << json_escape(status) << "\": " << count;
+    }
+    out << "}\n    }" << (i + 1 < platforms.size() ? "," : "") << "\n";
+  }
+  const PlatformCampaignStats total = totals();
+  out << "  ],\n  \"total\": {\"cells_ok\": " << total.cells_ok
+      << ", \"cells_failed\": " << total.cells_failed
+      << ", \"coverage\": " << total.coverage()
+      << ", \"simulated_seconds\": " << total.simulated_seconds << "}\n}\n";
+}
+
+std::optional<CampaignReport> CampaignReport::load_tsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != kReportHeader) return std::nullopt;
+  CampaignReport report;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_tabs(line);
+    if (fields.size() != 17) return std::nullopt;
+    try {
+      PlatformCampaignStats p;
+      p.platform = fields[0];
+      p.cells_total = std::stoull(fields[1]);
+      p.cells_ok = std::stoull(fields[2]);
+      p.cells_failed = std::stoull(fields[3]);
+      p.cells_rejected = std::stoull(fields[4]);
+      p.service.requests = std::stoull(fields[5]);
+      p.service.uploads = std::stoull(fields[6]);
+      p.service.trainings = std::stoull(fields[7]);
+      p.service.predictions = std::stoull(fields[8]);
+      p.service.rate_limited = std::stoull(fields[9]);
+      p.service.transient_errors = std::stoull(fields[10]);
+      p.service.server_errors = std::stoull(fields[11]);
+      p.retries = std::stoull(fields[12]);
+      p.backoff_seconds = std::stod(fields[13]);
+      p.simulated_seconds = std::stod(fields[14]);
+      p.service.train_wall_seconds = std::stod(fields[15]);
+      if (fields[16] != "-") {
+        std::istringstream fs(fields[16]);
+        std::string item;
+        while (std::getline(fs, item, ';')) {
+          const std::size_t eq = item.find('=');
+          if (eq == std::string::npos) return std::nullopt;
+          p.failures_by_status[item.substr(0, eq)] = std::stoull(item.substr(eq + 1));
+        }
+      }
+      report.platforms.push_back(std::move(p));
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  return report;
 }
 
 std::vector<PipelineConfig> enumerate_configs(const Platform& platform,
@@ -155,13 +394,24 @@ std::vector<PipelineConfig> enumerate_configs(const Platform& platform,
     push(config);
   }
 
+  // Per-classifier PARA grids, expanded once and shared by the PARA
+  // dimension and the joint sample below (the joint loop used to re-expand
+  // the grid for every draw).
+  std::vector<std::vector<ParamMap>> grids;
+  if (surface.parameter_tuning) {
+    grids.reserve(surface.classifiers.size());
+    for (const auto& spec : surface.classifiers) {
+      grids.push_back(expand_grid(spec, para_cap, options.seed));
+    }
+  }
+
   // PARA dimension: each classifier's grid (capped), no FEAT.
   if (surface.parameter_tuning) {
-    for (const auto& spec : surface.classifiers) {
-      for (auto& params : expand_grid(spec, para_cap, options.seed)) {
+    for (std::size_t c = 0; c < surface.classifiers.size(); ++c) {
+      for (const auto& params : grids[c]) {
         PipelineConfig config;
-        config.classifier = spec.classifier;
-        config.params = std::move(params);
+        config.classifier = surface.classifiers[c].classifier;
+        config.params = params;
         push(std::move(config));
       }
     }
@@ -181,23 +431,156 @@ std::vector<PipelineConfig> enumerate_configs(const Platform& platform,
   }
 
   // Joint FEAT x CLF x PARA sample (the paper's full cross product, scaled).
-  if (surface.feature_selection && surface.parameter_tuning) {
+  if (surface.feature_selection && surface.parameter_tuning &&
+      !surface.feature_steps.empty() && !surface.classifiers.empty()) {
     const std::size_t joint = static_cast<std::size_t>(
         std::llround(options.scale * static_cast<double>(options.joint_sample)));
     Rng rng(derive_seed(options.seed, "joint-" + platform.name()));
     for (std::size_t k = 0; k < joint; ++k) {
       const auto& feat = surface.feature_steps[rng.index(surface.feature_steps.size())];
-      const auto& spec = surface.classifiers[rng.index(surface.classifiers.size())];
-      const auto grid = expand_grid(spec, para_cap, options.seed);
+      const std::size_t c = rng.index(surface.classifiers.size());
+      const auto& grid = grids[c];
+      if (grid.empty()) continue;  // classifier with no expandable grid
       PipelineConfig config;
       config.feature_step = feat;
-      config.classifier = spec.classifier;
+      config.classifier = surface.classifiers[c].classifier;
       config.params = grid[rng.index(grid.size())];
       push(std::move(config));
     }
   }
   return configs;
 }
+
+namespace {
+
+/// Sanitize free-form error text for the tab-separated cache format.
+std::string sanitize_failure(std::string s) {
+  for (char& c : s) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+/// Pre-resolved metadata for one configuration of one platform, computed
+/// once per campaign instead of once per (dataset, config) cell.
+struct CellSpec {
+  PipelineConfig config;
+  std::string feature_step;  // "none" normalised
+  std::string classifier;    // "auto" normalised
+  std::string params;
+  bool default_params = false;
+  std::string train_salt;    // "train-<config key>" suffix template
+};
+
+std::vector<CellSpec> build_cell_specs(const Platform& platform,
+                                       const MeasurementOptions& options) {
+  const ControlSurface surface = platform.controls();
+  std::vector<CellSpec> cells;
+  for (auto& config : enumerate_configs(platform, options)) {
+    CellSpec cell;
+    cell.feature_step = config.feature_step.empty() ? "none" : config.feature_step;
+    cell.classifier = config.classifier.empty() ? "auto" : config.classifier;
+    cell.params = config.params.to_string();
+    if (const ClassifierGridSpec* spec = surface.find(config.classifier)) {
+      cell.default_params = config.params == spec->default_config();
+    } else {
+      cell.default_params = config.params.empty();
+    }
+    cell.train_salt = config.key();
+    cell.config = std::move(config);
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+Measurement base_row(const CellSpec& cell, const std::string& dataset_id,
+                     const std::string& platform_name) {
+  Measurement m;
+  m.dataset_id = dataset_id;
+  m.platform = platform_name;
+  m.feature_step = cell.feature_step;
+  m.classifier = cell.classifier;
+  m.params = cell.params;
+  m.default_params = cell.default_params;
+  return m;
+}
+
+/// One (dataset, platform) service session: upload once, then train/predict
+/// every configuration with retries.  Fills `out` with ok and failure rows
+/// and `stats` with the session's telemetry.
+void run_session(const Dataset& dataset, const TrainTestSplit& split,
+                 const Platform& platform, const std::vector<CellSpec>& cells,
+                 const ServiceQuota& quota, const MeasurementOptions& options,
+                 MeasurementTable* out, PlatformCampaignStats* stats) {
+  const CampaignOptions& campaign = options.campaign;
+  MlaasService service(
+      platform, quota,
+      derive_seed(options.seed, "campaign-" + platform.name() + "-" + dataset.meta().id));
+  RetryingClient client(service, campaign.retry_budget,
+                        campaign.initial_backoff_seconds);
+
+  stats->cells_total += cells.size();
+  std::string dataset_handle;
+  const ServiceStatus uploaded = client.upload(split.train, &dataset_handle);
+
+  for (const CellSpec& cell : cells) {
+    Measurement m = base_row(cell, dataset.meta().id, platform.name());
+    if (uploaded != ServiceStatus::kOk) {
+      m.ok = false;
+      m.failure = "upload:" + to_string(uploaded);
+    } else {
+      std::string model_handle;
+      double train_wall = 0.0;
+      const std::uint64_t train_seed = derive_seed(
+          options.seed, "train-" + dataset.meta().id + "-" + cell.train_salt);
+      const ServiceStatus trained = client.train(dataset_handle, cell.config,
+                                                 &model_handle, train_seed, &train_wall);
+      if (trained == ServiceStatus::kBadRequest) {
+        // Config outside this platform's surface: skipped, exactly as the
+        // direct runner drops std::invalid_argument configs.
+        ++stats->cells_rejected;
+        continue;
+      }
+      m.train_seconds = train_wall;
+      if (trained != ServiceStatus::kOk) {
+        m.ok = false;
+        m.failure = "train:" + to_string(trained);
+        if (trained == ServiceStatus::kServerError) {
+          m.failure += sanitize_failure(" (" + service.last_error() + ")");
+        }
+      } else {
+        std::vector<int> labels;
+        const ServiceStatus predicted =
+            client.predict(model_handle, split.test.x(), &labels);
+        if (predicted != ServiceStatus::kOk) {
+          m.ok = false;
+          m.failure = "predict:" + to_string(predicted);
+        } else {
+          m.test = compute_metrics(split.test.y(), labels);
+          const std::size_t sig = std::min(kLabelSignatureSize, labels.size());
+          m.label_signature.reserve(sig);
+          for (std::size_t i = 0; i < sig; ++i) {
+            m.label_signature += labels[i] == 1 ? '1' : '0';
+          }
+        }
+      }
+    }
+    if (m.ok) {
+      ++stats->cells_ok;
+    } else {
+      ++stats->cells_failed;
+      ++stats->failures_by_status[m.failure];
+    }
+    out->add(std::move(m));
+  }
+
+  stats->service.merge(service.stats());
+  stats->retries += client.total_retries();
+  stats->backoff_seconds += client.total_backoff_seconds();
+  stats->simulated_seconds += service.now();
+}
+
+}  // namespace
 
 std::optional<Measurement> measure_one(const Dataset& dataset, const Platform& platform,
                                        const PipelineConfig& config,
@@ -235,29 +618,49 @@ std::optional<Measurement> measure_one(const Dataset& dataset, const Platform& p
     }
   } catch (const std::invalid_argument&) {
     return std::nullopt;  // config outside this platform's surface
+  } catch (const std::exception& e) {
+    // Any other platform error becomes a failure row instead of unwinding
+    // through ThreadPool::parallel_for and killing the whole campaign.
+    m.ok = false;
+    m.failure = sanitize_failure(std::string("exception:") + e.what());
+    m.test = {};
+    m.label_signature.clear();
   }
   return m;
 }
 
-MeasurementTable run_measurements(const std::vector<Dataset>& corpus,
-                                  const std::vector<PlatformPtr>& platforms,
-                                  const MeasurementOptions& options) {
-  // Pre-enumerate configs once per platform.
-  std::vector<std::vector<PipelineConfig>> configs;
-  configs.reserve(platforms.size());
-  for (const auto& p : platforms) configs.push_back(enumerate_configs(*p, options));
+CampaignResult run_campaign(const std::vector<Dataset>& corpus,
+                            const std::vector<PlatformPtr>& platforms,
+                            const MeasurementOptions& options) {
+  // Pre-enumerate configs and their row metadata once per platform, and
+  // resolve quota profiles eagerly: an unknown profile must throw here, in
+  // the caller's thread, not inside a pool worker.
+  std::vector<std::vector<CellSpec>> cells;
+  std::vector<ServiceQuota> quotas;
+  cells.reserve(platforms.size());
+  quotas.reserve(platforms.size());
+  for (const auto& p : platforms) {
+    cells.push_back(build_cell_specs(*p, options));
+    quotas.push_back(options.campaign.quota_for(p->name()));
+  }
 
-  // One work item per dataset keeps results deterministic under threading.
+  // One work item per dataset keeps results deterministic under threading;
+  // every (dataset, platform) pair gets its own seeded service session, so
+  // fault injection does not depend on scheduling order either.
   std::vector<MeasurementTable> per_dataset(corpus.size());
+  std::vector<std::vector<PlatformCampaignStats>> per_dataset_stats(
+      corpus.size(), std::vector<PlatformCampaignStats>(platforms.size()));
   ThreadPool pool(options.threads == 0 ? 0 : static_cast<std::size_t>(options.threads));
   pool.parallel_for(corpus.size(), [&](std::size_t d) {
     const Dataset& dataset = corpus[d];
+    // The split depends only on (study seed, dataset) — §3.1; hoisted out
+    // of the per-config loop so each dataset splits once, not per cell.
+    const auto split = train_test_split(
+        dataset, options.test_fraction,
+        derive_seed(options.seed, "split-" + dataset.meta().id), /*stratified=*/true);
     for (std::size_t p = 0; p < platforms.size(); ++p) {
-      for (const auto& config : configs[p]) {
-        if (auto m = measure_one(dataset, *platforms[p], config, options)) {
-          per_dataset[d].add(std::move(*m));
-        }
-      }
+      run_session(dataset, split, *platforms[p], cells[p], quotas[p], options,
+                  &per_dataset[d], &per_dataset_stats[d][p]);
     }
     if (options.verbose) {
       std::cerr << "[measure] " << dataset.meta().id << " done (" << (d + 1) << "/"
@@ -265,22 +668,89 @@ MeasurementTable run_measurements(const std::vector<Dataset>& corpus,
     }
   });
 
-  MeasurementTable table;
-  for (const auto& t : per_dataset) table.append(t);
-  return table;
+  CampaignResult result;
+  for (const auto& t : per_dataset) result.table.append(t);
+  result.report.platforms.resize(platforms.size());
+  for (std::size_t p = 0; p < platforms.size(); ++p) {
+    result.report.platforms[p].platform = platforms[p]->name();
+    for (std::size_t d = 0; d < corpus.size(); ++d) {
+      result.report.platforms[p].merge(per_dataset_stats[d][p]);
+    }
+  }
+  return result;
+}
+
+MeasurementTable run_measurements(const std::vector<Dataset>& corpus,
+                                  const std::vector<PlatformPtr>& platforms,
+                                  const MeasurementOptions& options) {
+  return run_campaign(corpus, platforms, options).table;
+}
+
+std::string measurement_fingerprint(const std::vector<Dataset>& corpus,
+                                    const std::vector<PlatformPtr>& platforms,
+                                    const MeasurementOptions& options) {
+  std::ostringstream os;
+  os << "mlaas-measurements-v2 corpus=" << corpus.size() << " platforms=";
+  for (std::size_t i = 0; i < platforms.size(); ++i) {
+    if (i > 0) os << ',';
+    os << platforms[i]->name();
+  }
+  os << " seed=" << options.seed << " scale=" << options.scale
+     << " para=" << options.max_para_configs << " joint=" << options.joint_sample
+     << " test_fraction=" << options.test_fraction
+     << " fault=" << options.campaign.fault_rate
+     << " profile=" << options.campaign.quota_profile
+     << " retries=" << options.campaign.retry_budget;
+  return os.str();
 }
 
 MeasurementTable run_or_load(const std::vector<Dataset>& corpus,
                              const std::vector<PlatformPtr>& platforms,
                              const MeasurementOptions& options,
-                             const std::string& cache_path) {
+                             const std::string& cache_path,
+                             CampaignReport* report) {
+  const std::string expected = measurement_fingerprint(corpus, platforms, options);
   {
     std::ifstream probe(cache_path);
-    if (probe.good()) return MeasurementTable::load_csv(cache_path);
+    if (probe.good()) {
+      probe.close();
+      try {
+        std::string found;
+        MeasurementTable table = MeasurementTable::load_csv(cache_path, &found);
+        // An empty table for a non-empty corpus means the cache was
+        // truncated right after its header: the fingerprint alone is not
+        // proof of a complete file.
+        const bool plausible = table.size() > 0 || corpus.empty() || platforms.empty();
+        if (found == expected && plausible) {
+          if (report != nullptr) {
+            if (auto loaded = CampaignReport::load_tsv(cache_path + ".campaign.tsv")) {
+              *report = std::move(*loaded);
+            }
+          }
+          return table;
+        }
+        if (options.verbose) {
+          std::cerr << "[measure] cache " << cache_path
+                    << " has a stale fingerprint; re-running the campaign\n";
+        }
+      } catch (const std::exception& e) {
+        // A truncated or corrupt cache must not kill the campaign: re-run.
+        if (options.verbose) {
+          std::cerr << "[measure] discarding unreadable cache: " << e.what() << "\n";
+        }
+      }
+    }
   }
-  MeasurementTable table = run_measurements(corpus, platforms, options);
-  table.save_csv(cache_path);
-  return table;
+  CampaignResult result = run_campaign(corpus, platforms, options);
+  result.table.save_csv(cache_path, expected);
+  try {
+    result.report.save_tsv(cache_path + ".campaign.tsv");
+    result.report.save_json(cache_path + ".campaign.json");
+  } catch (const std::exception& e) {
+    std::cerr << "[measure] could not write campaign report: " << e.what() << "\n";
+  }
+  if (report != nullptr) *report = std::move(result.report);
+  return result.table;
 }
 
 std::string default_cache_path(std::uint64_t seed, double scale) {

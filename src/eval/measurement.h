@@ -1,14 +1,21 @@
 // Measurement collection (§3.2, Table 2).
 //
-// For every (dataset, platform, configuration) triple the runner trains a
-// model on the 70% split and records test-set metrics on the held-out 30% —
-// one row per measurement, the in-process analogue of the paper's 2.1M
-// cloud measurements.  Tables are cached to CSV so every bench binary can
-// share one measurement pass.
+// For every (dataset, platform, configuration) triple the campaign runner
+// opens a simulated service session (platform/service.h) and drives the
+// upload/train/predict round-trip with retries — the in-process analogue of
+// the paper's 2.1M cloud measurements, including the rate limits, quotas
+// and transient faults the original ~5-month campaign had to survive.
+// Cells that exhaust their retry budget or hit permanent errors are kept as
+// structured failure rows (Measurement::ok == false) so a partially failed
+// campaign still aggregates, the way the paper excluded unreachable
+// providers.  Tables are cached to CSV (with a fingerprint header) so every
+// bench binary can share one measurement pass; per-platform service
+// telemetry is emitted alongside as a campaign report.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -16,6 +23,7 @@
 #include "data/dataset.h"
 #include "ml/metrics.h"
 #include "platform/all_platforms.h"
+#include "platform/service.h"
 
 namespace mlaas {
 
@@ -36,6 +44,12 @@ struct Measurement {
   /// signature carries the latter.  Identical sample order across configs of
   /// a dataset (the split is seeded per dataset).
   std::string label_signature;
+  /// Campaign outcome.  ok == false marks a cell whose service round-trip
+  /// failed permanently (retries exhausted, quota hit, server error);
+  /// `failure` then holds "<step>:<service-status>".  Failed cells carry no
+  /// metrics and are excluded from every aggregation.
+  bool ok = true;
+  std::string failure;
 };
 
 inline constexpr std::size_t kLabelSignatureSize = 256;
@@ -52,6 +66,9 @@ class MeasurementTable {
   MeasurementTable filter(const std::function<bool(const Measurement&)>& pred) const;
   MeasurementTable for_platform(const std::string& platform) const;
   MeasurementTable for_dataset(const std::string& dataset_id) const;
+  /// Successful cells only / failed cells only.
+  MeasurementTable succeeded() const;
+  MeasurementTable failures() const;
 
   /// Baseline rows (§3.2): no FEAT, LR (or automated), default parameters.
   MeasurementTable baseline() const;
@@ -62,14 +79,38 @@ class MeasurementTable {
   std::vector<std::string> classifiers() const;
 
   /// Best test F-score per dataset (the paper's "optimized" aggregation).
-  /// Returns (dataset_id, best row) pairs.
+  /// Returns (dataset_id, best row) pairs.  Failed cells are skipped.
   std::vector<const Measurement*> best_per_dataset() const;
 
-  void save_csv(const std::string& path) const;
-  static MeasurementTable load_csv(const std::string& path);
+  /// Write the table; a non-empty `fingerprint` is stored as a '#' header
+  /// line so run_or_load can reject stale caches.
+  void save_csv(const std::string& path, const std::string& fingerprint = "") const;
+  /// Load a table, validating the column count of every row; malformed rows
+  /// raise std::runtime_error naming the offending line.  When the file
+  /// carries a fingerprint header it is returned via `fingerprint` (empty
+  /// otherwise).
+  static MeasurementTable load_csv(const std::string& path,
+                                   std::string* fingerprint = nullptr);
 
  private:
   std::vector<Measurement> rows_;
+};
+
+/// Operational knobs of the campaign transport (ISSUE: fault rate, quota
+/// profile, retry budget) — threaded from StudyOptions and the CLI down to
+/// every per-cell service session.
+struct CampaignOptions {
+  /// Probability any simulated request fails transiently.
+  double fault_rate = 0.0;
+  /// Named ServiceQuota envelope (see quota_profile()).
+  std::string quota_profile = "default";
+  /// Max attempts per request before the cell is recorded as failed.
+  int retry_budget = 6;
+  double initial_backoff_seconds = 1.0;
+
+  /// Resolve the per-platform quota under this campaign (profile envelope
+  /// with the campaign's fault rate applied).
+  ServiceQuota quota_for(const std::string& platform) const;
 };
 
 struct MeasurementOptions {
@@ -82,6 +123,40 @@ struct MeasurementOptions {
   double test_fraction = 0.3;         // §3.1's 70/30 split
   int threads = 0;                    // 0 = hardware concurrency
   bool verbose = false;
+  CampaignOptions campaign;           // service-transport envelope
+};
+
+/// Per-platform campaign telemetry: merged service counters plus cell
+/// accounting, aggregated across every (dataset, platform) session.
+struct PlatformCampaignStats {
+  std::string platform;
+  ServiceStats service;
+  std::size_t retries = 0;
+  double backoff_seconds = 0.0;   // simulated sleep (backoff + rate stalls)
+  double simulated_seconds = 0.0; // simulated campaign wall-clock
+  std::size_t cells_total = 0;    // configs x datasets offered
+  std::size_t cells_ok = 0;
+  std::size_t cells_failed = 0;
+  std::size_t cells_rejected = 0; // bad-request: config outside the surface
+  std::map<std::string, std::size_t> failures_by_status;
+
+  void merge(const PlatformCampaignStats& other);
+  /// Fraction of attempted cells that produced a measurement.
+  double coverage() const;
+};
+
+/// Campaign-wide telemetry report, one entry per platform (roster order).
+struct CampaignReport {
+  std::vector<PlatformCampaignStats> platforms;
+
+  PlatformCampaignStats totals() const;
+  double coverage() const { return totals().coverage(); }
+
+  void save_tsv(const std::string& path) const;
+  void save_json(const std::string& path) const;
+  /// Reload a report written by save_tsv (used on measurement-cache hits);
+  /// nullopt when the file is missing or malformed.
+  static std::optional<CampaignReport> load_tsv(const std::string& path);
 };
 
 /// The configuration set measured for one platform (§3.2): the baseline, all
@@ -91,23 +166,51 @@ struct MeasurementOptions {
 std::vector<PipelineConfig> enumerate_configs(const Platform& platform,
                                               const MeasurementOptions& options);
 
-/// Run the full study: every platform on every corpus dataset.
+struct CampaignResult {
+  MeasurementTable table;   // ok rows and failure rows
+  CampaignReport report;
+};
+
+/// Run the full study through the simulated service layer: every platform
+/// on every corpus dataset, one MlaasService session per (dataset,
+/// platform) cell, upload/train/predict with retries.  Deterministic in
+/// (options, corpus, platforms) regardless of thread count; with
+/// campaign.fault_rate == 0 the measurements are identical to direct
+/// Platform::train calls.
+CampaignResult run_campaign(const std::vector<Dataset>& corpus,
+                            const std::vector<PlatformPtr>& platforms,
+                            const MeasurementOptions& options);
+
+/// Back-compat wrapper: run_campaign's table only.
 MeasurementTable run_measurements(const std::vector<Dataset>& corpus,
                                   const std::vector<PlatformPtr>& platforms,
                                   const MeasurementOptions& options);
 
-/// Train/evaluate one (dataset, platform, config) and return the row;
-/// nullopt when the platform rejects the config.
+/// Train/evaluate one (dataset, platform, config) in-process (no service
+/// envelope) and return the row; nullopt when the platform rejects the
+/// config.  Unexpected platform errors yield a failure row (ok == false)
+/// instead of propagating.
 std::optional<Measurement> measure_one(const Dataset& dataset, const Platform& platform,
                                        const PipelineConfig& config,
                                        const MeasurementOptions& options);
 
-/// Cache wrapper: load `cache_path` when present, otherwise compute via
-/// run_measurements and save.
+/// Identity of a measurement pass: format version, corpus size, platform
+/// roster and the knobs that shape the table.  Stored in the cache header;
+/// a mismatch forces a re-run.
+std::string measurement_fingerprint(const std::vector<Dataset>& corpus,
+                                    const std::vector<PlatformPtr>& platforms,
+                                    const MeasurementOptions& options);
+
+/// Cache wrapper: load `cache_path` when present, readable and carrying a
+/// matching fingerprint; otherwise run the campaign and save the table plus
+/// its telemetry sidecars (cache_path + ".campaign.tsv" / ".campaign.json").
+/// `report`, when non-null, receives the campaign telemetry (reloaded from
+/// the sidecar on cache hits when available).
 MeasurementTable run_or_load(const std::vector<Dataset>& corpus,
                              const std::vector<PlatformPtr>& platforms,
                              const MeasurementOptions& options,
-                             const std::string& cache_path);
+                             const std::string& cache_path,
+                             CampaignReport* report = nullptr);
 
 /// Default cache path for a seed/scale pair (shared by all bench binaries).
 std::string default_cache_path(std::uint64_t seed, double scale);

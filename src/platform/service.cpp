@@ -1,6 +1,7 @@
 #include "platform/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace mlaas {
@@ -13,17 +14,86 @@ std::string to_string(ServiceStatus status) {
     case ServiceStatus::kQuotaExhausted: return "quota-exhausted";
     case ServiceStatus::kNotFound: return "not-found";
     case ServiceStatus::kBadRequest: return "bad-request";
+    case ServiceStatus::kServerError: return "server-error";
   }
   return "?";
 }
 
+bool is_retryable(ServiceStatus status) {
+  return status == ServiceStatus::kRateLimited ||
+         status == ServiceStatus::kTransientError;
+}
+
+ServiceQuota quota_profile(const std::string& profile, const std::string& platform) {
+  ServiceQuota q;
+  if (profile == "unlimited") {
+    q.requests_per_window = 1u << 30;
+    q.base_latency_seconds = 0.0;
+    q.per_sample_latency_seconds = 0.0;
+    return q;
+  }
+  if (profile == "strict") {
+    // Stress the rate limiter: a handful of requests per minute, the kind
+    // of limit §8 says excluded providers from the paper's study.
+    q.requests_per_window = 5;
+    q.window_seconds = 60.0;
+    q.base_latency_seconds = 1.0;
+    q.per_sample_latency_seconds = 1e-3;
+    return q;
+  }
+  if (profile == "default" || profile == "free-tier") {
+    // Plausible per-provider envelopes: big clouds are fast but strictly
+    // limited; startups are slower; Local is the in-house baseline.
+    if (platform == "Google") {
+      q = {100, 60.0, 0, 0.0, 0.5, 5e-4};
+    } else if (platform == "ABM") {
+      q = {20, 60.0, 0, 0.0, 2.0, 2e-3};
+    } else if (platform == "Amazon") {
+      q = {100, 60.0, 0, 0.0, 1.0, 5e-4};
+    } else if (platform == "BigML") {
+      q = {60, 60.0, 0, 0.0, 1.0, 1e-3};
+    } else if (platform == "PredictionIO") {
+      q = {60, 60.0, 0, 0.0, 1.5, 1e-3};
+    } else if (platform == "Microsoft") {
+      q = {120, 60.0, 0, 0.0, 2.0, 1e-3};
+    } else {  // Local and anything unknown: effectively unconstrained
+      q = {100000, 60.0, 0, 0.0, 0.0, 1e-5};
+    }
+    if (profile == "free-tier") q.max_training_jobs = 10;
+    return q;
+  }
+  throw std::invalid_argument("quota_profile: unknown profile '" + profile + "'");
+}
+
+std::vector<std::string> quota_profile_names() {
+  return {"default", "strict", "free-tier", "unlimited"};
+}
+
+void ServiceStats::merge(const ServiceStats& other) {
+  requests += other.requests;
+  uploads += other.uploads;
+  trainings += other.trainings;
+  predictions += other.predictions;
+  rate_limited += other.rate_limited;
+  transient_errors += other.transient_errors;
+  server_errors += other.server_errors;
+  train_wall_seconds += other.train_wall_seconds;
+}
+
 MlaasService::MlaasService(PlatformPtr platform, ServiceQuota quota, std::uint64_t seed)
-    : platform_(std::move(platform)),
+    : owned_platform_(std::move(platform)),
+      platform_(owned_platform_.get()),
       quota_(quota),
       rng_(derive_seed(seed, "mlaas-service")) {
-  if (!platform_) throw std::invalid_argument("MlaasService: null platform");
+  if (platform_ == nullptr) throw std::invalid_argument("MlaasService: null platform");
   platform_name_ = platform_->name();
 }
+
+MlaasService::MlaasService(const Platform& platform, ServiceQuota quota, std::uint64_t seed)
+    : platform_(&platform),
+      platform_name_(platform.name()),
+      quota_(quota),
+      rng_(derive_seed(seed, "mlaas-service")) {}
 
 void MlaasService::advance_clock(double seconds) {
   clock_seconds_ += std::max(0.0, seconds);
@@ -39,6 +109,10 @@ ServiceStatus MlaasService::admit(std::size_t work_samples) {
       request_times_.end());
   if (request_times_.size() >= quota_.requests_per_window) {
     ++stats_.rate_limited;
+    // Retry-After: when the oldest in-window request ages out.  Entries are
+    // appended in clock order, so front() is the oldest.
+    retry_after_seconds_ =
+        std::max(0.0, request_times_.front() + quota_.window_seconds - clock_seconds_);
     return ServiceStatus::kRateLimited;
   }
   request_times_.push_back(clock_seconds_);
@@ -56,13 +130,16 @@ ServiceStatus MlaasService::upload(const Dataset& dataset, std::string* handle) 
   if (handle == nullptr) throw std::invalid_argument("upload: null handle out-param");
   const ServiceStatus admitted = admit(dataset.n_samples());
   if (admitted != ServiceStatus::kOk) return admitted;
+  ++stats_.uploads;
   *handle = "ds-" + std::to_string(next_handle_++);
   datasets_.emplace(*handle, dataset);
   return ServiceStatus::kOk;
 }
 
 ServiceStatus MlaasService::train(const std::string& dataset_handle,
-                                  const PipelineConfig& config, std::string* model_handle) {
+                                  const PipelineConfig& config, std::string* model_handle,
+                                  std::optional<std::uint64_t> seed,
+                                  double* train_wall_seconds) {
   if (model_handle == nullptr) throw std::invalid_argument("train: null handle out-param");
   auto it = datasets_.find(dataset_handle);
   if (it == datasets_.end()) return ServiceStatus::kNotFound;
@@ -71,15 +148,28 @@ ServiceStatus MlaasService::train(const std::string& dataset_handle,
   }
   const ServiceStatus admitted = admit(it->second.n_samples() * 10);  // training is slow
   if (admitted != ServiceStatus::kOk) return admitted;
+  const std::uint64_t train_seed =
+      seed ? *seed : derive_seed(rng_.next(), "service-train");
   try {
-    auto model = platform_->train(it->second, config,
-                                  derive_seed(rng_.next(), "service-train"));
+    const auto t0 = std::chrono::steady_clock::now();
+    auto model = platform_->train(it->second, config, train_seed);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    stats_.train_wall_seconds += elapsed;
+    if (train_wall_seconds != nullptr) *train_wall_seconds = elapsed;
     ++stats_.trainings;
     *model_handle = "model-" + std::to_string(next_handle_++);
     models_.emplace(*model_handle, std::move(model));
     return ServiceStatus::kOk;
   } catch (const std::invalid_argument&) {
     return ServiceStatus::kBadRequest;
+  } catch (const std::exception& e) {
+    // Anything else the platform throws is an internal error: report it as
+    // HTTP-500 instead of letting it unwind through the campaign's thread
+    // pool and kill the run.
+    ++stats_.server_errors;
+    last_error_ = e.what();
+    return ServiceStatus::kServerError;
   }
 }
 
@@ -90,7 +180,14 @@ ServiceStatus MlaasService::predict(const std::string& model_handle, const Matri
   if (it == models_.end()) return ServiceStatus::kNotFound;
   const ServiceStatus admitted = admit(x.rows());
   if (admitted != ServiceStatus::kOk) return admitted;
-  *labels = it->second->predict(x);
+  try {
+    *labels = it->second->predict(x);
+  } catch (const std::exception& e) {
+    ++stats_.server_errors;
+    last_error_ = e.what();
+    return ServiceStatus::kServerError;
+  }
+  ++stats_.predictions;
   return ServiceStatus::kOk;
 }
 
@@ -105,40 +202,50 @@ ServiceStatus RetryingClient::with_retries(const std::function<ServiceStatus()>&
   ServiceStatus status = ServiceStatus::kOk;
   for (int attempt = 0; attempt < max_attempts_; ++attempt) {
     status = call();
-    switch (status) {
-      case ServiceStatus::kOk:
-      case ServiceStatus::kQuotaExhausted:
-      case ServiceStatus::kNotFound:
-      case ServiceStatus::kBadRequest:
-        return status;  // success or permanent failure: stop retrying
-      case ServiceStatus::kRateLimited:
-      case ServiceStatus::kTransientError:
-        ++retries_;
-        service_.advance_clock(backoff);
-        backoff *= 2.0;
-        break;
+    if (!is_retryable(status)) return status;  // success or permanent failure
+    ++retries_;
+    double wait = backoff;
+    if (status == ServiceStatus::kRateLimited) {
+      // Honour the Retry-After hint so a long window does not eat the whole
+      // retry budget one backoff at a time.
+      wait = std::max(backoff, service_.retry_after_seconds() + 1e-6);
+    } else {
+      backoff *= 2.0;
     }
+    backoff_seconds_ += wait;
+    service_.advance_clock(wait);
   }
   return status;
+}
+
+ServiceStatus RetryingClient::upload(const Dataset& dataset, std::string* handle) {
+  return with_retries([&] { return service_.upload(dataset, handle); });
+}
+
+ServiceStatus RetryingClient::train(const std::string& dataset_handle,
+                                    const PipelineConfig& config, std::string* model_handle,
+                                    std::optional<std::uint64_t> seed,
+                                    double* train_wall_seconds) {
+  return with_retries(
+      [&] { return service_.train(dataset_handle, config, model_handle, seed,
+                                  train_wall_seconds); });
+}
+
+ServiceStatus RetryingClient::predict(const std::string& model_handle, const Matrix& x,
+                                      std::vector<int>* labels) {
+  return with_retries([&] { return service_.predict(model_handle, x, labels); });
 }
 
 std::optional<std::vector<int>> RetryingClient::train_and_predict(
     const Dataset& train, const PipelineConfig& config, const Matrix& query) {
   std::string dataset_handle;
-  if (with_retries([&] { return service_.upload(train, &dataset_handle); }) !=
-      ServiceStatus::kOk) {
-    return std::nullopt;
-  }
+  if (upload(train, &dataset_handle) != ServiceStatus::kOk) return std::nullopt;
   std::string model_handle;
-  if (with_retries([&] { return service_.train(dataset_handle, config, &model_handle); }) !=
-      ServiceStatus::kOk) {
+  if (this->train(dataset_handle, config, &model_handle) != ServiceStatus::kOk) {
     return std::nullopt;
   }
   std::vector<int> labels;
-  if (with_retries([&] { return service_.predict(model_handle, query, &labels); }) !=
-      ServiceStatus::kOk) {
-    return std::nullopt;
-  }
+  if (predict(model_handle, query, &labels) != ServiceStatus::kOk) return std::nullopt;
   return labels;
 }
 

@@ -10,7 +10,10 @@
 // measurement campaign can be studied deterministically, without a network.
 //
 // RetryingClient layers exponential backoff on top, the way the paper's
-// scripts had to.
+// scripts had to.  Since this PR it is also the transport of the real
+// measurement campaign (eval/measurement.h's run_campaign), not a side
+// demo: every (dataset, platform, config) cell goes through upload/train/
+// predict with retries.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +43,14 @@ struct ServiceQuota {
   double per_sample_latency_seconds = 1e-4;
 };
 
+/// Named operational envelopes for the campaign's --quota-profile knob.
+/// "default" mirrors plausible per-provider limits (big clouds fast but
+/// strictly limited, startups slower); "strict" stresses the rate limiter;
+/// "free-tier" adds a small per-session training quota; "unlimited" turns
+/// the envelope off.  Throws std::invalid_argument for unknown names.
+ServiceQuota quota_profile(const std::string& profile, const std::string& platform);
+std::vector<std::string> quota_profile_names();
+
 enum class ServiceStatus {
   kOk,
   kRateLimited,      // retry after the window drains
@@ -47,13 +58,38 @@ enum class ServiceStatus {
   kQuotaExhausted,   // permanent for this service instance
   kNotFound,         // unknown dataset/model handle
   kBadRequest,       // config rejected by the platform
+  kServerError,      // platform raised an unexpected error (HTTP-500 style)
 };
 
 std::string to_string(ServiceStatus status);
 
+/// Whether a status can succeed on retry (rate limit / transient fault).
+bool is_retryable(ServiceStatus status);
+
+/// Request-level counters for one service instance; merge()able so the
+/// campaign can aggregate per-platform telemetry across sessions.
+struct ServiceStats {
+  std::size_t requests = 0;
+  std::size_t uploads = 0;
+  std::size_t trainings = 0;
+  std::size_t predictions = 0;
+  std::size_t rate_limited = 0;
+  std::size_t transient_errors = 0;
+  std::size_t server_errors = 0;
+  /// Real (not simulated) wall-clock spent inside Platform::train.
+  double train_wall_seconds = 0.0;
+
+  void merge(const ServiceStats& other);
+};
+
 class MlaasService {
  public:
+  /// Owning constructor (the service is the platform's only user).
   MlaasService(PlatformPtr platform, ServiceQuota quota, std::uint64_t seed);
+  /// Non-owning constructor: `platform` must outlive the service.  Used by
+  /// the measurement campaign, which opens one session per (dataset,
+  /// platform) cell over a shared platform roster.
+  MlaasService(const Platform& platform, ServiceQuota quota, std::uint64_t seed);
 
   const std::string& platform_name() const { return platform_name_; }
   /// Simulated wall-clock (seconds since service creation).
@@ -65,31 +101,39 @@ class MlaasService {
   /// Upload a training set; on kOk fills `handle`.
   ServiceStatus upload(const Dataset& dataset, std::string* handle);
   /// Train a model on an uploaded dataset; on kOk fills `model_handle`.
+  /// `seed` overrides the service's internal seed derivation so campaigns
+  /// can reproduce the direct-call runner exactly; `train_wall_seconds`
+  /// (optional) receives the real time spent in Platform::train.
   ServiceStatus train(const std::string& dataset_handle, const PipelineConfig& config,
-                      std::string* model_handle);
+                      std::string* model_handle,
+                      std::optional<std::uint64_t> seed = std::nullopt,
+                      double* train_wall_seconds = nullptr);
   /// Query a trained model; on kOk fills `labels`.
   ServiceStatus predict(const std::string& model_handle, const Matrix& x,
                         std::vector<int>* labels);
 
-  struct Stats {
-    std::size_t requests = 0;
-    std::size_t rate_limited = 0;
-    std::size_t transient_errors = 0;
-    std::size_t trainings = 0;
-  };
-  const Stats& stats() const { return stats_; }
+  /// After a kRateLimited response: simulated seconds until the window has
+  /// drained enough to admit another request (a Retry-After header).
+  double retry_after_seconds() const { return retry_after_seconds_; }
+  /// After a kServerError response: the platform's error message.
+  const std::string& last_error() const { return last_error_; }
+
+  const ServiceStats& stats() const { return stats_; }
 
  private:
   /// Common request admission: clock, rate limit, fault injection.
   ServiceStatus admit(std::size_t work_samples);
 
-  PlatformPtr platform_;
+  PlatformPtr owned_platform_;       // null when non-owning
+  const Platform* platform_;
   std::string platform_name_;
   ServiceQuota quota_;
   Rng rng_;
   double clock_seconds_ = 0.0;
+  double retry_after_seconds_ = 0.0;
+  std::string last_error_;
   std::vector<double> request_times_;  // within the current window
-  Stats stats_;
+  ServiceStats stats_;
 
   std::map<std::string, Dataset> datasets_;
   std::map<std::string, TrainedModelPtr> models_;
@@ -97,11 +141,22 @@ class MlaasService {
 };
 
 /// Exponential-backoff wrapper: retries rate-limited and transient failures
-/// by advancing the service clock (sleeping, in simulation).
+/// by advancing the service clock (sleeping, in simulation).  Rate-limited
+/// requests honour the service's Retry-After hint, so windows always drain
+/// within the retry budget instead of the budget expiring mid-window.
 class RetryingClient {
  public:
   explicit RetryingClient(MlaasService& service, int max_attempts = 6,
                           double initial_backoff_seconds = 1.0);
+
+  /// Step-wise calls with retries, used by the measurement campaign.
+  ServiceStatus upload(const Dataset& dataset, std::string* handle);
+  ServiceStatus train(const std::string& dataset_handle, const PipelineConfig& config,
+                      std::string* model_handle,
+                      std::optional<std::uint64_t> seed = std::nullopt,
+                      double* train_wall_seconds = nullptr);
+  ServiceStatus predict(const std::string& model_handle, const Matrix& x,
+                        std::vector<int>* labels);
 
   /// Convenience end-to-end call: upload + train + predict with retries.
   /// Returns labels, or nullopt if any step exhausted its retries or hit a
@@ -111,6 +166,8 @@ class RetryingClient {
                                                     const Matrix& query);
 
   std::size_t total_retries() const { return retries_; }
+  /// Total simulated seconds spent sleeping (backoff + rate-limit stalls).
+  double total_backoff_seconds() const { return backoff_seconds_; }
 
  private:
   ServiceStatus with_retries(const std::function<ServiceStatus()>& call);
@@ -119,6 +176,7 @@ class RetryingClient {
   int max_attempts_;
   double initial_backoff_;
   std::size_t retries_ = 0;
+  double backoff_seconds_ = 0.0;
 };
 
 }  // namespace mlaas

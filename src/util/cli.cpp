@@ -35,12 +35,22 @@ std::string CliFlags::get_or(const std::string& name, const std::string& def) co
 
 long long CliFlags::int_or(const std::string& name, long long def) const {
   auto v = get(name);
-  return v ? std::stoll(*v) : def;
+  if (!v) return def;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": expected an integer, got '" + *v + "'");
+  }
 }
 
 double CliFlags::double_or(const std::string& name, double def) const {
   auto v = get(name);
-  return v ? std::stod(*v) : def;
+  if (!v) return def;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": expected a number, got '" + *v + "'");
+  }
 }
 
 bool CliFlags::bool_or(const std::string& name, bool def) const {
@@ -54,10 +64,16 @@ BenchOptions parse_bench_options(int argc, const char* const* argv) {
   BenchOptions opt;
   if (const char* env = std::getenv("MLAAS_SEED")) opt.seed = std::strtoull(env, nullptr, 10);
   if (const char* env = std::getenv("MLAAS_SCALE")) opt.scale = std::strtod(env, nullptr);
+  if (const char* env = std::getenv("MLAAS_FAULT_RATE")) {
+    opt.fault_rate = std::strtod(env, nullptr);
+  }
   opt.seed = static_cast<std::uint64_t>(flags.int_or("seed", static_cast<long long>(opt.seed)));
   opt.scale = flags.double_or("scale", opt.scale);
   opt.threads = static_cast<int>(flags.int_or("threads", 0));
   opt.quick = flags.bool_or("quick", false);
+  opt.fault_rate = flags.double_or("fault-rate", opt.fault_rate);
+  opt.quota_profile = flags.get_or("quota-profile", opt.quota_profile);
+  opt.retry_budget = static_cast<int>(flags.int_or("retry-budget", opt.retry_budget));
   return opt;
 }
 

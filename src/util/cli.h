@@ -33,6 +33,10 @@ struct BenchOptions {
   double scale = 1.0;           // --scale / MLAAS_SCALE: grid & corpus scaling
   int threads = 0;              // --threads (0 = hardware)
   bool quick = false;           // --quick: tiny corpus for smoke runs
+  // Campaign transport envelope (service simulation):
+  double fault_rate = 0.0;          // --fault-rate / MLAAS_FAULT_RATE
+  std::string quota_profile = "default";  // --quota-profile
+  int retry_budget = 6;             // --retry-budget: attempts per request
 };
 
 BenchOptions parse_bench_options(int argc, const char* const* argv);

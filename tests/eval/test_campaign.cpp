@@ -1,0 +1,362 @@
+// The service-backed measurement campaign: parity with the direct-call
+// runner, failure accounting under faults/quotas, determinism, telemetry,
+// and cache fingerprinting.
+#include "eval/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/generators.h"
+
+namespace mlaas {
+namespace {
+
+MeasurementOptions fast_options() {
+  MeasurementOptions opt;
+  opt.seed = 42;
+  opt.max_para_configs = 4;
+  opt.joint_sample = 5;
+  opt.threads = 2;
+  return opt;
+}
+
+std::vector<Dataset> tiny_corpus() {
+  std::vector<Dataset> corpus;
+  corpus.push_back(make_blobs(80, 3, 1.0, 5.0, 1));
+  corpus.back().meta().id = "blob-0";
+  corpus.push_back(make_circles(80, 0.08, 0.5, 2));
+  corpus.back().meta().id = "circle-0";
+  return corpus;
+}
+
+std::vector<PlatformPtr> small_roster() {
+  std::vector<PlatformPtr> platforms;
+  platforms.push_back(make_platform("Google"));
+  platforms.push_back(make_platform("Amazon"));
+  platforms.push_back(make_platform("PredictionIO"));
+  return platforms;
+}
+
+TEST(RunCampaign, ZeroFaultRateMatchesDirectRunner) {
+  const auto corpus = tiny_corpus();
+  const auto platforms = small_roster();
+  const MeasurementOptions options = fast_options();
+
+  // The seed's direct-call runner: measure_one per (dataset, platform,
+  // config), in the same order the campaign emits rows.
+  MeasurementTable direct;
+  for (const auto& dataset : corpus) {
+    for (const auto& platform : platforms) {
+      for (const auto& config : enumerate_configs(*platform, options)) {
+        if (auto m = measure_one(dataset, *platform, config, options)) {
+          if (m->ok) direct.add(std::move(*m));
+        }
+      }
+    }
+  }
+
+  const CampaignResult campaign = run_campaign(corpus, platforms, options);
+  ASSERT_EQ(campaign.table.failures().size(), 0u);
+  ASSERT_EQ(campaign.table.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    const auto& a = direct.rows()[i];
+    const auto& b = campaign.table.rows()[i];
+    EXPECT_EQ(a.dataset_id, b.dataset_id);
+    EXPECT_EQ(a.platform, b.platform);
+    EXPECT_EQ(a.feature_step, b.feature_step);
+    EXPECT_EQ(a.classifier, b.classifier);
+    EXPECT_EQ(a.params, b.params);
+    EXPECT_EQ(a.default_params, b.default_params);
+    EXPECT_DOUBLE_EQ(a.test.f_score, b.test.f_score);
+    EXPECT_DOUBLE_EQ(a.test.accuracy, b.test.accuracy);
+    EXPECT_EQ(a.label_signature, b.label_signature);
+  }
+}
+
+TEST(RunCampaign, TelemetryCountsRequests) {
+  const auto corpus = tiny_corpus();
+  const auto platforms = small_roster();
+  const CampaignResult result = run_campaign(corpus, platforms, fast_options());
+  ASSERT_EQ(result.report.platforms.size(), 3u);
+  for (const auto& p : result.report.platforms) {
+    // One upload per dataset, one train + one predict per measured cell.
+    EXPECT_EQ(p.service.uploads, corpus.size());
+    EXPECT_EQ(p.service.trainings, p.cells_ok);
+    EXPECT_EQ(p.service.predictions, p.cells_ok);
+    EXPECT_GE(p.service.requests, p.service.uploads + 2 * p.cells_ok);
+    EXPECT_GT(p.simulated_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(p.coverage(), 1.0);
+  }
+}
+
+TEST(RunCampaign, FaultyCampaignCompletesAndRecordsFailures) {
+  MeasurementOptions options = fast_options();
+  options.campaign.fault_rate = 0.6;
+  options.campaign.retry_budget = 2;  // tight budget so some cells fail
+  const CampaignResult result = run_campaign(tiny_corpus(), small_roster(), options);
+  const PlatformCampaignStats total = result.report.totals();
+  EXPECT_GT(total.cells_failed, 0u);
+  EXPECT_GT(total.retries, 0u);
+  EXPECT_LT(result.report.coverage(), 1.0);
+  // Failure rows are structured, not dropped: step:status strings.
+  const MeasurementTable failed = result.table.failures();
+  ASSERT_GT(failed.size(), 0u);
+  for (const auto& m : failed.rows()) {
+    EXPECT_FALSE(m.ok);
+    EXPECT_NE(m.failure.find(':'), std::string::npos) << m.failure;
+  }
+  // And excluded from aggregation helpers.
+  for (const auto* best : result.table.best_per_dataset()) EXPECT_TRUE(best->ok);
+}
+
+TEST(RunCampaign, FaultyCampaignIsDeterministicAcrossThreadCounts) {
+  MeasurementOptions serial = fast_options();
+  serial.campaign.fault_rate = 0.3;
+  serial.campaign.retry_budget = 3;
+  serial.threads = 1;
+  MeasurementOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a = run_campaign(tiny_corpus(), small_roster(), serial);
+  const auto b = run_campaign(tiny_corpus(), small_roster(), parallel);
+  ASSERT_EQ(a.table.size(), b.table.size());
+  for (std::size_t i = 0; i < a.table.size(); ++i) {
+    const auto& ra = a.table.rows()[i];
+    const auto& rb = b.table.rows()[i];
+    EXPECT_EQ(ra.params, rb.params);
+    EXPECT_EQ(ra.ok, rb.ok);
+    EXPECT_EQ(ra.failure, rb.failure);
+    EXPECT_DOUBLE_EQ(ra.test.f_score, rb.test.f_score);
+  }
+  const auto ta = a.report.totals();
+  const auto tb = b.report.totals();
+  EXPECT_EQ(ta.service.transient_errors, tb.service.transient_errors);
+  EXPECT_EQ(ta.retries, tb.retries);
+  EXPECT_EQ(ta.cells_failed, tb.cells_failed);
+}
+
+TEST(RunCampaign, FreeTierQuotaExhaustionIsRecorded) {
+  MeasurementOptions options = fast_options();
+  options.max_para_configs = 20;  // Amazon's full grid (18) > free-tier quota
+  options.campaign.quota_profile = "free-tier";  // 10 training jobs/session
+  std::vector<PlatformPtr> platforms;
+  platforms.push_back(make_platform("Amazon"));
+  const auto corpus = tiny_corpus();
+  const CampaignResult result = run_campaign(corpus, platforms, options);
+  const auto& amazon = result.report.platforms[0];
+  ASSERT_GT(amazon.cells_total / corpus.size(), 10u)
+      << "test needs more configs than the free-tier training quota";
+  EXPECT_EQ(amazon.service.trainings, 10u * corpus.size());
+  EXPECT_GT(amazon.cells_failed, 0u);
+  EXPECT_EQ(amazon.failures_by_status.count("train:quota-exhausted"), 1u);
+  // Successful cells are bit-identical to an unconstrained campaign.
+  MeasurementOptions unconstrained = options;
+  unconstrained.campaign = CampaignOptions{};
+  const CampaignResult free_run = run_campaign(corpus, platforms, unconstrained);
+  const MeasurementTable measured = result.table.succeeded();
+  for (const auto& m : measured.rows()) {
+    bool found = false;
+    for (const auto& f : free_run.table.rows()) {
+      if (f.dataset_id == m.dataset_id && f.params == m.params &&
+          f.classifier == m.classifier && f.feature_step == m.feature_step) {
+        EXPECT_DOUBLE_EQ(f.test.f_score, m.test.f_score);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(RunCampaign, StrictProfileStallsButCompletes) {
+  MeasurementOptions options = fast_options();
+  options.campaign.quota_profile = "strict";  // 5 requests/min
+  std::vector<PlatformPtr> platforms;
+  platforms.push_back(make_platform("Amazon"));
+  const CampaignResult result = run_campaign(tiny_corpus(), platforms, options);
+  const auto& amazon = result.report.platforms[0];
+  // Rate limits stall the campaign (Retry-After waits) but drop no cells.
+  EXPECT_GT(amazon.service.rate_limited, 0u);
+  EXPECT_GT(amazon.backoff_seconds, 0.0);
+  EXPECT_EQ(amazon.cells_failed, 0u);
+  EXPECT_DOUBLE_EQ(result.report.coverage(), 1.0);
+}
+
+TEST(CampaignReport, TsvRoundTripAndJsonWritten) {
+  MeasurementOptions options = fast_options();
+  options.campaign.fault_rate = 0.5;
+  options.campaign.retry_budget = 2;
+  const CampaignResult result = run_campaign(tiny_corpus(), small_roster(), options);
+  const std::string tsv = ::testing::TempDir() + "/campaign_report.tsv";
+  const std::string json = ::testing::TempDir() + "/campaign_report.json";
+  result.report.save_tsv(tsv);
+  result.report.save_json(json);
+  const auto loaded = CampaignReport::load_tsv(tsv);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->platforms.size(), result.report.platforms.size());
+  for (std::size_t i = 0; i < loaded->platforms.size(); ++i) {
+    const auto& a = result.report.platforms[i];
+    const auto& b = loaded->platforms[i];
+    EXPECT_EQ(a.platform, b.platform);
+    EXPECT_EQ(a.cells_ok, b.cells_ok);
+    EXPECT_EQ(a.cells_failed, b.cells_failed);
+    EXPECT_EQ(a.service.requests, b.service.requests);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.failures_by_status, b.failures_by_status);
+    EXPECT_NEAR(a.simulated_seconds, b.simulated_seconds, 1e-6);
+  }
+  std::ifstream jin(json);
+  ASSERT_TRUE(jin.good());
+  std::string text((std::istreambuf_iterator<char>(jin)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"platforms\""), std::string::npos);
+  EXPECT_NE(text.find("\"coverage\""), std::string::npos);
+  std::remove(tsv.c_str());
+  std::remove(json.c_str());
+}
+
+TEST(RunOrLoad, FingerprintMismatchForcesRerun) {
+  auto platforms = small_roster();
+  const std::string path = ::testing::TempDir() + "/mlaas_fingerprint_test.tsv";
+  std::remove(path.c_str());
+  const auto corpus2 = tiny_corpus();
+  const auto table2 = run_or_load(corpus2, platforms, fast_options(), path);
+  EXPECT_EQ(table2.dataset_ids().size(), 2u);
+  // Same fingerprint: the cache is reused (and the sidecar report reloads).
+  CampaignReport cached_report;
+  const auto again = run_or_load(corpus2, platforms, fast_options(), path, &cached_report);
+  EXPECT_EQ(again.size(), table2.size());
+  EXPECT_EQ(cached_report.platforms.size(), platforms.size());
+  // Smaller corpus -> different fingerprint -> the stale cache (which has 2
+  // datasets) must NOT be reused.
+  std::vector<Dataset> corpus1;
+  corpus1.push_back(corpus2[0]);
+  MeasurementOptions quiet = fast_options();
+  quiet.verbose = false;
+  const auto table1 = run_or_load(corpus1, platforms, quiet, path);
+  EXPECT_EQ(table1.dataset_ids().size(), 1u);
+  std::remove(path.c_str());
+  std::remove((path + ".campaign.tsv").c_str());
+  std::remove((path + ".campaign.json").c_str());
+}
+
+TEST(RunOrLoad, CorruptCacheIsDiscardedNotFatal) {
+  auto platforms = small_roster();
+  const std::string path = ::testing::TempDir() + "/mlaas_corrupt_cache.tsv";
+  const auto corpus = tiny_corpus();
+  MeasurementOptions quiet = fast_options();
+  quiet.verbose = false;
+  const auto fresh = run_or_load(corpus, platforms, quiet, path);
+  // Truncate a row mid-line, keeping the valid fingerprint header.
+  {
+    std::ifstream in(path);
+    std::string header1, header2;
+    std::getline(in, header1);
+    std::getline(in, header2);
+    in.close();
+    std::ofstream out(path);
+    out << header1 << '\n' << header2 << '\n' << "blob-0\tGoogle\ttrunc";
+  }
+  const auto recovered = run_or_load(corpus, platforms, quiet, path);
+  EXPECT_EQ(recovered.size(), fresh.size());
+  // A cache truncated right after the header parses as a valid empty table
+  // with a matching fingerprint; it must still be discarded and re-run.
+  {
+    std::ifstream in(path);
+    std::string header1, header2;
+    std::getline(in, header1);
+    std::getline(in, header2);
+    in.close();
+    std::ofstream out(path);
+    out << header1 << '\n' << header2 << '\n';
+  }
+  const auto refilled = run_or_load(corpus, platforms, quiet, path);
+  EXPECT_EQ(refilled.size(), fresh.size());
+  std::remove(path.c_str());
+  std::remove((path + ".campaign.tsv").c_str());
+  std::remove((path + ".campaign.json").c_str());
+}
+
+TEST(MeasurementCsv, MalformedRowsThrowWithLineNumber) {
+  const std::string path = ::testing::TempDir() + "/mlaas_malformed.tsv";
+  {
+    std::ofstream out(path);
+    out << "dataset\tplatform\tfeat\tclf\tparams\tdefault\tf\tacc\tprec\trec\tsec\tsig"
+           "\tstatus\n";
+    out << "d1\tLocal\tnone\tmlp\t\t1\t0.9\t0.8\t0.7\t0.6\t0.1\t01\tok\n";
+    out << "d1\tLocal\tshort\n";  // truncated row
+  }
+  try {
+    MeasurementTable::load_csv(path);
+    FAIL() << "expected malformed row to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":3"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MeasurementCsv, NonNumericFieldThrowsWithLineNumber) {
+  const std::string path = ::testing::TempDir() + "/mlaas_badnum.tsv";
+  {
+    std::ofstream out(path);
+    out << "dataset\tplatform\tfeat\tclf\tparams\tdefault\tf\tacc\tprec\trec\tsec\tsig"
+           "\tstatus\n";
+    out << "d1\tLocal\tnone\tmlp\t\t1\tnot-a-number\t0.8\t0.7\t0.6\t0.1\t01\tok\n";
+  }
+  try {
+    MeasurementTable::load_csv(path);
+    FAIL() << "expected bad numeric field to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":2"), std::string::npos) << what;
+    EXPECT_NE(what.find("'f'"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MeasurementCsv, FailureRowsRoundTrip) {
+  MeasurementTable table;
+  Measurement ok;
+  ok.dataset_id = "d1";
+  ok.platform = "Local";
+  ok.feature_step = "none";
+  ok.classifier = "mlp";
+  ok.test.f_score = 0.9;
+  ok.label_signature = "01";
+  table.add(ok);
+  Measurement failed = ok;
+  failed.ok = false;
+  failed.failure = "train:transient-error";
+  failed.test = {};
+  failed.label_signature.clear();
+  table.add(failed);
+
+  const std::string path = ::testing::TempDir() + "/mlaas_failure_rows.tsv";
+  table.save_csv(path, "test-fingerprint v2");
+  std::string fingerprint;
+  const auto loaded = MeasurementTable::load_csv(path, &fingerprint);
+  EXPECT_EQ(fingerprint, "test-fingerprint v2");
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded.rows()[0].ok);
+  EXPECT_FALSE(loaded.rows()[1].ok);
+  EXPECT_EQ(loaded.rows()[1].failure, "train:transient-error");
+  EXPECT_EQ(loaded.succeeded().size(), 1u);
+  EXPECT_EQ(loaded.failures().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignOptionsTest, QuotaProfilesResolve) {
+  CampaignOptions campaign;
+  campaign.fault_rate = 0.25;
+  const ServiceQuota q = campaign.quota_for("Google");
+  EXPECT_EQ(q.requests_per_window, 100u);
+  EXPECT_DOUBLE_EQ(q.fault_rate, 0.25);
+  campaign.quota_profile = "free-tier";
+  EXPECT_EQ(campaign.quota_for("Amazon").max_training_jobs, 10u);
+  campaign.quota_profile = "nope";
+  EXPECT_THROW(campaign.quota_for("Amazon"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlaas

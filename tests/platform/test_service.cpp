@@ -146,6 +146,120 @@ TEST(ServiceStatusTest, Names) {
   EXPECT_EQ(to_string(ServiceStatus::kOk), "ok");
   EXPECT_EQ(to_string(ServiceStatus::kRateLimited), "rate-limited");
   EXPECT_EQ(to_string(ServiceStatus::kQuotaExhausted), "quota-exhausted");
+  EXPECT_EQ(to_string(ServiceStatus::kServerError), "server-error");
+  EXPECT_TRUE(is_retryable(ServiceStatus::kRateLimited));
+  EXPECT_TRUE(is_retryable(ServiceStatus::kTransientError));
+  EXPECT_FALSE(is_retryable(ServiceStatus::kQuotaExhausted));
+  EXPECT_FALSE(is_retryable(ServiceStatus::kServerError));
+}
+
+TEST(Service, ExplicitTrainSeedReproducesDirectCall) {
+  const Dataset data = small_data(3);
+  const auto direct_platform = make_platform("Local");
+  const auto direct_model = direct_platform->train(data, {}, /*seed=*/1234);
+  const auto direct_labels = direct_model->predict(data.x());
+
+  auto service = make_service();
+  std::string ds, model;
+  ASSERT_EQ(service.upload(data, &ds), ServiceStatus::kOk);
+  double train_wall = -1.0;
+  ASSERT_EQ(service.train(ds, {}, &model, /*seed=*/1234, &train_wall), ServiceStatus::kOk);
+  EXPECT_GE(train_wall, 0.0);
+  EXPECT_GT(service.stats().train_wall_seconds, 0.0);
+  std::vector<int> labels;
+  ASSERT_EQ(service.predict(model, data.x(), &labels), ServiceStatus::kOk);
+  EXPECT_EQ(labels, direct_labels);
+}
+
+/// A platform whose training always blows up with a non-config error.
+class ExplodingPlatform final : public Platform {
+ public:
+  std::string name() const override { return "Exploding"; }
+  int complexity_rank() const override { return 0; }
+  ControlSurface controls() const override { return {}; }
+  TrainedModelPtr train(const Dataset&, const PipelineConfig&,
+                        std::uint64_t) const override {
+    throw std::runtime_error("backend fell over");
+  }
+};
+
+TEST(Service, PlatformCrashBecomesServerErrorNotException) {
+  ExplodingPlatform exploding;
+  MlaasService service(exploding, ServiceQuota{}, /*seed=*/1);
+  std::string ds, model;
+  ASSERT_EQ(service.upload(small_data(), &ds), ServiceStatus::kOk);
+  EXPECT_EQ(service.train(ds, {}, &model), ServiceStatus::kServerError);
+  EXPECT_EQ(service.last_error(), "backend fell over");
+  EXPECT_EQ(service.stats().server_errors, 1u);
+  // Permanent: the retrying client gives up immediately.
+  RetryingClient client(service, /*max_attempts=*/5);
+  const auto before = service.stats().requests;
+  EXPECT_EQ(client.train(ds, {}, &model), ServiceStatus::kServerError);
+  EXPECT_EQ(service.stats().requests, before + 1);
+}
+
+TEST(Service, NonOwningConstructorSharesThePlatform) {
+  const auto platform = make_platform("Local");
+  MlaasService a(*platform, ServiceQuota{}, 1);
+  MlaasService b(*platform, ServiceQuota{}, 1);
+  std::string ds_a, ds_b;
+  EXPECT_EQ(a.upload(small_data(), &ds_a), ServiceStatus::kOk);
+  EXPECT_EQ(b.upload(small_data(), &ds_b), ServiceStatus::kOk);
+  EXPECT_EQ(a.platform_name(), "Local");
+}
+
+TEST(Service, RetryAfterHintMatchesWindowDrain) {
+  ServiceQuota quota;
+  quota.requests_per_window = 1;
+  quota.window_seconds = 10.0;
+  quota.base_latency_seconds = 0.0;
+  quota.per_sample_latency_seconds = 0.0;
+  auto service = make_service(quota);
+  std::string ds;
+  ASSERT_EQ(service.upload(small_data(1), &ds), ServiceStatus::kOk);
+  ASSERT_EQ(service.upload(small_data(2), &ds), ServiceStatus::kRateLimited);
+  // The first request landed at t=0; the window drains at t=10.
+  EXPECT_NEAR(service.retry_after_seconds(), 10.0, 1e-9);
+  service.advance_clock(service.retry_after_seconds() + 1e-6);
+  EXPECT_EQ(service.upload(small_data(3), &ds), ServiceStatus::kOk);
+}
+
+TEST(RetryingClientTest, LongWindowDoesNotExhaustTheBudget) {
+  ServiceQuota quota;
+  quota.requests_per_window = 2;
+  quota.window_seconds = 3600.0;  // far beyond the exponential-backoff reach
+  auto service = make_service(quota);
+  RetryingClient client(service, /*max_attempts=*/3);
+  const Dataset train = small_data(1);
+  // upload + train fill the window; predict must wait the window out via the
+  // Retry-After hint instead of burning all attempts on short backoffs.
+  const auto labels = client.train_and_predict(train, {}, train.x());
+  ASSERT_TRUE(labels.has_value());
+  EXPECT_GT(client.total_backoff_seconds(), 3000.0);
+}
+
+TEST(ServiceStatsTest, MergeAccumulates) {
+  ServiceStats a, b;
+  a.requests = 3;
+  a.trainings = 1;
+  a.train_wall_seconds = 0.5;
+  b.requests = 2;
+  b.rate_limited = 4;
+  b.train_wall_seconds = 0.25;
+  a.merge(b);
+  EXPECT_EQ(a.requests, 5u);
+  EXPECT_EQ(a.trainings, 1u);
+  EXPECT_EQ(a.rate_limited, 4u);
+  EXPECT_DOUBLE_EQ(a.train_wall_seconds, 0.75);
+}
+
+TEST(QuotaProfileTest, NamedProfilesResolve) {
+  EXPECT_EQ(quota_profile("default", "Google").requests_per_window, 100u);
+  EXPECT_EQ(quota_profile("strict", "Google").requests_per_window, 5u);
+  EXPECT_EQ(quota_profile("free-tier", "BigML").max_training_jobs, 10u);
+  EXPECT_EQ(quota_profile("unlimited", "ABM").max_training_jobs, 0u);
+  EXPECT_THROW(quota_profile("bogus", "Google"), std::invalid_argument);
+  EXPECT_EQ(quota_profile_names().size(), 4u);
 }
 
 }  // namespace

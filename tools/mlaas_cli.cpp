@@ -12,9 +12,15 @@
 //       Decision-boundary probe on the CIRCLE and LINEAR datasets (§6.1).
 //   mlaas_cli corpus --out DIR [--seed 42] [--n 119]
 //       Write the synthetic study corpus as CSV files.
+//   mlaas_cli campaign [--quick] [--seed 42] [--scale 1] [--threads N]
+//              [--fault-rate 0.1] [--quota-profile strict] [--retry-budget 6]
+//              [--out report.tsv] [--json report.json]
+//       Run the measurement campaign through the simulated service layer
+//       and print/write the per-platform telemetry report.
 #include <filesystem>
 #include <iostream>
 
+#include "core/study.h"
 #include "data/corpus.h"
 #include "data/csv.h"
 #include "data/generators.h"
@@ -120,8 +126,47 @@ int cmd_corpus(const CliFlags& flags) {
   return 0;
 }
 
+int cmd_campaign(const CliFlags& flags) {
+  StudyOptions opt;
+  opt.seed = static_cast<std::uint64_t>(flags.int_or("seed", 42));
+  opt.scale = flags.double_or("scale", 1.0);
+  opt.quick = flags.bool_or("quick", false);
+  opt.threads = static_cast<int>(flags.int_or("threads", 0));
+  opt.verbose = flags.bool_or("verbose", false);
+  opt.fault_rate = flags.double_or("fault-rate", 0.0);
+  opt.quota_profile = flags.get_or("quota-profile", "default");
+  opt.retry_budget = static_cast<int>(flags.int_or("retry-budget", 6));
+
+  Study study(opt);
+  const CampaignResult result =
+      run_campaign(study.corpus(), study.platforms(), opt.measurement_options());
+
+  TextTable t({"Platform", "Cells ok", "Failed", "Rejected", "Requests", "Retries",
+               "Rate-limited", "Faults", "Simulated (h)"});
+  for (const auto& p : result.report.platforms) {
+    t.add_row({p.platform, std::to_string(p.cells_ok), std::to_string(p.cells_failed),
+               std::to_string(p.cells_rejected), std::to_string(p.service.requests),
+               std::to_string(p.retries), std::to_string(p.service.rate_limited),
+               std::to_string(p.service.transient_errors),
+               fmt(p.simulated_seconds / 3600.0, 2)});
+  }
+  const PlatformCampaignStats total = result.report.totals();
+  std::cout << t.str() << "\ncoverage: " << fmt(100.0 * result.report.coverage(), 1)
+            << "%  (" << total.cells_ok << " ok, " << total.cells_failed << " failed, "
+            << total.cells_rejected << " rejected)\n";
+  if (auto out = flags.get("out")) {
+    result.report.save_tsv(*out);
+    std::cout << "wrote " << *out << "\n";
+  }
+  if (auto json = flags.get("json")) {
+    result.report.save_json(*json);
+    std::cout << "wrote " << *json << "\n";
+  }
+  return 0;
+}
+
 int usage() {
-  std::cerr << "usage: mlaas_cli <list|train|probe|corpus> [flags]\n"
+  std::cerr << "usage: mlaas_cli <list|train|probe|corpus|campaign> [flags]\n"
                "  see the header comment of tools/mlaas_cli.cpp for details\n";
   return 2;
 }
@@ -137,6 +182,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(flags);
     if (command == "probe") return cmd_probe(flags);
     if (command == "corpus") return cmd_corpus(flags);
+    if (command == "campaign") return cmd_campaign(flags);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "mlaas_cli: " << e.what() << "\n";

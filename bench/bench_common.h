@@ -23,6 +23,13 @@ inline StudyOptions study_options_from_cli(int argc, const char* const* argv) {
   opt.fault_rate = bench.fault_rate;
   opt.quota_profile = bench.quota_profile;
   opt.retry_budget = bench.retry_budget;
+  opt.chaos_profile = bench.chaos_profile;
+  opt.breakers = bench.breakers;
+  opt.breaker_threshold = bench.breaker_threshold;
+  opt.breaker_cooldown = bench.breaker_cooldown;
+  opt.breaker_probes = bench.breaker_probes;
+  opt.jitter = bench.jitter;
+  opt.resume = bench.resume;
   return opt;
 }
 
@@ -33,6 +40,11 @@ inline void print_bench_header(const std::string& title, const StudyOptions& opt
   if (opt.fault_rate > 0.0 || opt.quota_profile != "default") {
     std::cout << " fault-rate=" << opt.fault_rate << " quota-profile=" << opt.quota_profile
               << " retry-budget=" << opt.retry_budget;
+  }
+  if (opt.chaos_profile != "none") std::cout << " chaos-profile=" << opt.chaos_profile;
+  if (opt.breakers) {
+    std::cout << " breakers=on(" << opt.breaker_threshold << "/" << opt.breaker_cooldown
+              << "s/" << opt.breaker_probes << ")";
   }
   std::cout << "\n\n";
 }

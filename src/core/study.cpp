@@ -26,6 +26,13 @@ MeasurementOptions StudyOptions::measurement_options() const {
   m.campaign.fault_rate = fault_rate;
   m.campaign.quota_profile = quota_profile;
   m.campaign.retry_budget = retry_budget;
+  m.campaign.chaos_profile = chaos_profile;
+  m.campaign.breaker.enabled = breakers;
+  m.campaign.breaker.failure_threshold = breaker_threshold;
+  m.campaign.breaker.cooldown_seconds = breaker_cooldown;
+  m.campaign.breaker.max_probes = breaker_probes;
+  m.campaign.jitter = jitter;
+  m.campaign.resume = resume;
   return m;
 }
 

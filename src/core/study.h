@@ -45,6 +45,24 @@ struct StudyOptions {
   double fault_rate = 0.0;
   std::string quota_profile = "default";
   int retry_budget = 6;
+  /// Chaos fault schedule injected into every platform session ("none",
+  /// "outages", "bursts", "latency", "storm"); see make_fault_plan.
+  std::string chaos_profile = "none";
+  /// Per-platform circuit breakers in the campaign driver: after
+  /// `breaker_threshold` consecutive cell failures the breaker opens and
+  /// the remaining cells of the session are deferred (excluded from
+  /// aggregation) unless a half-open probe after `breaker_cooldown`
+  /// simulated seconds succeeds.
+  bool breakers = false;
+  int breaker_threshold = 3;
+  double breaker_cooldown = 300.0;
+  int breaker_probes = 2;
+  /// Decorrelated jitter on retry backoff (off by default: keeps campaigns
+  /// bit-reproducible across library versions).
+  bool jitter = false;
+  /// Resume a crashed campaign from its write-ahead journal (on by
+  /// default; set false to force a fresh run).
+  bool resume = true;
 
   CorpusOptions corpus_options() const;
   MeasurementOptions measurement_options() const;

@@ -6,14 +6,18 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 
 #include "data/split.h"
+#include "eval/journal.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace mlaas {
+
+bool Measurement::deferred() const { return !ok && failure == kDeferredStatus; }
 
 void MeasurementTable::append(const MeasurementTable& other) {
   rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
@@ -42,6 +46,10 @@ MeasurementTable MeasurementTable::succeeded() const {
 
 MeasurementTable MeasurementTable::failures() const {
   return filter([](const Measurement& m) { return !m.ok; });
+}
+
+MeasurementTable MeasurementTable::deferred() const {
+  return filter([](const Measurement& m) { return m.deferred(); });
 }
 
 MeasurementTable MeasurementTable::baseline() const {
@@ -110,20 +118,63 @@ std::vector<std::string> split_tabs(const std::string& line) {
   }
 }
 
-double parse_double_field(const std::string& path, std::size_t line_no,
-                          const std::string& column, const std::string& value) {
+double parse_double_field(const std::string& context, const std::string& column,
+                          const std::string& value) {
   try {
     std::size_t consumed = 0;
     const double parsed = std::stod(value, &consumed);
     if (consumed != value.size()) throw std::invalid_argument("trailing characters");
     return parsed;
   } catch (const std::exception&) {
-    throw std::runtime_error("MeasurementTable: " + path + ":" + std::to_string(line_no) +
-                             ": bad numeric field '" + column + "' = '" + value + "'");
+    throw std::runtime_error("MeasurementTable: " + context + ": bad numeric field '" +
+                             column + "' = '" + value + "'");
   }
 }
 
 }  // namespace
+
+std::string measurement_row_to_tsv(const Measurement& m) {
+  std::ostringstream out;
+  // max_digits10: rows restored from a journal must reproduce the in-memory
+  // doubles bit for bit, or a resumed campaign would differ from an
+  // uninterrupted one.
+  out.precision(17);
+  out << m.dataset_id << '\t' << m.platform << '\t' << m.feature_step << '\t'
+      << m.classifier << '\t' << m.params << '\t' << (m.default_params ? 1 : 0) << '\t'
+      << m.test.f_score << '\t' << m.test.accuracy << '\t' << m.test.precision << '\t'
+      << m.test.recall << '\t' << m.train_seconds << '\t' << m.label_signature << '\t'
+      << (m.ok ? "ok" : m.failure);
+  return out.str();
+}
+
+Measurement measurement_row_from_tsv(const std::string& line, const std::string& context) {
+  const auto fields = split_tabs(line);
+  // v1 caches have 12 columns (no status); v2 append a status column.
+  if (fields.size() != 12 && fields.size() != 13) {
+    throw std::runtime_error("MeasurementTable: " + context +
+                             ": expected 12 or 13 columns, got " +
+                             std::to_string(fields.size()));
+  }
+  Measurement m;
+  m.dataset_id = fields[0];
+  m.platform = fields[1];
+  m.feature_step = fields[2];
+  m.classifier = fields[3];
+  m.params = fields[4];
+  m.default_params = fields[5] == "1";
+  m.test.f_score = parse_double_field(context, "f", fields[6]);
+  m.test.accuracy = parse_double_field(context, "acc", fields[7]);
+  m.test.precision = parse_double_field(context, "prec", fields[8]);
+  m.test.recall = parse_double_field(context, "rec", fields[9]);
+  m.train_seconds =
+      fields[10].empty() ? 0.0 : parse_double_field(context, "sec", fields[10]);
+  m.label_signature = fields[11];
+  if (fields.size() == 13 && fields[12] != "ok" && !fields[12].empty()) {
+    m.ok = false;
+    m.failure = fields[12];
+  }
+  return m;
+}
 
 void MeasurementTable::save_csv(const std::string& path,
                                 const std::string& fingerprint) const {
@@ -131,14 +182,7 @@ void MeasurementTable::save_csv(const std::string& path,
   if (!out) throw std::runtime_error("MeasurementTable: cannot write " + path);
   if (!fingerprint.empty()) out << "# " << fingerprint << '\n';
   out << kCsvHeader << '\n';
-  out.precision(10);
-  for (const auto& m : rows_) {
-    out << m.dataset_id << '\t' << m.platform << '\t' << m.feature_step << '\t'
-        << m.classifier << '\t' << m.params << '\t' << (m.default_params ? 1 : 0) << '\t'
-        << m.test.f_score << '\t' << m.test.accuracy << '\t' << m.test.precision << '\t'
-        << m.test.recall << '\t' << m.train_seconds << '\t' << m.label_signature << '\t'
-        << (m.ok ? "ok" : m.failure) << '\n';
-  }
+  for (const auto& m : rows_) out << measurement_row_to_tsv(m) << '\n';
 }
 
 MeasurementTable MeasurementTable::load_csv(const std::string& path,
@@ -166,40 +210,63 @@ MeasurementTable MeasurementTable::load_csv(const std::string& path,
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    const auto fields = split_tabs(line);
-    // v1 caches have 12 columns (no status); v2 append a status column.
-    if (fields.size() != 12 && fields.size() != 13) {
-      throw std::runtime_error("MeasurementTable: " + path + ":" +
-                               std::to_string(line_no) + ": expected 12 or 13 columns, got " +
-                               std::to_string(fields.size()));
-    }
-    Measurement m;
-    m.dataset_id = fields[0];
-    m.platform = fields[1];
-    m.feature_step = fields[2];
-    m.classifier = fields[3];
-    m.params = fields[4];
-    m.default_params = fields[5] == "1";
-    m.test.f_score = parse_double_field(path, line_no, "f", fields[6]);
-    m.test.accuracy = parse_double_field(path, line_no, "acc", fields[7]);
-    m.test.precision = parse_double_field(path, line_no, "prec", fields[8]);
-    m.test.recall = parse_double_field(path, line_no, "rec", fields[9]);
-    m.train_seconds =
-        fields[10].empty() ? 0.0 : parse_double_field(path, line_no, "sec", fields[10]);
-    m.label_signature = fields[11];
-    if (fields.size() == 13 && fields[12] != "ok" && !fields[12].empty()) {
-      m.ok = false;
-      m.failure = fields[12];
-    }
-    table.add(std::move(m));
+    table.add(measurement_row_from_tsv(line, path + ":" + std::to_string(line_no)));
   }
   return table;
 }
 
-ServiceQuota CampaignOptions::quota_for(const std::string& platform) const {
+ServiceQuota CampaignOptions::quota_for(const std::string& platform,
+                                        std::uint64_t seed) const {
   ServiceQuota q = ::mlaas::quota_profile(quota_profile, platform);
   q.fault_rate = fault_rate;
+  q.fault_plan = make_fault_plan(chaos_profile, platform, seed);
   return q;
+}
+
+RetryPolicy CampaignOptions::retry_policy(std::uint64_t session_seed) const {
+  RetryPolicy policy;
+  policy.max_attempts = retry_budget;
+  policy.initial_backoff_seconds = initial_backoff_seconds;
+  policy.max_backoff_seconds = max_backoff_seconds;
+  policy.jitter = jitter;
+  policy.jitter_seed = session_seed;
+  return policy;
+}
+
+CircuitBreaker::Decision CircuitBreaker::admit(double /*now*/) const {
+  if (!options_.enabled || !open_) return Decision::kProceed;
+  if (probes_used_ >= options_.max_probes) return Decision::kDefer;
+  return Decision::kProbe;
+}
+
+double CircuitBreaker::probe_wait_seconds(double now) const {
+  return std::max(0.0, opened_at_ + options_.cooldown_seconds - now);
+}
+
+void CircuitBreaker::record_success() {
+  consecutive_failures_ = 0;
+  if (open_) {
+    open_ = false;
+    probes_used_ = 0;
+  }
+}
+
+void CircuitBreaker::record_failure(double now) {
+  if (!options_.enabled) return;
+  if (open_) {
+    // A failed half-open probe re-trips the breaker and restarts the
+    // cooldown from the probe's failure time.
+    ++probes_used_;
+    opened_at_ = now;
+    ++trips_;
+    return;
+  }
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= options_.failure_threshold) {
+    open_ = true;
+    opened_at_ = now;
+    ++trips_;
+  }
 }
 
 void PlatformCampaignStats::merge(const PlatformCampaignStats& other) {
@@ -211,13 +278,19 @@ void PlatformCampaignStats::merge(const PlatformCampaignStats& other) {
   cells_ok += other.cells_ok;
   cells_failed += other.cells_failed;
   cells_rejected += other.cells_rejected;
+  cells_deferred += other.cells_deferred;
+  cells_restored += other.cells_restored;
+  breaker_trips += other.breaker_trips;
+  outage_seconds += other.outage_seconds;
   for (const auto& [status, count] : other.failures_by_status) {
     failures_by_status[status] += count;
   }
 }
 
 double PlatformCampaignStats::coverage() const {
-  const std::size_t attempted = cells_ok + cells_failed;
+  // Deferred cells count against coverage: an excluded platform's cells were
+  // offered but never measured, exactly like permanent failures.
+  const std::size_t attempted = cells_ok + cells_failed + cells_deferred;
   return attempted == 0 ? 1.0
                         : static_cast<double>(cells_ok) / static_cast<double>(attempted);
 }
@@ -232,9 +305,10 @@ PlatformCampaignStats CampaignReport::totals() const {
 namespace {
 
 constexpr const char* kReportHeader =
-    "platform\tcells_total\tcells_ok\tcells_failed\tcells_rejected\trequests\tuploads\t"
-    "trainings\tpredictions\trate_limited\ttransient_errors\tserver_errors\tretries\t"
-    "backoff_sec\tsimulated_sec\ttrain_wall_sec\tfailures";
+    "platform\tcells_total\tcells_ok\tcells_failed\tcells_rejected\tcells_deferred\t"
+    "cells_restored\trequests\tuploads\ttrainings\tpredictions\trate_limited\t"
+    "transient_errors\tserver_errors\tunavailable\tretries\tbreaker_trips\tbackoff_sec\t"
+    "outage_sec\tsimulated_sec\ttrain_wall_sec\tfailures";
 
 std::string encode_failures(const std::map<std::string, std::size_t>& failures) {
   if (failures.empty()) return "-";
@@ -248,11 +322,13 @@ std::string encode_failures(const std::map<std::string, std::size_t>& failures) 
 
 void write_report_row(std::ostream& out, const PlatformCampaignStats& p) {
   out << p.platform << '\t' << p.cells_total << '\t' << p.cells_ok << '\t'
-      << p.cells_failed << '\t' << p.cells_rejected << '\t' << p.service.requests << '\t'
-      << p.service.uploads << '\t' << p.service.trainings << '\t' << p.service.predictions
-      << '\t' << p.service.rate_limited << '\t' << p.service.transient_errors << '\t'
-      << p.service.server_errors << '\t' << p.retries << '\t' << p.backoff_seconds << '\t'
-      << p.simulated_seconds << '\t' << p.service.train_wall_seconds << '\t'
+      << p.cells_failed << '\t' << p.cells_rejected << '\t' << p.cells_deferred << '\t'
+      << p.cells_restored << '\t' << p.service.requests << '\t' << p.service.uploads
+      << '\t' << p.service.trainings << '\t' << p.service.predictions << '\t'
+      << p.service.rate_limited << '\t' << p.service.transient_errors << '\t'
+      << p.service.server_errors << '\t' << p.service.unavailable << '\t' << p.retries
+      << '\t' << p.breaker_trips << '\t' << p.backoff_seconds << '\t' << p.outage_seconds
+      << '\t' << p.simulated_seconds << '\t' << p.service.train_wall_seconds << '\t'
       << encode_failures(p.failures_by_status) << '\n';
 }
 
@@ -292,7 +368,8 @@ void CampaignReport::save_json(const std::string& path) const {
         << "      \"platform\": \"" << json_escape(p.platform) << "\",\n"
         << "      \"cells\": {\"total\": " << p.cells_total << ", \"ok\": " << p.cells_ok
         << ", \"failed\": " << p.cells_failed << ", \"rejected\": " << p.cells_rejected
-        << "},\n"
+        << ", \"deferred\": " << p.cells_deferred
+        << ", \"restored\": " << p.cells_restored << "},\n"
         << "      \"coverage\": " << p.coverage() << ",\n"
         << "      \"requests\": " << p.service.requests
         << ", \"uploads\": " << p.service.uploads
@@ -301,8 +378,11 @@ void CampaignReport::save_json(const std::string& path) const {
         << "      \"rate_limited\": " << p.service.rate_limited
         << ", \"transient_errors\": " << p.service.transient_errors
         << ", \"server_errors\": " << p.service.server_errors
-        << ", \"retries\": " << p.retries << ",\n"
+        << ", \"unavailable\": " << p.service.unavailable
+        << ", \"retries\": " << p.retries
+        << ", \"breaker_trips\": " << p.breaker_trips << ",\n"
         << "      \"backoff_seconds\": " << p.backoff_seconds
+        << ", \"outage_seconds\": " << p.outage_seconds
         << ", \"simulated_seconds\": " << p.simulated_seconds
         << ", \"train_wall_seconds\": " << p.service.train_wall_seconds << ",\n"
         << "      \"failures_by_status\": {";
@@ -330,7 +410,7 @@ std::optional<CampaignReport> CampaignReport::load_tsv(const std::string& path) 
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const auto fields = split_tabs(line);
-    if (fields.size() != 17) return std::nullopt;
+    if (fields.size() != 22) return std::nullopt;
     try {
       PlatformCampaignStats p;
       p.platform = fields[0];
@@ -338,19 +418,24 @@ std::optional<CampaignReport> CampaignReport::load_tsv(const std::string& path) 
       p.cells_ok = std::stoull(fields[2]);
       p.cells_failed = std::stoull(fields[3]);
       p.cells_rejected = std::stoull(fields[4]);
-      p.service.requests = std::stoull(fields[5]);
-      p.service.uploads = std::stoull(fields[6]);
-      p.service.trainings = std::stoull(fields[7]);
-      p.service.predictions = std::stoull(fields[8]);
-      p.service.rate_limited = std::stoull(fields[9]);
-      p.service.transient_errors = std::stoull(fields[10]);
-      p.service.server_errors = std::stoull(fields[11]);
-      p.retries = std::stoull(fields[12]);
-      p.backoff_seconds = std::stod(fields[13]);
-      p.simulated_seconds = std::stod(fields[14]);
-      p.service.train_wall_seconds = std::stod(fields[15]);
-      if (fields[16] != "-") {
-        std::istringstream fs(fields[16]);
+      p.cells_deferred = std::stoull(fields[5]);
+      p.cells_restored = std::stoull(fields[6]);
+      p.service.requests = std::stoull(fields[7]);
+      p.service.uploads = std::stoull(fields[8]);
+      p.service.trainings = std::stoull(fields[9]);
+      p.service.predictions = std::stoull(fields[10]);
+      p.service.rate_limited = std::stoull(fields[11]);
+      p.service.transient_errors = std::stoull(fields[12]);
+      p.service.server_errors = std::stoull(fields[13]);
+      p.service.unavailable = std::stoull(fields[14]);
+      p.retries = std::stoull(fields[15]);
+      p.breaker_trips = std::stoull(fields[16]);
+      p.backoff_seconds = std::stod(fields[17]);
+      p.outage_seconds = std::stod(fields[18]);
+      p.simulated_seconds = std::stod(fields[19]);
+      p.service.train_wall_seconds = std::stod(fields[20]);
+      if (fields[21] != "-") {
+        std::istringstream fs(fields[21]);
         std::string item;
         while (std::getline(fs, item, ';')) {
           const std::size_t eq = item.find('=');
@@ -506,18 +591,39 @@ Measurement base_row(const CellSpec& cell, const std::string& dataset_id,
 }
 
 /// One (dataset, platform) service session: upload once, then train/predict
-/// every configuration with retries.  Fills `out` with ok and failure rows
-/// and `stats` with the session's telemetry.
+/// every configuration with retries, guarded by the session's circuit
+/// breaker.  Fills `out` with ok/failure/deferred rows and `stats` with the
+/// session's telemetry; every finished cell is appended to `journal` (when
+/// present) before the next one starts.
 void run_session(const Dataset& dataset, const TrainTestSplit& split,
                  const Platform& platform, const std::vector<CellSpec>& cells,
                  const ServiceQuota& quota, const MeasurementOptions& options,
-                 MeasurementTable* out, PlatformCampaignStats* stats) {
+                 MeasurementTable* out, PlatformCampaignStats* stats,
+                 CellJournal* journal) {
   const CampaignOptions& campaign = options.campaign;
-  MlaasService service(
-      platform, quota,
-      derive_seed(options.seed, "campaign-" + platform.name() + "-" + dataset.meta().id));
-  RetryingClient client(service, campaign.retry_budget,
-                        campaign.initial_backoff_seconds);
+  const std::uint64_t session_seed =
+      derive_seed(options.seed, "campaign-" + platform.name() + "-" + dataset.meta().id);
+  MlaasService service(platform, quota, session_seed);
+  RetryingClient client(service, campaign.retry_policy(session_seed));
+  CircuitBreaker breaker(campaign.breaker);
+
+  const auto finish_cell = [&](Measurement m) {
+    if (m.ok) {
+      ++stats->cells_ok;
+    } else if (m.deferred()) {
+      ++stats->cells_deferred;
+    } else {
+      ++stats->cells_failed;
+      ++stats->failures_by_status[m.failure];
+    }
+    out->add(m);
+    if (journal != nullptr) journal->append_cell(m);
+    // The hook fires after the journal write: a hook that aborts the
+    // campaign (crash-injection tests) still leaves this cell on disk.
+    if (campaign.after_cell_hook) {
+      campaign.after_cell_hook(journal != nullptr ? journal->cells_journaled() : 0);
+    }
+  };
 
   stats->cells_total += cells.size();
   std::string dataset_handle;
@@ -525,6 +631,20 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
 
   for (const CellSpec& cell : cells) {
     Measurement m = base_row(cell, dataset.meta().id, platform.name());
+    switch (breaker.admit(service.now())) {
+      case CircuitBreaker::Decision::kDefer:
+        m.ok = false;
+        m.failure = kDeferredStatus;
+        finish_cell(std::move(m));
+        continue;
+      case CircuitBreaker::Decision::kProbe:
+        // Half-open: sleep out the cooldown, then send this cell as the
+        // probe that decides whether the platform has recovered.
+        service.advance_clock(breaker.probe_wait_seconds(service.now()));
+        break;
+      case CircuitBreaker::Decision::kProceed:
+        break;
+    }
     if (uploaded != ServiceStatus::kOk) {
       m.ok = false;
       m.failure = "upload:" + to_string(uploaded);
@@ -566,18 +686,19 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
       }
     }
     if (m.ok) {
-      ++stats->cells_ok;
+      breaker.record_success();
     } else {
-      ++stats->cells_failed;
-      ++stats->failures_by_status[m.failure];
+      breaker.record_failure(service.now());
     }
-    out->add(std::move(m));
+    finish_cell(std::move(m));
   }
 
   stats->service.merge(service.stats());
   stats->retries += client.total_retries();
   stats->backoff_seconds += client.total_backoff_seconds();
   stats->simulated_seconds += service.now();
+  stats->breaker_trips += breaker.trips();
+  stats->outage_seconds += quota.fault_plan.outage_seconds(0.0, service.now());
 }
 
 }  // namespace
@@ -633,15 +754,37 @@ CampaignResult run_campaign(const std::vector<Dataset>& corpus,
                             const std::vector<PlatformPtr>& platforms,
                             const MeasurementOptions& options) {
   // Pre-enumerate configs and their row metadata once per platform, and
-  // resolve quota profiles eagerly: an unknown profile must throw here, in
-  // the caller's thread, not inside a pool worker.
+  // resolve quota profiles eagerly: an unknown profile or chaos profile must
+  // throw here, in the caller's thread, not inside a pool worker.
   std::vector<std::vector<CellSpec>> cells;
   std::vector<ServiceQuota> quotas;
   cells.reserve(platforms.size());
   quotas.reserve(platforms.size());
   for (const auto& p : platforms) {
     cells.push_back(build_cell_specs(*p, options));
-    quotas.push_back(options.campaign.quota_for(p->name()));
+    quotas.push_back(options.campaign.quota_for(p->name(), options.seed));
+  }
+
+  // Write-ahead journal: restore completed sessions from a previous crashed
+  // run (fingerprint must match), then append every cell finished here.
+  std::unique_ptr<CellJournal> journal;
+  CellJournal::Restored restored;
+  if (!options.campaign.journal_path.empty()) {
+    const std::string fingerprint = measurement_fingerprint(corpus, platforms, options);
+    bool fresh = true;
+    if (options.campaign.resume) {
+      if (auto loaded = CellJournal::load(options.campaign.journal_path, fingerprint)) {
+        restored = std::move(*loaded);
+        fresh = false;
+      }
+    }
+    journal = std::make_unique<CellJournal>(options.campaign.journal_path, fingerprint,
+                                            fresh);
+    if (options.verbose && restored.cells > 0) {
+      std::cerr << "[measure] journal: restoring " << restored.cells << " cells from "
+                << restored.sessions.size() << " completed sessions ("
+                << restored.discarded << " partial-session cells re-run)\n";
+    }
   }
 
   // One work item per dataset keeps results deterministic under threading;
@@ -659,8 +802,37 @@ CampaignResult run_campaign(const std::vector<Dataset>& corpus,
         dataset, options.test_fraction,
         derive_seed(options.seed, "split-" + dataset.meta().id), /*stratified=*/true);
     for (std::size_t p = 0; p < platforms.size(); ++p) {
+      PlatformCampaignStats& pstats = per_dataset_stats[d][p];
+      const std::string key =
+          CellJournal::session_key(dataset.meta().id, platforms[p]->name());
+      if (auto it = restored.sessions.find(key); it != restored.sessions.end()) {
+        // Session completed before the crash: restore its rows verbatim.
+        // Service/request telemetry for restored sessions was lost with the
+        // crashed process; cells_restored records how much work was saved.
+        pstats.cells_total += cells[p].size();
+        pstats.cells_restored += it->second.size();
+        pstats.cells_rejected += cells[p].size() - it->second.size();
+        for (const auto& m : it->second) {
+          if (m.ok) {
+            ++pstats.cells_ok;
+          } else if (m.deferred()) {
+            ++pstats.cells_deferred;
+          } else {
+            ++pstats.cells_failed;
+            ++pstats.failures_by_status[m.failure];
+          }
+          per_dataset[d].add(m);
+        }
+        continue;
+      }
+      if (journal != nullptr) {
+        journal->append_session_reset(dataset.meta().id, platforms[p]->name());
+      }
       run_session(dataset, split, *platforms[p], cells[p], quotas[p], options,
-                  &per_dataset[d], &per_dataset_stats[d][p]);
+                  &per_dataset[d], &pstats, journal.get());
+      if (journal != nullptr) {
+        journal->append_session_done(dataset.meta().id, platforms[p]->name());
+      }
     }
     if (options.verbose) {
       std::cerr << "[measure] " << dataset.meta().id << " done (" << (d + 1) << "/"
@@ -701,14 +873,37 @@ std::string measurement_fingerprint(const std::vector<Dataset>& corpus,
      << " fault=" << options.campaign.fault_rate
      << " profile=" << options.campaign.quota_profile
      << " retries=" << options.campaign.retry_budget;
+  // Resilience knobs that change measured rows invalidate caches and
+  // journals too.  Non-default values append so that fingerprints from
+  // older caches stay valid when the new features are off.
+  if (options.campaign.chaos_profile != "none") {
+    os << " chaos=" << options.campaign.chaos_profile;
+  }
+  if (options.campaign.breaker.enabled) {
+    os << " breaker=" << options.campaign.breaker.failure_threshold << '/'
+       << options.campaign.breaker.cooldown_seconds << '/'
+       << options.campaign.breaker.max_probes;
+  }
+  if (options.campaign.jitter) {
+    os << " jitter=1";
+  }
+  if (options.campaign.max_backoff_seconds != 120.0) {
+    os << " max_backoff=" << options.campaign.max_backoff_seconds;
+  }
   return os.str();
 }
 
 MeasurementTable run_or_load(const std::vector<Dataset>& corpus,
                              const std::vector<PlatformPtr>& platforms,
-                             const MeasurementOptions& options,
+                             const MeasurementOptions& options_in,
                              const std::string& cache_path,
                              CampaignReport* report) {
+  // Cached campaigns journal beside their cache by default, so a crashed
+  // run resumes on the next invocation instead of starting over.
+  MeasurementOptions options = options_in;
+  if (options.campaign.journal_path.empty()) {
+    options.campaign.journal_path = cache_path + ".journal";
+  }
   const std::string expected = measurement_fingerprint(corpus, platforms, options);
   {
     std::ifstream probe(cache_path);
@@ -743,6 +938,9 @@ MeasurementTable run_or_load(const std::vector<Dataset>& corpus,
   }
   CampaignResult result = run_campaign(corpus, platforms, options);
   result.table.save_csv(cache_path, expected);
+  // The cache now holds everything the journal protected; a stale journal
+  // left behind would only grow across campaigns.
+  CellJournal::remove(options.campaign.journal_path);
   try {
     result.report.save_tsv(cache_path + ".campaign.tsv");
     result.report.save_json(cache_path + ".campaign.json");

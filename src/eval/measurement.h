@@ -47,10 +47,18 @@ struct Measurement {
   /// Campaign outcome.  ok == false marks a cell whose service round-trip
   /// failed permanently (retries exhausted, quota hit, server error);
   /// `failure` then holds "<step>:<service-status>".  Failed cells carry no
-  /// metrics and are excluded from every aggregation.
+  /// metrics and are excluded from every aggregation.  A cell skipped by an
+  /// open circuit breaker instead carries the dedicated "deferred" status
+  /// (ok == false, failure == kDeferredStatus) — excluded from aggregation
+  /// like a failure, but counted separately in the campaign telemetry.
   bool ok = true;
   std::string failure;
+
+  bool deferred() const;
 };
+
+/// Status string of a cell skipped by an open circuit breaker.
+inline constexpr const char* kDeferredStatus = "deferred";
 
 inline constexpr std::size_t kLabelSignatureSize = 256;
 
@@ -66,9 +74,11 @@ class MeasurementTable {
   MeasurementTable filter(const std::function<bool(const Measurement&)>& pred) const;
   MeasurementTable for_platform(const std::string& platform) const;
   MeasurementTable for_dataset(const std::string& dataset_id) const;
-  /// Successful cells only / failed cells only.
+  /// Successful cells only / failed cells only (failures include deferred
+  /// cells; deferred() narrows to just those).
   MeasurementTable succeeded() const;
   MeasurementTable failures() const;
+  MeasurementTable deferred() const;
 
   /// Baseline rows (§3.2): no FEAT, LR (or automated), default parameters.
   MeasurementTable baseline() const;
@@ -96,9 +106,60 @@ class MeasurementTable {
   std::vector<Measurement> rows_;
 };
 
+/// Serialize/parse one measurement row in the cache-v2 TSV scheme (13
+/// tab-separated columns, status last).  Shared by the CSV cache and the
+/// write-ahead cell journal so both stay byte-compatible.
+std::string measurement_row_to_tsv(const Measurement& m);
+/// `context` names the source (path:line) in parse errors.
+Measurement measurement_row_from_tsv(const std::string& line, const std::string& context);
+
+/// Per-(dataset, platform) session circuit breaker, the campaign driver's
+/// guard against hammering a platform that is failing hard (sustained
+/// outages, exhausted quotas).  After `failure_threshold` consecutive failed
+/// cells the breaker opens; the driver then sleeps out the cooldown and
+/// sends the next cell as a half-open probe.  A successful probe closes the
+/// breaker; after `max_probes` failed probes it latches open and every
+/// remaining cell is deferred — reproducing the paper's forced exclusion of
+/// rate-limited providers as an emergent behaviour (§8).  Scoped to one
+/// session so campaigns stay deterministic under any thread count.
+struct BreakerOptions {
+  bool enabled = false;
+  int failure_threshold = 3;      // consecutive failed cells before opening
+  double cooldown_seconds = 300;  // simulated sleep before a half-open probe
+  int max_probes = 2;             // failed probes before latching open
+};
+
+class CircuitBreaker {
+ public:
+  enum class Decision {
+    kProceed,  // closed: run the cell normally
+    kProbe,    // half-open: sleep `probe_wait_seconds`, then run the cell
+    kDefer,    // latched open: mark the cell deferred without any requests
+  };
+
+  explicit CircuitBreaker(BreakerOptions options) : options_(options) {}
+
+  Decision admit(double now) const;
+  /// Simulated seconds to sleep before a kProbe cell (cooldown remainder).
+  double probe_wait_seconds(double now) const;
+  void record_success();
+  void record_failure(double now);
+
+  bool open() const { return open_; }
+  std::size_t trips() const { return trips_; }
+
+ private:
+  BreakerOptions options_;
+  bool open_ = false;
+  double opened_at_ = 0.0;
+  int consecutive_failures_ = 0;
+  int probes_used_ = 0;
+  std::size_t trips_ = 0;
+};
+
 /// Operational knobs of the campaign transport (ISSUE: fault rate, quota
-/// profile, retry budget) — threaded from StudyOptions and the CLI down to
-/// every per-cell service session.
+/// profile, retry budget, chaos schedule, breakers, journal) — threaded from
+/// StudyOptions and the CLI down to every per-cell service session.
 struct CampaignOptions {
   /// Probability any simulated request fails transiently.
   double fault_rate = 0.0;
@@ -107,10 +168,33 @@ struct CampaignOptions {
   /// Max attempts per request before the cell is recorded as failed.
   int retry_budget = 6;
   double initial_backoff_seconds = 1.0;
+  /// Cap on the exponential backoff component (see RetryPolicy).
+  double max_backoff_seconds = 120.0;
+  /// Decorrelated retry jitter (seeded per session; off keeps the campaign
+  /// bit-identical to the pure-exponential schedule).
+  bool jitter = false;
+  /// Named correlated-failure schedule (see make_fault_plan()); "none"
+  /// keeps the scalar fault_rate model.
+  std::string chaos_profile = "none";
+  /// Per-session circuit breaker (default disabled).
+  BreakerOptions breaker;
+  /// Write-ahead cell journal: every finished cell is appended (fsync'd)
+  /// here, and a later run with `resume` set restores completed sessions
+  /// instead of re-running them.  Empty disables journaling.  run_or_load
+  /// fills this with "<cache_path>.journal" when unset.
+  std::string journal_path;
+  /// Restore from an existing journal (--resume, the default); false starts
+  /// the journal fresh (--fresh).
+  bool resume = true;
+  /// Test hook: invoked after every journaled cell (crash injection throws
+  /// from here).  Not part of the campaign fingerprint.
+  std::function<void(std::size_t cells_journaled)> after_cell_hook;
 
   /// Resolve the per-platform quota under this campaign (profile envelope
-  /// with the campaign's fault rate applied).
-  ServiceQuota quota_for(const std::string& platform) const;
+  /// with the campaign's fault rate and chaos fault plan applied; the plan
+  /// is seeded by (seed, platform)).
+  ServiceQuota quota_for(const std::string& platform, std::uint64_t seed = 0) const;
+  RetryPolicy retry_policy(std::uint64_t session_seed) const;
 };
 
 struct MeasurementOptions {
@@ -136,8 +220,12 @@ struct PlatformCampaignStats {
   double simulated_seconds = 0.0; // simulated campaign wall-clock
   std::size_t cells_total = 0;    // configs x datasets offered
   std::size_t cells_ok = 0;
-  std::size_t cells_failed = 0;
+  std::size_t cells_failed = 0;   // excludes deferred cells
   std::size_t cells_rejected = 0; // bad-request: config outside the surface
+  std::size_t cells_deferred = 0; // skipped by an open circuit breaker
+  std::size_t cells_restored = 0; // resumed from the write-ahead journal
+  std::size_t breaker_trips = 0;  // times a session breaker opened
+  double outage_seconds = 0.0;    // simulated seconds inside outage windows
   std::map<std::string, std::size_t> failures_by_status;
 
   void merge(const PlatformCampaignStats& other);
@@ -177,6 +265,14 @@ struct CampaignResult {
 /// (options, corpus, platforms) regardless of thread count; with
 /// campaign.fault_rate == 0 the measurements are identical to direct
 /// Platform::train calls.
+///
+/// Crash safety: with campaign.journal_path set, every finished cell is
+/// appended to an fsync'd write-ahead journal and every finished session
+/// gets a completion marker.  With campaign.resume, sessions whose marker
+/// made it to disk before a crash are restored from the journal; sessions
+/// caught mid-flight re-run from scratch (each session's request stream is
+/// independently seeded, so a re-run is bit-identical to the uninterrupted
+/// run — wall-clock train_seconds excepted).
 CampaignResult run_campaign(const std::vector<Dataset>& corpus,
                             const std::vector<PlatformPtr>& platforms,
                             const MeasurementOptions& options);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 
 namespace mlaas {
@@ -15,13 +16,119 @@ std::string to_string(ServiceStatus status) {
     case ServiceStatus::kNotFound: return "not-found";
     case ServiceStatus::kBadRequest: return "bad-request";
     case ServiceStatus::kServerError: return "server-error";
+    case ServiceStatus::kUnavailable: return "unavailable";
   }
   return "?";
 }
 
 bool is_retryable(ServiceStatus status) {
   return status == ServiceStatus::kRateLimited ||
-         status == ServiceStatus::kTransientError;
+         status == ServiceStatus::kTransientError ||
+         status == ServiceStatus::kUnavailable;
+}
+
+bool FaultWindow::active_at(double t) const {
+  if (period <= 0.0 || duration <= 0.0) return false;
+  double pos = std::fmod(t - phase, period);
+  if (pos < 0.0) pos += period;
+  return pos < duration;
+}
+
+double FaultWindow::seconds_active(double t0, double t1) const {
+  if (period <= 0.0 || duration <= 0.0 || t1 <= t0) return 0.0;
+  // Occurrence k covers [phase + k*period, phase + k*period + duration).
+  const auto k_first =
+      static_cast<long long>(std::floor((t0 - phase - duration) / period));
+  const auto k_last = static_cast<long long>(std::floor((t1 - phase) / period));
+  double total = 0.0;
+  for (long long k = k_first; k <= k_last; ++k) {
+    const double start = phase + static_cast<double>(k) * period;
+    const double overlap = std::min(t1, start + duration) - std::max(t0, start);
+    if (overlap > 0.0) total += overlap;
+  }
+  return total;
+}
+
+double FaultWindow::seconds_until_inactive(double t) const {
+  if (!active_at(t)) return 0.0;
+  double pos = std::fmod(t - phase, period);
+  if (pos < 0.0) pos += period;
+  return duration - pos;
+}
+
+bool FaultPlan::in_outage(double t) const {
+  for (const auto& w : outages) {
+    if (w.active_at(t)) return true;
+  }
+  return false;
+}
+
+double FaultPlan::effective_fault_rate(double t, double base_rate) const {
+  for (const auto& w : bursts) {
+    if (w.active_at(t)) return std::max(base_rate, burst_fault_rate);
+  }
+  return base_rate;
+}
+
+double FaultPlan::latency_factor(double t) const {
+  for (const auto& w : latency_spikes) {
+    if (w.active_at(t)) return latency_multiplier;
+  }
+  return 1.0;
+}
+
+double FaultPlan::outage_seconds(double t0, double t1) const {
+  // Windows of one plan are drawn with distinct periods/phases; treating a
+  // rare overlap as double-counted keeps this O(outage windows).
+  double total = 0.0;
+  for (const auto& w : outages) total += w.seconds_active(t0, t1);
+  return total;
+}
+
+namespace {
+
+FaultWindow draw_window(Rng& rng, double period_lo, double period_hi,
+                        double duration_lo, double duration_hi) {
+  FaultWindow w;
+  w.period = rng.uniform(period_lo, period_hi);
+  w.duration = rng.uniform(duration_lo, duration_hi);
+  w.phase = rng.uniform(0.0, w.period);
+  return w;
+}
+
+}  // namespace
+
+FaultPlan make_fault_plan(const std::string& chaos_profile, const std::string& platform,
+                          std::uint64_t seed) {
+  FaultPlan plan;
+  if (chaos_profile == "none") return plan;
+  const bool outages = chaos_profile == "outages" || chaos_profile == "storm";
+  const bool bursts = chaos_profile == "bursts" || chaos_profile == "storm";
+  const bool latency = chaos_profile == "latency" || chaos_profile == "storm";
+  if (!outages && !bursts && !latency) {
+    throw std::invalid_argument("make_fault_plan: unknown chaos profile '" +
+                                chaos_profile + "'");
+  }
+  Rng rng(derive_seed(seed, "chaos-" + chaos_profile + "-" + platform));
+  if (outages) {
+    // A couple of recurring outages per platform: minutes-long windows every
+    // half hour to hour and a half, the shape of real provider incidents.
+    plan.outages.push_back(draw_window(rng, 1800.0, 5400.0, 120.0, 600.0));
+    plan.outages.push_back(draw_window(rng, 7200.0, 21600.0, 300.0, 1200.0));
+  }
+  if (bursts) {
+    plan.bursts.push_back(draw_window(rng, 600.0, 1800.0, 60.0, 300.0));
+    plan.burst_fault_rate = rng.uniform(0.4, 0.8);
+  }
+  if (latency) {
+    plan.latency_spikes.push_back(draw_window(rng, 900.0, 2700.0, 120.0, 480.0));
+    plan.latency_multiplier = rng.uniform(3.0, 10.0);
+  }
+  return plan;
+}
+
+std::vector<std::string> chaos_profile_names() {
+  return {"none", "outages", "bursts", "latency", "storm"};
 }
 
 ServiceQuota quota_profile(const std::string& profile, const std::string& platform) {
@@ -77,6 +184,7 @@ void ServiceStats::merge(const ServiceStats& other) {
   rate_limited += other.rate_limited;
   transient_errors += other.transient_errors;
   server_errors += other.server_errors;
+  unavailable += other.unavailable;
   train_wall_seconds += other.train_wall_seconds;
 }
 
@@ -101,6 +209,14 @@ void MlaasService::advance_clock(double seconds) {
 
 ServiceStatus MlaasService::admit(std::size_t work_samples) {
   ++stats_.requests;
+  // Correlated outage: the gateway is down, so the request never reaches the
+  // rate limiter.  Only the connection timeout accrues, and no Retry-After
+  // hint is offered — real 503s do not say when the incident ends.
+  if (quota_.fault_plan.in_outage(clock_seconds_)) {
+    ++stats_.unavailable;
+    advance_clock(quota_.base_latency_seconds);
+    return ServiceStatus::kUnavailable;
+  }
   // Drop window entries that have aged out.
   const double window_start = clock_seconds_ - quota_.window_seconds;
   request_times_.erase(
@@ -116,10 +232,14 @@ ServiceStatus MlaasService::admit(std::size_t work_samples) {
     return ServiceStatus::kRateLimited;
   }
   request_times_.push_back(clock_seconds_);
-  // Latency accrues whether or not the request ultimately succeeds.
-  advance_clock(quota_.base_latency_seconds +
-                quota_.per_sample_latency_seconds * static_cast<double>(work_samples));
-  if (quota_.fault_rate > 0.0 && rng_.chance(quota_.fault_rate)) {
+  // Latency accrues whether or not the request ultimately succeeds; a spike
+  // window multiplies it.
+  advance_clock((quota_.base_latency_seconds +
+                 quota_.per_sample_latency_seconds * static_cast<double>(work_samples)) *
+                quota_.fault_plan.latency_factor(clock_seconds_));
+  const double fault_rate =
+      quota_.fault_plan.effective_fault_rate(clock_seconds_, quota_.fault_rate);
+  if (fault_rate > 0.0 && rng_.chance(fault_rate)) {
     ++stats_.transient_errors;
     return ServiceStatus::kTransientError;
   }
@@ -193,24 +313,46 @@ ServiceStatus MlaasService::predict(const std::string& model_handle, const Matri
 
 RetryingClient::RetryingClient(MlaasService& service, int max_attempts,
                                double initial_backoff_seconds)
+    : RetryingClient(service, [&] {
+        RetryPolicy p;
+        p.max_attempts = max_attempts;
+        p.initial_backoff_seconds = initial_backoff_seconds;
+        return p;
+      }()) {}
+
+RetryingClient::RetryingClient(MlaasService& service, const RetryPolicy& policy)
     : service_(service),
-      max_attempts_(std::max(1, max_attempts)),
-      initial_backoff_(initial_backoff_seconds) {}
+      policy_(policy),
+      jitter_rng_(derive_seed(policy.jitter_seed, "retry-jitter")) {
+  policy_.max_attempts = std::max(1, policy_.max_attempts);
+  policy_.max_backoff_seconds =
+      std::max(policy_.initial_backoff_seconds, policy_.max_backoff_seconds);
+}
 
 ServiceStatus RetryingClient::with_retries(const std::function<ServiceStatus()>& call) {
-  double backoff = initial_backoff_;
+  double backoff = policy_.initial_backoff_seconds;
+  double prev_sleep = policy_.initial_backoff_seconds;
   ServiceStatus status = ServiceStatus::kOk;
-  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     status = call();
     if (!is_retryable(status)) return status;  // success or permanent failure
+    if (attempt + 1 == policy_.max_attempts) break;  // budget spent: no idle sleep
     ++retries_;
-    double wait = backoff;
+    double wait;
     if (status == ServiceStatus::kRateLimited) {
       // Honour the Retry-After hint so a long window does not eat the whole
-      // retry budget one backoff at a time.
+      // retry budget one backoff at a time.  The hint may exceed the capped
+      // backoff; waiting it out is still cheaper than burning attempts.
       wait = std::max(backoff, service_.retry_after_seconds() + 1e-6);
+    } else if (policy_.jitter) {
+      // Decorrelated jitter: uniform in [initial, min(cap, 3 * prev sleep)].
+      const double hi = std::min(policy_.max_backoff_seconds, 3.0 * prev_sleep);
+      wait = jitter_rng_.uniform(policy_.initial_backoff_seconds,
+                                 std::max(policy_.initial_backoff_seconds, hi));
+      prev_sleep = wait;
     } else {
-      backoff *= 2.0;
+      wait = backoff;
+      backoff = std::min(backoff * 2.0, policy_.max_backoff_seconds);
     }
     backoff_seconds_ += wait;
     service_.advance_clock(wait);

@@ -29,6 +29,56 @@
 
 namespace mlaas {
 
+/// One recurring window on the simulated clock: active whenever the time
+/// since `phase` lands inside [0, duration) modulo `period`.  Chaos fault
+/// schedules are built from these so outages repeat deterministically for
+/// however long a session runs.
+struct FaultWindow {
+  double period = 0.0;    // seconds between window starts (> duration)
+  double phase = 0.0;     // offset of the first window start
+  double duration = 0.0;  // seconds each window stays active
+
+  bool active_at(double t) const;
+  /// Simulated seconds this window is active within [t0, t1).
+  double seconds_active(double t0, double t1) const;
+  /// Seconds from `t` until the current window ends (0 when inactive).
+  double seconds_until_inactive(double t) const;
+};
+
+/// A seeded, deterministic fault schedule for one platform: correlated
+/// outages (every request fails), fault bursts (elevated transient-error
+/// probability) and latency spikes — the failure modes a ~5-month campaign
+/// against live endpoints actually sees, as opposed to i.i.d. Bernoulli
+/// noise.  An empty plan leaves service behaviour bit-identical to the
+/// scalar fault_rate model.
+struct FaultPlan {
+  std::vector<FaultWindow> outages;
+  std::vector<FaultWindow> bursts;
+  std::vector<FaultWindow> latency_spikes;
+  /// Transient-fault probability while inside a burst window.
+  double burst_fault_rate = 0.0;
+  /// Latency multiplier while inside a latency-spike window.
+  double latency_multiplier = 1.0;
+
+  bool empty() const {
+    return outages.empty() && bursts.empty() && latency_spikes.empty();
+  }
+  bool in_outage(double t) const;
+  /// max(base_rate, burst rate) when inside a burst window, else base_rate.
+  double effective_fault_rate(double t, double base_rate) const;
+  double latency_factor(double t) const;
+  /// Total outage seconds overlapping the simulated interval [t0, t1).
+  double outage_seconds(double t0, double t1) const;
+};
+
+/// Build the seeded fault schedule for `--chaos-profile` on one platform.
+/// Profiles: "none" (empty plan), "outages", "bursts", "latency", "storm"
+/// (all three).  Deterministic in (profile, platform, seed); throws
+/// std::invalid_argument for unknown names.
+FaultPlan make_fault_plan(const std::string& chaos_profile, const std::string& platform,
+                          std::uint64_t seed);
+std::vector<std::string> chaos_profile_names();
+
 /// Operational envelope of a simulated service.
 struct ServiceQuota {
   /// Token-bucket rate limit: this many requests per rolling window.
@@ -41,6 +91,8 @@ struct ServiceQuota {
   /// Simulated latency model: fixed + per-sample cost.
   double base_latency_seconds = 0.2;
   double per_sample_latency_seconds = 1e-4;
+  /// Correlated-failure schedule (default: empty, scalar faults only).
+  FaultPlan fault_plan;
 };
 
 /// Named operational envelopes for the campaign's --quota-profile knob.
@@ -59,6 +111,7 @@ enum class ServiceStatus {
   kNotFound,         // unknown dataset/model handle
   kBadRequest,       // config rejected by the platform
   kServerError,      // platform raised an unexpected error (HTTP-500 style)
+  kUnavailable,      // correlated outage window: retryable, but no Retry-After
 };
 
 std::string to_string(ServiceStatus status);
@@ -76,6 +129,7 @@ struct ServiceStats {
   std::size_t rate_limited = 0;
   std::size_t transient_errors = 0;
   std::size_t server_errors = 0;
+  std::size_t unavailable = 0;  // requests rejected by an outage window
   /// Real (not simulated) wall-clock spent inside Platform::train.
   double train_wall_seconds = 0.0;
 
@@ -140,14 +194,31 @@ class MlaasService {
   std::size_t next_handle_ = 0;
 };
 
+/// Backoff/retry policy of a RetryingClient.  The exponential component is
+/// capped at max_backoff_seconds; decorrelated jitter (sleep drawn uniformly
+/// from [initial, min(cap, 3 * previous sleep)]) is off by default so seeded
+/// campaigns stay deterministic unless explicitly opted in.
+struct RetryPolicy {
+  int max_attempts = 6;
+  double initial_backoff_seconds = 1.0;
+  double max_backoff_seconds = 120.0;
+  bool jitter = false;
+  std::uint64_t jitter_seed = 0;
+};
+
 /// Exponential-backoff wrapper: retries rate-limited and transient failures
 /// by advancing the service clock (sleeping, in simulation).  Rate-limited
 /// requests honour the service's Retry-After hint, so windows always drain
 /// within the retry budget instead of the budget expiring mid-window.
+/// Outage rejections (kUnavailable) carry no hint and fall back to plain
+/// backoff, so a long outage exhausts the budget the way a real one does.
+/// No sleep is charged after the final attempt: once the budget is spent the
+/// failure is returned immediately.
 class RetryingClient {
  public:
   explicit RetryingClient(MlaasService& service, int max_attempts = 6,
                           double initial_backoff_seconds = 1.0);
+  RetryingClient(MlaasService& service, const RetryPolicy& policy);
 
   /// Step-wise calls with retries, used by the measurement campaign.
   ServiceStatus upload(const Dataset& dataset, std::string* handle);
@@ -173,8 +244,8 @@ class RetryingClient {
   ServiceStatus with_retries(const std::function<ServiceStatus()>& call);
 
   MlaasService& service_;
-  int max_attempts_;
-  double initial_backoff_;
+  RetryPolicy policy_;
+  Rng jitter_rng_;
   std::size_t retries_ = 0;
   double backoff_seconds_ = 0.0;
 };

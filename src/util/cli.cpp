@@ -74,6 +74,15 @@ BenchOptions parse_bench_options(int argc, const char* const* argv) {
   opt.fault_rate = flags.double_or("fault-rate", opt.fault_rate);
   opt.quota_profile = flags.get_or("quota-profile", opt.quota_profile);
   opt.retry_budget = static_cast<int>(flags.int_or("retry-budget", opt.retry_budget));
+  opt.chaos_profile = flags.get_or("chaos-profile", opt.chaos_profile);
+  opt.breakers = flags.bool_or("breakers", opt.breakers);
+  opt.breaker_threshold =
+      static_cast<int>(flags.int_or("breaker-threshold", opt.breaker_threshold));
+  opt.breaker_cooldown = flags.double_or("breaker-cooldown", opt.breaker_cooldown);
+  opt.breaker_probes = static_cast<int>(flags.int_or("breaker-probes", opt.breaker_probes));
+  opt.jitter = flags.bool_or("jitter", opt.jitter);
+  opt.resume = flags.bool_or("resume", opt.resume);
+  if (flags.bool_or("fresh", false)) opt.resume = false;
   return opt;
 }
 

@@ -37,6 +37,14 @@ struct BenchOptions {
   double fault_rate = 0.0;          // --fault-rate / MLAAS_FAULT_RATE
   std::string quota_profile = "default";  // --quota-profile
   int retry_budget = 6;             // --retry-budget: attempts per request
+  // Resilience knobs (chaos schedules, circuit breakers, retry jitter):
+  std::string chaos_profile = "none";  // --chaos-profile: none|outages|bursts|latency|storm
+  bool breakers = false;            // --breakers: per-platform circuit breakers
+  int breaker_threshold = 3;        // --breaker-threshold: failures before opening
+  double breaker_cooldown = 300.0;  // --breaker-cooldown: seconds before half-open probe
+  int breaker_probes = 2;           // --breaker-probes: half-open probes before latching
+  bool jitter = false;              // --jitter: decorrelated backoff jitter
+  bool resume = true;               // --resume / --fresh: journal resume on crash
 };
 
 BenchOptions parse_bench_options(int argc, const char* const* argv);

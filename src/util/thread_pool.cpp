@@ -38,12 +38,35 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunk the index range so a large n costs O(workers) queue entries and
+  // futures instead of O(n).  Indices stay in ascending order within a
+  // chunk, so fn(i) still observes i monotonically per task.
+  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, workers_.size() * 4));
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futs;
-  futs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futs.push_back(submit([i, &fn] { fn(i); }));
+  futs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = std::min(n, lo + chunk_size);
+    if (lo >= hi) break;
+    futs.push_back(submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
   }
-  for (auto& f : futs) f.get();
+  // Join every future before surfacing a failure: rethrowing mid-join would
+  // destroy `futs` (and let `fn` dangle for chunks still running) while
+  // workers are executing them.  First exception wins; later ones are
+  // swallowed, matching what a sequential loop would have surfaced.
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace mlaas

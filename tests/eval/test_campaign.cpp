@@ -346,6 +346,124 @@ TEST(MeasurementCsv, FailureRowsRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(CircuitBreakerTest, OpensAfterThresholdProbesThenLatches) {
+  BreakerOptions options;
+  options.enabled = true;
+  options.failure_threshold = 3;
+  options.cooldown_seconds = 100.0;
+  options.max_probes = 2;
+  CircuitBreaker breaker(options);
+  EXPECT_EQ(breaker.admit(0.0), CircuitBreaker::Decision::kProceed);
+  breaker.record_failure(1.0);
+  breaker.record_failure(2.0);
+  EXPECT_EQ(breaker.admit(2.5), CircuitBreaker::Decision::kProceed);
+  breaker.record_failure(3.0);  // third consecutive failure: trip
+  EXPECT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_EQ(breaker.admit(3.5), CircuitBreaker::Decision::kProbe);
+  EXPECT_DOUBLE_EQ(breaker.probe_wait_seconds(3.5), 99.5);
+  breaker.record_failure(103.5);  // probe 1 fails: re-trip, cooldown restarts
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_EQ(breaker.admit(104.0), CircuitBreaker::Decision::kProbe);
+  breaker.record_failure(204.0);  // probe 2 fails: out of probes
+  EXPECT_EQ(breaker.admit(300.0), CircuitBreaker::Decision::kDefer);
+  EXPECT_EQ(breaker.admit(1e9), CircuitBreaker::Decision::kDefer) << "latched open";
+}
+
+TEST(CircuitBreakerTest, SuccessfulProbeClosesTheBreaker) {
+  BreakerOptions options;
+  options.enabled = true;
+  options.failure_threshold = 2;
+  CircuitBreaker breaker(options);
+  breaker.record_failure(1.0);
+  breaker.record_failure(2.0);
+  ASSERT_TRUE(breaker.open());
+  ASSERT_EQ(breaker.admit(3.0), CircuitBreaker::Decision::kProbe);
+  breaker.record_success();  // the half-open probe succeeded
+  EXPECT_FALSE(breaker.open());
+  EXPECT_EQ(breaker.admit(4.0), CircuitBreaker::Decision::kProceed);
+  // Fully recovered: it takes a fresh run of consecutive failures to re-trip.
+  breaker.record_failure(5.0);
+  EXPECT_FALSE(breaker.open());
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverTrips) {
+  CircuitBreaker breaker(BreakerOptions{});  // enabled = false
+  for (int i = 0; i < 20; ++i) breaker.record_failure(i);
+  EXPECT_FALSE(breaker.open());
+  EXPECT_EQ(breaker.trips(), 0u);
+  EXPECT_EQ(breaker.admit(100.0), CircuitBreaker::Decision::kProceed);
+}
+
+TEST(RunCampaign, BreakersDeferCellsDeterministically) {
+  MeasurementOptions options = fast_options();
+  options.campaign.fault_rate = 0.9;
+  options.campaign.retry_budget = 1;
+  options.campaign.breaker.enabled = true;
+  options.campaign.breaker.failure_threshold = 2;
+  options.campaign.breaker.cooldown_seconds = 600.0;
+  options.campaign.breaker.max_probes = 1;
+  const CampaignResult result = run_campaign(tiny_corpus(), small_roster(), options);
+  const PlatformCampaignStats total = result.report.totals();
+  EXPECT_GT(total.cells_deferred, 0u);
+  EXPECT_GT(total.breaker_trips, 0u);
+  // Deferred rows are a distinct status: not ok, not a step failure, and
+  // excluded from both aggregation and the failure breakdown.
+  const MeasurementTable deferred = result.table.deferred();
+  EXPECT_EQ(deferred.size(), total.cells_deferred);
+  for (const auto& m : deferred.rows()) {
+    EXPECT_FALSE(m.ok);
+    EXPECT_EQ(m.failure, kDeferredStatus);
+    EXPECT_TRUE(m.deferred());
+  }
+  for (const auto* best : result.table.best_per_dataset()) EXPECT_TRUE(best->ok);
+  EXPECT_LT(result.report.coverage(), 1.0);
+
+  // Breakers are scoped per (dataset, platform) session, so the outcome
+  // cannot depend on the thread count.
+  MeasurementOptions parallel = options;
+  parallel.threads = 4;
+  MeasurementOptions serial = options;
+  serial.threads = 1;
+  const auto a = run_campaign(tiny_corpus(), small_roster(), serial);
+  const auto b = run_campaign(tiny_corpus(), small_roster(), parallel);
+  ASSERT_EQ(a.table.size(), b.table.size());
+  for (std::size_t i = 0; i < a.table.size(); ++i) {
+    EXPECT_EQ(a.table.rows()[i].ok, b.table.rows()[i].ok);
+    EXPECT_EQ(a.table.rows()[i].failure, b.table.rows()[i].failure);
+  }
+  EXPECT_EQ(a.report.totals().cells_deferred, b.report.totals().cells_deferred);
+  EXPECT_EQ(a.report.totals().breaker_trips, b.report.totals().breaker_trips);
+}
+
+TEST(RunCampaign, ChaosCampaignIsDeterministic) {
+  MeasurementOptions options = fast_options();
+  options.campaign.chaos_profile = "storm";
+  options.campaign.fault_rate = 0.2;
+  options.campaign.retry_budget = 2;
+  const auto a = run_campaign(tiny_corpus(), small_roster(), options);
+  const auto b = run_campaign(tiny_corpus(), small_roster(), options);
+  ASSERT_EQ(a.table.size(), b.table.size());
+  for (std::size_t i = 0; i < a.table.size(); ++i) {
+    const auto& ra = a.table.rows()[i];
+    const auto& rb = b.table.rows()[i];
+    EXPECT_EQ(ra.params, rb.params);
+    EXPECT_EQ(ra.ok, rb.ok);
+    EXPECT_EQ(ra.failure, rb.failure);
+    EXPECT_DOUBLE_EQ(ra.test.f_score, rb.test.f_score);
+  }
+  EXPECT_DOUBLE_EQ(a.report.totals().simulated_seconds,
+                   b.report.totals().simulated_seconds);
+  EXPECT_EQ(a.report.totals().service.unavailable, b.report.totals().service.unavailable);
+}
+
+TEST(RunCampaign, UnknownChaosProfileThrowsEagerly) {
+  MeasurementOptions options = fast_options();
+  options.campaign.chaos_profile = "tempest";
+  EXPECT_THROW(run_campaign(tiny_corpus(), small_roster(), options),
+               std::invalid_argument);
+}
+
 TEST(CampaignOptionsTest, QuotaProfilesResolve) {
   CampaignOptions campaign;
   campaign.fault_rate = 0.25;

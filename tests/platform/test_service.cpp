@@ -262,5 +262,180 @@ TEST(QuotaProfileTest, NamedProfilesResolve) {
   EXPECT_EQ(quota_profile_names().size(), 4u);
 }
 
+TEST(QuotaProfileTest, UnknownProfileErrorNamesTheProfile) {
+  try {
+    quota_profile("bogus-profile", "Google");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus-profile"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RetryingClientTest, NoIdleSleepAfterFinalAttempt) {
+  ServiceQuota quota;
+  quota.fault_rate = 1.0;  // every request fails transiently
+  auto service = make_service(quota, "Local", 5);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingClient client(service, policy);
+  std::string ds;
+  EXPECT_EQ(client.upload(small_data(1), &ds), ServiceStatus::kTransientError);
+  // Sleeps happen between attempts only: 1s + 2s, never a third sleep after
+  // the budget is spent.
+  EXPECT_EQ(client.total_retries(), 2u);
+  EXPECT_DOUBLE_EQ(client.total_backoff_seconds(), 3.0);
+}
+
+TEST(RetryingClientTest, RetryAfterHintOnFinalAttemptIsNotSlept) {
+  ServiceQuota quota;
+  quota.requests_per_window = 1;
+  quota.window_seconds = 3600.0;
+  quota.base_latency_seconds = 0.0;
+  quota.per_sample_latency_seconds = 0.0;
+  auto service = make_service(quota);
+  RetryPolicy policy;
+  policy.max_attempts = 1;  // the first attempt is also the last
+  RetryingClient client(service, policy);
+  std::string ds, model;
+  ASSERT_EQ(client.upload(small_data(1), &ds), ServiceStatus::kOk);
+  // The train attempt is rate-limited and carries an hour-long Retry-After
+  // hint; with no attempts left the client must report, not sleep it out.
+  EXPECT_EQ(client.train(ds, {}, &model), ServiceStatus::kRateLimited);
+  EXPECT_EQ(client.total_retries(), 0u);
+  EXPECT_DOUBLE_EQ(client.total_backoff_seconds(), 0.0);
+  EXPECT_LT(service.now(), 1.0);
+}
+
+TEST(RetryingClientTest, RetryAfterHintLongerThanBackoffCapIsHonored) {
+  ServiceQuota quota;
+  quota.requests_per_window = 1;
+  quota.window_seconds = 500.0;
+  quota.base_latency_seconds = 0.0;
+  quota.per_sample_latency_seconds = 0.0;
+  auto service = make_service(quota);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.max_backoff_seconds = 2.0;  // far below the window drain
+  RetryingClient client(service, policy);
+  std::string ds, model;
+  ASSERT_EQ(client.upload(small_data(1), &ds), ServiceStatus::kOk);
+  // Exponential backoff alone (1s + 2s) could never outlast the 500 s
+  // window; the Retry-After hint must override the cap.
+  EXPECT_EQ(client.train(ds, {}, &model), ServiceStatus::kOk);
+  EXPECT_GT(client.total_backoff_seconds(), 400.0);
+  EXPECT_LE(client.total_retries(), 2u);
+}
+
+TEST(RetryingClientTest, JitterIsBoundedAndSeeded) {
+  ServiceQuota quota;
+  quota.fault_rate = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_seconds = 1.0;
+  policy.max_backoff_seconds = 8.0;
+  policy.jitter = true;
+  policy.jitter_seed = 77;
+
+  auto run_once = [&] {
+    auto service = make_service(quota, "Local", 5);
+    RetryingClient client(service, policy);
+    std::string ds;
+    EXPECT_EQ(client.upload(small_data(1), &ds), ServiceStatus::kTransientError);
+    return client.total_backoff_seconds();
+  };
+  const double a = run_once();
+  const double b = run_once();
+  // Decorrelated jitter: each of the 4 sleeps lies in [initial, min(cap,
+  // 3 x previous sleep)], so the total is bounded by 4 and 3 + 3*8.
+  EXPECT_GE(a, 4.0);
+  EXPECT_LE(a, 27.0);
+  EXPECT_DOUBLE_EQ(a, b) << "same jitter seed must reproduce the same sleeps";
+
+  RetryPolicy reseeded = policy;
+  reseeded.jitter_seed = 78;
+  auto service = make_service(quota, "Local", 5);
+  RetryingClient client(service, reseeded);
+  std::string ds;
+  EXPECT_EQ(client.upload(small_data(1), &ds), ServiceStatus::kTransientError);
+  EXPECT_NE(client.total_backoff_seconds(), a);
+}
+
+TEST(ServiceStatusTest, UnavailableIsRetryable) {
+  EXPECT_EQ(to_string(ServiceStatus::kUnavailable), "unavailable");
+  EXPECT_TRUE(is_retryable(ServiceStatus::kUnavailable));
+}
+
+TEST(FaultWindowTest, RecurringWindowMath) {
+  const FaultWindow w{/*period=*/100.0, /*phase=*/10.0, /*duration=*/5.0};
+  EXPECT_FALSE(w.active_at(9.0));
+  EXPECT_TRUE(w.active_at(10.0));
+  EXPECT_TRUE(w.active_at(14.9));
+  EXPECT_FALSE(w.active_at(15.0));
+  EXPECT_TRUE(w.active_at(112.0));
+  EXPECT_NEAR(w.seconds_until_inactive(12.0), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(w.seconds_until_inactive(50.0), 0.0);
+  // Three full occurrences inside [0, 230): [10,15), [110,115), [210,215).
+  EXPECT_NEAR(w.seconds_active(0.0, 230.0), 15.0, 1e-9);
+  // Partial overlap with the first window only.
+  EXPECT_NEAR(w.seconds_active(12.0, 14.0), 2.0, 1e-9);
+}
+
+TEST(FaultPlanTest, ProfilesAreSeededAndDeterministic) {
+  EXPECT_TRUE(make_fault_plan("none", "Google", 42).empty());
+  const FaultPlan storm1 = make_fault_plan("storm", "Google", 42);
+  const FaultPlan storm2 = make_fault_plan("storm", "Google", 42);
+  EXPECT_FALSE(storm1.outages.empty());
+  EXPECT_FALSE(storm1.bursts.empty());
+  EXPECT_FALSE(storm1.latency_spikes.empty());
+  ASSERT_EQ(storm1.outages.size(), storm2.outages.size());
+  for (std::size_t i = 0; i < storm1.outages.size(); ++i) {
+    EXPECT_DOUBLE_EQ(storm1.outages[i].phase, storm2.outages[i].phase);
+    EXPECT_DOUBLE_EQ(storm1.outages[i].period, storm2.outages[i].period);
+  }
+  // Different platforms draw different schedules from the same seed.
+  const FaultPlan other = make_fault_plan("storm", "Amazon", 42);
+  EXPECT_NE(storm1.outages[0].phase, other.outages[0].phase);
+  EXPECT_EQ(chaos_profile_names().size(), 5u);
+  try {
+    make_fault_plan("tempest", "Google", 42);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("tempest"), std::string::npos) << e.what();
+  }
+}
+
+TEST(FaultPlanTest, OutageWindowMakesRequestsUnavailable) {
+  ServiceQuota quota;
+  quota.base_latency_seconds = 1.0;
+  quota.per_sample_latency_seconds = 0.0;
+  quota.fault_plan.outages.push_back({/*period=*/1000.0, /*phase=*/0.0,
+                                      /*duration=*/100.0});
+  auto service = make_service(quota);
+  std::string ds;
+  EXPECT_EQ(service.upload(small_data(1), &ds), ServiceStatus::kUnavailable);
+  EXPECT_EQ(service.stats().unavailable, 1u);
+  service.advance_clock(150.0);  // past the outage window
+  EXPECT_EQ(service.upload(small_data(2), &ds), ServiceStatus::kOk);
+  EXPECT_DOUBLE_EQ(quota.fault_plan.outage_seconds(0.0, 1000.0), 100.0);
+}
+
+TEST(FaultPlanTest, BurstAndLatencyWindowsShapeTraffic) {
+  FaultPlan plan;
+  plan.bursts.push_back({/*period=*/100.0, /*phase=*/0.0, /*duration=*/50.0});
+  plan.burst_fault_rate = 0.9;
+  plan.latency_spikes.push_back({/*period=*/100.0, /*phase=*/0.0, /*duration=*/50.0});
+  plan.latency_multiplier = 4.0;
+  EXPECT_DOUBLE_EQ(plan.effective_fault_rate(10.0, 0.05), 0.9);
+  EXPECT_DOUBLE_EQ(plan.effective_fault_rate(60.0, 0.05), 0.05);
+  EXPECT_DOUBLE_EQ(plan.latency_factor(10.0), 4.0);
+  EXPECT_DOUBLE_EQ(plan.latency_factor(60.0), 1.0);
+  // An empty plan is exactly the scalar model: no outage, base rate, x1.
+  const FaultPlan empty;
+  EXPECT_FALSE(empty.in_outage(0.0));
+  EXPECT_DOUBLE_EQ(empty.effective_fault_rate(0.0, 0.05), 0.05);
+  EXPECT_DOUBLE_EQ(empty.latency_factor(0.0), 1.0);
+}
+
 }  // namespace
 }  // namespace mlaas

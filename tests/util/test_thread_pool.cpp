@@ -44,6 +44,49 @@ TEST(ThreadPool, TaskExceptionsPropagateViaFuture) {
   EXPECT_THROW(f.get(), std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForRethrowsAfterAllTasksComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      if (i == 99) throw std::runtime_error("task 99 failed");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 99 failed");
+  }
+  // Every other index ran to completion before the rethrow: the loop must
+  // not abandon in-flight chunks (their callable would dangle).
+  EXPECT_EQ(completed.load(), 99);
+}
+
+TEST(ThreadPool, ParallelForFirstExceptionWins) {
+  ThreadPool pool(2);
+  // Two failing indices across different chunks: exactly one exception
+  // surfaces, and it is the one from the lowest-index chunk joined first.
+  try {
+    pool.parallel_for(10, [&](std::size_t i) {
+      if (i == 0 || i == 9) throw std::runtime_error("fail " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail 0");
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesZeroAndHugeCounts) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Far more indices than workers: chunking must still cover every index
+  // exactly once.
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, DestructorDrainsQueue) {
   std::atomic<int> counter{0};
   {

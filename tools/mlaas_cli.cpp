@@ -14,9 +14,14 @@
 //       Write the synthetic study corpus as CSV files.
 //   mlaas_cli campaign [--quick] [--seed 42] [--scale 1] [--threads N]
 //              [--fault-rate 0.1] [--quota-profile strict] [--retry-budget 6]
+//              [--chaos-profile storm] [--breakers] [--breaker-threshold 3]
+//              [--breaker-cooldown 300] [--breaker-probes 2] [--jitter]
+//              [--journal PATH] [--resume|--fresh]
 //              [--out report.tsv] [--json report.json]
 //       Run the measurement campaign through the simulated service layer
-//       and print/write the per-platform telemetry report.
+//       and print/write the per-platform telemetry report.  Finished cells
+//       are journaled to PATH (write-ahead, fsync'd); an interrupted
+//       campaign resumes from the journal on the next run unless --fresh.
 #include <filesystem>
 #include <iostream>
 
@@ -26,6 +31,7 @@
 #include "data/generators.h"
 #include "data/split.h"
 #include "eval/boundary.h"
+#include "eval/journal.h"
 #include "ml/metrics.h"
 #include "platform/all_platforms.h"
 #include "util/cli.h"
@@ -136,24 +142,58 @@ int cmd_campaign(const CliFlags& flags) {
   opt.fault_rate = flags.double_or("fault-rate", 0.0);
   opt.quota_profile = flags.get_or("quota-profile", "default");
   opt.retry_budget = static_cast<int>(flags.int_or("retry-budget", 6));
+  opt.chaos_profile = flags.get_or("chaos-profile", "none");
+  opt.breakers = flags.bool_or("breakers", false);
+  opt.breaker_threshold = static_cast<int>(flags.int_or("breaker-threshold", 3));
+  opt.breaker_cooldown = flags.double_or("breaker-cooldown", 300.0);
+  opt.breaker_probes = static_cast<int>(flags.int_or("breaker-probes", 2));
+  opt.jitter = flags.bool_or("jitter", false);
+  opt.resume = flags.bool_or("resume", true);
+  if (flags.bool_or("fresh", false)) opt.resume = false;
 
   Study study(opt);
-  const CampaignResult result =
-      run_campaign(study.corpus(), study.platforms(), opt.measurement_options());
+  MeasurementOptions moptions = opt.measurement_options();
+  moptions.campaign.journal_path =
+      flags.get_or("journal", "mlaas_campaign_seed" + std::to_string(opt.seed) + ".journal");
 
-  TextTable t({"Platform", "Cells ok", "Failed", "Rejected", "Requests", "Retries",
-               "Rate-limited", "Faults", "Simulated (h)"});
+  // One-line resume summary before the run: how much of the campaign a
+  // prior crashed invocation already banked.
+  {
+    const std::string fingerprint =
+        measurement_fingerprint(study.corpus(), study.platforms(), moptions);
+    const auto restored =
+        moptions.campaign.resume ? CellJournal::load(moptions.campaign.journal_path, fingerprint)
+                                 : std::nullopt;
+    if (restored && (restored->cells > 0 || restored->discarded > 0)) {
+      std::cout << "resuming from " << moptions.campaign.journal_path << ": "
+                << restored->cells << " cells restored from " << restored->sessions.size()
+                << " completed sessions, " << restored->discarded
+                << " partial cells re-run\n";
+    } else {
+      std::cout << "fresh campaign (journal: " << moptions.campaign.journal_path << ")\n";
+    }
+  }
+
+  const CampaignResult result = run_campaign(study.corpus(), study.platforms(), moptions);
+  CellJournal::remove(moptions.campaign.journal_path);
+
+  TextTable t({"Platform", "Cells ok", "Failed", "Rejected", "Deferred", "Restored",
+               "Requests", "Retries", "Rate-limited", "Faults", "Outages", "Trips",
+               "Simulated (h)"});
   for (const auto& p : result.report.platforms) {
     t.add_row({p.platform, std::to_string(p.cells_ok), std::to_string(p.cells_failed),
-               std::to_string(p.cells_rejected), std::to_string(p.service.requests),
+               std::to_string(p.cells_rejected), std::to_string(p.cells_deferred),
+               std::to_string(p.cells_restored), std::to_string(p.service.requests),
                std::to_string(p.retries), std::to_string(p.service.rate_limited),
                std::to_string(p.service.transient_errors),
+               std::to_string(p.service.unavailable), std::to_string(p.breaker_trips),
                fmt(p.simulated_seconds / 3600.0, 2)});
   }
   const PlatformCampaignStats total = result.report.totals();
   std::cout << t.str() << "\ncoverage: " << fmt(100.0 * result.report.coverage(), 1)
             << "%  (" << total.cells_ok << " ok, " << total.cells_failed << " failed, "
-            << total.cells_rejected << " rejected)\n";
+            << total.cells_deferred << " deferred, " << total.cells_rejected
+            << " rejected)\n";
   if (auto out = flags.get("out")) {
     result.report.save_tsv(*out);
     std::cout << "wrote " << *out << "\n";

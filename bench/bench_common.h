@@ -20,6 +20,7 @@ inline StudyOptions study_options_from_cli(int argc, const char* const* argv) {
   opt.scale = bench.scale;
   opt.quick = bench.quick;
   opt.threads = bench.threads;
+  opt.schedule = bench.schedule;
   opt.fault_rate = bench.fault_rate;
   opt.quota_profile = bench.quota_profile;
   opt.retry_budget = bench.retry_budget;
@@ -42,6 +43,7 @@ inline void print_bench_header(const std::string& title, const StudyOptions& opt
               << " retry-budget=" << opt.retry_budget;
   }
   if (opt.chaos_profile != "none") std::cout << " chaos-profile=" << opt.chaos_profile;
+  if (opt.schedule != "dynamic") std::cout << " schedule=" << opt.schedule;
   if (opt.breakers) {
     std::cout << " breakers=on(" << opt.breaker_threshold << "/" << opt.breaker_cooldown
               << "s/" << opt.breaker_probes << ")";

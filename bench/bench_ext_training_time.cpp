@@ -2,7 +2,10 @@
 // MLaaS comparison.  For each platform: baseline training cost, the cost
 // distribution across all configurations, and the cost of its optimized
 // (best-F) configurations — the time/performance tradeoff the paper left
-// unexplored.
+// unexplored.  Training cost is per-thread CPU seconds
+// (CLOCK_THREAD_CPUTIME_ID), so the numbers are comparable across
+// --threads values and schedules rather than inflated by pool
+// oversubscription.
 #include <iostream>
 #include <map>
 

@@ -22,6 +22,7 @@ MeasurementOptions StudyOptions::measurement_options() const {
   m.seed = seed;
   m.scale = quick ? 0.5 : scale;
   m.threads = threads;
+  m.schedule = parse_schedule(schedule);
   m.verbose = verbose;
   m.campaign.fault_rate = fault_rate;
   m.campaign.quota_profile = quota_profile;

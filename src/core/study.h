@@ -35,7 +35,11 @@ struct StudyOptions {
   std::uint64_t seed = 42;
   double scale = 1.0;        // grid/corpus scaling knob (DESIGN.md)
   bool quick = false;        // tiny corpus for smoke runs
-  int threads = 0;
+  int threads = 0;           // 0 = hardware concurrency; negative rejected
+  /// Campaign session scheduler: "dynamic" (longest-estimated-first over an
+  /// atomic ticket) or "static" (one chunk per dataset).  Both produce
+  /// byte-identical tables; static is kept for A/B benchmarks.
+  std::string schedule = "dynamic";
   /// Empty disables the on-disk measurement cache.
   std::string cache_path_override;
   bool verbose = true;

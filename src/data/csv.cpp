@@ -4,7 +4,6 @@
 #include <fstream>
 #include <limits>
 #include <map>
-#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -12,20 +11,62 @@ namespace mlaas {
 
 namespace {
 
-std::vector<std::string> split_line(const std::string& line, char delim) {
-  std::vector<std::string> cells;
-  std::string cell;
-  std::istringstream ss(line);
-  while (std::getline(ss, cell, delim)) cells.push_back(cell);
-  if (!line.empty() && line.back() == delim) cells.emplace_back();
-  return cells;
-}
-
 std::string trim(const std::string& s) {
   const auto b = s.find_first_not_of(" \t\r\n");
   if (b == std::string::npos) return "";
   const auto e = s.find_last_not_of(" \t\r\n");
   return s.substr(b, e - b + 1);
+}
+
+/// RFC-4180 cell splitting.  A cell whose first non-blank character is '"'
+/// is quoted: delimiters inside it do not split, '""' is a literal quote,
+/// and its content is returned verbatim — quoted cells are how a value
+/// keeps leading/trailing spaces or an embedded delimiter.  Unquoted cells
+/// are trimmed here, byte-identical to the historical parser.  Embedded
+/// line breaks inside quotes are not supported (the reader is
+/// line-oriented); CRLF endings are stripped by the caller's line trim.
+std::vector<std::string> split_line(const std::string& line, char delim) {
+  std::vector<std::string> cells;
+  if (line.empty()) return cells;
+  const std::size_t n = line.size();
+  std::size_t i = 0;
+  while (true) {
+    std::size_t start = i;
+    while (start < n && (line[start] == ' ' || line[start] == '\t')) ++start;
+    if (start < n && line[start] == '"') {
+      std::string cell;
+      std::size_t j = start + 1;
+      while (j < n) {
+        if (line[j] == '"') {
+          if (j + 1 < n && line[j + 1] == '"') {
+            cell += '"';
+            j += 2;
+          } else {
+            ++j;  // closing quote
+            break;
+          }
+        } else {
+          cell += line[j++];
+        }
+      }
+      cells.push_back(std::move(cell));
+      while (j < n && line[j] != delim) ++j;  // drop anything after the close
+      if (j >= n) return cells;
+      i = j + 1;
+    } else {
+      const std::size_t d = line.find(delim, i);
+      if (d == std::string::npos) {
+        cells.push_back(trim(line.substr(i)));
+        return cells;
+      }
+      cells.push_back(trim(line.substr(i, d - i)));
+      i = d + 1;
+    }
+    if (i == n) {  // trailing delimiter: final empty cell
+      cells.emplace_back();
+      return cells;
+    }
+  }
 }
 
 bool is_missing(const std::string& s) { return s.empty() || s == "?" || s == "NA" || s == "nan"; }
@@ -51,7 +92,6 @@ Dataset load_csv(std::istream& in, const CsvOptions& options) {
     line = trim(line);
     if (line.empty()) continue;
     auto cells = split_line(line, options.delimiter);
-    for (auto& c : cells) c = trim(c);
     if (first && options.has_header) {
       header = std::move(cells);
       first = false;

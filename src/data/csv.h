@@ -3,6 +3,11 @@
 // Import follows the paper's preprocessing conventions (§3.1): string-valued
 // columns are treated as categorical and mapped {C1..CN} -> {1..N} in order
 // of first appearance; empty cells and "?" become NaN (imputed later).
+//
+// Cells may be double-quoted per RFC 4180: a quoted cell keeps embedded
+// delimiters and leading/trailing spaces, and '""' inside it is a literal
+// quote.  CRLF line endings are accepted.  Embedded line breaks inside
+// quotes are not (the reader is line-oriented).
 #pragma once
 
 #include <iosfwd>

@@ -129,6 +129,21 @@ void CellJournal::append_session_reset(const std::string& dataset_id,
   write_line(kSessionResetPrefix + session_key(dataset_id, platform));
 }
 
+void CellJournal::append_session_block(const std::string& dataset_id,
+                                       const std::string& platform,
+                                       const std::vector<Measurement>& rows) {
+  const std::string key = session_key(dataset_id, platform);
+  std::string block = kSessionResetPrefix + key + '\n';
+  for (const auto& m : rows) block += measurement_row_to_tsv(m) + '\n';
+  block += kSessionDonePrefix + key + '\n';
+  std::lock_guard lock(mu_);
+  if (std::fputs(block.c_str(), file_) < 0) {
+    throw std::runtime_error("CellJournal: write failed for " + path_);
+  }
+  fsync_file(file_);
+  cells_ += rows.size();
+}
+
 std::size_t CellJournal::cells_journaled() const {
   std::lock_guard lock(mu_);
   return cells_;

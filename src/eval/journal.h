@@ -70,6 +70,14 @@ class CellJournal {
   /// double-counted.  Thread-safe.
   void append_session_reset(const std::string& dataset_id, const std::string& platform);
 
+  /// Append a whole finished session as one atomic block — reset marker,
+  /// every row, done marker — with a single fsync.  This is what the
+  /// session-level scheduler uses: the session is the resume unit, so
+  /// journaling cell by cell buys no extra crash safety and costs one fsync
+  /// per cell.  Thread-safe.
+  void append_session_block(const std::string& dataset_id, const std::string& platform,
+                            const std::vector<Measurement>& rows);
+
   std::size_t cells_journaled() const;
 
   const std::string& path() const { return path_; }

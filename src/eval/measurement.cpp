@@ -1,17 +1,22 @@
 #include "eval/measurement.h"
 
 #include <algorithm>
-#include <chrono>
+#include <atomic>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <numeric>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "data/split.h"
 #include "eval/journal.h"
+#include "util/clock.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -215,6 +220,30 @@ MeasurementTable MeasurementTable::load_csv(const std::string& path,
   return table;
 }
 
+Schedule parse_schedule(const std::string& name) {
+  if (name == "static") return Schedule::kStatic;
+  if (name == "dynamic") return Schedule::kDynamic;
+  throw std::invalid_argument("unknown schedule '" + name +
+                              "' (expected 'static' or 'dynamic')");
+}
+
+const char* to_string(Schedule schedule) {
+  return schedule == Schedule::kStatic ? "static" : "dynamic";
+}
+
+double SchedulerStats::busy_seconds() const {
+  return std::accumulate(worker_busy_seconds.begin(), worker_busy_seconds.end(), 0.0);
+}
+
+double SchedulerStats::imbalance() const {
+  if (worker_busy_seconds.empty()) return 1.0;
+  double max_busy = 0.0;
+  for (double b : worker_busy_seconds) max_busy = std::max(max_busy, b);
+  const double mean =
+      busy_seconds() / static_cast<double>(worker_busy_seconds.size());
+  return mean > 0.0 ? max_busy / mean : 1.0;
+}
+
 ServiceQuota CampaignOptions::quota_for(const std::string& platform,
                                         std::uint64_t seed) const {
   ServiceQuota q = ::mlaas::quota_profile(quota_profile, platform);
@@ -308,7 +337,12 @@ constexpr const char* kReportHeader =
     "platform\tcells_total\tcells_ok\tcells_failed\tcells_rejected\tcells_deferred\t"
     "cells_restored\trequests\tuploads\ttrainings\tpredictions\trate_limited\t"
     "transient_errors\tserver_errors\tunavailable\tretries\tbreaker_trips\tbackoff_sec\t"
-    "outage_sec\tsimulated_sec\ttrain_wall_sec\tfailures";
+    "outage_sec\tsimulated_sec\ttrain_cpu_sec\tfailures";
+
+// Scheduler telemetry rides along as a marked trailer line so the platform
+// table keeps its fixed 22-column shape (older sidecars without the trailer
+// still load).
+constexpr const char* kSchedulerPrefix = "# scheduler\t";
 
 std::string encode_failures(const std::map<std::string, std::size_t>& failures) {
   if (failures.empty()) return "-";
@@ -328,8 +362,61 @@ void write_report_row(std::ostream& out, const PlatformCampaignStats& p) {
       << p.service.rate_limited << '\t' << p.service.transient_errors << '\t'
       << p.service.server_errors << '\t' << p.service.unavailable << '\t' << p.retries
       << '\t' << p.breaker_trips << '\t' << p.backoff_seconds << '\t' << p.outage_seconds
-      << '\t' << p.simulated_seconds << '\t' << p.service.train_wall_seconds << '\t'
+      << '\t' << p.simulated_seconds << '\t' << p.service.train_cpu_seconds << '\t'
       << encode_failures(p.failures_by_status) << '\n';
+}
+
+std::string encode_worker_busy(const std::vector<double>& busy) {
+  if (busy.empty()) return "-";
+  std::ostringstream out;
+  out.precision(6);
+  for (std::size_t i = 0; i < busy.size(); ++i) {
+    if (i > 0) out << ';';
+    out << busy[i];
+  }
+  return out.str();
+}
+
+void write_scheduler_row(std::ostream& out, const SchedulerStats& s) {
+  out << kSchedulerPrefix << "schedule=" << s.schedule << "\tworkers=" << s.workers
+      << "\tsessions=" << s.sessions << "\tstolen=" << s.sessions_stolen
+      << "\tmakespan_sec=" << s.makespan_seconds << "\tbusy_sec=" << s.busy_seconds()
+      << "\timbalance=" << s.imbalance()
+      << "\tworker_busy_sec=" << encode_worker_busy(s.worker_busy_seconds) << '\n';
+}
+
+bool parse_scheduler_row(const std::string& line, SchedulerStats* s) {
+  std::istringstream fields(line.substr(std::string(kSchedulerPrefix).size()));
+  std::string field;
+  try {
+    while (std::getline(fields, field, '\t')) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) return false;
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "schedule") {
+        s->schedule = value;
+      } else if (key == "workers") {
+        s->workers = std::stoull(value);
+      } else if (key == "sessions") {
+        s->sessions = std::stoull(value);
+      } else if (key == "stolen") {
+        s->sessions_stolen = std::stoull(value);
+      } else if (key == "makespan_sec") {
+        s->makespan_seconds = std::stod(value);
+      } else if (key == "worker_busy_sec" && value != "-") {
+        std::istringstream parts(value);
+        std::string part;
+        while (std::getline(parts, part, ';')) {
+          s->worker_busy_seconds.push_back(std::stod(part));
+        }
+      }
+      // busy_sec / imbalance are derived on write; ignored on read.
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
 }
 
 std::string json_escape(const std::string& s) {
@@ -355,6 +442,7 @@ void CampaignReport::save_tsv(const std::string& path) const {
   out.precision(10);
   out << kReportHeader << '\n';
   for (const auto& p : platforms) write_report_row(out, p);
+  if (scheduler.workers > 0) write_scheduler_row(out, scheduler);
 }
 
 void CampaignReport::save_json(const std::string& path) const {
@@ -384,7 +472,7 @@ void CampaignReport::save_json(const std::string& path) const {
         << "      \"backoff_seconds\": " << p.backoff_seconds
         << ", \"outage_seconds\": " << p.outage_seconds
         << ", \"simulated_seconds\": " << p.simulated_seconds
-        << ", \"train_wall_seconds\": " << p.service.train_wall_seconds << ",\n"
+        << ", \"train_cpu_seconds\": " << p.service.train_cpu_seconds << ",\n"
         << "      \"failures_by_status\": {";
     bool first = true;
     for (const auto& [status, count] : p.failures_by_status) {
@@ -395,7 +483,18 @@ void CampaignReport::save_json(const std::string& path) const {
     out << "}\n    }" << (i + 1 < platforms.size() ? "," : "") << "\n";
   }
   const PlatformCampaignStats total = totals();
-  out << "  ],\n  \"total\": {\"cells_ok\": " << total.cells_ok
+  out << "  ],\n  \"scheduler\": {\"schedule\": \"" << json_escape(scheduler.schedule)
+      << "\", \"workers\": " << scheduler.workers
+      << ", \"sessions\": " << scheduler.sessions
+      << ", \"sessions_stolen\": " << scheduler.sessions_stolen
+      << ", \"makespan_seconds\": " << scheduler.makespan_seconds
+      << ", \"busy_seconds\": " << scheduler.busy_seconds()
+      << ", \"imbalance\": " << scheduler.imbalance() << ", \"worker_busy_seconds\": [";
+  for (std::size_t i = 0; i < scheduler.worker_busy_seconds.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << scheduler.worker_busy_seconds[i];
+  }
+  out << "]},\n  \"total\": {\"cells_ok\": " << total.cells_ok
       << ", \"cells_failed\": " << total.cells_failed
       << ", \"coverage\": " << total.coverage()
       << ", \"simulated_seconds\": " << total.simulated_seconds << "}\n}\n";
@@ -409,6 +508,10 @@ std::optional<CampaignReport> CampaignReport::load_tsv(const std::string& path) 
   CampaignReport report;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    if (line.rfind(kSchedulerPrefix, 0) == 0) {
+      if (!parse_scheduler_row(line, &report.scheduler)) return std::nullopt;
+      continue;
+    }
     const auto fields = split_tabs(line);
     if (fields.size() != 22) return std::nullopt;
     try {
@@ -433,7 +536,7 @@ std::optional<CampaignReport> CampaignReport::load_tsv(const std::string& path) 
       p.backoff_seconds = std::stod(fields[17]);
       p.outage_seconds = std::stod(fields[18]);
       p.simulated_seconds = std::stod(fields[19]);
-      p.service.train_wall_seconds = std::stod(fields[20]);
+      p.service.train_cpu_seconds = std::stod(fields[20]);
       if (fields[21] != "-") {
         std::istringstream fs(fields[21]);
         std::string item;
@@ -593,13 +696,15 @@ Measurement base_row(const CellSpec& cell, const std::string& dataset_id,
 /// One (dataset, platform) service session: upload once, then train/predict
 /// every configuration with retries, guarded by the session's circuit
 /// breaker.  Fills `out` with ok/failure/deferred rows and `stats` with the
-/// session's telemetry; every finished cell is appended to `journal` (when
-/// present) before the next one starts.
+/// session's telemetry.  The session's rows are journaled as one block by
+/// the scheduler after the session completes (the session is the resume
+/// unit, so per-cell appends bought no extra crash safety); `journal` is
+/// only consulted for the durable cell count passed to the test hook.
 void run_session(const Dataset& dataset, const TrainTestSplit& split,
                  const Platform& platform, const std::vector<CellSpec>& cells,
                  const ServiceQuota& quota, const MeasurementOptions& options,
                  MeasurementTable* out, PlatformCampaignStats* stats,
-                 CellJournal* journal) {
+                 const CellJournal* journal) {
   const CampaignOptions& campaign = options.campaign;
   const std::uint64_t session_seed =
       derive_seed(options.seed, "campaign-" + platform.name() + "-" + dataset.meta().id);
@@ -617,9 +722,9 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
       ++stats->failures_by_status[m.failure];
     }
     out->add(m);
-    if (journal != nullptr) journal->append_cell(m);
-    // The hook fires after the journal write: a hook that aborts the
-    // campaign (crash-injection tests) still leaves this cell on disk.
+    // The hook reports the durable cell count (cells whose session block has
+    // reached disk): a hook that aborts the campaign (crash-injection tests)
+    // can rely on exactly that many cells surviving.
     if (campaign.after_cell_hook) {
       campaign.after_cell_hook(journal != nullptr ? journal->cells_journaled() : 0);
     }
@@ -650,18 +755,18 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
       m.failure = "upload:" + to_string(uploaded);
     } else {
       std::string model_handle;
-      double train_wall = 0.0;
+      double train_cpu = 0.0;
       const std::uint64_t train_seed = derive_seed(
           options.seed, "train-" + dataset.meta().id + "-" + cell.train_salt);
       const ServiceStatus trained = client.train(dataset_handle, cell.config,
-                                                 &model_handle, train_seed, &train_wall);
+                                                 &model_handle, train_seed, &train_cpu);
       if (trained == ServiceStatus::kBadRequest) {
         // Config outside this platform's surface: skipped, exactly as the
         // direct runner drops std::invalid_argument configs.
         ++stats->cells_rejected;
         continue;
       }
-      m.train_seconds = train_wall;
+      m.train_seconds = train_cpu;
       if (trained != ServiceStatus::kOk) {
         m.ok = false;
         m.failure = "train:" + to_string(trained);
@@ -701,6 +806,43 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
   stats->outage_seconds += quota.fault_plan.outage_seconds(0.0, service.now());
 }
 
+/// Serializes completed session blocks into the journal in canonical session
+/// order (dataset-major, platform-minor) no matter which worker finishes
+/// first, so the journal bytes are identical for every thread count,
+/// schedule and steal order.  A session completed out of order is buffered
+/// until its predecessors flush; on a crash such buffered sessions simply
+/// re-run — the resume unit is unchanged.
+class OrderedJournalWriter {
+ public:
+  OrderedJournalWriter(CellJournal* journal, std::size_t n_sessions,
+                       std::function<void(std::size_t)> flush_session)
+      : journal_(journal),
+        state_(n_sessions, State::kRunning),
+        flush_session_(std::move(flush_session)) {}
+
+  /// Mark session `s` finished.  `write` is false for sessions restored from
+  /// a previous journal (their bytes are already on disk).
+  void complete(std::size_t s, bool write) {
+    std::lock_guard lock(mu_);
+    state_[s] = write ? State::kFlushable : State::kSkip;
+    while (next_ < state_.size() && state_[next_] != State::kRunning) {
+      if (state_[next_] == State::kFlushable && journal_ != nullptr) {
+        flush_session_(next_);
+      }
+      ++next_;
+    }
+  }
+
+ private:
+  enum class State { kRunning, kFlushable, kSkip };
+
+  CellJournal* journal_;
+  std::vector<State> state_;
+  std::function<void(std::size_t)> flush_session_;
+  std::mutex mu_;
+  std::size_t next_ = 0;
+};
+
 }  // namespace
 
 std::optional<Measurement> measure_one(const Dataset& dataset, const Platform& platform,
@@ -724,12 +866,13 @@ std::optional<Measurement> measure_one(const Dataset& dataset, const Platform& p
     m.default_params = config.params.empty();
   }
   try {
-    const auto t0 = std::chrono::steady_clock::now();
+    // Per-thread CPU time, not wall time: the measured training cost must
+    // not depend on how oversubscribed the pool is (§8 dimension).
+    const double t0 = thread_cpu_seconds();
     const auto model = platform.train(
         split.train, config,
         derive_seed(options.seed, "train-" + dataset.meta().id + "-" + config.key()));
-    m.train_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    m.train_seconds = thread_cpu_seconds() - t0;
     const auto predictions = model->predict(split.test.x());
     m.test = compute_metrics(split.test.y(), predictions);
     const std::size_t sig = std::min(kLabelSignatureSize, predictions.size());
@@ -753,6 +896,10 @@ std::optional<Measurement> measure_one(const Dataset& dataset, const Platform& p
 CampaignResult run_campaign(const std::vector<Dataset>& corpus,
                             const std::vector<PlatformPtr>& platforms,
                             const MeasurementOptions& options) {
+  if (options.threads < 0) {
+    throw std::invalid_argument("run_campaign: threads must be >= 0 (0 = hardware "
+                                "concurrency), got " + std::to_string(options.threads));
+  }
   // Pre-enumerate configs and their row metadata once per platform, and
   // resolve quota profiles eagerly: an unknown profile or chaos profile must
   // throw here, in the caller's thread, not inside a pool worker.
@@ -766,7 +913,7 @@ CampaignResult run_campaign(const std::vector<Dataset>& corpus,
   }
 
   // Write-ahead journal: restore completed sessions from a previous crashed
-  // run (fingerprint must match), then append every cell finished here.
+  // run (fingerprint must match), then append every session finished here.
   std::unique_ptr<CellJournal> journal;
   CellJournal::Restored restored;
   if (!options.campaign.journal_path.empty()) {
@@ -787,68 +934,129 @@ CampaignResult run_campaign(const std::vector<Dataset>& corpus,
     }
   }
 
-  // One work item per dataset keeps results deterministic under threading;
-  // every (dataset, platform) pair gets its own seeded service session, so
-  // fault injection does not depend on scheduling order either.
-  std::vector<MeasurementTable> per_dataset(corpus.size());
-  std::vector<std::vector<PlatformCampaignStats>> per_dataset_stats(
-      corpus.size(), std::vector<PlatformCampaignStats>(platforms.size()));
-  ThreadPool pool(options.threads == 0 ? 0 : static_cast<std::size_t>(options.threads));
-  pool.parallel_for(corpus.size(), [&](std::size_t d) {
-    const Dataset& dataset = corpus[d];
-    // The split depends only on (study seed, dataset) — §3.1; hoisted out
-    // of the per-config loop so each dataset splits once, not per cell.
-    const auto split = train_test_split(
-        dataset, options.test_fraction,
-        derive_seed(options.seed, "split-" + dataset.meta().id), /*stratified=*/true);
-    for (std::size_t p = 0; p < platforms.size(); ++p) {
-      PlatformCampaignStats& pstats = per_dataset_stats[d][p];
-      const std::string key =
-          CellJournal::session_key(dataset.meta().id, platforms[p]->name());
-      if (auto it = restored.sessions.find(key); it != restored.sessions.end()) {
-        // Session completed before the crash: restore its rows verbatim.
-        // Service/request telemetry for restored sessions was lost with the
-        // crashed process; cells_restored records how much work was saved.
-        pstats.cells_total += cells[p].size();
-        pstats.cells_restored += it->second.size();
-        pstats.cells_rejected += cells[p].size() - it->second.size();
-        for (const auto& m : it->second) {
-          if (m.ok) {
-            ++pstats.cells_ok;
-          } else if (m.deferred()) {
-            ++pstats.cells_deferred;
-          } else {
-            ++pstats.cells_failed;
-            ++pstats.failures_by_status[m.failure];
-          }
-          per_dataset[d].add(m);
-        }
-        continue;
-      }
-      if (journal != nullptr) {
-        journal->append_session_reset(dataset.meta().id, platforms[p]->name());
-      }
-      run_session(dataset, split, *platforms[p], cells[p], quotas[p], options,
-                  &per_dataset[d], &pstats, journal.get());
-      if (journal != nullptr) {
-        journal->append_session_done(dataset.meta().id, platforms[p]->name());
-      }
-    }
-    if (options.verbose) {
-      std::cerr << "[measure] " << dataset.meta().id << " done (" << (d + 1) << "/"
-                << corpus.size() << ")\n";
-    }
+  // The campaign is flattened into one work item per (dataset, platform)
+  // session — the finest grain that stays deterministic, since every session
+  // owns an independently seeded service stream.  Results land in
+  // preallocated per-session slots and are assembled in canonical order
+  // below, so the table is byte-identical for every thread count, schedule
+  // and steal order.
+  const std::size_t n_platforms = platforms.size();
+  const std::size_t n_sessions = corpus.size() * n_platforms;
+  std::vector<MeasurementTable> slots(n_sessions);
+  std::vector<PlatformCampaignStats> slot_stats(n_sessions);
+
+  // The per-dataset split depends only on (study seed, dataset) — §3.1.
+  // Sessions of the same dataset on different workers share one memoized
+  // split behind a call_once; the last session of a dataset releases it so
+  // peak memory stays at O(threads) splits, not O(corpus).
+  std::vector<std::once_flag> split_once(corpus.size());
+  std::vector<std::optional<TrainTestSplit>> splits(corpus.size());
+  std::vector<std::atomic<std::size_t>> dataset_sessions_left(corpus.size());
+  for (auto& left : dataset_sessions_left) left.store(n_platforms);
+  auto split_for = [&](std::size_t d) -> const TrainTestSplit& {
+    std::call_once(split_once[d], [&] {
+      splits[d].emplace(train_test_split(
+          corpus[d], options.test_fraction,
+          derive_seed(options.seed, "split-" + corpus[d].meta().id),
+          /*stratified=*/true));
+    });
+    return *splits[d];
+  };
+
+  OrderedJournalWriter writer(journal.get(), n_sessions, [&](std::size_t s) {
+    journal->append_session_block(corpus[s / n_platforms].meta().id,
+                                  platforms[s % n_platforms]->name(),
+                                  slots[s].rows());
   });
 
+  std::atomic<std::size_t> datasets_done{0};
+  auto run_session_slot = [&](std::size_t s) {
+    const std::size_t d = s / n_platforms;
+    const std::size_t p = s % n_platforms;
+    const Dataset& dataset = corpus[d];
+    PlatformCampaignStats& pstats = slot_stats[s];
+    const std::string key =
+        CellJournal::session_key(dataset.meta().id, platforms[p]->name());
+    if (auto it = restored.sessions.find(key); it != restored.sessions.end()) {
+      // Session completed before the crash: restore its rows verbatim.
+      // Service/request telemetry for restored sessions was lost with the
+      // crashed process; cells_restored records how much work was saved.
+      pstats.cells_total += cells[p].size();
+      pstats.cells_restored += it->second.size();
+      pstats.cells_rejected += cells[p].size() - it->second.size();
+      for (const auto& m : it->second) {
+        if (m.ok) {
+          ++pstats.cells_ok;
+        } else if (m.deferred()) {
+          ++pstats.cells_deferred;
+        } else {
+          ++pstats.cells_failed;
+          ++pstats.failures_by_status[m.failure];
+        }
+        slots[s].add(m);
+      }
+      writer.complete(s, /*write=*/false);  // its bytes are already on disk
+    } else {
+      run_session(dataset, split_for(d), *platforms[p], cells[p], quotas[p], options,
+                  &slots[s], &pstats, journal.get());
+      writer.complete(s, /*write=*/journal != nullptr);
+    }
+    if (dataset_sessions_left[d].fetch_sub(1) == 1) {
+      splits[d].reset();  // last session of this dataset: free the split copy
+      if (options.verbose) {
+        std::cerr << "[measure] " << dataset.meta().id << " done ("
+                  << (datasets_done.fetch_add(1) + 1) << "/" << corpus.size() << ")\n";
+      }
+    }
+  };
+
+  ThreadPool pool(options.threads == 0 ? 0 : static_cast<std::size_t>(options.threads));
+  ParallelStats dispatch;
+  if (options.schedule == Schedule::kStatic) {
+    // The pre-scheduler granularity: one work item per dataset, its
+    // platform sessions run back to back.  Kept for A/B benchmarks — one
+    // slow dataset serializes its whole platform sweep on one worker.
+    pool.parallel_for(
+        corpus.size(),
+        [&](std::size_t d) {
+          for (std::size_t p = 0; p < n_platforms; ++p) {
+            run_session_slot(d * n_platforms + p);
+          }
+        },
+        &dispatch);
+  } else {
+    // Dynamic: sessions dispatched longest-estimated-first over an atomic
+    // ticket.  The estimate (configs x samples) orders the big sessions
+    // ahead of the tail so no worker is left holding one at the end.
+    std::vector<std::size_t> order(n_sessions);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::uint64_t> estimate(n_sessions);
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      estimate[s] = static_cast<std::uint64_t>(cells[s % n_platforms].size()) *
+                    static_cast<std::uint64_t>(corpus[s / n_platforms].n_samples());
+    }
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return estimate[a] > estimate[b];
+    });
+    pool.parallel_for_dynamic(
+        n_sessions, [&](std::size_t k) { run_session_slot(order[k]); }, &dispatch);
+  }
+
   CampaignResult result;
-  for (const auto& t : per_dataset) result.table.append(t);
-  result.report.platforms.resize(platforms.size());
-  for (std::size_t p = 0; p < platforms.size(); ++p) {
+  for (const auto& t : slots) result.table.append(t);
+  result.report.platforms.resize(n_platforms);
+  for (std::size_t p = 0; p < n_platforms; ++p) {
     result.report.platforms[p].platform = platforms[p]->name();
     for (std::size_t d = 0; d < corpus.size(); ++d) {
-      result.report.platforms[p].merge(per_dataset_stats[d][p]);
+      result.report.platforms[p].merge(slot_stats[d * n_platforms + p]);
     }
   }
+  result.report.scheduler.schedule = to_string(options.schedule);
+  result.report.scheduler.workers = pool.size();
+  result.report.scheduler.sessions = n_sessions;
+  result.report.scheduler.sessions_stolen = dispatch.stolen;
+  result.report.scheduler.makespan_seconds = dispatch.makespan_seconds;
+  result.report.scheduler.worker_busy_seconds = std::move(dispatch.busy_seconds);
   return result;
 }
 

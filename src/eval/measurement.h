@@ -35,8 +35,11 @@ struct Measurement {
   std::string params;        // canonical ParamMap string
   bool default_params = false;  // params equal the platform's defaults
   Metrics test;
-  /// Wall-clock training cost — the "training time" evaluation dimension the
-  /// paper defers to future work (§8).
+  /// Training cost in per-thread CPU seconds (CLOCK_THREAD_CPUTIME_ID) — the
+  /// "training time" evaluation dimension the paper defers to future work
+  /// (§8).  CPU time, not wall time: an oversubscribed campaign (--threads
+  /// above the core count) must not inflate the measured training cost of
+  /// the configuration it happened to deschedule.
   double train_seconds = 0.0;
   /// Predicted labels on the first kLabelSignatureSize test samples (a '0'/
   /// '1' string).  §6.2 trains the classifier-family meta-predictor on
@@ -197,6 +200,20 @@ struct CampaignOptions {
   RetryPolicy retry_policy(std::uint64_t session_seed) const;
 };
 
+/// How run_campaign distributes (dataset, platform) sessions over the pool.
+///   kStatic  — the pre-scheduler behaviour: one work item per dataset,
+///              statically chunked; kept for comparison benchmarks.
+///   kDynamic — one work item per session, dispatched longest-estimated-first
+///              through ThreadPool::parallel_for_dynamic's atomic ticket.
+/// The measured table is byte-identical either way (sessions are
+/// independently seeded and results land in preallocated slots); only the
+/// wall-clock and the scheduler telemetry differ.
+enum class Schedule { kStatic, kDynamic };
+
+/// Parse "static" / "dynamic"; throws std::invalid_argument otherwise.
+Schedule parse_schedule(const std::string& name);
+const char* to_string(Schedule schedule);
+
 struct MeasurementOptions {
   std::uint64_t seed = 42;
   /// Multiplies the per-classifier parameter-grid cap and the joint sample
@@ -205,7 +222,8 @@ struct MeasurementOptions {
   std::size_t max_para_configs = 12;  // per-classifier PARA cap (scaled)
   std::size_t joint_sample = 40;      // extra FEAT x CLF x PARA joint draws (scaled)
   double test_fraction = 0.3;         // §3.1's 70/30 split
-  int threads = 0;                    // 0 = hardware concurrency
+  int threads = 0;                    // 0 = hardware concurrency; < 0 rejected
+  Schedule schedule = Schedule::kDynamic;  // session dispatch policy
   bool verbose = false;
   CampaignOptions campaign;           // service-transport envelope
 };
@@ -233,9 +251,28 @@ struct PlatformCampaignStats {
   double coverage() const;
 };
 
+/// Telemetry of the session scheduler for one campaign: how evenly the
+/// (dataset, platform) sessions spread over the pool.  Unlike the platform
+/// rows, these numbers are real wall-clock and thread-count dependent — they
+/// describe the run, not the measurements, and are excluded from every
+/// determinism comparison.
+struct SchedulerStats {
+  std::string schedule = "static";   // "static" or "dynamic"
+  std::size_t workers = 0;           // pool size actually used
+  std::size_t sessions = 0;          // (dataset, platform) work items
+  std::size_t sessions_stolen = 0;   // sessions run off their static-owner worker
+  double makespan_seconds = 0.0;     // wall seconds of the dispatch
+  std::vector<double> worker_busy_seconds;  // per-worker time inside sessions
+
+  double busy_seconds() const;  // sum over workers
+  /// max(worker busy) / mean(worker busy); 1.0 = perfectly balanced.
+  double imbalance() const;
+};
+
 /// Campaign-wide telemetry report, one entry per platform (roster order).
 struct CampaignReport {
   std::vector<PlatformCampaignStats> platforms;
+  SchedulerStats scheduler;
 
   PlatformCampaignStats totals() const;
   double coverage() const { return totals().coverage(); }
@@ -262,9 +299,11 @@ struct CampaignResult {
 /// Run the full study through the simulated service layer: every platform
 /// on every corpus dataset, one MlaasService session per (dataset,
 /// platform) cell, upload/train/predict with retries.  Deterministic in
-/// (options, corpus, platforms) regardless of thread count; with
-/// campaign.fault_rate == 0 the measurements are identical to direct
-/// Platform::train calls.
+/// (options, corpus, platforms) regardless of thread count, schedule and
+/// steal order: sessions are independently seeded, write into preallocated
+/// per-session slots, and the per-dataset split is computed once behind a
+/// std::call_once.  With campaign.fault_rate == 0 the measurements are
+/// identical to direct Platform::train calls.
 ///
 /// Crash safety: with campaign.journal_path set, every finished cell is
 /// appended to an fsync'd write-ahead journal and every finished session

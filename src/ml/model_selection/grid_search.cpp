@@ -1,5 +1,8 @@
 #include "ml/model_selection/grid_search.h"
 
+#include <cmath>
+#include <string>
+
 #include "util/rng.h"
 
 namespace mlaas {
@@ -11,11 +14,19 @@ GridSearchResult grid_search(const ClassifierGridSpec& spec, const Dataset& trai
   result.n_configs = grid.size();
   result.best_params = spec.default_config();
   double best = -1.0;
+  std::string best_key;
   for (const auto& params : grid) {
     const CvResult cv = cross_validate(spec.classifier, params, train, cv_folds,
                                        derive_seed(seed, params.to_string()));
-    if (cv.mean.f_score > best) {
-      best = cv.mean.f_score;
+    // A degenerate fold (e.g. one class absent -> undefined F) yields NaN;
+    // NaN compares false against everything, which would let it neither win
+    // nor lose and make the result depend on enumeration order.  Score it 0.
+    double score = cv.mean.f_score;
+    if (std::isnan(score)) score = 0.0;
+    const std::string key = params.to_string();
+    if (score > best || (score == best && key < best_key)) {
+      best = score;
+      best_key = key;
       result.best_params = params;
       result.best_cv_f_score = best;
     }

@@ -16,8 +16,11 @@ struct GridSearchResult {
   std::size_t n_configs = 0;
 };
 
-/// Cross-validated search over the spec's grid; ties break toward earlier
-/// (more-default) configurations.
+/// Cross-validated search over the spec's grid.  Selection rule: a NaN mean
+/// F-score (degenerate CV fold) counts as 0, and exact ties break toward the
+/// lexicographically smaller canonical parameter string — both so the winner
+/// is a deterministic function of the grid's contents, never of its
+/// enumeration order.
 GridSearchResult grid_search(const ClassifierGridSpec& spec, const Dataset& train, int cv_folds,
                              std::uint64_t seed, std::size_t max_configs = 0);
 

@@ -1,9 +1,10 @@
 #include "platform/service.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/clock.h"
 
 namespace mlaas {
 
@@ -185,7 +186,7 @@ void ServiceStats::merge(const ServiceStats& other) {
   transient_errors += other.transient_errors;
   server_errors += other.server_errors;
   unavailable += other.unavailable;
-  train_wall_seconds += other.train_wall_seconds;
+  train_cpu_seconds += other.train_cpu_seconds;
 }
 
 MlaasService::MlaasService(PlatformPtr platform, ServiceQuota quota, std::uint64_t seed)
@@ -259,7 +260,7 @@ ServiceStatus MlaasService::upload(const Dataset& dataset, std::string* handle) 
 ServiceStatus MlaasService::train(const std::string& dataset_handle,
                                   const PipelineConfig& config, std::string* model_handle,
                                   std::optional<std::uint64_t> seed,
-                                  double* train_wall_seconds) {
+                                  double* train_cpu_seconds) {
   if (model_handle == nullptr) throw std::invalid_argument("train: null handle out-param");
   auto it = datasets_.find(dataset_handle);
   if (it == datasets_.end()) return ServiceStatus::kNotFound;
@@ -271,12 +272,13 @@ ServiceStatus MlaasService::train(const std::string& dataset_handle,
   const std::uint64_t train_seed =
       seed ? *seed : derive_seed(rng_.next(), "service-train");
   try {
-    const auto t0 = std::chrono::steady_clock::now();
+    // Per-thread CPU time, not wall time: campaign workers share cores, and
+    // the measured training cost must not depend on pool oversubscription.
+    const double t0 = thread_cpu_seconds();
     auto model = platform_->train(it->second, config, train_seed);
-    const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    stats_.train_wall_seconds += elapsed;
-    if (train_wall_seconds != nullptr) *train_wall_seconds = elapsed;
+    const double elapsed = thread_cpu_seconds() - t0;
+    stats_.train_cpu_seconds += elapsed;
+    if (train_cpu_seconds != nullptr) *train_cpu_seconds = elapsed;
     ++stats_.trainings;
     *model_handle = "model-" + std::to_string(next_handle_++);
     models_.emplace(*model_handle, std::move(model));
@@ -367,10 +369,10 @@ ServiceStatus RetryingClient::upload(const Dataset& dataset, std::string* handle
 ServiceStatus RetryingClient::train(const std::string& dataset_handle,
                                     const PipelineConfig& config, std::string* model_handle,
                                     std::optional<std::uint64_t> seed,
-                                    double* train_wall_seconds) {
+                                    double* train_cpu_seconds) {
   return with_retries(
       [&] { return service_.train(dataset_handle, config, model_handle, seed,
-                                  train_wall_seconds); });
+                                  train_cpu_seconds); });
 }
 
 ServiceStatus RetryingClient::predict(const std::string& model_handle, const Matrix& x,

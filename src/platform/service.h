@@ -130,8 +130,10 @@ struct ServiceStats {
   std::size_t transient_errors = 0;
   std::size_t server_errors = 0;
   std::size_t unavailable = 0;  // requests rejected by an outage window
-  /// Real (not simulated) wall-clock spent inside Platform::train.
-  double train_wall_seconds = 0.0;
+  /// Real (not simulated) per-thread CPU time spent inside Platform::train.
+  /// CPU time, not wall time, so the measured training cost does not depend
+  /// on how oversubscribed the campaign's thread pool is.
+  double train_cpu_seconds = 0.0;
 
   void merge(const ServiceStats& other);
 };
@@ -156,12 +158,12 @@ class MlaasService {
   ServiceStatus upload(const Dataset& dataset, std::string* handle);
   /// Train a model on an uploaded dataset; on kOk fills `model_handle`.
   /// `seed` overrides the service's internal seed derivation so campaigns
-  /// can reproduce the direct-call runner exactly; `train_wall_seconds`
-  /// (optional) receives the real time spent in Platform::train.
+  /// can reproduce the direct-call runner exactly; `train_cpu_seconds`
+  /// (optional) receives the per-thread CPU time spent in Platform::train.
   ServiceStatus train(const std::string& dataset_handle, const PipelineConfig& config,
                       std::string* model_handle,
                       std::optional<std::uint64_t> seed = std::nullopt,
-                      double* train_wall_seconds = nullptr);
+                      double* train_cpu_seconds = nullptr);
   /// Query a trained model; on kOk fills `labels`.
   ServiceStatus predict(const std::string& model_handle, const Matrix& x,
                         std::vector<int>* labels);
@@ -225,7 +227,7 @@ class RetryingClient {
   ServiceStatus train(const std::string& dataset_handle, const PipelineConfig& config,
                       std::string* model_handle,
                       std::optional<std::uint64_t> seed = std::nullopt,
-                      double* train_wall_seconds = nullptr);
+                      double* train_cpu_seconds = nullptr);
   ServiceStatus predict(const std::string& model_handle, const Matrix& x,
                         std::vector<int>* labels);
 

@@ -70,6 +70,17 @@ BenchOptions parse_bench_options(int argc, const char* const* argv) {
   opt.seed = static_cast<std::uint64_t>(flags.int_or("seed", static_cast<long long>(opt.seed)));
   opt.scale = flags.double_or("scale", opt.scale);
   opt.threads = static_cast<int>(flags.int_or("threads", 0));
+  if (opt.threads < 0) {
+    // Catch this at parse time: the old behavior cast -1 to size_t and asked
+    // the thread pool for ~2^64 workers.
+    throw std::invalid_argument("--threads must be >= 0 (0 = hardware concurrency), got " +
+                                std::to_string(opt.threads));
+  }
+  opt.schedule = flags.get_or("schedule", opt.schedule);
+  if (opt.schedule != "static" && opt.schedule != "dynamic") {
+    throw std::invalid_argument("--schedule must be 'static' or 'dynamic', got '" +
+                                opt.schedule + "'");
+  }
   opt.quick = flags.bool_or("quick", false);
   opt.fault_rate = flags.double_or("fault-rate", opt.fault_rate);
   opt.quota_profile = flags.get_or("quota-profile", opt.quota_profile);

@@ -31,7 +31,8 @@ class CliFlags {
 struct BenchOptions {
   std::uint64_t seed = 42;      // --seed / MLAAS_SEED
   double scale = 1.0;           // --scale / MLAAS_SCALE: grid & corpus scaling
-  int threads = 0;              // --threads (0 = hardware)
+  int threads = 0;              // --threads (0 = hardware; negative rejected)
+  std::string schedule = "dynamic";  // --schedule: static|dynamic session dispatch
   bool quick = false;           // --quick: tiny corpus for smoke runs
   // Campaign transport envelope (service simulation):
   double fault_rate = 0.0;          // --fault-rate / MLAAS_FAULT_RATE

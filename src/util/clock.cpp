@@ -1,0 +1,23 @@
+#include "util/clock.h"
+
+#if defined(_WIN32)
+#include <chrono>
+#else
+#include <ctime>
+#endif
+
+namespace mlaas {
+
+double thread_cpu_seconds() {
+#if defined(_WIN32)
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+#else
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+#endif
+}
+
+}  // namespace mlaas

@@ -1,0 +1,19 @@
+// Per-thread CPU clock for training-cost measurement.
+//
+// The §8 training-time dimension must not depend on how many pool workers
+// share the machine: wall clocks inflate under oversubscription (a worker
+// descheduled mid-train keeps "training" on a steady_clock).  Differences of
+// thread_cpu_seconds() count only the CPU time the calling thread actually
+// consumed, so measured training cost is the same at --threads 1 and
+// --threads 16.
+#pragma once
+
+namespace mlaas {
+
+/// CPU seconds consumed by the calling thread so far
+/// (CLOCK_THREAD_CPUTIME_ID).  Falls back to a monotonic wall clock on
+/// platforms without a per-thread CPU clock.  Only differences are
+/// meaningful; the epoch is unspecified.
+double thread_cpu_seconds();
+
+}  // namespace mlaas

@@ -78,6 +78,58 @@ TEST(Csv, EmptyInputThrows) {
   EXPECT_THROW(load_csv(in), std::invalid_argument);
 }
 
+TEST(Csv, QuotedCellsKeepDelimitersAndSpaces) {
+  // RFC 4180: quotes protect embedded delimiters; '""' is a literal quote;
+  // quoted content is verbatim (leading/trailing spaces preserved, so the
+  // two category strings below stay distinct).
+  std::istringstream in(
+      "name,label\n"
+      "\"red, dark\",0\n"
+      "\"red, dark \",1\n"
+      "\"say \"\"hi\"\"\",0\n");
+  const Dataset ds = load_csv(in);
+  EXPECT_EQ(ds.n_samples(), 3u);
+  EXPECT_EQ(ds.n_features(), 1u);
+  // Three distinct categorical values -> codes 1, 2, 3 in first-seen order.
+  EXPECT_DOUBLE_EQ(ds.x()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ds.x()(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ds.x()(2, 0), 3.0);
+}
+
+TEST(Csv, QuotedNumericCellsStayNumeric) {
+  std::istringstream in("a,b,label\n\"1.5\",2,0\n\"2.5\",3,1\n");
+  const Dataset ds = load_csv(in);
+  EXPECT_EQ(ds.n_samples(), 2u);
+  EXPECT_EQ(ds.n_features(), 2u);
+  EXPECT_DOUBLE_EQ(ds.x()(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(ds.x()(1, 0), 2.5);
+}
+
+TEST(Csv, CrlfLineEndingsAccepted) {
+  std::istringstream in("a,b,label\r\n1,2,0\r\n3,4,1\r\n");
+  const Dataset ds = load_csv(in);
+  EXPECT_EQ(ds.n_samples(), 2u);
+  EXPECT_DOUBLE_EQ(ds.x()(1, 1), 4.0);
+  EXPECT_EQ(ds.y()[1], 1);
+}
+
+TEST(Csv, QuotedHeaderAndUnquotedCellsUnchanged) {
+  std::istringstream in("\"a, b\",c,label\n 1 , 2 ,0\n3,4,1\n");
+  const Dataset ds = load_csv(in);
+  EXPECT_EQ(ds.feature_names()[0], "a, b");
+  // Unquoted cells are trimmed exactly as before the quoting support.
+  EXPECT_DOUBLE_EQ(ds.x()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ds.x()(0, 1), 2.0);
+}
+
+TEST(Csv, QuotedLabelAndTrailingEmptyCell) {
+  std::istringstream in("a,b,label\n1,,\"yes\"\n2,3,no\n");
+  const Dataset ds = load_csv(in);
+  EXPECT_TRUE(std::isnan(ds.x()(0, 1)));
+  EXPECT_EQ(ds.y()[0], 0);  // "yes" seen first -> class 0
+  EXPECT_EQ(ds.y()[1], 1);
+}
+
 TEST(Csv, RoundTripPreservesData) {
   std::istringstream in("a,b,label\n1,2,0\n3,?,1\n");
   const Dataset ds = load_csv(in);

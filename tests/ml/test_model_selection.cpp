@@ -61,5 +61,30 @@ TEST(GridSearch, ReportsConfigCount) {
   EXPECT_EQ(result.n_configs, 2u);
 }
 
+TEST(GridSearch, TiesBreakOnCanonicalParamString) {
+  // Widely separated tight blobs: every k scores a perfect F on every fold,
+  // so all three configs tie and the documented rule decides — the
+  // lexicographically smallest canonical parameter string wins, independent
+  // of grid enumeration order.
+  const Dataset ds = make_blobs(200, 4, 0.15, 8.0, 77);
+  ClassifierGridSpec spec;
+  spec.classifier = "knn";
+  spec.params = {ParamSpec::integer("n_neighbors", 3, 1, 5)};
+  const GridSearchResult result = grid_search(spec, ds, 3, 1);
+  ASSERT_DOUBLE_EQ(result.best_cv_f_score, 1.0) << "fixture must produce a tie";
+  EXPECT_EQ(result.best_params.to_string(), "n_neighbors=1");
+}
+
+TEST(GridSearch, WinnerIsDeterministicAcrossRepeatedCalls) {
+  const Dataset ds = testing::circles(300, 26);
+  ClassifierGridSpec spec;
+  spec.classifier = "decision_tree";
+  spec.params = {ParamSpec::integer("max_depth", 5, 1, 30)};
+  const GridSearchResult a = grid_search(spec, ds, 3, 7);
+  const GridSearchResult b = grid_search(spec, ds, 3, 7);
+  EXPECT_EQ(a.best_params.to_string(), b.best_params.to_string());
+  EXPECT_DOUBLE_EQ(a.best_cv_f_score, b.best_cv_f_score);
+}
+
 }  // namespace
 }  // namespace mlaas

@@ -162,10 +162,10 @@ TEST(Service, ExplicitTrainSeedReproducesDirectCall) {
   auto service = make_service();
   std::string ds, model;
   ASSERT_EQ(service.upload(data, &ds), ServiceStatus::kOk);
-  double train_wall = -1.0;
-  ASSERT_EQ(service.train(ds, {}, &model, /*seed=*/1234, &train_wall), ServiceStatus::kOk);
-  EXPECT_GE(train_wall, 0.0);
-  EXPECT_GT(service.stats().train_wall_seconds, 0.0);
+  double train_cpu = -1.0;
+  ASSERT_EQ(service.train(ds, {}, &model, /*seed=*/1234, &train_cpu), ServiceStatus::kOk);
+  EXPECT_GE(train_cpu, 0.0);
+  EXPECT_GT(service.stats().train_cpu_seconds, 0.0);
   std::vector<int> labels;
   ASSERT_EQ(service.predict(model, data.x(), &labels), ServiceStatus::kOk);
   EXPECT_EQ(labels, direct_labels);
@@ -242,15 +242,15 @@ TEST(ServiceStatsTest, MergeAccumulates) {
   ServiceStats a, b;
   a.requests = 3;
   a.trainings = 1;
-  a.train_wall_seconds = 0.5;
+  a.train_cpu_seconds = 0.5;
   b.requests = 2;
   b.rate_limited = 4;
-  b.train_wall_seconds = 0.25;
+  b.train_cpu_seconds = 0.25;
   a.merge(b);
   EXPECT_EQ(a.requests, 5u);
   EXPECT_EQ(a.trainings, 1u);
   EXPECT_EQ(a.rate_limited, 4u);
-  EXPECT_DOUBLE_EQ(a.train_wall_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(a.train_cpu_seconds, 0.75);
 }
 
 TEST(QuotaProfileTest, NamedProfilesResolve) {

@@ -43,6 +43,34 @@ TEST(BenchOptions, ParsesAll) {
   EXPECT_EQ(opt.seed, 5u);
   EXPECT_DOUBLE_EQ(opt.scale, 0.5);
   EXPECT_TRUE(opt.quick);
+  EXPECT_EQ(opt.schedule, "dynamic");  // default
+}
+
+TEST(BenchOptions, NegativeThreadsRejectedAtParseTime) {
+  // The historical crash: --threads -1 passed through a size_t cast and
+  // asked the pool for ~2^64 workers.  It must die here, with a usage
+  // error, before any campaign machinery runs.
+  std::vector<const char*> argv{"prog", "--threads=-1"};
+  EXPECT_THROW(parse_bench_options(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+  std::vector<const char*> argv2{"prog", "--threads=-1000000"};
+  EXPECT_THROW(parse_bench_options(static_cast<int>(argv2.size()), argv2.data()),
+               std::invalid_argument);
+}
+
+TEST(BenchOptions, ZeroThreadsMeansHardware) {
+  std::vector<const char*> argv{"prog", "--threads", "0"};
+  const auto opt = parse_bench_options(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(opt.threads, 0);
+}
+
+TEST(BenchOptions, ScheduleValidated) {
+  std::vector<const char*> good{"prog", "--schedule", "static"};
+  EXPECT_EQ(parse_bench_options(static_cast<int>(good.size()), good.data()).schedule,
+            "static");
+  std::vector<const char*> bad{"prog", "--schedule", "roundrobin"};
+  EXPECT_THROW(parse_bench_options(static_cast<int>(bad.size()), bad.data()),
+               std::invalid_argument);
 }
 
 }  // namespace

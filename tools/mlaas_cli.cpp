@@ -13,6 +13,7 @@
 //   mlaas_cli corpus --out DIR [--seed 42] [--n 119]
 //       Write the synthetic study corpus as CSV files.
 //   mlaas_cli campaign [--quick] [--seed 42] [--scale 1] [--threads N]
+//              [--schedule static|dynamic]
 //              [--fault-rate 0.1] [--quota-profile strict] [--retry-budget 6]
 //              [--chaos-profile storm] [--breakers] [--breaker-threshold 3]
 //              [--breaker-cooldown 300] [--breaker-probes 2] [--jitter]
@@ -24,6 +25,7 @@
 //       campaign resumes from the journal on the next run unless --fresh.
 #include <filesystem>
 #include <iostream>
+#include <stdexcept>
 
 #include "core/study.h"
 #include "data/corpus.h"
@@ -138,6 +140,15 @@ int cmd_campaign(const CliFlags& flags) {
   opt.scale = flags.double_or("scale", 1.0);
   opt.quick = flags.bool_or("quick", false);
   opt.threads = static_cast<int>(flags.int_or("threads", 0));
+  if (opt.threads < 0) {
+    throw std::invalid_argument("--threads must be >= 0 (0 = hardware concurrency), got " +
+                                std::to_string(opt.threads));
+  }
+  opt.schedule = flags.get_or("schedule", "dynamic");
+  if (opt.schedule != "static" && opt.schedule != "dynamic") {
+    throw std::invalid_argument("--schedule must be 'static' or 'dynamic', got '" +
+                                opt.schedule + "'");
+  }
   opt.verbose = flags.bool_or("verbose", false);
   opt.fault_rate = flags.double_or("fault-rate", 0.0);
   opt.quota_profile = flags.get_or("quota-profile", "default");
@@ -194,6 +205,11 @@ int cmd_campaign(const CliFlags& flags) {
             << "%  (" << total.cells_ok << " ok, " << total.cells_failed << " failed, "
             << total.cells_deferred << " deferred, " << total.cells_rejected
             << " rejected)\n";
+  const SchedulerStats& sched = result.report.scheduler;
+  std::cout << "scheduler: " << sched.schedule << ", " << sched.workers << " workers, "
+            << sched.sessions << " sessions (" << sched.sessions_stolen << " stolen), "
+            << "makespan " << fmt(sched.makespan_seconds, 2) << " s, imbalance "
+            << fmt(sched.imbalance(), 2) << "x\n";
   if (auto out = flags.get("out")) {
     result.report.save_tsv(*out);
     std::cout << "wrote " << *out << "\n";

@@ -1,10 +1,32 @@
-// Micro-benchmarks (google-benchmark): train and predict throughput of every
-// registry classifier on a fixed synthetic workload.  Not a paper figure —
-// this documents the cost model behind the measurement harness.
+// Micro-benchmarks: train and predict throughput of every registry
+// classifier on a fixed synthetic workload.  Not a paper figure — this
+// documents the cost model behind the measurement harness.
+//
+// Two modes:
+//   (default)  google-benchmark train/predict loops over every classifier
+//              at the 400x16 workload (all benchmark flags accepted).
+//   --json     perf-regression harness for the tree-family training kernel:
+//              times each tree-family classifier's fit() at n=2000, d=30
+//              under both the presort kernel and ReferenceTreeBuilder and
+//              writes machine-independent speedup ratios to a JSON file.
+//
+// JSON-mode flags:
+//   --out FILE               output path (default BENCH_tree_training.json)
+//   --baseline FILE          committed baseline with expected speedups
+//   --check-regression F     exit 1 if any tree-family speedup drops below
+//                            baseline_speedup / F
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "data/generators.h"
 #include "ml/registry.h"
+#include "ml/tree/trainer.h"
 
 namespace {
 
@@ -55,6 +77,161 @@ const int registered = [] {
   return 0;
 }();
 
+// ---------------------------------------------------------------------------
+// --json mode: tree-training perf harness.
+
+struct TreeBenchCase {
+  const char* label;       // row name in the JSON (unique)
+  const char* classifier;  // registry name
+  ParamMap params;         // overrides on top of registry defaults
+};
+
+/// Registry defaults for the whole family, plus an all-features forest:
+/// with sqrt feature sampling the reference builder only sorts ~sqrt(d)
+/// small columns per node, so the presort win there is bounded by the
+/// shared fold/partition work; the all-features row shows the kernel's
+/// effect when split scans touch every column (the boosting/full-tree
+/// regime).  See DESIGN.md "Training kernels".
+const std::vector<TreeBenchCase>& tree_cases() {
+  static const std::vector<TreeBenchCase> cases = {
+      {"decision_tree", "decision_tree", {}},
+      {"random_forest", "random_forest", {}},
+      {"random_forest_all_features",
+       "random_forest",
+       {{"max_features", std::string("all")}}},
+      {"bagging", "bagging", {}},
+      {"boosted_trees", "boosted_trees", {}},
+      {"decision_jungle", "decision_jungle", {}},
+  };
+  return cases;
+}
+
+Dataset tree_workload() {
+  MakeClassificationOptions opt;
+  opt.n_samples = 2000;
+  opt.n_features = 30;
+  opt.n_informative = 10;
+  opt.n_redundant = 6;
+  opt.n_clusters_per_class = 2;
+  opt.class_sep = 1.0;
+  return make_classification(opt, 42);
+}
+
+/// Best-of-`repeats` wall time of fit() under the given builder, in ms.
+double time_fit_ms(const TreeBenchCase& c, const Dataset& ds, TreeBuilder builder,
+                   int repeats) {
+  set_active_tree_builder(builder);
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    auto clf = make_classifier(c.classifier, c.params, 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    clf->fit(ds.x(), ds.y());
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  set_active_tree_builder(TreeBuilder::kFast);
+  return best;
+}
+
+struct TreeBenchRow {
+  std::string name;
+  double fast_ms = 0.0;
+  double reference_ms = 0.0;
+  double speedup() const { return fast_ms > 0.0 ? reference_ms / fast_ms : 0.0; }
+};
+
+/// Pull "speedup_vs_reference" for `name` out of the (small, known-shape)
+/// baseline JSON without a JSON library.  Returns 0 when absent.
+double baseline_speedup(const std::string& json, const std::string& name) {
+  const std::string anchor = "\"name\": \"" + name + "\"";
+  std::size_t at = json.find(anchor);
+  if (at == std::string::npos) return 0.0;
+  const std::string key = "\"speedup_vs_reference\":";
+  at = json.find(key, at);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + at + key.size(), nullptr);
+}
+
+int run_json_mode(const std::vector<std::string>& args) {
+  std::string out_path = "BENCH_tree_training.json";
+  std::string baseline_path;
+  double check_factor = 0.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) out_path = args[++i];
+    else if (args[i] == "--baseline" && i + 1 < args.size()) baseline_path = args[++i];
+    else if (args[i] == "--check-regression" && i + 1 < args.size())
+      check_factor = std::strtod(args[++i].c_str(), nullptr);
+  }
+
+  const Dataset ds = tree_workload();
+  std::vector<TreeBenchRow> rows;
+  for (const auto& c : tree_cases()) {
+    TreeBenchRow row;
+    row.name = c.label;
+    row.fast_ms = time_fit_ms(c, ds, TreeBuilder::kFast, 5);
+    row.reference_ms = time_fit_ms(c, ds, TreeBuilder::kReference, 3);
+    rows.push_back(row);
+    std::cout << row.name << ": fast " << row.fast_ms << " ms, reference "
+              << row.reference_ms << " ms, speedup " << row.speedup() << "x\n";
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"tree_training\",\n"
+       << "  \"workload\": {\"n_samples\": " << ds.n_samples()
+       << ", \"n_features\": " << ds.n_features() << "},\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    json << "    {\"name\": \"" << rows[i].name << "\", \"fast_ms\": " << rows[i].fast_ms
+         << ", \"reference_ms\": " << rows[i].reference_ms
+         << ", \"speedup_vs_reference\": " << rows[i].speedup() << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::ofstream out(out_path);
+  out << json.str();
+  out.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!baseline_path.empty() && check_factor > 0.0) {
+    std::ifstream in(baseline_path);
+    if (!in.good()) {
+      std::cerr << "baseline missing: " << baseline_path << "\n";
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string baseline = buf.str();
+    int failures = 0;
+    for (const auto& row : rows) {
+      const double expected = baseline_speedup(baseline, row.name);
+      if (expected <= 0.0) continue;
+      const double floor = expected / check_factor;
+      if (row.speedup() < floor) {
+        std::cerr << "REGRESSION " << row.name << ": speedup " << row.speedup()
+                  << "x below floor " << floor << "x (baseline " << expected
+                  << "x / factor " << check_factor << ")\n";
+        ++failures;
+      }
+    }
+    if (failures > 0) return 1;
+    std::cout << "regression check passed (factor " << check_factor << ")\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      std::vector<std::string> args(argv + 1, argv + argc);
+      return run_json_mode(args);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

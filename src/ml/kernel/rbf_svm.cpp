@@ -46,11 +46,6 @@ void RbfSvm::fit(const Matrix& x, const std::vector<int>& y) {
       }
     }
   }
-  auto kernel = [&](std::size_t i, std::size_t j) {
-    if (cache) return k(i, j);
-    return std::exp(-gamma_ * squared_distance(support_x_.row(i), support_x_.row(j)));
-  };
-
   // Kernelized Pegasos: alpha_[i] counts margin violations of point i; the
   // decision function at step t is (1/(lambda t)) sum_i alpha_i y_i K(x_i, .)
   std::vector<double> counts(n, 0.0);
@@ -60,8 +55,21 @@ void RbfSvm::fit(const Matrix& x, const std::vector<int>& y) {
     for (std::size_t step = 0; step < n; ++step, ++t) {
       const std::size_t i = rng.index(n);
       double f = 0.0;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (counts[j] != 0.0) f += counts[j] * ys[j] * kernel(j, i);
+      if (cache) {
+        // K is symmetric, so column i is row i: one contiguous span instead
+        // of n strided element accesses.
+        const auto krow = k.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+          if (counts[j] != 0.0) f += counts[j] * ys[j] * krow[j];
+        }
+      } else {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (counts[j] != 0.0) {
+            f += counts[j] * ys[j] *
+                 std::exp(-gamma_ * squared_distance(support_x_.row(j),
+                                                     support_x_.row(i)));
+          }
+        }
       }
       f /= lambda * static_cast<double>(t);
       if (ys[i] * f < 1.0) counts[i] += 1.0;
@@ -70,6 +78,23 @@ void RbfSvm::fit(const Matrix& x, const std::vector<int>& y) {
   alpha_.resize(n);
   const double scale = 1.0 / (lambda * static_cast<double>(t));
   for (std::size_t i = 0; i < n; ++i) alpha_[i] = counts[i] * ys[i] * scale;
+
+  // Points that never violated the margin have alpha exactly 0 and cannot
+  // contribute to the decision function; drop them so predict_score (and
+  // the serialized model) only touch real support vectors.  The surviving
+  // rows keep their relative order, so scores are bit-identical.
+  std::vector<std::size_t> support;
+  support.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha_[i] != 0.0) support.push_back(i);
+  }
+  if (support.size() < n) {
+    Matrix pruned = support_x_.select_rows(support);
+    std::vector<double> pruned_alpha(support.size());
+    for (std::size_t i = 0; i < support.size(); ++i) pruned_alpha[i] = alpha_[support[i]];
+    support_x_ = std::move(pruned);
+    alpha_ = std::move(pruned_alpha);
+  }
 }
 
 std::vector<double> RbfSvm::predict_score(const Matrix& x) const {

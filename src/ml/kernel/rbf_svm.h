@@ -29,6 +29,9 @@ class RbfSvm final : public Classifier {
   void save(std::ostream& out) const override;
   void load(std::istream& in) override;
 
+  /// Rows kept after zero-alpha pruning (== support_x_.rows()).
+  std::size_t support_count() const { return support_x_.rows(); }
+
  private:
   double c_;
   double gamma_param_;

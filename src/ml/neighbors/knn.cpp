@@ -15,10 +15,24 @@ KNearestNeighbors::KNearestNeighbors(const ParamMap& params, std::uint64_t) {
   p_ = std::max(1.0, params.get_double("p", 2.0));
 }
 
+namespace {
+
+std::vector<double> row_squared_norms(const Matrix& x) {
+  std::vector<double> norms(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    norms[i] = dot(row, row);
+  }
+  return norms;
+}
+
+}  // namespace
+
 void KNearestNeighbors::fit(const Matrix& x, const std::vector<int>& y) {
   check_single_class(y);
   train_x_ = x;
   train_y_ = y;
+  train_sq_norms_ = p_ == 2.0 ? row_squared_norms(x) : std::vector<double>{};
 }
 
 std::vector<double> KNearestNeighbors::predict_score(const Matrix& x) const {
@@ -26,12 +40,22 @@ std::vector<double> KNearestNeighbors::predict_score(const Matrix& x) const {
   if (single_class()) return out;
   const std::size_t n_train = train_x_.rows();
   const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(n_neighbors_), n_train);
+  const bool euclidean = p_ == 2.0 && train_sq_norms_.size() == n_train;
 
   std::vector<std::pair<double, std::size_t>> dist(n_train);
   for (std::size_t q = 0; q < x.rows(); ++q) {
     const auto query = x.row(q);
-    for (std::size_t i = 0; i < n_train; ++i) {
-      dist[i] = {minkowski_distance(query, train_x_.row(i), p_), i};
+    if (euclidean) {
+      const double query_sq = dot(query, query);
+      for (std::size_t i = 0; i < n_train; ++i) {
+        const double d2 =
+            query_sq - 2.0 * dot(query, train_x_.row(i)) + train_sq_norms_[i];
+        dist[i] = {std::sqrt(std::max(0.0, d2)), i};
+      }
+    } else {
+      for (std::size_t i = 0; i < n_train; ++i) {
+        dist[i] = {minkowski_distance(query, train_x_.row(i), p_), i};
+      }
     }
     std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k), dist.end());
     double pos = 0.0, total = 0.0;
@@ -62,6 +86,7 @@ void KNearestNeighbors::load(std::istream& in) {
   p_ = model_io::read_double(in);
   train_x_ = model_io::read_matrix(in);
   train_y_ = model_io::read_ivec(in);
+  train_sq_norms_ = p_ == 2.0 ? row_squared_norms(train_x_) : std::vector<double>{};
 }
 
 }  // namespace mlaas

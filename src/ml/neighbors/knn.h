@@ -33,6 +33,10 @@ class KNearestNeighbors final : public Classifier {
 
   Matrix train_x_;
   std::vector<int> train_y_;
+  // p=2 fast path: ||x_i||^2 per train row, so Euclidean distances become
+  // sqrt(||q||^2 - 2 q.x_i + ||x_i||^2) — one dot product per pair instead
+  // of a subtract-square pass.  Recomputed on fit()/load(), not serialized.
+  std::vector<double> train_sq_norms_;
 };
 
 }  // namespace mlaas

@@ -6,6 +6,7 @@
 
 #include "linalg/stats.h"
 #include "ml/tree/decision_tree.h"
+#include "ml/tree/trainer.h"
 #include "util/rng.h"
 
 namespace mlaas {
@@ -54,6 +55,7 @@ void RandomForestRegressor::fit(const Matrix& x, const std::vector<double>& y) {
   trees_.resize(n_estimators);
   std::vector<std::size_t> boot_rows(n);
   std::vector<double> boot_targets(n);
+  TreeWorkspace workspace;  // column cache + presorted orders shared by all trees
   for (std::size_t t = 0; t < n_estimators; ++t) {
     opt.seed = derive_seed(seed_, "rfr-" + std::to_string(t));
     Rng rng(derive_seed(opt.seed, "bootstrap"));
@@ -61,16 +63,13 @@ void RandomForestRegressor::fit(const Matrix& x, const std::vector<double>& y) {
       boot_rows[i] = rng.index(n);
       boot_targets[i] = y[boot_rows[i]];
     }
-    trees_[t].fit(x.select_rows(boot_rows), boot_targets, {}, opt);
+    train_tree(trees_[t], workspace, x, boot_targets, {}, opt, boot_rows);
   }
 }
 
 std::vector<double> RandomForestRegressor::predict(const Matrix& x) const {
   std::vector<double> out(x.rows(), 0.0);
-  for (const auto& tree : trees_) {
-    const auto values = tree.predict(x);
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += values[i];
-  }
+  for (const auto& tree : trees_) tree.predict_accumulate(x, 1.0, out);
   const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, trees_.size()));
   for (double& v : out) v *= inv;
   return out;
@@ -100,24 +99,21 @@ void BoostedTreesRegressor::fit(const Matrix& x, const std::vector<double>& y) {
   base_prediction_ = y.empty() ? 0.0 : mean(y);
   std::vector<double> residual(y.size());
   std::vector<double> raw(y.size(), base_prediction_);
+  TreeWorkspace workspace;  // every round trains on x: presorted once, restored per tree
   for (std::size_t round = 0; round < n_estimators; ++round) {
     for (std::size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - raw[i];
     TreeModel tree;
     opt.seed = derive_seed(seed_, "gbr-" + std::to_string(round));
-    tree.fit(x, residual, {}, opt);
+    train_tree(tree, workspace, x, residual, {}, opt);
     if (tree.node_count() <= 1) break;
-    const auto update = tree.predict(x);
-    for (std::size_t i = 0; i < raw.size(); ++i) raw[i] += learning_rate_ * update[i];
+    tree.predict_accumulate(x, learning_rate_, raw);
     trees_.push_back(std::move(tree));
   }
 }
 
 std::vector<double> BoostedTreesRegressor::predict(const Matrix& x) const {
   std::vector<double> out(x.rows(), base_prediction_);
-  for (const auto& tree : trees_) {
-    const auto update = tree.predict(x);
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += learning_rate_ * update[i];
-  }
+  for (const auto& tree : trees_) tree.predict_accumulate(x, learning_rate_, out);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "ml/tree/decision_tree.h"
+#include "ml/tree/trainer.h"
 #include "util/rng.h"
 
 namespace mlaas {
@@ -36,6 +37,7 @@ void BaggedTrees::fit(const Matrix& x, const std::vector<int>& y) {
   members_.resize(n_estimators);
   std::vector<std::size_t> boot_rows(n);
   std::vector<double> boot_targets(n);
+  TreeWorkspace workspace;  // column cache + presorted orders shared by all members
   for (std::size_t t = 0; t < n_estimators; ++t) {
     Rng rng(derive_seed(seed_, "bag-" + std::to_string(t)));
     auto& member = members_[t];
@@ -47,11 +49,10 @@ void BaggedTrees::fit(const Matrix& x, const std::vector<int>& y) {
       boot_rows[i] = rng.index(n);
       boot_targets[i] = targets[boot_rows[i]];
     }
-    Matrix boot_x = x.select_rows(boot_rows);
-    if (!member.features.empty()) boot_x = boot_x.select_cols(member.features);
     TreeOptions opt = base_opt;
     opt.seed = derive_seed(seed_, "bag-tree-" + std::to_string(t));
-    member.tree.fit(boot_x, boot_targets, {}, opt);
+    train_tree(member.tree, workspace, x, boot_targets, {}, opt, boot_rows,
+               member.features);
   }
 }
 
@@ -60,10 +61,7 @@ std::vector<double> BaggedTrees::predict_score(const Matrix& x) const {
   if (single_class()) return out;
   std::fill(out.begin(), out.end(), 0.0);
   for (const auto& member : members_) {
-    const Matrix view =
-        member.features.empty() ? x : x.select_cols(member.features);
-    const auto scores = member.tree.predict(view);
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += scores[i];
+    member.tree.predict_accumulate(x, 1.0, out, member.features);
   }
   const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, members_.size()));
   for (double& v : out) v *= inv;

@@ -7,6 +7,7 @@
 
 #include "linalg/vector_ops.h"
 #include "ml/tree/decision_tree.h"
+#include "ml/tree/trainer.h"
 #include "util/rng.h"
 
 namespace mlaas {
@@ -44,6 +45,7 @@ void BoostedDecisionTrees::fit(const Matrix& x, const std::vector<int>& y) {
 
   std::vector<double> raw(n, base_score_);
   std::vector<double> grad(n), hess(n);
+  TreeWorkspace workspace;  // every round trains on x: presorted once, restored per tree
   for (std::size_t round = 0; round < n_estimators; ++round) {
     for (std::size_t i = 0; i < n; ++i) {
       const double p = sigmoid(raw[i]);
@@ -52,10 +54,9 @@ void BoostedDecisionTrees::fit(const Matrix& x, const std::vector<int>& y) {
     }
     TreeModel tree;
     opt.seed = derive_seed(seed_, "bst-" + std::to_string(round));
-    tree.fit(x, grad, hess, opt);
+    train_tree(tree, workspace, x, grad, hess, opt);
     if (tree.node_count() <= 1) break;  // no useful split left
-    const auto update = tree.predict(x);
-    for (std::size_t i = 0; i < n; ++i) raw[i] += learning_rate_ * update[i];
+    tree.predict_accumulate(x, learning_rate_, raw);
     trees_.push_back(std::move(tree));
   }
 }
@@ -64,10 +65,7 @@ std::vector<double> BoostedDecisionTrees::predict_score(const Matrix& x) const {
   std::vector<double> out(x.rows(), single_class_score());
   if (single_class()) return out;
   std::vector<double> raw(x.rows(), base_score_);
-  for (const auto& tree : trees_) {
-    const auto update = tree.predict(x);
-    for (std::size_t i = 0; i < raw.size(); ++i) raw[i] += learning_rate_ * update[i];
-  }
+  for (const auto& tree : trees_) tree.predict_accumulate(x, learning_rate_, raw);
   for (std::size_t i = 0; i < raw.size(); ++i) out[i] = sigmoid(raw[i]);
   return out;
 }

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/tree/trainer.h"
 #include "util/rng.h"
 
 namespace mlaas {
@@ -38,6 +39,7 @@ void DecisionJungle::fit(const Matrix& x, const std::vector<int>& y) {
   dags_.resize(n_dags);
   std::vector<std::size_t> boot_rows(n);
   std::vector<double> boot_targets(n);
+  TreeWorkspace workspace;  // column cache + presorted orders shared by all DAGs
   for (std::size_t t = 0; t < n_dags; ++t) {
     opt.seed = derive_seed(seed_, "jungle-" + std::to_string(t));
     if (bootstrap) {
@@ -46,9 +48,9 @@ void DecisionJungle::fit(const Matrix& x, const std::vector<int>& y) {
         boot_rows[i] = rng.index(n);
         boot_targets[i] = targets[boot_rows[i]];
       }
-      dags_[t].fit(x.select_rows(boot_rows), boot_targets, {}, opt);
+      train_tree(dags_[t], workspace, x, boot_targets, {}, opt, boot_rows);
     } else {
-      dags_[t].fit(x, targets, {}, opt);
+      train_tree(dags_[t], workspace, x, targets, {}, opt);
     }
   }
 }
@@ -57,10 +59,7 @@ std::vector<double> DecisionJungle::predict_score(const Matrix& x) const {
   std::vector<double> out(x.rows(), single_class_score());
   if (single_class()) return out;
   std::fill(out.begin(), out.end(), 0.0);
-  for (const auto& dag : dags_) {
-    const auto scores = dag.predict(x);
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += scores[i];
-  }
+  for (const auto& dag : dags_) dag.predict_accumulate(x, 1.0, out);
   const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, dags_.size()));
   for (double& v : out) v *= inv;
   return out;

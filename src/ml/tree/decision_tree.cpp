@@ -37,7 +37,16 @@ TreeOptions tree_options_from_params(const ParamMap& params, std::size_t n_featu
   } else if (mf == "all" || mf.empty()) {
     opt.max_features = 0;
   } else {
-    opt.max_features = static_cast<std::size_t>(std::max(1LL, std::stoll(mf)));
+    // Integer feature count.  Unrecognized strings ("auto", garbage) fall
+    // back to 0 (all features) instead of throwing out of fit().
+    try {
+      std::size_t parsed = 0;
+      const long long v = std::stoll(mf, &parsed);
+      opt.max_features =
+          parsed == mf.size() ? static_cast<std::size_t>(std::max(1LL, v)) : 0;
+    } catch (const std::exception&) {
+      opt.max_features = 0;
+    }
   }
   return opt;
 }

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "ml/tree/decision_tree.h"
+#include "ml/tree/trainer.h"
 #include "util/rng.h"
 
 namespace mlaas {
@@ -35,6 +36,7 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y) {
   for (std::size_t i = 0; i < n; ++i) targets[i] = y[i] == 1 ? 1.0 : 0.0;
 
   trees_.resize(n_estimators);
+  TreeWorkspace workspace;  // column cache + presorted orders shared by all trees
   for (std::size_t t = 0; t < n_estimators; ++t) {
     opt.seed = derive_seed(seed_, "rf-" + std::to_string(t));
     if (bootstrap) {
@@ -43,9 +45,9 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y) {
         boot_rows[i] = rng.index(n);
         boot_targets[i] = targets[boot_rows[i]];
       }
-      trees_[t].fit(x.select_rows(boot_rows), boot_targets, {}, opt);
+      train_tree(trees_[t], workspace, x, boot_targets, {}, opt, boot_rows);
     } else {
-      trees_[t].fit(x, targets, {}, opt);
+      train_tree(trees_[t], workspace, x, targets, {}, opt);
     }
   }
 }
@@ -54,10 +56,7 @@ std::vector<double> RandomForest::predict_score(const Matrix& x) const {
   std::vector<double> out(x.rows(), single_class_score());
   if (single_class()) return out;
   std::fill(out.begin(), out.end(), 0.0);
-  for (const auto& tree : trees_) {
-    const auto scores = tree.predict(x);
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += scores[i];
-  }
+  for (const auto& tree : trees_) tree.predict_accumulate(x, 1.0, out);
   const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, trees_.size()));
   for (double& v : out) v *= inv;
   return out;

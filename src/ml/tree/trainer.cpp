@@ -1,0 +1,555 @@
+#include "ml/tree/trainer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace mlaas {
+
+namespace {
+
+constexpr std::size_t kHardDepthCap = 64;
+
+std::atomic<TreeBuilder> g_builder{TreeBuilder::kFast};
+
+struct NodeStats {
+  double n = 0.0;       // sample count
+  double sum = 0.0;     // sum of targets
+  double sumsq = 0.0;   // sum of squared targets
+  double hess = 0.0;    // sum of hessians (0 if unused)
+};
+
+double impurity(const NodeStats& s, SplitCriterion criterion) {
+  if (s.n <= 0) return 0.0;
+  const double mean = s.sum / s.n;
+  switch (criterion) {
+    case SplitCriterion::kGini: {
+      const double p = std::clamp(mean, 0.0, 1.0);
+      return 2.0 * p * (1.0 - p);
+    }
+    case SplitCriterion::kEntropy: {
+      const double p = std::clamp(mean, 0.0, 1.0);
+      if (p <= 0.0 || p >= 1.0) return 0.0;
+      return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+    }
+    case SplitCriterion::kMse:
+      return std::max(0.0, s.sumsq / s.n - mean * mean);
+  }
+  return 0.0;
+}
+
+struct PendingNode {
+  int node_id;
+  std::size_t start, end;  // range in the shared index buffer
+  std::size_t depth;
+  NodeStats stats;
+};
+
+struct BestSplit {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+/// Shared gain evaluation: both builders must compare candidates with the
+/// exact same arithmetic for split choices to be bit-identical.
+inline void consider_threshold(double threshold, const NodeStats& left,
+                               const PendingNode& p, double parent_imp,
+                               SplitCriterion criterion, std::size_t min_samples_leaf,
+                               std::size_t feature, BestSplit& best) {
+  NodeStats right{p.stats.n - left.n, p.stats.sum - left.sum,
+                  p.stats.sumsq - left.sumsq, p.stats.hess - left.hess};
+  if (left.n < static_cast<double>(min_samples_leaf) ||
+      right.n < static_cast<double>(min_samples_leaf)) {
+    return;
+  }
+  const double gain = parent_imp - (left.n / p.stats.n) * impurity(left, criterion) -
+                      (right.n / p.stats.n) * impurity(right, criterion);
+  if (gain > best.gain + 1e-12) {
+    best = {static_cast<int>(feature), threshold, gain};
+  }
+}
+
+/// The split search + index partition strategy; the breadth-first build
+/// loop is shared between the fast and reference builders.
+class SplitEngine {
+ public:
+  SplitEngine(std::span<const double> targets, std::span<const double> hessians,
+              const TreeOptions& opt)
+      : targets_(targets), hessians_(hessians), use_hess_(!hessians.empty()), opt_(opt) {}
+  virtual ~SplitEngine() = default;
+
+  virtual std::size_t n_features() const = 0;
+  /// Best split of node p; draws feature samples / random thresholds from rng.
+  virtual BestSplit find_best_split(const PendingNode& p, Rng& rng) = 0;
+  /// Partition indices[start, end) for an accepted split; returns mid.
+  virtual std::size_t partition(std::size_t start, std::size_t end,
+                                const BestSplit& split) = 0;
+
+  std::vector<std::size_t> indices;
+
+ protected:
+  std::span<const double> targets_;
+  std::span<const double> hessians_;
+  bool use_hess_;
+  const TreeOptions& opt_;
+};
+
+/// Breadth-first CART build over an abstract split engine.  Moved verbatim
+/// from the original TreeModel::fit; node statistics fold over the shared
+/// index buffer so both engines produce the same bytes.
+void build_cart(std::vector<TreeNode>& nodes, SplitEngine& engine, std::size_t n,
+                std::span<const double> targets, std::span<const double> hessians,
+                const TreeOptions& opt) {
+  nodes.clear();
+  const bool use_hess = !hessians.empty();
+  const std::size_t max_depth =
+      opt.max_depth == 0 ? kHardDepthCap : std::min(opt.max_depth, kHardDepthCap);
+  Rng rng(derive_seed(opt.seed, "tree"));
+
+  auto& indices = engine.indices;
+  indices.resize(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+
+  auto stats_of = [&](std::size_t start, std::size_t end) {
+    NodeStats s;
+    for (std::size_t i = start; i < end; ++i) {
+      const double t = targets[indices[i]];
+      s.n += 1.0;
+      s.sum += t;
+      s.sumsq += t * t;
+      if (use_hess) s.hess += hessians[indices[i]];
+    }
+    return s;
+  };
+  auto leaf_value = [&](const NodeStats& s) {
+    if (use_hess) return s.sum / (s.hess + 1e-6);
+    return s.n > 0 ? s.sum / s.n : 0.0;
+  };
+
+  auto make_node = [&](const NodeStats& s) {
+    TreeNode node;
+    node.value = leaf_value(s);
+    node.n_samples = static_cast<std::uint32_t>(s.n);
+    nodes.push_back(node);
+    return static_cast<int>(nodes.size() - 1);
+  };
+
+  std::vector<PendingNode> frontier;
+  {
+    const NodeStats root_stats = stats_of(0, n);
+    const int root = make_node(root_stats);
+    frontier.push_back({root, 0, n, 0, root_stats});
+  }
+
+  while (!frontier.empty()) {
+    // Level-width budget (decision jungle): only the widest-impact nodes of
+    // each level may split; the rest stay leaves.
+    if (opt.max_width > 0 && frontier.size() > opt.max_width) {
+      std::stable_sort(frontier.begin(), frontier.end(),
+                       [&](const PendingNode& a, const PendingNode& b) {
+                         return a.stats.n * impurity(a.stats, opt.criterion) >
+                                b.stats.n * impurity(b.stats, opt.criterion);
+                       });
+      frontier.resize(opt.max_width);
+    }
+    std::vector<PendingNode> next;
+    for (const auto& p : frontier) {
+      const std::size_t n_node = p.end - p.start;
+      const bool budget_ok = opt.max_nodes == 0 || nodes.size() + 2 <= opt.max_nodes;
+      if (p.depth >= max_depth || n_node < opt.min_samples_split || !budget_ok ||
+          impurity(p.stats, opt.criterion) <= 1e-12) {
+        continue;  // stays a leaf
+      }
+      const BestSplit split = engine.find_best_split(p, rng);
+      if (split.feature < 0) continue;
+
+      const std::size_t mid = engine.partition(p.start, p.end, split);
+      if (mid == p.start || mid == p.end) continue;  // degenerate partition
+
+      const NodeStats left_stats = stats_of(p.start, mid);
+      const NodeStats right_stats = stats_of(mid, p.end);
+      const int left = make_node(left_stats);
+      const int right = make_node(right_stats);
+      nodes[static_cast<std::size_t>(p.node_id)].feature = split.feature;
+      nodes[static_cast<std::size_t>(p.node_id)].threshold = split.threshold;
+      nodes[static_cast<std::size_t>(p.node_id)].left = left;
+      nodes[static_cast<std::size_t>(p.node_id)].right = right;
+      next.push_back({left, p.start, mid, p.depth + 1, left_stats});
+      next.push_back({right, mid, p.end, p.depth + 1, right_stats});
+    }
+    frontier = std::move(next);
+  }
+}
+
+/// The original per-node re-sorting split search.
+class ReferenceEngine final : public SplitEngine {
+ public:
+  ReferenceEngine(const Matrix& x, std::span<const double> targets,
+                  std::span<const double> hessians, const TreeOptions& opt)
+      : SplitEngine(targets, hessians, opt), x_(x) {}
+
+  std::size_t n_features() const override { return x_.cols(); }
+
+  BestSplit find_best_split(const PendingNode& p, Rng& rng) override {
+    BestSplit best;
+    const double parent_imp = impurity(p.stats, opt_.criterion);
+    const std::size_t n_node = p.end - p.start;
+    const std::size_t d = x_.cols();
+
+    std::size_t n_feat = opt_.max_features == 0 ? d : std::min(opt_.max_features, d);
+    auto feats = rng.sample_without_replacement(d, n_feat);
+
+    for (auto f : feats) {
+      sorted_buf_.clear();
+      sorted_buf_.reserve(n_node);
+      for (std::size_t i = p.start; i < p.end; ++i) {
+        sorted_buf_.emplace_back(x_(indices[i], f), indices[i]);
+      }
+      std::sort(sorted_buf_.begin(), sorted_buf_.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      if (sorted_buf_.front().first == sorted_buf_.back().first) continue;  // constant
+
+      if (opt_.random_splits > 0) {
+        // Extremely-randomized mode: random thresholds in (min, max).
+        const double lo = sorted_buf_.front().first;
+        const double hi = sorted_buf_.back().first;
+        for (int s = 0; s < opt_.random_splits; ++s) {
+          const double threshold = rng.uniform(lo, hi);
+          NodeStats left;
+          for (const auto& [v, idx] : sorted_buf_) {
+            if (v > threshold) break;
+            const double t = targets_[idx];
+            left.n += 1.0;
+            left.sum += t;
+            left.sumsq += t * t;
+            if (use_hess_) left.hess += hessians_[idx];
+          }
+          consider_threshold(threshold, left, p, parent_imp, opt_.criterion,
+                             opt_.min_samples_leaf, f, best);
+        }
+      } else {
+        // Full scan over boundaries between distinct values.
+        NodeStats left;
+        for (std::size_t i = 0; i + 1 < sorted_buf_.size(); ++i) {
+          const auto& [v, idx] = sorted_buf_[i];
+          const double t = targets_[idx];
+          left.n += 1.0;
+          left.sum += t;
+          left.sumsq += t * t;
+          if (use_hess_) left.hess += hessians_[idx];
+          const double next_v = sorted_buf_[i + 1].first;
+          if (v == next_v) continue;
+          consider_threshold((v + next_v) / 2.0, left, p, parent_imp, opt_.criterion,
+                             opt_.min_samples_leaf, f, best);
+        }
+      }
+    }
+    return best;
+  }
+
+  std::size_t partition(std::size_t start, std::size_t end,
+                        const BestSplit& split) override {
+    auto mid_it = std::partition(
+        indices.begin() + static_cast<std::ptrdiff_t>(start),
+        indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t idx) {
+          return x_(idx, static_cast<std::size_t>(split.feature)) <= split.threshold;
+        });
+    return static_cast<std::size_t>(mid_it - indices.begin());
+  }
+
+ private:
+  const Matrix& x_;
+  std::vector<std::pair<double, std::size_t>> sorted_buf_;  // (value, index)
+};
+
+/// Presorted split search over a TreeWorkspace: no per-node sort, linear
+/// scans over gathered scratch, tandem order maintenance on partition.
+class FastEngine final : public SplitEngine {
+ public:
+  FastEngine(TreeWorkspace& ws, std::span<const double> targets,
+             std::span<const double> hessians, const TreeOptions& opt)
+      : SplitEngine(targets, hessians, opt), ws_(ws) {}
+
+  std::size_t n_features() const override { return ws_.view_cols(); }
+
+  BestSplit find_best_split(const PendingNode& p, Rng& rng) override {
+    BestSplit best;
+    const double parent_imp = impurity(p.stats, opt_.criterion);
+    const std::size_t m = p.end - p.start;
+    const std::size_t d = ws_.view_cols();
+
+    std::size_t n_feat = opt_.max_features == 0 ? d : std::min(opt_.max_features, d);
+    rng.sample_without_replacement_into(d, n_feat, feat_scratch_);
+
+    double* vals = ws_.value_scratch();
+    double* targs = ws_.target_scratch();
+    double* hesss = ws_.hessian_scratch();
+
+    for (auto f : feat_scratch_) {
+      const double* col = ws_.column(f);
+      const std::uint32_t* ord = ws_.order(f) + p.start;
+      if (col[ord[0]] == col[ord[m - 1]]) continue;  // constant
+
+      if (opt_.random_splits > 0) {
+        // Random thresholds re-scan the prefix per candidate, so gather the
+        // node's presorted values/targets into contiguous scratch once.
+        for (std::size_t i = 0; i < m; ++i) {
+          const std::uint32_t pos = ord[i];
+          vals[i] = col[pos];
+          targs[i] = targets_[pos];
+        }
+        if (use_hess_) {
+          for (std::size_t i = 0; i < m; ++i) hesss[i] = hessians_[ord[i]];
+        }
+        const double lo = vals[0];
+        const double hi = vals[m - 1];
+        for (int s = 0; s < opt_.random_splits; ++s) {
+          const double threshold = rng.uniform(lo, hi);
+          NodeStats left;
+          for (std::size_t i = 0; i < m; ++i) {
+            if (vals[i] > threshold) break;
+            const double t = targs[i];
+            left.n += 1.0;
+            left.sum += t;
+            left.sumsq += t * t;
+            if (use_hess_) left.hess += hesss[i];
+          }
+          consider_threshold(threshold, left, p, parent_imp, opt_.criterion,
+                             opt_.min_samples_leaf, f, best);
+        }
+      } else {
+        // Single fused pass: accumulate row i-1 into the left stats, then
+        // evaluate the boundary before row i whenever the value changes.
+        // Same accumulation and consider_threshold sequence as the gathered
+        // form (and as the reference scan), one memory pass instead of three.
+        NodeStats left;
+        double prev = col[ord[0]];
+        {
+          const std::uint32_t pos = ord[0];
+          const double t = targets_[pos];
+          left.n += 1.0;
+          left.sum += t;
+          left.sumsq += t * t;
+          if (use_hess_) left.hess += hessians_[pos];
+        }
+        for (std::size_t i = 1; i < m; ++i) {
+          const std::uint32_t pos = ord[i];
+          const double v = col[pos];
+          if (v != prev) {
+            consider_threshold((prev + v) / 2.0, left, p, parent_imp,
+                               opt_.criterion, opt_.min_samples_leaf, f, best);
+            prev = v;
+          }
+          const double t = targets_[pos];
+          left.n += 1.0;
+          left.sum += t;
+          left.sumsq += t * t;
+          if (use_hess_) left.hess += hessians_[pos];
+        }
+      }
+    }
+    return best;
+  }
+
+  std::size_t partition(std::size_t start, std::size_t end,
+                        const BestSplit& split) override {
+    const double* col = ws_.column(static_cast<std::size_t>(split.feature));
+    auto mid_it = std::partition(
+        indices.begin() + static_cast<std::ptrdiff_t>(start),
+        indices.begin() + static_cast<std::ptrdiff_t>(end),
+        [&](std::size_t idx) { return col[idx] <= split.threshold; });
+    const std::size_t mid = static_cast<std::size_t>(mid_it - indices.begin());
+    if (mid == start || mid == end) return mid;  // degenerate: orders untouched
+
+    auto& flags = ws_.goes_left();
+    for (std::size_t i = start; i < mid; ++i) flags[indices[i]] = 1;
+    for (std::size_t i = mid; i < end; ++i) flags[indices[i]] = 0;
+    ws_.tandem_partition(start, mid, end);
+    return mid;
+  }
+
+ private:
+  TreeWorkspace& ws_;
+  std::vector<std::size_t> feat_scratch_;
+};
+
+}  // namespace
+
+TreeBuilder active_tree_builder() {
+  return g_builder.load(std::memory_order_relaxed);
+}
+
+void set_active_tree_builder(TreeBuilder builder) {
+  g_builder.store(builder, std::memory_order_relaxed);
+}
+
+void TreeWorkspace::bind_base(const Matrix& x) {
+  if (base_ == &x && base_rows_ == x.rows() && base_cols_ == x.cols()) return;
+  base_ = &x;
+  base_rows_ = x.rows();
+  base_cols_ = x.cols();
+
+  // Feature-major column cache: contiguous reads in split scans and
+  // partition predicates instead of strided row-major access.
+  base_columns_.resize(base_rows_ * base_cols_);
+  for (std::size_t r = 0; r < base_rows_; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t f = 0; f < base_cols_; ++f) {
+      base_columns_[f * base_rows_ + r] = row[f];
+    }
+  }
+
+  // Presort every feature once: ascending value, row index as tie-break (a
+  // deterministic total order; see DESIGN.md on why tie order is free).
+  // Sorting contiguous (value, index) pairs — default lexicographic compare
+  // is exactly that order — beats an indirect comparator into the column:
+  // every hot comparison reads the keys from the sort's own working set.
+  pristine_.resize(base_rows_ * base_cols_);
+  std::vector<std::pair<double, std::uint32_t>> keyed(base_rows_);
+  for (std::size_t f = 0; f < base_cols_; ++f) {
+    const double* col = base_columns_.data() + f * base_rows_;
+    for (std::size_t r = 0; r < base_rows_; ++r) {
+      keyed[r] = {col[r], static_cast<std::uint32_t>(r)};
+    }
+    std::sort(keyed.begin(), keyed.end());
+    std::uint32_t* ord = pristine_.data() + f * base_rows_;
+    for (std::size_t r = 0; r < base_rows_; ++r) ord[r] = keyed[r].second;
+  }
+}
+
+void TreeWorkspace::bind(const Matrix& x, std::span<const std::size_t> rows,
+                         std::span<const std::size_t> features) {
+  bind_base(x);
+  view_rows_ = rows.empty() ? base_rows_ : rows.size();
+  view_cols_ = features.empty() ? base_cols_ : features.size();
+  view_is_base_ = rows.empty() && features.empty();
+  order_.resize(view_rows_ * view_cols_);
+
+  if (!view_is_base_) {
+    view_columns_.resize(view_rows_ * view_cols_);
+    for (std::size_t j = 0; j < view_cols_; ++j) {
+      const std::size_t f = features.empty() ? j : features[j];
+      const double* src = base_columns_.data() + f * base_rows_;
+      double* dst = view_columns_.data() + j * view_rows_;
+      if (rows.empty()) {
+        std::copy(src, src + base_rows_, dst);
+      } else {
+        for (std::size_t i = 0; i < view_rows_; ++i) dst[i] = src[rows[i]];
+      }
+    }
+  }
+
+  if (rows.empty()) {
+    // Same sample set as the base: restore the pristine orders with a copy.
+    for (std::size_t j = 0; j < view_cols_; ++j) {
+      const std::size_t f = features.empty() ? j : features[j];
+      std::copy(pristine_.begin() + static_cast<std::ptrdiff_t>(f * base_rows_),
+                pristine_.begin() + static_cast<std::ptrdiff_t>((f + 1) * base_rows_),
+                order_.begin() + static_cast<std::ptrdiff_t>(j * view_rows_));
+    }
+  } else {
+    // Bootstrap: derive each feature's presorted order from the base order
+    // by a counting pass — walk base rows in sorted order and emit every
+    // bootstrap position that drew that row, ascending.  O(d x n), no sort.
+    row_count_.assign(base_rows_, 0);
+    for (const std::size_t r : rows) ++row_count_[r];
+    row_offset_.resize(base_rows_ + 1);
+    row_offset_[0] = 0;
+    for (std::size_t r = 0; r < base_rows_; ++r) {
+      row_offset_[r + 1] = row_offset_[r] + row_count_[r];
+    }
+    row_positions_.resize(view_rows_);
+    row_count_.assign(base_rows_, 0);
+    for (std::size_t i = 0; i < view_rows_; ++i) {
+      const std::size_t r = rows[i];
+      row_positions_[row_offset_[r] + row_count_[r]++] = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t j = 0; j < view_cols_; ++j) {
+      const std::size_t f = features.empty() ? j : features[j];
+      const std::uint32_t* base_ord = pristine_.data() + f * base_rows_;
+      std::uint32_t* ord = order_.data() + j * view_rows_;
+      std::size_t w = 0;
+      for (std::size_t k = 0; k < base_rows_; ++k) {
+        const std::uint32_t r = base_ord[k];
+        for (std::uint32_t o = row_offset_[r]; o < row_offset_[r + 1]; ++o) {
+          ord[w++] = row_positions_[o];
+        }
+      }
+      assert(w == view_rows_);
+    }
+  }
+
+  goes_left_.resize(view_rows_);
+  part_right_.resize(view_rows_ + 1);
+  value_scratch_.resize(view_rows_);
+  target_scratch_.resize(view_rows_);
+  hessian_scratch_.resize(view_rows_);
+}
+
+void TreeWorkspace::tandem_partition(std::size_t start, std::size_t mid,
+                                     std::size_t end) {
+  // Branchless stable split: every element is written both in place at the
+  // left cursor (safe: w never passes the read position) and to the right
+  // spill buffer, and only the matching cursor advances.  The side flag is
+  // data-dependent and essentially random, so a conditional write would
+  // mispredict on every other element; two unconditional stores are far
+  // cheaper.  The spill buffer is one slot larger than the view so the
+  // trailing non-advancing store stays in bounds.
+  std::uint32_t* rhs = part_right_.data();
+  const std::uint8_t* flags = goes_left_.data();
+  for (std::size_t f = 0; f < view_cols_; ++f) {
+    std::uint32_t* ord = order(f);
+    std::size_t w = start;
+    std::size_t nr = 0;
+    for (std::size_t i = start; i < end; ++i) {
+      const std::uint32_t pos = ord[i];
+      const std::uint8_t left = flags[pos];
+      ord[w] = pos;
+      rhs[nr] = pos;
+      w += left;
+      nr += 1 - left;
+    }
+    assert(w == mid);
+    (void)mid;
+    std::copy(rhs, rhs + nr, ord + w);
+  }
+}
+
+void train_tree(TreeModel& tree, TreeWorkspace& workspace, const Matrix& x,
+                std::span<const double> targets, std::span<const double> hessians,
+                const TreeOptions& options, std::span<const std::size_t> rows,
+                std::span<const std::size_t> features) {
+  if (active_tree_builder() == TreeBuilder::kReference) {
+    // Materialize the view exactly like the pre-workspace ensembles did.
+    if (rows.empty() && features.empty()) {
+      ReferenceTreeBuilder::fit(tree, x, targets, hessians, options);
+    } else {
+      Matrix view = rows.empty() ? x : x.select_rows(rows);
+      if (!features.empty()) view = view.select_cols(features);
+      ReferenceTreeBuilder::fit(tree, view, targets, hessians, options);
+    }
+    return;
+  }
+  workspace.bind(x, rows, features);
+  FastEngine engine(workspace, targets, hessians, options);
+  std::vector<TreeNode> nodes;
+  build_cart(nodes, engine, workspace.view_rows(), targets, hessians, options);
+  tree.set_nodes(std::move(nodes));
+}
+
+void ReferenceTreeBuilder::fit(TreeModel& tree, const Matrix& x,
+                               std::span<const double> targets,
+                               std::span<const double> hessians,
+                               const TreeOptions& options) {
+  ReferenceEngine engine(x, targets, hessians, options);
+  std::vector<TreeNode> nodes;
+  build_cart(nodes, engine, x.rows(), targets, hessians, options);
+  tree.set_nodes(std::move(nodes));
+}
+
+}  // namespace mlaas

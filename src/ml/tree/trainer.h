@@ -1,0 +1,121 @@
+// Fast exact-equivalence training kernels for the CART tree family.
+//
+// The original TreeModel builder re-sorted every sampled feature at every
+// node: O(nodes x features x n log n) with a fresh (value, index) pair
+// vector per feature per node.  TreeWorkspace replaces the per-node sort
+// with the classic CART presort scheme:
+//
+//   (a) a feature-major column cache of the training matrix,
+//   (b) per-feature sample orders presorted once per tree and maintained
+//       across node splits by a stable tandem partition over a left/right
+//       flag buffer,
+//   (c) gathered value/target/hessian scratch buffers so split scans are
+//       branch-light linear passes.
+//
+// The workspace is allocated once and reused across all trees of an
+// ensemble.  For ensembles that train every tree on the same matrix
+// (boosting), the base matrix is transposed and presorted once and each
+// tree restores the pristine orders with a copy; bootstrap resamples
+// derive their presorted orders from the base orders by a counting pass,
+// with no per-tree sort at all.
+//
+// Exact equivalence: train_tree() visits the same candidate thresholds in
+// the same order as ReferenceTreeBuilder (the original builder, kept below
+// for tests and benchmarks), draws from the RNG at the same points, and
+// computes node statistics over the same index-buffer folds, so chosen
+// splits, tie-breaks and serialized nodes are bit-identical.  See
+// DESIGN.md "Training kernels" for the full argument.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "ml/tree/tree_model.h"
+
+namespace mlaas {
+
+/// Which builder train_tree() (and therefore TreeModel::fit and every
+/// tree-family classifier) dispatches to.  kReference runs the original
+/// per-node re-sorting builder; it exists so tests and benchmarks can
+/// assert byte-identity and measure the speedup.  Not meant to be flipped
+/// while fits are in flight.
+enum class TreeBuilder { kFast, kReference };
+
+TreeBuilder active_tree_builder();
+void set_active_tree_builder(TreeBuilder builder);
+
+/// Per-ensemble training workspace: column cache, presorted per-feature
+/// orders and scratch buffers.  bind() is called by train_tree(); the
+/// bound matrix must stay alive and unchanged while the workspace uses it.
+class TreeWorkspace {
+ public:
+  /// Bind a training view of `x`: the full matrix (rows/features empty), a
+  /// bootstrap row multiset, and/or a feature subset.  The base column
+  /// cache and presorted base orders are computed once per matrix and
+  /// reused for every subsequent view of the same matrix.
+  void bind(const Matrix& x, std::span<const std::size_t> rows = {},
+            std::span<const std::size_t> features = {});
+
+  std::size_t view_rows() const { return view_rows_; }
+  std::size_t view_cols() const { return view_cols_; }
+
+  /// Contiguous column of the bound view.
+  const double* column(std::size_t f) const {
+    return (view_is_base_ ? base_columns_.data() : view_columns_.data()) +
+           f * view_rows_;
+  }
+  /// Working sample order of feature f (positions into the view).
+  std::uint32_t* order(std::size_t f) { return order_.data() + f * view_rows_; }
+
+  /// Stable tandem partition of every feature order over [start, end):
+  /// samples flagged left (goes_left()[pos] != 0) keep their relative
+  /// order in [start, mid), the rest in [mid, end).
+  void tandem_partition(std::size_t start, std::size_t mid, std::size_t end);
+
+  std::vector<std::uint8_t>& goes_left() { return goes_left_; }
+  double* value_scratch() { return value_scratch_.data(); }
+  double* target_scratch() { return target_scratch_.data(); }
+  double* hessian_scratch() { return hessian_scratch_.data(); }
+
+ private:
+  void bind_base(const Matrix& x);
+
+  const Matrix* base_ = nullptr;
+  std::size_t base_rows_ = 0;
+  std::size_t base_cols_ = 0;
+  std::vector<double> base_columns_;      // feature-major base matrix
+  std::vector<std::uint32_t> pristine_;   // per-feature presorted base orders
+
+  std::size_t view_rows_ = 0;
+  std::size_t view_cols_ = 0;
+  bool view_is_base_ = false;
+  std::vector<double> view_columns_;      // gathered bootstrap/subset columns
+  std::vector<std::uint32_t> order_;      // per-feature working orders
+
+  std::vector<std::uint8_t> goes_left_;   // per-position split side flags
+  std::vector<std::uint32_t> part_right_;  // tandem right spill buffer
+  std::vector<double> value_scratch_, target_scratch_, hessian_scratch_;
+  // Bootstrap order derivation scratch (counting pass).
+  std::vector<std::uint32_t> row_count_, row_offset_, row_positions_;
+};
+
+/// Train `tree` on a view of `x` (optionally a bootstrap row multiset
+/// and/or feature subset) through `workspace`.  Targets/hessians are
+/// indexed by view row.  Honors active_tree_builder(): the reference
+/// builder materializes the view like the pre-workspace ensembles did.
+void train_tree(TreeModel& tree, TreeWorkspace& workspace, const Matrix& x,
+                std::span<const double> targets, std::span<const double> hessians,
+                const TreeOptions& options, std::span<const std::size_t> rows = {},
+                std::span<const std::size_t> features = {});
+
+/// The original per-node re-sorting builder, preserved verbatim so tests
+/// can assert node-for-node equality and benchmarks can measure speedup.
+class ReferenceTreeBuilder {
+ public:
+  static void fit(TreeModel& tree, const Matrix& x, std::span<const double> targets,
+                  std::span<const double> hessians, const TreeOptions& options);
+};
+
+}  // namespace mlaas

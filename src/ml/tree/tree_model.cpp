@@ -1,221 +1,16 @@
 #include "ml/tree/tree_model.h"
 
 #include "ml/serialize.h"
+#include "ml/tree/trainer.h"
 
 #include <algorithm>
-#include <cmath>
-#include <numeric>
-
-#include "util/rng.h"
 
 namespace mlaas {
 
-namespace {
-
-constexpr std::size_t kHardDepthCap = 64;
-
-struct NodeStats {
-  double n = 0.0;       // sample count
-  double sum = 0.0;     // sum of targets
-  double sumsq = 0.0;   // sum of squared targets
-  double hess = 0.0;    // sum of hessians (0 if unused)
-};
-
-double impurity(const NodeStats& s, SplitCriterion criterion) {
-  if (s.n <= 0) return 0.0;
-  const double mean = s.sum / s.n;
-  switch (criterion) {
-    case SplitCriterion::kGini: {
-      const double p = std::clamp(mean, 0.0, 1.0);
-      return 2.0 * p * (1.0 - p);
-    }
-    case SplitCriterion::kEntropy: {
-      const double p = std::clamp(mean, 0.0, 1.0);
-      if (p <= 0.0 || p >= 1.0) return 0.0;
-      return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
-    }
-    case SplitCriterion::kMse:
-      return std::max(0.0, s.sumsq / s.n - mean * mean);
-  }
-  return 0.0;
-}
-
-struct PendingNode {
-  int node_id;
-  std::size_t start, end;  // range in the shared index buffer
-  std::size_t depth;
-  NodeStats stats;
-};
-
-struct BestSplit {
-  int feature = -1;
-  double threshold = 0.0;
-  double gain = 0.0;
-};
-
-}  // namespace
-
 void TreeModel::fit(const Matrix& x, std::span<const double> targets,
                     std::span<const double> hessians, const TreeOptions& opt) {
-  nodes_.clear();
-  const std::size_t n = x.rows();
-  const std::size_t d = x.cols();
-  const bool use_hess = !hessians.empty();
-  const std::size_t max_depth =
-      opt.max_depth == 0 ? kHardDepthCap : std::min(opt.max_depth, kHardDepthCap);
-  Rng rng(derive_seed(opt.seed, "tree"));
-
-  std::vector<std::size_t> indices(n);
-  std::iota(indices.begin(), indices.end(), std::size_t{0});
-
-  auto stats_of = [&](std::size_t start, std::size_t end) {
-    NodeStats s;
-    for (std::size_t i = start; i < end; ++i) {
-      const double t = targets[indices[i]];
-      s.n += 1.0;
-      s.sum += t;
-      s.sumsq += t * t;
-      if (use_hess) s.hess += hessians[indices[i]];
-    }
-    return s;
-  };
-  auto leaf_value = [&](const NodeStats& s) {
-    if (use_hess) return s.sum / (s.hess + 1e-6);
-    return s.n > 0 ? s.sum / s.n : 0.0;
-  };
-
-  auto make_node = [&](const NodeStats& s) {
-    TreeNode node;
-    node.value = leaf_value(s);
-    node.n_samples = static_cast<std::uint32_t>(s.n);
-    nodes_.push_back(node);
-    return static_cast<int>(nodes_.size() - 1);
-  };
-
-  // Evaluate the best split of a node over a sampled feature set.
-  std::vector<std::pair<double, std::size_t>> sorted_buf;  // (value, index)
-  auto find_best_split = [&](const PendingNode& p) {
-    BestSplit best;
-    const double parent_imp = impurity(p.stats, opt.criterion);
-    const std::size_t n_node = p.end - p.start;
-
-    std::size_t n_feat = opt.max_features == 0 ? d : std::min(opt.max_features, d);
-    auto feats = rng.sample_without_replacement(d, n_feat);
-
-    for (auto f : feats) {
-      sorted_buf.clear();
-      sorted_buf.reserve(n_node);
-      for (std::size_t i = p.start; i < p.end; ++i) {
-        sorted_buf.emplace_back(x(indices[i], f), indices[i]);
-      }
-      std::sort(sorted_buf.begin(), sorted_buf.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-      if (sorted_buf.front().first == sorted_buf.back().first) continue;  // constant
-
-      auto eval_threshold = [&](double threshold, const NodeStats& left) {
-        NodeStats right{p.stats.n - left.n, p.stats.sum - left.sum,
-                        p.stats.sumsq - left.sumsq, p.stats.hess - left.hess};
-        if (left.n < static_cast<double>(opt.min_samples_leaf) ||
-            right.n < static_cast<double>(opt.min_samples_leaf)) {
-          return;
-        }
-        const double gain = parent_imp -
-                            (left.n / p.stats.n) * impurity(left, opt.criterion) -
-                            (right.n / p.stats.n) * impurity(right, opt.criterion);
-        if (gain > best.gain + 1e-12) {
-          best = {static_cast<int>(f), threshold, gain};
-        }
-      };
-
-      if (opt.random_splits > 0) {
-        // Extremely-randomized mode: random thresholds in (min, max).
-        const double lo = sorted_buf.front().first;
-        const double hi = sorted_buf.back().first;
-        for (int s = 0; s < opt.random_splits; ++s) {
-          const double threshold = rng.uniform(lo, hi);
-          NodeStats left;
-          for (const auto& [v, idx] : sorted_buf) {
-            if (v > threshold) break;
-            const double t = targets[idx];
-            left.n += 1.0;
-            left.sum += t;
-            left.sumsq += t * t;
-            if (use_hess) left.hess += hessians[idx];
-          }
-          eval_threshold(threshold, left);
-        }
-      } else {
-        // Full scan over boundaries between distinct values.
-        NodeStats left;
-        for (std::size_t i = 0; i + 1 < sorted_buf.size(); ++i) {
-          const auto& [v, idx] = sorted_buf[i];
-          const double t = targets[idx];
-          left.n += 1.0;
-          left.sum += t;
-          left.sumsq += t * t;
-          if (use_hess) left.hess += hessians[idx];
-          const double next_v = sorted_buf[i + 1].first;
-          if (v == next_v) continue;
-          eval_threshold((v + next_v) / 2.0, left);
-        }
-      }
-    }
-    return best;
-  };
-
-  // Breadth-first build.
-  std::vector<PendingNode> frontier;
-  {
-    const NodeStats root_stats = stats_of(0, n);
-    const int root = make_node(root_stats);
-    frontier.push_back({root, 0, n, 0, root_stats});
-  }
-
-  while (!frontier.empty()) {
-    // Level-width budget (decision jungle): only the widest-impact nodes of
-    // each level may split; the rest stay leaves.
-    if (opt.max_width > 0 && frontier.size() > opt.max_width) {
-      std::stable_sort(frontier.begin(), frontier.end(),
-                       [&](const PendingNode& a, const PendingNode& b) {
-                         return a.stats.n * impurity(a.stats, opt.criterion) >
-                                b.stats.n * impurity(b.stats, opt.criterion);
-                       });
-      frontier.resize(opt.max_width);
-    }
-    std::vector<PendingNode> next;
-    for (const auto& p : frontier) {
-      const std::size_t n_node = p.end - p.start;
-      const bool budget_ok = opt.max_nodes == 0 || nodes_.size() + 2 <= opt.max_nodes;
-      if (p.depth >= max_depth || n_node < opt.min_samples_split || !budget_ok ||
-          impurity(p.stats, opt.criterion) <= 1e-12) {
-        continue;  // stays a leaf
-      }
-      const BestSplit split = find_best_split(p);
-      if (split.feature < 0) continue;
-
-      // Partition indices in place.
-      auto mid_it = std::partition(
-          indices.begin() + static_cast<std::ptrdiff_t>(p.start),
-          indices.begin() + static_cast<std::ptrdiff_t>(p.end), [&](std::size_t idx) {
-            return x(idx, static_cast<std::size_t>(split.feature)) <= split.threshold;
-          });
-      const std::size_t mid =
-          static_cast<std::size_t>(mid_it - indices.begin());
-      if (mid == p.start || mid == p.end) continue;  // degenerate partition
-
-      const NodeStats left_stats = stats_of(p.start, mid);
-      const NodeStats right_stats = stats_of(mid, p.end);
-      const int left = make_node(left_stats);
-      const int right = make_node(right_stats);
-      nodes_[static_cast<std::size_t>(p.node_id)].feature = split.feature;
-      nodes_[static_cast<std::size_t>(p.node_id)].threshold = split.threshold;
-      nodes_[static_cast<std::size_t>(p.node_id)].left = left;
-      nodes_[static_cast<std::size_t>(p.node_id)].right = right;
-      next.push_back({left, p.start, mid, p.depth + 1, left_stats});
-      next.push_back({right, mid, p.end, p.depth + 1, right_stats});
-    }
-    frontier = std::move(next);
-  }
+  TreeWorkspace workspace;
+  train_tree(*this, workspace, x, targets, hessians, opt);
 }
 
 double TreeModel::predict_one(std::span<const double> row) const {
@@ -234,6 +29,33 @@ std::vector<double> TreeModel::predict(const Matrix& x) const {
   std::vector<double> out(x.rows());
   for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
   return out;
+}
+
+void TreeModel::predict_accumulate(const Matrix& x, double scale,
+                                   std::span<double> out,
+                                   std::span<const std::size_t> feature_map) const {
+  constexpr std::size_t kBlock = 256;
+  const std::size_t n = x.rows();
+  if (nodes_.empty()) {
+    // Preserve the exact arithmetic of accumulating a zero prediction.
+    for (std::size_t r = 0; r < n; ++r) out[r] += scale * 0.0;
+    return;
+  }
+  const TreeNode* nodes = nodes_.data();
+  const bool remap = !feature_map.empty();
+  for (std::size_t block = 0; block < n; block += kBlock) {
+    const std::size_t block_end = std::min(n, block + kBlock);
+    for (std::size_t r = block; r < block_end; ++r) {
+      const auto row = x.row(r);
+      const TreeNode* node = nodes;
+      while (node->feature >= 0) {
+        const auto f = static_cast<std::size_t>(node->feature);
+        const double v = row[remap ? feature_map[f] : f];
+        node = nodes + (v <= node->threshold ? node->left : node->right);
+      }
+      out[r] += scale * node->value;
+    }
+  }
 }
 
 std::size_t TreeModel::leaf_count() const {

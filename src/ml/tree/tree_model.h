@@ -9,7 +9,10 @@
 //     width-limited decision DAGs.
 //
 // Trees are built breadth-first so node budgets (max_nodes, BigML's
-// "node threshold") and level-width budgets are enforced fairly.
+// "node threshold") and level-width budgets are enforced fairly.  The
+// actual training kernels live in ml/tree/trainer.{h,cpp}: fit() routes
+// through the presort workspace kernel (or the reference builder, when
+// selected for tests/benchmarks).
 #pragma once
 
 #include <cstdint>
@@ -57,6 +60,14 @@ class TreeModel {
   double predict_one(std::span<const double> row) const;
   std::vector<double> predict(const Matrix& x) const;
 
+  /// out[r] += scale * prediction(row r), traversed in row blocks with no
+  /// per-tree temporary vector — the ensemble accumulation hot path.  When
+  /// `feature_map` is non-empty, node feature f reads x(r, feature_map[f])
+  /// (bagged members trained on a column subset predict without
+  /// materializing the subset matrix).
+  void predict_accumulate(const Matrix& x, double scale, std::span<double> out,
+                          std::span<const std::size_t> feature_map = {}) const;
+
   /// Serialize/restore the node array (see ml/serialize.h framing).
   void save(std::ostream& out) const;
   void load(std::istream& in);
@@ -66,6 +77,10 @@ class TreeModel {
   std::size_t depth() const;
   bool empty() const { return nodes_.empty(); }
   const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Install a trained node array; called by the training kernels in
+  /// ml/tree/trainer.cpp.
+  void set_nodes(std::vector<TreeNode> nodes) { nodes_ = std::move(nodes); }
 
  private:
   std::vector<TreeNode> nodes_;

@@ -102,16 +102,22 @@ double Rng::normal(double mean, double stddev) { return mean + stddev * normal()
 bool Rng::chance(double p) { return uniform() < p; }
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> idx;
+  sample_without_replacement_into(n, k, idx);
+  return idx;
+}
+
+void Rng::sample_without_replacement_into(std::size_t n, std::size_t k,
+                                          std::vector<std::size_t>& out) {
   if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
   // Partial Fisher-Yates over an index vector.
-  std::vector<std::size_t> idx(n);
-  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
   for (std::size_t i = 0; i < k; ++i) {
     std::size_t j = i + index(n - i);
-    std::swap(idx[i], idx[j]);
+    std::swap(out[i], out[j]);
   }
-  idx.resize(k);
-  return idx;
+  out.resize(k);
 }
 
 }  // namespace mlaas

@@ -64,6 +64,12 @@ class Rng {
   /// k distinct indices sampled uniformly from [0, n) (k <= n).
   std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
 
+  /// Same draw sequence as sample_without_replacement, writing into a
+  /// caller-owned buffer (resized to k) so hot loops avoid the per-call
+  /// allocation.
+  void sample_without_replacement_into(std::size_t n, std::size_t k,
+                                       std::vector<std::size_t>& out);
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -14,6 +14,7 @@
 #include "data/generators.h"
 #include "eval/journal.h"
 #include "eval/measurement.h"
+#include "ml/tree/trainer.h"
 
 namespace mlaas {
 namespace {
@@ -132,6 +133,21 @@ void expect_identical_across_schedules(const MeasurementOptions& base) {
 
 TEST(CampaignScheduler, TableAndJournalBytesInvariantAcrossThreadsAndSchedules) {
   expect_identical_across_schedules(fast_options());
+}
+
+TEST(CampaignScheduler, TableAndJournalBytesInvariantAcrossTreeBuilders) {
+  // The presort training kernel must be invisible at campaign level: a run
+  // with the fast builder produces the same masked table and journal bytes
+  // as a run through ReferenceTreeBuilder (the pre-kernel per-node-sort
+  // path every earlier campaign used).
+  const MeasurementOptions opt = fast_options();
+  set_active_tree_builder(TreeBuilder::kReference);
+  const RunArtifacts reference = run_once(opt, 2, Schedule::kStatic);
+  set_active_tree_builder(TreeBuilder::kFast);
+  ASSERT_FALSE(reference.table.empty());
+  const RunArtifacts fast = run_once(opt, 2, Schedule::kStatic);
+  EXPECT_EQ(fast.table, reference.table);
+  EXPECT_EQ(fast.journal, reference.journal);
 }
 
 TEST(CampaignScheduler, InvariantUnderFaultsChaosAndBreakers) {

@@ -49,6 +49,26 @@ TEST(DecisionTree, MaxFeaturesIntegerParses) {
   EXPECT_EQ(opt.max_features, 3u);
 }
 
+TEST(DecisionTree, MaxFeaturesUnrecognizedStringFallsBackToAllFeatures) {
+  // Regression: "auto" (and any other unparsable string) used to throw out
+  // of std::stoll instead of falling back to "use all features".
+  for (const char* bad : {"auto", "none", "", "3.5x", "sqrt2", "-"}) {
+    const auto opt =
+        tree_options_from_params(ParamMap{{"max_features", std::string(bad)}}, 16, 0);
+    EXPECT_EQ(opt.max_features, 0u) << "max_features=" << bad;
+  }
+  // Known keywords and plain integers still parse.
+  EXPECT_EQ(tree_options_from_params(ParamMap{{"max_features", std::string("log2")}}, 16, 0)
+                .max_features,
+            4u);
+  EXPECT_EQ(tree_options_from_params(ParamMap{{"max_features", std::string("all")}}, 16, 0)
+                .max_features,
+            0u);
+  EXPECT_EQ(tree_options_from_params(ParamMap{{"max_features", std::string("7")}}, 16, 0)
+                .max_features,
+            7u);
+}
+
 TEST(RandomForest, BeatsSingleTreeOnNoisyCircles) {
   const Dataset noisy = make_circles(500, 0.18, 0.5, 6);
   DecisionTree tree;

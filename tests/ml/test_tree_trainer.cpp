@@ -1,0 +1,267 @@
+// Exact-equivalence property tests for the presort training kernel: the
+// fast path must produce byte-identical serialized models to
+// ReferenceTreeBuilder (the original per-node re-sorting builder) across
+// criteria, hessian modes, width/node/depth caps, feature sampling and
+// random-split modes — for single trees and for every ensemble (whose
+// per-tree loops share one TreeWorkspace and run bootstrap/feature-subset
+// views through it).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "ml/registry.h"
+#include "ml/serialize.h"
+#include "ml/tree/trainer.h"
+#include "ml/tree/tree_model.h"
+#include "util/rng.h"
+
+namespace mlaas {
+namespace {
+
+class BuilderGuard {
+ public:
+  explicit BuilderGuard(TreeBuilder b) : prev_(active_tree_builder()) {
+    set_active_tree_builder(b);
+  }
+  ~BuilderGuard() { set_active_tree_builder(prev_); }
+
+ private:
+  TreeBuilder prev_;
+};
+
+std::string serialized(const TreeModel& tree) {
+  std::ostringstream out;
+  tree.save(out);
+  return out.str();
+}
+
+std::string serialized(const Classifier& clf) {
+  std::ostringstream out;
+  clf.save(out);
+  return out.str();
+}
+
+Dataset workload(std::uint64_t seed, std::size_t n = 240, std::size_t d = 8) {
+  MakeClassificationOptions opt;
+  opt.n_samples = n;
+  opt.n_features = d;
+  opt.n_informative = 4;
+  opt.n_redundant = 2;
+  opt.flip_y = 0.05;
+  return make_classification(opt, seed);
+}
+
+void expect_tree_equivalence(const Matrix& x, const std::vector<double>& targets,
+                             const std::vector<double>& hessians,
+                             const TreeOptions& opt, const std::string& label) {
+  TreeModel fast;
+  {
+    BuilderGuard guard(TreeBuilder::kFast);
+    fast.fit(x, targets, hessians, opt);
+  }
+  TreeModel reference;
+  ReferenceTreeBuilder::fit(reference, x, targets, hessians, opt);
+
+  ASSERT_EQ(fast.node_count(), reference.node_count()) << label;
+  // Node-for-node equality first (better failure messages), then bytes.
+  const auto& fn = fast.nodes();
+  const auto& rn = reference.nodes();
+  for (std::size_t i = 0; i < fn.size(); ++i) {
+    EXPECT_EQ(fn[i].feature, rn[i].feature) << label << " node " << i;
+    EXPECT_EQ(fn[i].threshold, rn[i].threshold) << label << " node " << i;
+    EXPECT_EQ(fn[i].left, rn[i].left) << label << " node " << i;
+    EXPECT_EQ(fn[i].right, rn[i].right) << label << " node " << i;
+    EXPECT_EQ(fn[i].value, rn[i].value) << label << " node " << i;
+    EXPECT_EQ(fn[i].n_samples, rn[i].n_samples) << label << " node " << i;
+  }
+  EXPECT_EQ(serialized(fast), serialized(reference)) << label;
+}
+
+TEST(TreeTrainerEquivalence, ClassificationCriteriaAndCaps) {
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    const Dataset ds = workload(seed);
+    std::vector<double> targets(ds.n_samples());
+    for (std::size_t i = 0; i < targets.size(); ++i) targets[i] = ds.y()[i];
+
+    for (const SplitCriterion criterion :
+         {SplitCriterion::kGini, SplitCriterion::kEntropy}) {
+      for (const std::size_t max_depth : {0ul, 3ul, 9ul}) {
+        for (const std::size_t max_features : {0ul, 2ul, 5ul}) {
+          TreeOptions opt;
+          opt.criterion = criterion;
+          opt.max_depth = max_depth;
+          opt.max_features = max_features;
+          opt.min_samples_leaf = 1 + seed % 4;
+          opt.seed = seed * 131;
+          expect_tree_equivalence(
+              ds.x(), targets, {}, opt,
+              "criterion=" + std::to_string(static_cast<int>(criterion)) +
+                  " depth=" + std::to_string(max_depth) +
+                  " feats=" + std::to_string(max_features) +
+                  " seed=" + std::to_string(seed));
+        }
+      }
+    }
+  }
+}
+
+TEST(TreeTrainerEquivalence, MseWithAndWithoutHessians) {
+  for (const std::uint64_t seed : {3u, 11u}) {
+    const Dataset ds = workload(seed, 300, 10);
+    // Gradient-like continuous targets and positive hessians, as boosting
+    // produces them.
+    Rng rng(derive_seed(seed, "trainer-test"));
+    std::vector<double> grad(ds.n_samples()), hess(ds.n_samples());
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      grad[i] = rng.normal() * 0.4 + (ds.y()[i] == 1 ? 0.5 : -0.5);
+      hess[i] = 0.05 + rng.uniform();
+    }
+    for (const bool use_hess : {false, true}) {
+      TreeOptions opt;
+      opt.criterion = SplitCriterion::kMse;
+      opt.max_depth = 5;
+      opt.min_samples_leaf = 4;
+      opt.max_nodes = 31;
+      opt.seed = seed;
+      expect_tree_equivalence(ds.x(), grad,
+                              use_hess ? hess : std::vector<double>{}, opt,
+                              std::string("mse hess=") + (use_hess ? "yes" : "no") +
+                                  " seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(TreeTrainerEquivalence, RandomSplitsAndWidthBudget) {
+  for (const std::uint64_t seed : {5u, 17u}) {
+    const Dataset ds = workload(seed, 260, 7);
+    std::vector<double> targets(ds.n_samples());
+    for (std::size_t i = 0; i < targets.size(); ++i) targets[i] = ds.y()[i];
+
+    for (const int random_splits : {0, 4, 16}) {
+      for (const std::size_t max_width : {0ul, 2ul, 8ul}) {
+        TreeOptions opt;
+        opt.criterion = SplitCriterion::kEntropy;
+        opt.max_depth = 12;
+        opt.max_width = max_width;
+        opt.random_splits = random_splits;
+        opt.max_features = 3;
+        opt.seed = seed * 977;
+        expect_tree_equivalence(ds.x(), targets, {}, opt,
+                                "random_splits=" + std::to_string(random_splits) +
+                                    " width=" + std::to_string(max_width) +
+                                    " seed=" + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(TreeTrainerEquivalence, TiedFeatureValues) {
+  // Duplicated rows and coarsely quantized features force value ties — the
+  // case where presort tie order differs from the reference sort's.
+  Rng rng(99);
+  const std::size_t n = 200, d = 5;
+  Matrix x(n, d);
+  std::vector<double> targets(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      x(r, c) = std::floor(rng.normal() * 3.0) / 3.0;  // heavy ties
+    }
+    targets[r] = rng.chance(0.5) ? 1.0 : 0.0;
+  }
+  // Duplicate a block of rows wholesale.
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t c = 0; c < d; ++c) x(n - 1 - r, c) = x(r, c);
+    targets[n - 1 - r] = targets[r];
+  }
+  for (const SplitCriterion criterion :
+       {SplitCriterion::kGini, SplitCriterion::kEntropy, SplitCriterion::kMse}) {
+    TreeOptions opt;
+    opt.criterion = criterion;
+    opt.max_depth = 8;
+    opt.seed = 4242;
+    expect_tree_equivalence(x, targets, {}, opt,
+                            "tied criterion=" +
+                                std::to_string(static_cast<int>(criterion)));
+  }
+}
+
+// Every tree-family classifier, fitted twice with the builder toggled:
+// serialized ensembles (bootstrap resamples, feature subsets, shared
+// workspace reuse across trees) and scores must match byte for byte.
+class EnsembleEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EnsembleEquivalence, SerializedModelAndScoresAreByteIdentical) {
+  const std::string name = GetParam();
+  const Dataset ds = workload(1234, 320, 12);
+
+  ParamMap params;
+  if (name == "random_forest") params.set("n_estimators", 6ll);
+  if (name == "bagging") {
+    params.set("n_estimators", 5ll);
+    params.set("max_features", 0.5);
+  }
+  if (name == "boosted_trees") params.set("n_estimators", 8ll);
+  if (name == "decision_jungle") params.set("n_dags", 4ll);
+
+  auto fast = make_classifier(name, params, 77);
+  {
+    BuilderGuard guard(TreeBuilder::kFast);
+    fast->fit(ds.x(), ds.y());
+  }
+  auto reference = make_classifier(name, params, 77);
+  {
+    BuilderGuard guard(TreeBuilder::kReference);
+    reference->fit(ds.x(), ds.y());
+  }
+
+  EXPECT_EQ(serialized(*fast), serialized(*reference)) << name;
+  const auto fast_scores = fast->predict_score(ds.x());
+  const auto ref_scores = reference->predict_score(ds.x());
+  ASSERT_EQ(fast_scores.size(), ref_scores.size());
+  for (std::size_t i = 0; i < fast_scores.size(); ++i) {
+    EXPECT_EQ(fast_scores[i], ref_scores[i]) << name << " row " << i;
+  }
+}
+
+TEST_P(EnsembleEquivalence, ReplicateResamplingToo) {
+  const std::string name = GetParam();
+  if (name == "bagging" || name == "boosted_trees") return;  // no resampling knob
+  const Dataset ds = workload(88, 200, 9);
+  ParamMap params;
+  params.set("resampling", std::string("replicate"));
+  if (name == "random_forest") params.set("n_estimators", 4ll);
+  if (name == "decision_jungle") params.set("n_dags", 3ll);
+
+  auto fast = make_classifier(name, params, 9);
+  {
+    BuilderGuard guard(TreeBuilder::kFast);
+    fast->fit(ds.x(), ds.y());
+  }
+  auto reference = make_classifier(name, params, 9);
+  {
+    BuilderGuard guard(TreeBuilder::kReference);
+    reference->fit(ds.x(), ds.y());
+  }
+  EXPECT_EQ(serialized(*fast), serialized(*reference)) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeFamily, EnsembleEquivalence,
+                         ::testing::Values("decision_tree", "random_forest",
+                                           "bagging", "boosted_trees",
+                                           "decision_jungle"));
+
+TEST(TreeTrainerEquivalence, BuilderToggleRoundTrips) {
+  EXPECT_EQ(active_tree_builder(), TreeBuilder::kFast);
+  {
+    BuilderGuard guard(TreeBuilder::kReference);
+    EXPECT_EQ(active_tree_builder(), TreeBuilder::kReference);
+  }
+  EXPECT_EQ(active_tree_builder(), TreeBuilder::kFast);
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -1,0 +1,177 @@
+// Serving-layer benchmark: the batched multi-tenant QueryRouter under
+// skewed workloads (ROADMAP "production-scale service" extension).
+//
+// Scenarios (all deterministic in the simulated clock):
+//   open_loop_skewed   6 Zipf-weighted tenants over 4 platforms, Poisson
+//                      arrivals at 50 req/s against the default quotas.
+//   closed_loop        8 synchronous clients over 2 platforms, unlimited
+//                      quota — the batcher's best case.
+//   small_cache        model-cache capacity 2 under 6 tenants: constant
+//                      eviction + deterministic re-train churn.
+//
+// Modes:
+//   (default)                human-readable table
+//   --json                   regression harness
+//     --out FILE             output path (default BENCH_serving.json)
+//     --baseline FILE        committed baseline (bench/baselines/...)
+//     --check-regression F   exit 1 if any scenario's simulated throughput
+//                            drops below baseline_throughput / F.  Simulated
+//                            throughput is seeded and deterministic, so the
+//                            factor only needs to absorb intentional
+//                            behaviour changes, not runner noise.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "platform/serving.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mlaas;
+
+struct ScenarioResult {
+  std::string name;
+  ServingReport report;
+  double wall_seconds = 0.0;
+};
+
+ScenarioResult run_scenario(const std::string& name) {
+  ServingWorkloadOptions options;
+  options.seed = 42;
+  options.requests = 2000;
+  std::vector<std::string> roster;
+  std::size_t n_tenants = 6;
+  if (name == "open_loop_skewed") {
+    roster = {"Local", "Google", "Amazon", "BigML"};
+    options.arrival_rate = 50.0;
+  } else if (name == "closed_loop") {
+    roster = {"Local", "Google"};
+    options.closed_loop = true;
+    options.clients = 8;
+    options.quota_profile = "unlimited";
+  } else if (name == "small_cache") {
+    roster = {"Local", "Google", "Amazon", "BigML"};
+    options.arrival_rate = 50.0;
+    options.serving.model_cache_capacity = 2;
+  } else {
+    throw std::invalid_argument("unknown scenario " + name);
+  }
+  const auto tenants = make_serving_tenants(n_tenants, roster, options.seed);
+  const ServingWorkloadResult run = run_serving_workload(tenants, options);
+  return {name, run.report, run.wall_seconds};
+}
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = {"open_loop_skewed", "closed_loop",
+                                                 "small_cache"};
+  return names;
+}
+
+/// Minimal field scrape, mirroring bench_micro_classifiers: find the named
+/// scenario in the baseline JSON, return its throughput (0 when absent).
+double baseline_throughput(const std::string& json, const std::string& name) {
+  const std::string anchor = "\"name\": \"" + name + "\"";
+  std::size_t at = json.find(anchor);
+  if (at == std::string::npos) return 0.0;
+  const std::string key = "\"throughput_rows_per_sec\": ";
+  at = json.find(key, at);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + at + key.size(), nullptr);
+}
+
+int run_json_mode(const std::vector<std::string>& args) {
+  std::string out_path = "BENCH_serving.json";
+  std::string baseline_path;
+  double check_factor = 0.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) out_path = args[++i];
+    else if (args[i] == "--baseline" && i + 1 < args.size()) baseline_path = args[++i];
+    else if (args[i] == "--check-regression" && i + 1 < args.size())
+      check_factor = std::strtod(args[++i].c_str(), nullptr);
+  }
+
+  std::vector<ScenarioResult> results;
+  for (const auto& name : scenario_names()) results.push_back(run_scenario(name));
+
+  std::ostringstream json;
+  json.precision(6);
+  json << "{\n  \"bench\": \"serving\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ServingStats& t = results[i].report.totals;
+    json << "    {\"name\": \"" << results[i].name
+         << "\", \"throughput_rows_per_sec\": " << t.throughput_rows_per_sec()
+         << ", \"p50_ms\": " << t.latency.quantile(0.50) * 1e3
+         << ", \"p95_ms\": " << t.latency.quantile(0.95) * 1e3
+         << ", \"p99_ms\": " << t.latency.quantile(0.99) * 1e3
+         << ", \"requests\": " << t.requests << ", \"ok\": " << t.ok
+         << ", \"rows\": " << t.rows
+         << ", \"batch_occupancy\": " << t.batch_occupancy(results[i].report.max_batch_rows)
+         << ", \"cache_evictions\": " << t.cache_evictions
+         << ", \"simulated_seconds\": " << t.simulated_seconds
+         << ", \"wall_seconds\": " << results[i].wall_seconds << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  out.close();
+  std::cout << "wrote " << out_path << "\n" << json.str();
+
+  if (!baseline_path.empty() && check_factor > 0.0) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "baseline missing: " << baseline_path << "\n";
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string baseline = buf.str();
+    bool failed = false;
+    for (const auto& r : results) {
+      const double expected = baseline_throughput(baseline, r.name);
+      if (expected <= 0.0) continue;
+      const double floor = expected / check_factor;
+      const double actual = r.report.totals.throughput_rows_per_sec();
+      if (actual < floor) {
+        std::cerr << "REGRESSION " << r.name << ": " << actual
+                  << " rows/s below floor " << floor << " rows/s (baseline "
+                  << expected << " / " << check_factor << ")\n";
+        failed = true;
+      }
+    }
+    if (failed) return 1;
+    std::cout << "regression check passed (factor " << check_factor << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      std::vector<std::string> args(argv + 1, argv + argc);
+      return run_json_mode(args);
+    }
+  }
+
+  TextTable t({"Scenario", "Rows/s (sim)", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+               "Occupancy", "Evictions", "Wall (s)"});
+  for (const auto& name : scenario_names()) {
+    const ScenarioResult r = run_scenario(name);
+    const ServingStats& totals = r.report.totals;
+    t.add_row({name, fmt(totals.throughput_rows_per_sec(), 1),
+               fmt(totals.latency.quantile(0.50) * 1e3, 2),
+               fmt(totals.latency.quantile(0.95) * 1e3, 2),
+               fmt(totals.latency.quantile(0.99) * 1e3, 2),
+               fmt(totals.batch_occupancy(r.report.max_batch_rows), 2),
+               std::to_string(totals.cache_evictions), fmt(r.wall_seconds, 3)});
+  }
+  std::cout << t.str();
+  return 0;
+}

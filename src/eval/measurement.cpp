@@ -777,6 +777,10 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
         std::vector<int> labels;
         const ServiceStatus predicted =
             client.predict(model_handle, split.test.x(), &labels);
+        // The model is single-use: release its handle whether or not the
+        // predict succeeded, so a campaign session holds at most one live
+        // model instead of growing `models_` by one per cell.
+        service.delete_model(model_handle);
         if (predicted != ServiceStatus::kOk) {
           m.ok = false;
           m.failure = "predict:" + to_string(predicted);
@@ -797,6 +801,11 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
     }
     finish_cell(std::move(m));
   }
+
+  // Session teardown: the uploaded training set is dead once the last cell
+  // has trained.  Without this, `datasets_` grows by one dataset copy per
+  // (dataset, platform) session for the life of the campaign.
+  if (uploaded == ServiceStatus::kOk) service.delete_dataset(dataset_handle);
 
   stats->service.merge(service.stats());
   stats->retries += client.total_retries();

@@ -182,6 +182,8 @@ void ServiceStats::merge(const ServiceStats& other) {
   uploads += other.uploads;
   trainings += other.trainings;
   predictions += other.predictions;
+  datasets_deleted += other.datasets_deleted;
+  models_deleted += other.models_deleted;
   rate_limited += other.rate_limited;
   transient_errors += other.transient_errors;
   server_errors += other.server_errors;
@@ -309,7 +311,21 @@ ServiceStatus MlaasService::predict(const std::string& model_handle, const Matri
     last_error_ = e.what();
     return ServiceStatus::kServerError;
   }
-  ++stats_.predictions;
+  // Per-row accounting, matching admit()'s per-sample latency charge: one
+  // 64-row call and 64 single-row calls record the same prediction work.
+  stats_.predictions += x.rows();
+  return ServiceStatus::kOk;
+}
+
+ServiceStatus MlaasService::delete_dataset(const std::string& handle) {
+  if (datasets_.erase(handle) == 0) return ServiceStatus::kNotFound;
+  ++stats_.datasets_deleted;
+  return ServiceStatus::kOk;
+}
+
+ServiceStatus MlaasService::delete_model(const std::string& handle) {
+  if (models_.erase(handle) == 0) return ServiceStatus::kNotFound;
+  ++stats_.models_deleted;
   return ServiceStatus::kOk;
 }
 
@@ -382,9 +398,22 @@ ServiceStatus RetryingClient::predict(const std::string& model_handle, const Mat
 
 std::optional<std::vector<int>> RetryingClient::train_and_predict(
     const Dataset& train, const PipelineConfig& config, const Matrix& query) {
+  // Both intermediate handles are scope-guarded: a mid-sequence failure (or
+  // an exception out of predict) used to leak the uploaded dataset — and the
+  // trained model — into the service's maps for the service's lifetime.
   std::string dataset_handle;
-  if (upload(train, &dataset_handle) != ServiceStatus::kOk) return std::nullopt;
   std::string model_handle;
+  struct HandleGuard {
+    MlaasService& service;
+    const std::string& dataset;
+    const std::string& model;
+    ~HandleGuard() {
+      if (!dataset.empty()) service.delete_dataset(dataset);
+      if (!model.empty()) service.delete_model(model);
+    }
+  } guard{service_, dataset_handle, model_handle};
+
+  if (upload(train, &dataset_handle) != ServiceStatus::kOk) return std::nullopt;
   if (this->train(dataset_handle, config, &model_handle) != ServiceStatus::kOk) {
     return std::nullopt;
   }

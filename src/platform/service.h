@@ -119,13 +119,24 @@ std::string to_string(ServiceStatus status);
 /// Whether a status can succeed on retry (rate limit / transient fault).
 bool is_retryable(ServiceStatus status);
 
-/// Request-level counters for one service instance; merge()able so the
-/// campaign can aggregate per-platform telemetry across sessions.
+/// Counters for one service instance; merge()able so the campaign can
+/// aggregate per-platform telemetry across sessions.
+///
+/// Units: `requests`, `uploads`, `trainings`, `rate_limited`,
+/// `transient_errors`, `server_errors` and `unavailable` count API calls
+/// (one train job = one training, however many samples it touched).
+/// `predictions` is the exception and counts ROWS scored, not predict
+/// calls — the same per-sample unit the admission path charges latency in —
+/// so a batched predict of 64 rows adds 64, exactly like 64 single-row
+/// calls.  `datasets_deleted` / `models_deleted` count handles released via
+/// delete_dataset / delete_model.
 struct ServiceStats {
   std::size_t requests = 0;
   std::size_t uploads = 0;
   std::size_t trainings = 0;
-  std::size_t predictions = 0;
+  std::size_t predictions = 0;  // rows scored (per-row, not per-call)
+  std::size_t datasets_deleted = 0;
+  std::size_t models_deleted = 0;
   std::size_t rate_limited = 0;
   std::size_t transient_errors = 0;
   std::size_t server_errors = 0;
@@ -164,9 +175,24 @@ class MlaasService {
                       std::string* model_handle,
                       std::optional<std::uint64_t> seed = std::nullopt,
                       double* train_cpu_seconds = nullptr);
-  /// Query a trained model; on kOk fills `labels`.
+  /// Query a trained model; on kOk fills `labels`.  Admission charges
+  /// latency per row and ServiceStats::predictions counts rows, so one
+  /// batched call and N single-row calls account the same work.
   ServiceStatus predict(const std::string& model_handle, const Matrix& x,
                         std::vector<int>* labels);
+
+  /// Release an uploaded dataset / trained model.  Returns kNotFound for an
+  /// unknown handle, kOk otherwise.  Deletes are local bookkeeping: they do
+  /// not pass through request admission (no clock, rate-limit or fault-RNG
+  /// effect), so adding them to an existing call sequence leaves every other
+  /// response — and therefore cached campaign tables — byte-identical.
+  ServiceStatus delete_dataset(const std::string& handle);
+  ServiceStatus delete_model(const std::string& handle);
+
+  /// Live handle counts (leak checks; a long campaign must hold these at
+  /// O(1), not O(cells)).
+  std::size_t dataset_count() const { return datasets_.size(); }
+  std::size_t model_count() const { return models_.size(); }
 
   /// After a kRateLimited response: simulated seconds until the window has
   /// drained enough to admit another request (a Retry-After header).
@@ -233,7 +259,9 @@ class RetryingClient {
 
   /// Convenience end-to-end call: upload + train + predict with retries.
   /// Returns labels, or nullopt if any step exhausted its retries or hit a
-  /// permanent error.
+  /// permanent error.  The intermediate dataset/model handles are released
+  /// on every exit path — success, mid-sequence failure or exception — so
+  /// repeated calls hold the service's handle maps at steady state.
   std::optional<std::vector<int>> train_and_predict(const Dataset& train,
                                                     const PipelineConfig& config,
                                                     const Matrix& query);

@@ -1,0 +1,666 @@
+#include "platform/serving.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "data/generators.h"
+#include "platform/all_platforms.h"
+#include "util/rng.h"
+
+namespace mlaas {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+const std::vector<double>& LatencyHistogram::bucket_bounds() {
+  // Log-spaced, sqrt(2) ratio, 1 ms .. ~23000 s: 49 bounds + overflow slot.
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    double bound = 1e-3;
+    for (int i = 0; i < 49; ++i) {
+      b.push_back(bound);
+      bound *= std::sqrt(2.0);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(bucket_bounds().size() + 1, 0) {}
+
+void LatencyHistogram::record(double seconds) {
+  seconds = std::max(0.0, seconds);
+  const auto& bounds = bucket_bounds();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), seconds);
+  buckets_[static_cast<std::size_t>(it - bounds.begin())] += 1;
+  ++count_;
+  total_ += seconds;
+  max_ = std::max(max_, seconds);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  total_ += other.total_;
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t target = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(q * static_cast<double>(count_))));
+  const auto& bounds = bucket_bounds();
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      if (i >= bounds.size()) return max_;  // overflow bucket
+      // Geometric midpoint of the bucket (bounds are sqrt(2)-spaced, so the
+      // lower edge is bounds[i]/sqrt(2) — also valid for the first bucket).
+      return bounds[i] / std::pow(2.0, 0.25);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::encode() const {
+  const auto& bounds = bucket_bounds();
+  std::ostringstream out;
+  out.precision(4);
+  bool first = true;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (!first) out << ';';
+    first = false;
+    if (i < bounds.size()) {
+      out << bounds[i] * 1000.0;
+    } else {
+      out << "inf";
+    }
+    out << '=' << buckets_[i];
+  }
+  return first ? "-" : out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Stats / report
+
+void TenantServingStats::merge(const TenantServingStats& other) {
+  requests += other.requests;
+  rows += other.rows;
+  ok += other.ok;
+  failed += other.failed;
+  rejected += other.rejected;
+  latency.merge(other.latency);
+}
+
+double ServingStats::mean_batch_rows() const {
+  return batches == 0 ? 0.0
+                      : static_cast<double>(batched_rows) / static_cast<double>(batches);
+}
+
+double ServingStats::batch_occupancy(std::size_t max_batch_rows) const {
+  return max_batch_rows == 0 ? 0.0
+                             : mean_batch_rows() / static_cast<double>(max_batch_rows);
+}
+
+double ServingStats::throughput_rows_per_sec() const {
+  return simulated_seconds <= 0.0 ? 0.0
+                                  : static_cast<double>(batched_rows) / simulated_seconds;
+}
+
+namespace {
+
+constexpr const char* kServingHeader =
+    "tenant\trequests\trows\tok\tfailed\trejected\tmean_ms\tp50_ms\tp95_ms\tp99_ms\tmax_ms";
+
+void write_latency_columns(std::ostream& out, const LatencyHistogram& h) {
+  out << h.mean_seconds() * 1000.0 << '\t' << h.quantile(0.50) * 1000.0 << '\t'
+      << h.quantile(0.95) * 1000.0 << '\t' << h.quantile(0.99) * 1000.0 << '\t'
+      << h.max_seconds() * 1000.0;
+}
+
+void write_tenant_row(std::ostream& out, const TenantServingStats& t) {
+  out << t.tenant << '\t' << t.requests << '\t' << t.rows << '\t' << t.ok << '\t'
+      << t.failed << '\t' << t.rejected << '\t';
+  write_latency_columns(out, t.latency);
+  out << '\n';
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void write_latency_json(std::ostream& out, const LatencyHistogram& h) {
+  out << "{\"mean\": " << h.mean_seconds() * 1000.0
+      << ", \"p50\": " << h.quantile(0.50) * 1000.0
+      << ", \"p95\": " << h.quantile(0.95) * 1000.0
+      << ", \"p99\": " << h.quantile(0.99) * 1000.0
+      << ", \"max\": " << h.max_seconds() * 1000.0 << "}";
+}
+
+}  // namespace
+
+void ServingReport::save_tsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ServingReport: cannot write " + path);
+  out.precision(10);
+  out << kServingHeader << '\n';
+  for (const auto& t : tenants) write_tenant_row(out, t);
+  TenantServingStats total;
+  total.tenant = "TOTAL";
+  total.requests = totals.requests;
+  total.rows = totals.rows;
+  total.ok = totals.ok;
+  total.failed = totals.failed;
+  total.rejected = totals.rejected;
+  total.latency = totals.latency;
+  write_tenant_row(out, total);
+  // Router counters ride along as a marked trailer (same scheme as the
+  // campaign report's "# scheduler" line) so the tenant table keeps its
+  // fixed column shape.
+  out << "# serving\tbatches=" << totals.batches
+      << "\tmean_batch_rows=" << totals.mean_batch_rows()
+      << "\toccupancy=" << totals.batch_occupancy(max_batch_rows)
+      << "\tthroughput_rows_per_sec=" << totals.throughput_rows_per_sec()
+      << "\tsimulated_sec=" << totals.simulated_seconds
+      << "\tflushed_full=" << totals.flushed_full
+      << "\tflushed_linger=" << totals.flushed_linger
+      << "\tflushed_forced=" << totals.flushed_forced
+      << "\tcache_hits=" << totals.cache_hits
+      << "\tcache_misses=" << totals.cache_misses
+      << "\tcache_evictions=" << totals.cache_evictions
+      << "\ttrainings=" << totals.trainings << "\tretries=" << totals.retries
+      << "\trate_limited=" << totals.rate_limited
+      << "\tbackoff_sec=" << totals.backoff_seconds << '\n';
+  out << "# histogram\t" << totals.latency.encode() << '\n';
+}
+
+void ServingReport::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ServingReport: cannot write " + path);
+  out.precision(10);
+  out << "{\n  \"totals\": {\n"
+      << "    \"requests\": " << totals.requests << ", \"rows\": " << totals.rows
+      << ", \"ok\": " << totals.ok << ", \"failed\": " << totals.failed
+      << ", \"rejected\": " << totals.rejected << ",\n"
+      << "    \"batches\": " << totals.batches
+      << ", \"mean_batch_rows\": " << totals.mean_batch_rows()
+      << ", \"batch_occupancy\": " << totals.batch_occupancy(max_batch_rows)
+      << ", \"max_batch_rows\": " << max_batch_rows << ",\n"
+      << "    \"flushed_full\": " << totals.flushed_full
+      << ", \"flushed_linger\": " << totals.flushed_linger
+      << ", \"flushed_forced\": " << totals.flushed_forced << ",\n"
+      << "    \"cache_hits\": " << totals.cache_hits
+      << ", \"cache_misses\": " << totals.cache_misses
+      << ", \"cache_evictions\": " << totals.cache_evictions
+      << ", \"trainings\": " << totals.trainings << ",\n"
+      << "    \"retries\": " << totals.retries
+      << ", \"rate_limited\": " << totals.rate_limited
+      << ", \"backoff_seconds\": " << totals.backoff_seconds << ",\n"
+      << "    \"simulated_seconds\": " << totals.simulated_seconds
+      << ", \"throughput_rows_per_sec\": " << totals.throughput_rows_per_sec() << ",\n"
+      << "    \"latency_ms\": ";
+  write_latency_json(out, totals.latency);
+  out << "\n  },\n  \"histogram\": \"" << json_escape(totals.latency.encode())
+      << "\",\n  \"tenants\": [\n";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const auto& t = tenants[i];
+    out << "    {\"tenant\": \"" << json_escape(t.tenant)
+        << "\", \"requests\": " << t.requests << ", \"rows\": " << t.rows
+        << ", \"ok\": " << t.ok << ", \"failed\": " << t.failed
+        << ", \"rejected\": " << t.rejected << ", \"latency_ms\": ";
+    write_latency_json(out, t.latency);
+    out << "}" << (i + 1 < tenants.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+// ---------------------------------------------------------------------------
+// QueryRouter
+
+QueryRouter::QueryRouter(const std::vector<PlatformPtr>& platforms,
+                         const std::string& quota_profile, std::uint64_t seed,
+                         ServingOptions options)
+    : options_(options) {
+  if (platforms.empty()) throw std::invalid_argument("QueryRouter: empty roster");
+  options_.max_batch_rows = std::max<std::size_t>(1, options_.max_batch_rows);
+  options_.model_cache_capacity = std::max<std::size_t>(1, options_.model_cache_capacity);
+  platforms_.reserve(platforms.size());
+  for (const auto& p : platforms) {
+    PlatformState ps;
+    ps.platform = p.get();
+    ps.service = std::make_unique<MlaasService>(
+        *p, ::mlaas::quota_profile(quota_profile, p->name()),
+        derive_seed(seed, "serving-" + p->name()));
+    RetryPolicy policy = options_.retry;
+    policy.jitter_seed = derive_seed(seed, "serving-retry-" + p->name());
+    ps.client = std::make_unique<RetryingClient>(*ps.service, policy);
+    platform_index_.emplace(p->name(), platforms_.size());
+    platforms_.push_back(std::move(ps));
+  }
+}
+
+template <typename Fn>
+ServiceStatus QueryRouter::timed_call(PlatformState& ps, Fn&& call) {
+  // One gateway timeline: bring the platform's simulated clock up to the
+  // router's, run the (possibly retried) call, then fold the service's
+  // elapsed time back into the router clock.
+  if (now_ > ps.service->now()) ps.service->advance_clock(now_ - ps.service->now());
+  const ServiceStatus status = call();
+  now_ = std::max(now_, ps.service->now());
+  return status;
+}
+
+TenantServingStats& QueryRouter::tenant_stats(const std::string& tenant) {
+  const auto [it, inserted] = tenant_index_.emplace(tenant, tenants_.size());
+  if (inserted) {
+    tenants_.emplace_back();
+    tenants_.back().tenant = tenant;
+  }
+  return tenants_[it->second];
+}
+
+std::optional<QueryRouter::SessionId> QueryRouter::open_session(
+    const std::string& tenant, const std::string& platform, const Dataset& train,
+    const PipelineConfig& config, std::uint64_t train_seed) {
+  const auto pit = platform_index_.find(platform);
+  if (pit == platform_index_.end()) {
+    throw std::invalid_argument("QueryRouter: unknown platform '" + platform + "'");
+  }
+  Session session;
+  session.tenant = tenant;
+  session.platform = pit->second;
+  session.model_key = platform + "|" + train.meta().id + "|" + config.key() + "|" +
+                      std::to_string(train_seed);
+  session.train = train;
+  session.config = config;
+  session.train_seed = train_seed;
+  session.open = true;
+  tenant_stats(tenant);  // reserve the tenant's report row in open order
+  sessions_.push_back(std::move(session));
+  const SessionId id = sessions_.size() - 1;
+  if (acquire_model(id).empty()) {
+    sessions_[id].open = false;
+    return std::nullopt;
+  }
+  return id;
+}
+
+void QueryRouter::close_session(SessionId session) {
+  // The cached model stays resident (another session may share the key);
+  // LRU pressure or router destruction reclaims it.
+  sessions_.at(session).open = false;
+}
+
+std::string QueryRouter::acquire_model(std::size_t session) {
+  Session& s = sessions_[session];
+  if (const auto it = cache_index_.find(s.model_key); it != cache_index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // most recently used
+    ++stats_.cache_hits;
+    return it->second->handle;
+  }
+  ++stats_.cache_misses;
+  PlatformState& ps = platforms_[s.platform];
+  std::string dataset_handle;
+  ServiceStatus status =
+      timed_call(ps, [&] { return ps.client->upload(s.train, &dataset_handle); });
+  if (status != ServiceStatus::kOk) {
+    last_error_ = "upload:" + to_string(status);
+    return {};
+  }
+  std::string model_handle;
+  status = timed_call(ps, [&] {
+    return ps.client->train(dataset_handle, s.config, &model_handle, s.train_seed);
+  });
+  // The uploaded copy is only needed for the train call; release it on every
+  // path so cache churn cannot accumulate dataset copies in the service.
+  ps.service->delete_dataset(dataset_handle);
+  if (status != ServiceStatus::kOk) {
+    last_error_ = "train:" + to_string(status);
+    return {};
+  }
+  ++stats_.trainings;
+  lru_.push_front({s.model_key, s.platform, model_handle});
+  cache_index_[s.model_key] = lru_.begin();
+  evict_to_capacity(options_.model_cache_capacity);
+  return model_handle;
+}
+
+void QueryRouter::evict_to_capacity(std::size_t capacity) {
+  while (lru_.size() > capacity) {
+    const CachedModel& victim = lru_.back();
+    platforms_[victim.platform].service->delete_model(victim.handle);
+    cache_index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+}
+
+std::optional<QueryRouter::Ticket> QueryRouter::submit(SessionId session,
+                                                       const Matrix& x) {
+  Session& s = sessions_.at(session);
+  if (!s.open) throw std::logic_error("QueryRouter::submit: session is closed");
+  TenantServingStats& ts = tenant_stats(s.tenant);
+  PlatformState& ps = platforms_[s.platform];
+  if (options_.max_pending_rows > 0 &&
+      ps.pending_rows + x.rows() > options_.max_pending_rows) {
+    ++ts.rejected;
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+
+  ++ts.requests;
+  ts.rows += x.rows();
+  ++stats_.requests;
+  stats_.rows += x.rows();
+
+  const Ticket ticket = results_.size();
+  results_.emplace_back();
+  results_.back().submit_seconds = now_;
+
+  if (x.rows() == 0) {  // degenerate but legal: complete instantly
+    QueryResult& r = results_.back();
+    r.done = r.ok = true;
+    r.complete_seconds = now_;
+    ++ts.ok;
+    ++stats_.ok;
+    ts.latency.record(0.0);
+    stats_.latency.record(0.0);
+    return ticket;
+  }
+
+  auto it = batches_.find(s.model_key);
+  // A request never splits across predict calls: flush first when appending
+  // would overflow the batch (or when the feature width changed).
+  if (it != batches_.end() &&
+      (it->second.cols != x.cols() ||
+       it->second.rows + x.rows() > options_.max_batch_rows)) {
+    flush(s.model_key, FlushCause::kFull);
+    it = batches_.end();
+  }
+  if (it == batches_.end()) {
+    Batch batch;
+    batch.model_key = s.model_key;
+    batch.platform = s.platform;
+    batch.session = session;
+    batch.seq = batch_seq_++;
+    batch.deadline = now_ + options_.linger_seconds;
+    batch.cols = x.cols();
+    it = batches_.emplace(s.model_key, std::move(batch)).first;
+  }
+  Batch& batch = it->second;
+  batch.data.insert(batch.data.end(), x.data().begin(), x.data().end());
+  batch.rows += x.rows();
+  batch.requests.push_back({ticket, x.rows(), s.tenant});
+  ps.pending_rows += x.rows();
+  if (batch.rows >= options_.max_batch_rows) flush(s.model_key, FlushCause::kFull);
+  return ticket;
+}
+
+void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
+  const auto it = batches_.find(model_key);
+  if (it == batches_.end()) return;
+  Batch batch = std::move(it->second);
+  batches_.erase(it);
+  platforms_[batch.platform].pending_rows -= batch.rows;
+
+  ++stats_.batches;
+  stats_.batched_rows += batch.rows;
+  switch (cause) {
+    case FlushCause::kFull: ++stats_.flushed_full; break;
+    case FlushCause::kLinger: ++stats_.flushed_linger; break;
+    case FlushCause::kForced: ++stats_.flushed_forced; break;
+  }
+
+  // Acquire (possibly re-train after an eviction), then one batched predict.
+  const std::string handle = acquire_model(batch.session);
+  std::vector<int> labels;
+  ServiceStatus status = ServiceStatus::kNotFound;
+  std::string error;
+  if (handle.empty()) {
+    error = last_error_;
+  } else {
+    Matrix x(batch.rows, batch.cols);
+    std::copy(batch.data.begin(), batch.data.end(), x.data().begin());
+    PlatformState& ps = platforms_[batch.platform];
+    status = timed_call(ps, [&] { return ps.client->predict(handle, x, &labels); });
+    if (status != ServiceStatus::kOk) error = "predict:" + to_string(status);
+  }
+
+  std::size_t offset = 0;
+  for (const PendingRequest& req : batch.requests) {
+    QueryResult& r = results_[req.ticket];
+    r.done = true;
+    r.complete_seconds = now_;
+    TenantServingStats& ts = tenant_stats(req.tenant);
+    if (status == ServiceStatus::kOk) {
+      r.ok = true;
+      r.labels.assign(labels.begin() + static_cast<std::ptrdiff_t>(offset),
+                      labels.begin() + static_cast<std::ptrdiff_t>(offset + req.rows));
+      ++ts.ok;
+      ++stats_.ok;
+    } else {
+      r.ok = false;
+      r.error = error;
+      ++ts.failed;
+      ++stats_.failed;
+    }
+    offset += req.rows;
+    const double latency = r.complete_seconds - r.submit_seconds;
+    ts.latency.record(latency);
+    stats_.latency.record(latency);
+  }
+}
+
+void QueryRouter::advance_to(double t) {
+  // Flush every batch whose linger deadline falls due, earliest (deadline,
+  // seq) first — the deterministic replay of what a timer wheel would do.
+  while (true) {
+    const Batch* due = nullptr;
+    for (const auto& [key, batch] : batches_) {
+      if (batch.deadline > t) continue;
+      if (due == nullptr || batch.deadline < due->deadline ||
+          (batch.deadline == due->deadline && batch.seq < due->seq)) {
+        due = &batch;
+      }
+    }
+    if (due == nullptr) break;
+    now_ = std::max(now_, due->deadline);
+    flush(due->model_key, FlushCause::kLinger);
+  }
+  now_ = std::max(now_, t);
+}
+
+const QueryResult& QueryRouter::wait(Ticket ticket) {
+  const QueryResult& r = results_.at(ticket);
+  if (r.done) return r;
+  // Find the batch holding the ticket and let the clock run to its linger
+  // deadline; nothing else happens while a closed-loop caller blocks, so
+  // that is exactly when the batch flushes.
+  for (const auto& [key, batch] : batches_) {
+    for (const PendingRequest& req : batch.requests) {
+      if (req.ticket == ticket) {
+        advance_to(std::max(now_, batch.deadline));
+        return results_.at(ticket);
+      }
+    }
+  }
+  return r;  // unreachable for tickets issued by submit()
+}
+
+void QueryRouter::drain() {
+  while (!batches_.empty()) {
+    const Batch* next = nullptr;
+    for (const auto& [key, batch] : batches_) {
+      if (next == nullptr || batch.deadline < next->deadline ||
+          (batch.deadline == next->deadline && batch.seq < next->seq)) {
+        next = &batch;
+      }
+    }
+    now_ = std::max(now_, next->deadline);
+    flush(next->model_key, FlushCause::kForced);
+  }
+}
+
+ServingStats QueryRouter::stats() const {
+  ServingStats s = stats_;
+  s.simulated_seconds = now_;
+  for (const auto& ps : platforms_) {
+    s.retries += ps.client->total_retries();
+    s.backoff_seconds += ps.client->total_backoff_seconds();
+    s.rate_limited += ps.service->stats().rate_limited;
+  }
+  return s;
+}
+
+ServingReport QueryRouter::report() const {
+  ServingReport report;
+  report.totals = stats();
+  report.tenants = tenants_;
+  report.max_batch_rows = options_.max_batch_rows;
+  return report;
+}
+
+const ServiceStats& QueryRouter::platform_stats(const std::string& platform) const {
+  const auto it = platform_index_.find(platform);
+  if (it == platform_index_.end()) {
+    throw std::invalid_argument("QueryRouter: unknown platform '" + platform + "'");
+  }
+  return platforms_[it->second].service->stats();
+}
+
+// ---------------------------------------------------------------------------
+// Workload generator
+
+std::vector<ServingTenantSpec> make_serving_tenants(
+    std::size_t n_tenants, const std::vector<std::string>& platforms,
+    std::uint64_t seed) {
+  if (platforms.empty()) {
+    throw std::invalid_argument("make_serving_tenants: empty platform list");
+  }
+  std::vector<ServingTenantSpec> tenants;
+  tenants.reserve(n_tenants);
+  for (std::size_t i = 0; i < n_tenants; ++i) {
+    ServingTenantSpec t;
+    t.tenant = "tenant-" + std::to_string(i);
+    t.platform = platforms[i % platforms.size()];
+    // Zipf-skewed shares: tenant 0 dominates, the tail trickles — the shape
+    // of real multi-tenant traffic.
+    t.weight = 1.0 / static_cast<double>(i + 1);
+    t.train = make_blobs(160, 6, 1.0, 4.0,
+                         derive_seed(seed, "serving-data-" + std::to_string(i)));
+    t.train.meta().id = "serving-" + std::to_string(i);
+    t.train_seed = derive_seed(seed, "serving-train-" + std::to_string(i));
+    tenants.push_back(std::move(t));
+  }
+  return tenants;
+}
+
+ServingWorkloadResult run_serving_workload(const std::vector<ServingTenantSpec>& tenants,
+                                           const ServingWorkloadOptions& options) {
+  if (tenants.empty()) {
+    throw std::invalid_argument("run_serving_workload: no tenants");
+  }
+  // Roster: one platform instance per distinct platform name, router on top.
+  std::vector<PlatformPtr> roster;
+  std::map<std::string, bool> seen;
+  for (const auto& t : tenants) {
+    if (!seen[t.platform]) {
+      roster.push_back(make_platform(t.platform));
+      seen[t.platform] = true;
+    }
+  }
+  QueryRouter router(roster, options.quota_profile, options.seed, options.serving);
+
+  std::vector<std::optional<QueryRouter::SessionId>> session(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    session[i] = router.open_session(tenants[i].tenant, tenants[i].platform,
+                                     tenants[i].train, tenants[i].config,
+                                     tenants[i].train_seed);
+  }
+
+  Rng rng(derive_seed(options.seed, "serving-workload"));
+  double total_weight = 0.0;
+  for (const auto& t : tenants) total_weight += t.weight;
+  const auto pick_tenant = [&]() -> std::size_t {
+    double u = rng.uniform() * total_weight;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      u -= tenants[i].weight;
+      if (u <= 0.0) return i;
+    }
+    return tenants.size() - 1;
+  };
+  const auto make_query = [&](const ServingTenantSpec& t) {
+    const Matrix& source = t.train.x();
+    const std::size_t rows = 1 + rng.index(std::max<std::size_t>(1, t.max_rows_per_request));
+    const std::size_t start = rng.index(source.rows());
+    Matrix q(rows, source.cols());
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto src = source.row((start + r) % source.rows());
+      std::copy(src.begin(), src.end(), q.row(r).begin());
+    }
+    return q;
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (!options.closed_loop) {
+    // Open loop: seeded Poisson arrivals at `arrival_rate`, tenant drawn by
+    // weight per arrival; the router clock runs between arrivals so linger
+    // deadlines fire the way they would under a live timer.
+    const double rate = std::max(1e-9, options.arrival_rate);
+    double t = 0.0;
+    for (std::size_t k = 0; k < options.requests; ++k) {
+      t += -std::log(1.0 - rng.uniform()) / rate;
+      router.advance_to(t);
+      const std::size_t i = pick_tenant();
+      if (session[i]) router.submit(*session[i], make_query(tenants[i]));
+    }
+    router.drain();
+  } else {
+    // Closed loop: `clients` callers, each bound to a weighted tenant draw,
+    // all submit then all wait — requests from concurrent clients share
+    // micro-batches, which is the whole point of the batcher.
+    const std::size_t clients = std::max<std::size_t>(1, options.clients);
+    std::vector<std::size_t> client_tenant(clients);
+    for (auto& ct : client_tenant) ct = pick_tenant();
+    std::vector<std::optional<QueryRouter::Ticket>> inflight(clients);
+    std::size_t issued = 0;
+    while (issued < options.requests) {
+      for (std::size_t c = 0; c < clients && issued < options.requests; ++c, ++issued) {
+        const std::size_t i = client_tenant[c];
+        inflight[c] = session[i] ? router.submit(*session[i], make_query(tenants[i]))
+                                 : std::nullopt;
+      }
+      for (std::size_t c = 0; c < clients; ++c) {
+        if (inflight[c]) router.wait(*inflight[c]);
+        inflight[c] = std::nullopt;
+      }
+    }
+    router.drain();
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ServingWorkloadResult result;
+  result.report = router.report();
+  result.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  return result;
+}
+
+}  // namespace mlaas

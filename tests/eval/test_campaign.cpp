@@ -9,6 +9,8 @@
 #include <fstream>
 
 #include "data/generators.h"
+#include "data/split.h"
+#include "util/rng.h"
 
 namespace mlaas {
 namespace {
@@ -78,16 +80,26 @@ TEST(RunCampaign, ZeroFaultRateMatchesDirectRunner) {
 TEST(RunCampaign, TelemetryCountsRequests) {
   const auto corpus = tiny_corpus();
   const auto platforms = small_roster();
-  const CampaignResult result = run_campaign(corpus, platforms, fast_options());
+  const MeasurementOptions options = fast_options();
+  const CampaignResult result = run_campaign(corpus, platforms, options);
+  // `predictions` counts ROWS scored (the admission path's per-sample unit),
+  // so each ok cell contributes its dataset's test-split rows.
+  const auto split = train_test_split(
+      corpus[0], options.test_fraction,
+      derive_seed(options.seed, "split-" + corpus[0].meta().id), /*stratified=*/true);
+  const std::size_t test_rows = split.test.n_samples();  // both datasets: 80 samples
   ASSERT_EQ(result.report.platforms.size(), 3u);
   for (const auto& p : result.report.platforms) {
     // One upload per dataset, one train + one predict per measured cell.
     EXPECT_EQ(p.service.uploads, corpus.size());
     EXPECT_EQ(p.service.trainings, p.cells_ok);
-    EXPECT_EQ(p.service.predictions, p.cells_ok);
+    EXPECT_EQ(p.service.predictions, p.cells_ok * test_rows);
     EXPECT_GE(p.service.requests, p.service.uploads + 2 * p.cells_ok);
     EXPECT_GT(p.simulated_seconds, 0.0);
     EXPECT_DOUBLE_EQ(p.coverage(), 1.0);
+    // Steady state: every handle the campaign created was released again.
+    EXPECT_EQ(p.service.models_deleted, p.service.trainings);
+    EXPECT_EQ(p.service.datasets_deleted, p.service.uploads);
   }
 }
 

@@ -198,6 +198,64 @@ TEST(Service, PlatformCrashBecomesServerErrorNotException) {
   EXPECT_EQ(service.stats().requests, before + 1);
 }
 
+TEST(RetryingClientTest, TrainAndPredictReleasesHandlesOnSuccess) {
+  auto service = make_service();
+  RetryingClient client(service);
+  const Dataset train = small_data(1);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.train_and_predict(train, {}, train.x()).has_value());
+    EXPECT_EQ(service.dataset_count(), 0u) << "iteration " << i;
+    EXPECT_EQ(service.model_count(), 0u) << "iteration " << i;
+  }
+  EXPECT_EQ(service.stats().datasets_deleted, 3u);
+  EXPECT_EQ(service.stats().models_deleted, 3u);
+}
+
+TEST(RetryingClientTest, TrainAndPredictReleasesDatasetWhenTrainFails) {
+  // Mid-sequence failure: upload succeeds, train explodes permanently.  The
+  // uploaded dataset must not be stranded in the service's handle map.
+  ExplodingPlatform exploding;
+  MlaasService service(exploding, ServiceQuota{}, /*seed=*/1);
+  RetryingClient client(service, /*max_attempts=*/3);
+  const Dataset train = small_data(1);
+  EXPECT_FALSE(client.train_and_predict(train, {}, train.x()).has_value());
+  EXPECT_EQ(service.dataset_count(), 0u);
+  EXPECT_EQ(service.model_count(), 0u);
+}
+
+TEST(RetryingClientTest, TrainAndPredictReleasesHandlesWhenPredictFails) {
+  // upload + train fit in the rate-limit window; predict does not, and the
+  // single-attempt budget cannot wait the window out.  Both intermediate
+  // handles must still be released.
+  ServiceQuota quota;
+  quota.requests_per_window = 2;
+  quota.window_seconds = 1e9;
+  auto service = make_service(quota);
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  RetryingClient client(service, policy);
+  const Dataset train = small_data(1);
+  EXPECT_FALSE(client.train_and_predict(train, {}, train.x()).has_value());
+  EXPECT_EQ(service.dataset_count(), 0u);
+  EXPECT_EQ(service.model_count(), 0u);
+  EXPECT_EQ(service.stats().datasets_deleted, 1u);
+  EXPECT_EQ(service.stats().models_deleted, 1u);
+}
+
+TEST(RetryingClientTest, TrainAndPredictReleasesNothingWhenUploadFails) {
+  ServiceQuota quota;
+  quota.fault_rate = 1.0;  // every admission fails transiently
+  auto service = make_service(quota, "Local", 5);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  RetryingClient client(service, policy);
+  const Dataset train = small_data(1);
+  EXPECT_FALSE(client.train_and_predict(train, {}, train.x()).has_value());
+  EXPECT_EQ(service.dataset_count(), 0u);
+  EXPECT_EQ(service.stats().datasets_deleted, 0u);
+  EXPECT_EQ(service.stats().models_deleted, 0u);
+}
+
 TEST(Service, NonOwningConstructorSharesThePlatform) {
   const auto platform = make_platform("Local");
   MlaasService a(*platform, ServiceQuota{}, 1);
@@ -246,11 +304,78 @@ TEST(ServiceStatsTest, MergeAccumulates) {
   b.requests = 2;
   b.rate_limited = 4;
   b.train_cpu_seconds = 0.25;
+  b.datasets_deleted = 2;
+  b.models_deleted = 1;
   a.merge(b);
   EXPECT_EQ(a.requests, 5u);
   EXPECT_EQ(a.trainings, 1u);
   EXPECT_EQ(a.rate_limited, 4u);
+  EXPECT_EQ(a.datasets_deleted, 2u);
+  EXPECT_EQ(a.models_deleted, 1u);
   EXPECT_DOUBLE_EQ(a.train_cpu_seconds, 0.75);
+}
+
+TEST(Service, PredictionsCountRowsNotCalls) {
+  auto service = make_service();
+  std::string ds, model;
+  const Dataset data = small_data(1);  // 80 rows
+  ASSERT_EQ(service.upload(data, &ds), ServiceStatus::kOk);
+  ASSERT_EQ(service.train(ds, {}, &model), ServiceStatus::kOk);
+  std::vector<int> labels;
+  ASSERT_EQ(service.predict(model, data.x(), &labels), ServiceStatus::kOk);
+  EXPECT_EQ(service.stats().predictions, 80u);
+  // One batched call and N single-row calls account identically: the unit
+  // matches the per-sample latency the admission path already charges.
+  Matrix one_row(1, data.x().cols());
+  std::copy(data.x().row(0).begin(), data.x().row(0).end(), one_row.row(0).begin());
+  ASSERT_EQ(service.predict(model, one_row, &labels), ServiceStatus::kOk);
+  EXPECT_EQ(service.stats().predictions, 81u);
+}
+
+TEST(Service, DeleteReleasesHandles) {
+  auto service = make_service();
+  std::string ds, model;
+  ASSERT_EQ(service.upload(small_data(), &ds), ServiceStatus::kOk);
+  ASSERT_EQ(service.train(ds, {}, &model), ServiceStatus::kOk);
+  EXPECT_EQ(service.dataset_count(), 1u);
+  EXPECT_EQ(service.model_count(), 1u);
+
+  EXPECT_EQ(service.delete_dataset(ds), ServiceStatus::kOk);
+  EXPECT_EQ(service.delete_model(model), ServiceStatus::kOk);
+  EXPECT_EQ(service.dataset_count(), 0u);
+  EXPECT_EQ(service.model_count(), 0u);
+  EXPECT_EQ(service.stats().datasets_deleted, 1u);
+  EXPECT_EQ(service.stats().models_deleted, 1u);
+
+  // Double-delete and stale use both surface as kNotFound.
+  EXPECT_EQ(service.delete_dataset(ds), ServiceStatus::kNotFound);
+  EXPECT_EQ(service.delete_model(model), ServiceStatus::kNotFound);
+  std::vector<int> labels;
+  EXPECT_EQ(service.predict(model, small_data().x(), &labels),
+            ServiceStatus::kNotFound);
+  std::string model2;
+  EXPECT_EQ(service.train(ds, {}, &model2), ServiceStatus::kNotFound);
+}
+
+TEST(Service, DeletesAreNotAdmitted) {
+  // Deletes are local bookkeeping: no clock advance, no rate-limit token, no
+  // fault-RNG draw — so inserting them into an existing call sequence leaves
+  // every other response (and cached campaign tables) byte-identical.
+  ServiceQuota quota;
+  quota.requests_per_window = 3;
+  quota.window_seconds = 1e9;
+  auto service = make_service(quota);
+  std::string ds1, ds2, ds3;
+  ASSERT_EQ(service.upload(small_data(1), &ds1), ServiceStatus::kOk);
+  ASSERT_EQ(service.upload(small_data(2), &ds2), ServiceStatus::kOk);
+  const double t = service.now();
+  const auto requests = service.stats().requests;
+  EXPECT_EQ(service.delete_dataset(ds1), ServiceStatus::kOk);
+  EXPECT_DOUBLE_EQ(service.now(), t);
+  EXPECT_EQ(service.stats().requests, requests);
+  // The window still has exactly one admission slot left.
+  ASSERT_EQ(service.upload(small_data(3), &ds3), ServiceStatus::kOk);
+  EXPECT_EQ(service.upload(small_data(4), &ds1), ServiceStatus::kRateLimited);
 }
 
 TEST(QuotaProfileTest, NamedProfilesResolve) {

@@ -1,0 +1,403 @@
+#include "platform/serving.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "data/generators.h"
+#include "platform/all_platforms.h"
+#include "util/rng.h"
+
+namespace mlaas {
+namespace {
+
+Dataset serving_data(std::uint64_t seed = 3) {
+  Dataset d = make_blobs(120, 4, 0.9, 5.0, seed);
+  d.meta().id = "serving-test-" + std::to_string(seed);
+  return d;
+}
+
+/// Labels from the direct path the serving layer must reproduce byte for
+/// byte: Platform::train with the explicit seed, then one predict call.
+std::vector<int> direct_labels(const std::string& platform, const Dataset& train,
+                               const Matrix& query, std::uint64_t train_seed) {
+  const auto p = make_platform(platform);
+  return p->train(train, {}, train_seed)->predict(query);
+}
+
+/// Push `query` through a fresh router in per-request chunks of `chunk`
+/// rows, drain, and return the concatenated labels (ticket order).
+std::vector<int> serving_labels(const std::string& platform, const Dataset& train,
+                                const Matrix& query, std::uint64_t train_seed,
+                                std::size_t chunk, ServingOptions options = {}) {
+  std::vector<PlatformPtr> roster;
+  roster.push_back(make_platform(platform));
+  QueryRouter router(roster, "default", /*seed=*/99, options);
+  const auto session =
+      router.open_session("t0", platform, train, {}, train_seed);
+  EXPECT_TRUE(session.has_value()) << router.last_error();
+  if (!session) return {};
+
+  std::vector<QueryRouter::Ticket> tickets;
+  for (std::size_t start = 0; start < query.rows(); start += chunk) {
+    const std::size_t rows = std::min(chunk, query.rows() - start);
+    Matrix q(rows, query.cols());
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto src = query.row(start + r);
+      std::copy(src.begin(), src.end(), q.row(r).begin());
+    }
+    const auto ticket = router.submit(*session, q);
+    EXPECT_TRUE(ticket.has_value());
+    if (ticket) tickets.push_back(*ticket);
+  }
+  router.drain();
+
+  std::vector<int> labels;
+  for (const auto ticket : tickets) {
+    const QueryResult& r = router.result(ticket);
+    EXPECT_TRUE(r.done);
+    EXPECT_TRUE(r.ok) << r.error;
+    labels.insert(labels.end(), r.labels.begin(), r.labels.end());
+  }
+  return labels;
+}
+
+TEST(QueryRouterTest, ServingMatchesDirectPredictAcrossBatchSizes) {
+  // The headline invariant: for every platform and any micro-batch shape the
+  // serving path returns byte-identical labels to the direct call — batching
+  // only changes how rows ride together, never what comes back.
+  const Dataset train = serving_data(5);
+  const Matrix& query = train.x();
+  for (const auto& platform : platform_names()) {
+    const std::vector<int> expected =
+        direct_labels(platform, train, query, /*train_seed=*/321);
+    ASSERT_EQ(expected.size(), query.rows());
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+      EXPECT_EQ(serving_labels(platform, train, query, 321, chunk), expected)
+          << platform << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(QueryRouterTest, BatchShapeDoesNotChangeLabels) {
+  // Different max_batch_rows / linger settings regroup the same submits into
+  // different predict calls; the concatenated labels must not move.
+  const Dataset train = serving_data(6);
+  const Matrix& query = train.x();
+  const std::vector<int> expected = direct_labels("Local", train, query, 77);
+  for (std::size_t max_batch : {std::size_t{1}, std::size_t{16}, std::size_t{256}}) {
+    ServingOptions options;
+    options.max_batch_rows = max_batch;
+    EXPECT_EQ(serving_labels("Local", train, query, 77, 5, options), expected)
+        << "max_batch_rows=" << max_batch;
+  }
+}
+
+TEST(QueryRouterTest, MicroBatchingCoalescesRequests) {
+  std::vector<PlatformPtr> roster;
+  roster.push_back(make_platform("Local"));
+  ServingOptions options;
+  options.max_batch_rows = 32;
+  QueryRouter router(roster, "unlimited", 1, options);
+  const Dataset train = serving_data(7);
+  const auto session = router.open_session("t0", "Local", train, {}, 1);
+  ASSERT_TRUE(session.has_value());
+
+  // 64 single-row submits inside one linger window coalesce into exactly two
+  // 32-row predict calls.
+  Matrix one(1, train.x().cols());
+  for (int i = 0; i < 64; ++i) {
+    std::copy(train.x().row(i % train.x().rows()).begin(),
+              train.x().row(i % train.x().rows()).end(), one.row(0).begin());
+    ASSERT_TRUE(router.submit(*session, one).has_value());
+  }
+  router.drain();
+
+  const ServingStats stats = router.stats();
+  EXPECT_EQ(stats.requests, 64u);
+  EXPECT_EQ(stats.rows, 64u);
+  EXPECT_EQ(stats.ok, 64u);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_rows(), 32.0);
+  EXPECT_DOUBLE_EQ(stats.batch_occupancy(options.max_batch_rows), 1.0);
+  EXPECT_EQ(stats.flushed_full, 2u);
+  // Service-side: upload + train + 2 predicts = 4 admitted requests, and the
+  // per-row accounting sees all 64 rows.
+  const ServiceStats& platform = router.platform_stats("Local");
+  EXPECT_EQ(platform.requests, 4u);
+  EXPECT_EQ(platform.predictions, 64u);
+}
+
+TEST(QueryRouterTest, LingerDeadlineFlushesPartialBatches) {
+  std::vector<PlatformPtr> roster;
+  roster.push_back(make_platform("Local"));
+  ServingOptions options;
+  options.max_batch_rows = 1000;  // never fills
+  options.linger_seconds = 0.05;
+  QueryRouter router(roster, "unlimited", 1, options);
+  const Dataset train = serving_data(8);
+  const auto session = router.open_session("t0", "Local", train, {}, 1);
+  ASSERT_TRUE(session.has_value());
+
+  Matrix one(1, train.x().cols());
+  std::copy(train.x().row(0).begin(), train.x().row(0).end(), one.row(0).begin());
+  const auto ticket = router.submit(*session, one);
+  ASSERT_TRUE(ticket.has_value());
+  EXPECT_FALSE(router.result(*ticket).done);
+
+  const double submit_time = router.now();
+  router.advance_to(submit_time + 0.01);  // before the deadline: still queued
+  EXPECT_FALSE(router.result(*ticket).done);
+  router.advance_to(submit_time + 0.06);  // past the deadline: flushed
+  EXPECT_TRUE(router.result(*ticket).done);
+  EXPECT_TRUE(router.result(*ticket).ok);
+  EXPECT_EQ(router.stats().flushed_linger, 1u);
+  // The request completed at its linger deadline, not at advance_to's t.
+  EXPECT_NEAR(router.result(*ticket).complete_seconds - submit_time, 0.05, 1e-6);
+}
+
+TEST(QueryRouterTest, WaitFlushesTheTicketsBatch) {
+  std::vector<PlatformPtr> roster;
+  roster.push_back(make_platform("Local"));
+  ServingOptions options;
+  options.max_batch_rows = 1000;
+  QueryRouter router(roster, "unlimited", 1, options);
+  const Dataset train = serving_data(9);
+  const auto session = router.open_session("t0", "Local", train, {}, 1);
+  ASSERT_TRUE(session.has_value());
+  Matrix one(1, train.x().cols());
+  std::copy(train.x().row(0).begin(), train.x().row(0).end(), one.row(0).begin());
+  const auto ticket = router.submit(*session, one);
+  ASSERT_TRUE(ticket.has_value());
+  const QueryResult& r = router.wait(*ticket);
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(router.stats().flushed_linger, 1u);
+}
+
+TEST(QueryRouterTest, AbsorbsRateLimitsUnderStrictQuota) {
+  // "strict" admits 5 requests/min; upload + train spend two.  The router's
+  // retrying client must wait the windows out (honouring Retry-After) so
+  // every request still completes.
+  std::vector<PlatformPtr> roster;
+  roster.push_back(make_platform("Local"));
+  ServingOptions options;
+  options.max_batch_rows = 4;
+  QueryRouter router(roster, "strict", 1, options);
+  const Dataset train = serving_data(10);
+  const auto session = router.open_session("t0", "Local", train, {}, 1);
+  ASSERT_TRUE(session.has_value());
+
+  Matrix one(1, train.x().cols());
+  for (int i = 0; i < 32; ++i) {
+    std::copy(train.x().row(i % train.x().rows()).begin(),
+              train.x().row(i % train.x().rows()).end(), one.row(0).begin());
+    ASSERT_TRUE(router.submit(*session, one).has_value());
+  }
+  router.drain();
+
+  const ServingStats stats = router.stats();
+  EXPECT_EQ(stats.ok, 32u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.rate_limited, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.backoff_seconds, 0.0);
+  // Latency telemetry saw every request and the tail reflects the stalls.
+  EXPECT_EQ(stats.latency.count(), 32u);
+  EXPECT_GE(stats.latency.quantile(0.99), stats.latency.quantile(0.50));
+}
+
+TEST(QueryRouterTest, LruEvictionRetrainsDeterministically) {
+  std::vector<PlatformPtr> roster;
+  roster.push_back(make_platform("Local"));
+  ServingOptions options;
+  options.model_cache_capacity = 1;  // the two tenants constantly evict each other
+  options.max_batch_rows = 8;
+  QueryRouter router(roster, "unlimited", 1, options);
+
+  const Dataset train_a = serving_data(11);
+  const Dataset train_b = serving_data(12);
+  const auto sa = router.open_session("a", "Local", train_a, {}, 100);
+  const auto sb = router.open_session("b", "Local", train_b, {}, 200);
+  ASSERT_TRUE(sa.has_value());
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_LE(router.cached_models(), 1u);
+
+  const std::vector<int> expected_a = direct_labels("Local", train_a, train_a.x(), 100);
+  const std::vector<int> expected_b = direct_labels("Local", train_b, train_b.x(), 200);
+
+  // Alternate tenants so every flush is a cache miss + re-train; the labels
+  // must stay byte-identical to the direct path on every round.
+  for (int round = 0; round < 3; ++round) {
+    const auto ta = router.submit(*sa, train_a.x());
+    ASSERT_TRUE(ta.has_value());
+    router.drain();
+    EXPECT_EQ(router.result(*ta).labels, expected_a) << "round " << round;
+
+    const auto tb = router.submit(*sb, train_b.x());
+    ASSERT_TRUE(tb.has_value());
+    router.drain();
+    EXPECT_EQ(router.result(*tb).labels, expected_b) << "round " << round;
+  }
+
+  const ServingStats stats = router.stats();
+  EXPECT_LE(router.cached_models(), 1u);
+  EXPECT_GT(stats.cache_evictions, 0u);
+  EXPECT_GT(stats.cache_misses, stats.cache_hits);
+  EXPECT_EQ(stats.trainings, stats.cache_misses);
+  // Eviction releases handles: the service never holds more than capacity
+  // models and no stranded datasets.
+  const ServiceStats& platform = router.platform_stats("Local");
+  EXPECT_EQ(platform.models_deleted + router.cached_models(), platform.trainings);
+  EXPECT_EQ(platform.datasets_deleted, platform.uploads);
+}
+
+TEST(QueryRouterTest, AdmissionControlShedsLoad) {
+  std::vector<PlatformPtr> roster;
+  roster.push_back(make_platform("Local"));
+  ServingOptions options;
+  options.max_batch_rows = 1000;
+  options.max_pending_rows = 4;
+  options.linger_seconds = 1e9;  // nothing flushes on its own
+  QueryRouter router(roster, "unlimited", 1, options);
+  const Dataset train = serving_data(13);
+  const auto session = router.open_session("t0", "Local", train, {}, 1);
+  ASSERT_TRUE(session.has_value());
+
+  Matrix three(3, train.x().cols());
+  for (std::size_t r = 0; r < 3; ++r) {
+    std::copy(train.x().row(r).begin(), train.x().row(r).end(), three.row(r).begin());
+  }
+  EXPECT_TRUE(router.submit(*session, three).has_value());   // 3 pending
+  EXPECT_FALSE(router.submit(*session, three).has_value());  // 6 > 4: shed
+  const ServingStats stats = router.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.requests, 1u);  // rejected submits are not requests served
+  router.drain();
+  EXPECT_EQ(router.stats().ok, 1u);
+  // Drain freed the pending rows; admission opens up again.
+  EXPECT_TRUE(router.submit(*session, three).has_value());
+}
+
+TEST(QueryRouterTest, ClosedSessionRejectsSubmits) {
+  std::vector<PlatformPtr> roster;
+  roster.push_back(make_platform("Local"));
+  QueryRouter router(roster, "unlimited", 1, {});
+  const Dataset train = serving_data(14);
+  const auto session = router.open_session("t0", "Local", train, {}, 1);
+  ASSERT_TRUE(session.has_value());
+  router.close_session(*session);
+  EXPECT_THROW(router.submit(*session, train.x()), std::logic_error);
+  EXPECT_THROW(
+      QueryRouter(roster, "unlimited", 1, {}).open_session("t", "Nope", train, {}, 1),
+      std::invalid_argument);
+}
+
+TEST(LatencyHistogramTest, QuantilesAndEncoding) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.encode(), "-");
+
+  // 100 samples at ~2ms, one at ~1s: p50 lands in the 2ms bucket, p99+ near
+  // the outlier; every quantile is exact to within one sqrt(2) bucket.
+  for (int i = 0; i < 100; ++i) h.record(0.002);
+  h.record(1.0);
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_NEAR(h.quantile(0.50), 0.002, 0.002 * 0.5);
+  EXPECT_GT(h.quantile(0.995), 0.5);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 1.0);
+  EXPECT_NEAR(h.mean_seconds(), (0.2 + 1.0) / 101.0, 1e-12);
+  // Monotone in q.
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.9));
+
+  LatencyHistogram other;
+  other.record(0.002);
+  other.merge(h);
+  EXPECT_EQ(other.count(), 102u);
+
+  // encode() lists only occupied buckets as le_ms=count pairs.
+  const std::string enc = h.encode();
+  EXPECT_NE(enc.find("=100"), std::string::npos) << enc;
+  EXPECT_NE(enc.find(';'), std::string::npos) << enc;
+}
+
+TEST(LatencyHistogramTest, OverflowBucketUsesObservedMax) {
+  LatencyHistogram h;
+  h.record(1e9);  // beyond the last bound
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1e9);
+  EXPECT_NE(h.encode().find("inf=1"), std::string::npos) << h.encode();
+}
+
+TEST(ServingWorkloadTest, SeededWorkloadIsDeterministic) {
+  const auto tenants = make_serving_tenants(4, {"Local", "Google"}, 42);
+  ASSERT_EQ(tenants.size(), 4u);
+  EXPECT_GT(tenants[0].weight, tenants[3].weight);  // Zipf skew
+
+  ServingWorkloadOptions options;
+  options.requests = 200;
+  options.seed = 42;
+  const auto a = run_serving_workload(tenants, options);
+  const auto b = run_serving_workload(tenants, options);
+  EXPECT_GT(a.report.totals.requests, 0u);
+  EXPECT_EQ(a.report.totals.requests, b.report.totals.requests);
+  EXPECT_EQ(a.report.totals.rows, b.report.totals.rows);
+  EXPECT_EQ(a.report.totals.ok, b.report.totals.ok);
+  EXPECT_EQ(a.report.totals.batches, b.report.totals.batches);
+  EXPECT_DOUBLE_EQ(a.report.totals.simulated_seconds,
+                   b.report.totals.simulated_seconds);
+  EXPECT_EQ(a.report.totals.latency.encode(), b.report.totals.latency.encode());
+  ASSERT_EQ(a.report.tenants.size(), b.report.tenants.size());
+  for (std::size_t i = 0; i < a.report.tenants.size(); ++i) {
+    EXPECT_EQ(a.report.tenants[i].rows, b.report.tenants[i].rows);
+  }
+}
+
+TEST(ServingWorkloadTest, ClosedLoopServesEveryRequest) {
+  const auto tenants = make_serving_tenants(3, {"Local"}, 7);
+  ServingWorkloadOptions options;
+  options.requests = 120;
+  options.closed_loop = true;
+  options.clients = 6;
+  options.quota_profile = "unlimited";
+  const auto result = run_serving_workload(tenants, options);
+  EXPECT_EQ(result.report.totals.requests, 120u);
+  EXPECT_EQ(result.report.totals.ok, 120u);
+  EXPECT_EQ(result.report.totals.failed, 0u);
+}
+
+TEST(ServingReportTest, TsvAndJsonRoundOut) {
+  const auto tenants = make_serving_tenants(2, {"Local"}, 9);
+  ServingWorkloadOptions options;
+  options.requests = 60;
+  options.quota_profile = "unlimited";
+  const auto result = run_serving_workload(tenants, options);
+
+  const std::string tsv = testing::TempDir() + "serving_report.tsv";
+  const std::string json = testing::TempDir() + "serving_report.json";
+  result.report.save_tsv(tsv);
+  result.report.save_json(json);
+
+  std::ifstream tin(tsv);
+  std::stringstream tbuf;
+  tbuf << tin.rdbuf();
+  const std::string tsv_text = tbuf.str();
+  EXPECT_NE(tsv_text.find("tenant\trequests\trows"), std::string::npos);
+  EXPECT_NE(tsv_text.find("TOTAL"), std::string::npos);
+  EXPECT_NE(tsv_text.find("# serving\t"), std::string::npos);
+  EXPECT_NE(tsv_text.find("# histogram\t"), std::string::npos);
+
+  std::ifstream jin(json);
+  std::stringstream jbuf;
+  jbuf << jin.rdbuf();
+  const std::string json_text = jbuf.str();
+  EXPECT_NE(json_text.find("\"throughput_rows_per_sec\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"tenants\""), std::string::npos);
+  std::remove(tsv.c_str());
+  std::remove(json.c_str());
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -23,6 +23,15 @@
 //       and print/write the per-platform telemetry report.  Finished cells
 //       are journaled to PATH (write-ahead, fsync'd); an interrupted
 //       campaign resumes from the journal on the next run unless --fresh.
+//   mlaas_cli serve-bench [--tenants 6] [--platforms Local,Google,...]
+//              [--requests 2000] [--rate 50] [--closed-loop] [--clients 8]
+//              [--batch 64] [--linger 0.05] [--cache-capacity 8]
+//              [--max-pending 0] [--quota-profile default] [--seed 42]
+//              [--out report.tsv] [--json report.json]
+//       Drive the batched query-serving layer (QueryRouter) with a seeded
+//       multi-tenant workload — Zipf-skewed tenant mix, open-loop Poisson
+//       arrivals at --rate (or --closed-loop with --clients callers) — and
+//       print per-tenant latency percentiles plus router telemetry.
 #include <filesystem>
 #include <iostream>
 #include <stdexcept>
@@ -36,6 +45,7 @@
 #include "eval/journal.h"
 #include "ml/metrics.h"
 #include "platform/all_platforms.h"
+#include "platform/serving.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -221,8 +231,81 @@ int cmd_campaign(const CliFlags& flags) {
   return 0;
 }
 
+int cmd_serve_bench(const CliFlags& flags) {
+  std::vector<std::string> roster;
+  {
+    const std::string csv = flags.get_or("platforms", "");
+    std::size_t start = 0;
+    while (start < csv.size()) {
+      const std::size_t comma = csv.find(',', start);
+      const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+      if (end > start) roster.push_back(csv.substr(start, end - start));
+      start = end + 1;
+    }
+    if (roster.empty()) roster = platform_names();
+  }
+
+  ServingWorkloadOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.int_or("seed", 42));
+  options.requests = static_cast<std::size_t>(flags.int_or("requests", 2000));
+  options.arrival_rate = flags.double_or("rate", 50.0);
+  options.closed_loop = flags.bool_or("closed-loop", false);
+  options.clients = static_cast<std::size_t>(flags.int_or("clients", 8));
+  options.quota_profile = flags.get_or("quota-profile", "default");
+  options.serving.max_batch_rows = static_cast<std::size_t>(flags.int_or("batch", 64));
+  options.serving.linger_seconds = flags.double_or("linger", 0.05);
+  options.serving.model_cache_capacity =
+      static_cast<std::size_t>(flags.int_or("cache-capacity", 8));
+  options.serving.max_pending_rows =
+      static_cast<std::size_t>(flags.int_or("max-pending", 0));
+
+  const auto n_tenants = static_cast<std::size_t>(flags.int_or("tenants", 6));
+  const auto tenants = make_serving_tenants(n_tenants, roster, options.seed);
+  const ServingWorkloadResult result = run_serving_workload(tenants, options);
+  const ServingStats& totals = result.report.totals;
+
+  TextTable t({"Tenant", "Requests", "Rows", "Ok", "Failed", "Rejected", "p50 (ms)",
+               "p95 (ms)", "p99 (ms)"});
+  for (const auto& tenant : result.report.tenants) {
+    t.add_row({tenant.tenant, std::to_string(tenant.requests), std::to_string(tenant.rows),
+               std::to_string(tenant.ok), std::to_string(tenant.failed),
+               std::to_string(tenant.rejected), fmt(tenant.latency.quantile(0.50) * 1e3, 2),
+               fmt(tenant.latency.quantile(0.95) * 1e3, 2),
+               fmt(tenant.latency.quantile(0.99) * 1e3, 2)});
+  }
+  std::cout << t.str() << "\nserved " << totals.ok << "/" << totals.requests
+            << " requests (" << totals.rows << " rows) in " << fmt(totals.simulated_seconds, 2)
+            << " simulated s  ->  " << fmt(totals.throughput_rows_per_sec(), 1)
+            << " rows/s\n"
+            << "batches: " << totals.batches << " (mean " << fmt(totals.mean_batch_rows(), 2)
+            << " rows, occupancy "
+            << fmt(100.0 * totals.batch_occupancy(result.report.max_batch_rows), 1)
+            << "%; full " << totals.flushed_full << ", linger " << totals.flushed_linger
+            << ", forced " << totals.flushed_forced << ")\n"
+            << "model cache: " << totals.cache_hits << " hits, " << totals.cache_misses
+            << " misses, " << totals.cache_evictions << " evictions ("
+            << totals.trainings << " trainings)\n"
+            << "service: " << totals.retries << " retries, " << totals.rate_limited
+            << " rate-limited, " << fmt(totals.backoff_seconds, 2) << " s backoff\n"
+            << "latency: p50 " << fmt(totals.latency.quantile(0.50) * 1e3, 2) << " ms, p95 "
+            << fmt(totals.latency.quantile(0.95) * 1e3, 2) << " ms, p99 "
+            << fmt(totals.latency.quantile(0.99) * 1e3, 2) << " ms, max "
+            << fmt(totals.latency.max_seconds() * 1e3, 2) << " ms\n"
+            << "wall time: " << fmt(result.wall_seconds, 3) << " s\n";
+
+  if (auto out = flags.get("out")) {
+    result.report.save_tsv(*out);
+    std::cout << "wrote " << *out << "\n";
+  }
+  if (auto json = flags.get("json")) {
+    result.report.save_json(*json);
+    std::cout << "wrote " << *json << "\n";
+  }
+  return 0;
+}
+
 int usage() {
-  std::cerr << "usage: mlaas_cli <list|train|probe|corpus|campaign> [flags]\n"
+  std::cerr << "usage: mlaas_cli <list|train|probe|corpus|campaign|serve-bench> [flags]\n"
                "  see the header comment of tools/mlaas_cli.cpp for details\n";
   return 2;
 }
@@ -239,6 +322,7 @@ int main(int argc, char** argv) {
     if (command == "probe") return cmd_probe(flags);
     if (command == "corpus") return cmd_corpus(flags);
     if (command == "campaign") return cmd_campaign(flags);
+    if (command == "serve-bench") return cmd_serve_bench(flags);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "mlaas_cli: " << e.what() << "\n";

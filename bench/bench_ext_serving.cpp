@@ -8,6 +8,10 @@
 //                      quota — the batcher's best case.
 //   small_cache        model-cache capacity 2 under 6 tenants: constant
 //                      eviction + deterministic re-train churn.
+//   chaos_soak         seeded "storm" fault schedule with deadline budgets,
+//                      breaker-gated failover and last-known-good serving.
+//                      The scenario runs twice and aborts unless goodput is
+//                      positive and both runs produce byte-identical reports.
 //
 // Modes:
 //   (default)                human-readable table
@@ -57,17 +61,45 @@ ScenarioResult run_scenario(const std::string& name) {
     roster = {"Local", "Google", "Amazon", "BigML"};
     options.arrival_rate = 50.0;
     options.serving.model_cache_capacity = 2;
+  } else if (name == "chaos_soak") {
+    roster = {"Local", "Google", "Amazon", "BigML"};
+    options.arrival_rate = 50.0;
+    options.serving.fault_rate = 0.1;
+    options.serving.chaos_profile = "storm";
+    options.serving.deadline_seconds = 30.0;
+    options.serving.fallback_platform = "Google";
+    options.serving.serve_last_known_good = true;
+    options.serving.breaker.enabled = true;
+    options.serving.breaker.failure_threshold = 3;
+    options.serving.breaker.cooldown_seconds = 120.0;
+    options.serving.breaker.max_probes = 4;
   } else {
     throw std::invalid_argument("unknown scenario " + name);
   }
   const auto tenants = make_serving_tenants(n_tenants, roster, options.seed);
   const ServingWorkloadResult run = run_serving_workload(tenants, options);
+  if (name == "chaos_soak") {
+    // Determinism gate: a second pass through the identical seeded storm must
+    // reproduce the report byte-for-byte and keep serving useful answers.
+    const ServingWorkloadResult rerun = run_serving_workload(tenants, options);
+    std::ostringstream first, second;
+    run.report.write_tsv(first);
+    rerun.report.write_tsv(second);
+    if (first.str() != second.str()) {
+      std::cerr << "chaos_soak: rerun report diverged from first run\n";
+      std::exit(1);
+    }
+    if (!(run.report.totals.goodput() > 0.0)) {
+      std::cerr << "chaos_soak: goodput collapsed to zero under the storm\n";
+      std::exit(1);
+    }
+  }
   return {name, run.report, run.wall_seconds};
 }
 
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {"open_loop_skewed", "closed_loop",
-                                                 "small_cache"};
+                                                 "small_cache", "chaos_soak"};
   return names;
 }
 

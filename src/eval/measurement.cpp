@@ -262,42 +262,6 @@ RetryPolicy CampaignOptions::retry_policy(std::uint64_t session_seed) const {
   return policy;
 }
 
-CircuitBreaker::Decision CircuitBreaker::admit(double /*now*/) const {
-  if (!options_.enabled || !open_) return Decision::kProceed;
-  if (probes_used_ >= options_.max_probes) return Decision::kDefer;
-  return Decision::kProbe;
-}
-
-double CircuitBreaker::probe_wait_seconds(double now) const {
-  return std::max(0.0, opened_at_ + options_.cooldown_seconds - now);
-}
-
-void CircuitBreaker::record_success() {
-  consecutive_failures_ = 0;
-  if (open_) {
-    open_ = false;
-    probes_used_ = 0;
-  }
-}
-
-void CircuitBreaker::record_failure(double now) {
-  if (!options_.enabled) return;
-  if (open_) {
-    // A failed half-open probe re-trips the breaker and restarts the
-    // cooldown from the probe's failure time.
-    ++probes_used_;
-    opened_at_ = now;
-    ++trips_;
-    return;
-  }
-  ++consecutive_failures_;
-  if (consecutive_failures_ >= options_.failure_threshold) {
-    open_ = true;
-    opened_at_ = now;
-    ++trips_;
-  }
-}
-
 void PlatformCampaignStats::merge(const PlatformCampaignStats& other) {
   service.merge(other.service);
   retries += other.retries;
@@ -742,9 +706,11 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
         m.failure = kDeferredStatus;
         finish_cell(std::move(m));
         continue;
+      case CircuitBreaker::Decision::kWait:
       case CircuitBreaker::Decision::kProbe:
-        // Half-open: sleep out the cooldown, then send this cell as the
-        // probe that decides whether the platform has recovered.
+        // Half-open: sleep out whatever is left of the cooldown (zero when
+        // it already expired), then send this cell as the probe that decides
+        // whether the platform has recovered.
         service.advance_clock(breaker.probe_wait_seconds(service.now()));
         break;
       case CircuitBreaker::Decision::kProceed:

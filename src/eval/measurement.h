@@ -23,6 +23,7 @@
 #include "data/dataset.h"
 #include "ml/metrics.h"
 #include "platform/all_platforms.h"
+#include "platform/breaker.h"
 #include "platform/service.h"
 
 namespace mlaas {
@@ -116,49 +117,12 @@ std::string measurement_row_to_tsv(const Measurement& m);
 /// `context` names the source (path:line) in parse errors.
 Measurement measurement_row_from_tsv(const std::string& line, const std::string& context);
 
-/// Per-(dataset, platform) session circuit breaker, the campaign driver's
-/// guard against hammering a platform that is failing hard (sustained
-/// outages, exhausted quotas).  After `failure_threshold` consecutive failed
-/// cells the breaker opens; the driver then sleeps out the cooldown and
-/// sends the next cell as a half-open probe.  A successful probe closes the
-/// breaker; after `max_probes` failed probes it latches open and every
-/// remaining cell is deferred — reproducing the paper's forced exclusion of
-/// rate-limited providers as an emergent behaviour (§8).  Scoped to one
-/// session so campaigns stay deterministic under any thread count.
-struct BreakerOptions {
-  bool enabled = false;
-  int failure_threshold = 3;      // consecutive failed cells before opening
-  double cooldown_seconds = 300;  // simulated sleep before a half-open probe
-  int max_probes = 2;             // failed probes before latching open
-};
-
-class CircuitBreaker {
- public:
-  enum class Decision {
-    kProceed,  // closed: run the cell normally
-    kProbe,    // half-open: sleep `probe_wait_seconds`, then run the cell
-    kDefer,    // latched open: mark the cell deferred without any requests
-  };
-
-  explicit CircuitBreaker(BreakerOptions options) : options_(options) {}
-
-  Decision admit(double now) const;
-  /// Simulated seconds to sleep before a kProbe cell (cooldown remainder).
-  double probe_wait_seconds(double now) const;
-  void record_success();
-  void record_failure(double now);
-
-  bool open() const { return open_; }
-  std::size_t trips() const { return trips_; }
-
- private:
-  BreakerOptions options_;
-  bool open_ = false;
-  double opened_at_ = 0.0;
-  int consecutive_failures_ = 0;
-  int probes_used_ = 0;
-  std::size_t trips_ = 0;
-};
+// The per-(dataset, platform) session circuit breaker lives in
+// platform/breaker.h since the serving router runs one per (platform,
+// router) too; the campaign driver keeps its original use — it sleeps out
+// the cooldown (kWait/kProbe) and sends the next cell as a half-open probe,
+// scoped to one session so campaigns stay deterministic under any thread
+// count.
 
 /// Operational knobs of the campaign transport (ISSUE: fault rate, quota
 /// profile, retry budget, chaos schedule, breakers, journal) — threaded from

@@ -1,0 +1,44 @@
+#include "platform/breaker.h"
+
+#include <algorithm>
+
+namespace mlaas {
+
+CircuitBreaker::Decision CircuitBreaker::admit(double now) const {
+  if (!options_.enabled || !open_) return Decision::kProceed;
+  if (probes_used_ >= options_.max_probes) return Decision::kDefer;
+  return now >= opened_at_ + options_.cooldown_seconds ? Decision::kProbe
+                                                       : Decision::kWait;
+}
+
+double CircuitBreaker::probe_wait_seconds(double now) const {
+  return std::max(0.0, opened_at_ + options_.cooldown_seconds - now);
+}
+
+void CircuitBreaker::record_success() {
+  consecutive_failures_ = 0;
+  if (open_) {
+    open_ = false;
+    probes_used_ = 0;
+  }
+}
+
+void CircuitBreaker::record_failure(double now) {
+  if (!options_.enabled) return;
+  if (open_) {
+    // A failed half-open probe re-trips the breaker and restarts the
+    // cooldown from the probe's failure time.
+    ++probes_used_;
+    opened_at_ = now;
+    ++trips_;
+    return;
+  }
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= options_.failure_threshold) {
+    open_ = true;
+    opened_at_ = now;
+    ++trips_;
+  }
+}
+
+}  // namespace mlaas

@@ -329,6 +329,11 @@ ServiceStatus MlaasService::delete_model(const std::string& handle) {
   return ServiceStatus::kOk;
 }
 
+std::shared_ptr<const TrainedModel> MlaasService::model(const std::string& handle) const {
+  const auto it = models_.find(handle);
+  return it == models_.end() ? nullptr : it->second;
+}
+
 RetryingClient::RetryingClient(MlaasService& service, int max_attempts,
                                double initial_backoff_seconds)
     : RetryingClient(service, [&] {
@@ -347,15 +352,16 @@ RetryingClient::RetryingClient(MlaasService& service, const RetryPolicy& policy)
       std::max(policy_.initial_backoff_seconds, policy_.max_backoff_seconds);
 }
 
-ServiceStatus RetryingClient::with_retries(const std::function<ServiceStatus()>& call) {
+ServiceStatus RetryingClient::with_retries(const std::function<ServiceStatus()>& call,
+                                           double deadline) {
   double backoff = policy_.initial_backoff_seconds;
   double prev_sleep = policy_.initial_backoff_seconds;
   ServiceStatus status = ServiceStatus::kOk;
+  deadline_limited_ = false;
   for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     status = call();
     if (!is_retryable(status)) return status;  // success or permanent failure
     if (attempt + 1 == policy_.max_attempts) break;  // budget spent: no idle sleep
-    ++retries_;
     double wait;
     if (status == ServiceStatus::kRateLimited) {
       // Honour the Retry-After hint so a long window does not eat the whole
@@ -372,28 +378,39 @@ ServiceStatus RetryingClient::with_retries(const std::function<ServiceStatus()>&
       wait = backoff;
       backoff = std::min(backoff * 2.0, policy_.max_backoff_seconds);
     }
+    if (service_.now() + wait > deadline) {
+      // The sleep would overrun the caller's deadline budget: stop retrying
+      // and report the last retryable status now, rather than resolving the
+      // request after its deadline has already passed.
+      deadline_limited_ = true;
+      ++deadline_refusals_;
+      break;
+    }
+    ++retries_;
     backoff_seconds_ += wait;
     service_.advance_clock(wait);
   }
   return status;
 }
 
-ServiceStatus RetryingClient::upload(const Dataset& dataset, std::string* handle) {
-  return with_retries([&] { return service_.upload(dataset, handle); });
+ServiceStatus RetryingClient::upload(const Dataset& dataset, std::string* handle,
+                                     double deadline) {
+  return with_retries([&] { return service_.upload(dataset, handle); }, deadline);
 }
 
 ServiceStatus RetryingClient::train(const std::string& dataset_handle,
                                     const PipelineConfig& config, std::string* model_handle,
                                     std::optional<std::uint64_t> seed,
-                                    double* train_cpu_seconds) {
+                                    double* train_cpu_seconds, double deadline) {
   return with_retries(
       [&] { return service_.train(dataset_handle, config, model_handle, seed,
-                                  train_cpu_seconds); });
+                                  train_cpu_seconds); },
+      deadline);
 }
 
 ServiceStatus RetryingClient::predict(const std::string& model_handle, const Matrix& x,
-                                      std::vector<int>* labels) {
-  return with_retries([&] { return service_.predict(model_handle, x, labels); });
+                                      std::vector<int>* labels, double deadline) {
+  return with_retries([&] { return service_.predict(model_handle, x, labels); }, deadline);
 }
 
 std::optional<std::vector<int>> RetryingClient::train_and_predict(

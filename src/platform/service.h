@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -189,6 +190,13 @@ class MlaasService {
   ServiceStatus delete_dataset(const std::string& handle);
   ServiceStatus delete_model(const std::string& handle);
 
+  /// The trained model behind a handle (nullptr when unknown).  Like the
+  /// deletes this is local bookkeeping — no admission, clock or fault-RNG
+  /// effect — so a gateway can retain a last-known-good model for graceful
+  /// degradation without perturbing any other response.  The returned model
+  /// outlives delete_model / service destruction (shared ownership).
+  std::shared_ptr<const TrainedModel> model(const std::string& handle) const;
+
   /// Live handle counts (leak checks; a long campaign must hold these at
   /// O(1), not O(cells)).
   std::size_t dataset_count() const { return datasets_.size(); }
@@ -218,7 +226,10 @@ class MlaasService {
   ServiceStats stats_;
 
   std::map<std::string, Dataset> datasets_;
-  std::map<std::string, TrainedModelPtr> models_;
+  // shared_ptr (not TrainedModelPtr) so model() can hand out retained
+  // references that survive delete_model; train() still moves unique models
+  // in, so nothing else changes.
+  std::map<std::string, std::shared_ptr<TrainedModel>> models_;
   std::size_t next_handle_ = 0;
 };
 
@@ -234,6 +245,10 @@ struct RetryPolicy {
   std::uint64_t jitter_seed = 0;
 };
 
+/// Absent deadline for RetryingClient calls: retries are bounded only by the
+/// attempt budget, exactly the pre-deadline behaviour.
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
 /// Exponential-backoff wrapper: retries rate-limited and transient failures
 /// by advancing the service clock (sleeping, in simulation).  Rate-limited
 /// requests honour the service's Retry-After hint, so windows always drain
@@ -242,20 +257,30 @@ struct RetryPolicy {
 /// backoff, so a long outage exhausts the budget the way a real one does.
 /// No sleep is charged after the final attempt: once the budget is spent the
 /// failure is returned immediately.
+///
+/// Deadline awareness: every call takes an optional absolute deadline on the
+/// service clock.  A sleep (backoff or Retry-After stall) that would overrun
+/// the deadline is refused — the call returns the last retryable status
+/// immediately instead of sleeping past the budget, and the refusal is
+/// visible via deadline_limited()/deadline_refusals().  With kNoDeadline the
+/// schedule is bit-identical to the pre-deadline client.
 class RetryingClient {
  public:
   explicit RetryingClient(MlaasService& service, int max_attempts = 6,
                           double initial_backoff_seconds = 1.0);
   RetryingClient(MlaasService& service, const RetryPolicy& policy);
 
-  /// Step-wise calls with retries, used by the measurement campaign.
-  ServiceStatus upload(const Dataset& dataset, std::string* handle);
+  /// Step-wise calls with retries, used by the measurement campaign and the
+  /// serving router (which passes per-request deadline budgets).
+  ServiceStatus upload(const Dataset& dataset, std::string* handle,
+                       double deadline = kNoDeadline);
   ServiceStatus train(const std::string& dataset_handle, const PipelineConfig& config,
                       std::string* model_handle,
                       std::optional<std::uint64_t> seed = std::nullopt,
-                      double* train_cpu_seconds = nullptr);
+                      double* train_cpu_seconds = nullptr,
+                      double deadline = kNoDeadline);
   ServiceStatus predict(const std::string& model_handle, const Matrix& x,
-                        std::vector<int>* labels);
+                        std::vector<int>* labels, double deadline = kNoDeadline);
 
   /// Convenience end-to-end call: upload + train + predict with retries.
   /// Returns labels, or nullopt if any step exhausted its retries or hit a
@@ -269,15 +294,23 @@ class RetryingClient {
   std::size_t total_retries() const { return retries_; }
   /// Total simulated seconds spent sleeping (backoff + rate-limit stalls).
   double total_backoff_seconds() const { return backoff_seconds_; }
+  /// Whether the most recent call stopped retrying because a sleep would
+  /// have overrun its deadline.
+  bool deadline_limited() const { return deadline_limited_; }
+  /// Sleeps refused across the client's lifetime (deadline overruns avoided).
+  std::size_t deadline_refusals() const { return deadline_refusals_; }
 
  private:
-  ServiceStatus with_retries(const std::function<ServiceStatus()>& call);
+  ServiceStatus with_retries(const std::function<ServiceStatus()>& call,
+                             double deadline);
 
   MlaasService& service_;
   RetryPolicy policy_;
   Rng jitter_rng_;
   std::size_t retries_ = 0;
   double backoff_seconds_ = 0.0;
+  bool deadline_limited_ = false;
+  std::size_t deadline_refusals_ = 0;
 };
 
 }  // namespace mlaas

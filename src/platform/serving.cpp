@@ -90,6 +90,19 @@ std::string LatencyHistogram::encode() const {
 // ---------------------------------------------------------------------------
 // Stats / report
 
+std::string to_string(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kPending: return "pending";
+    case QueryOutcome::kOk: return "ok";
+    case QueryOutcome::kFailover: return "failover";
+    case QueryOutcome::kLastKnownGood: return "last_known_good";
+    case QueryOutcome::kDeadlineMissed: return "deadline_missed";
+    case QueryOutcome::kDegraded: return "degraded";
+    case QueryOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 void TenantServingStats::merge(const TenantServingStats& other) {
   requests += other.requests;
   rows += other.rows;
@@ -112,6 +125,10 @@ double ServingStats::batch_occupancy(std::size_t max_batch_rows) const {
 double ServingStats::throughput_rows_per_sec() const {
   return simulated_seconds <= 0.0 ? 0.0
                                   : static_cast<double>(batched_rows) / simulated_seconds;
+}
+
+double ServingStats::goodput() const {
+  return requests == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(requests);
 }
 
 namespace {
@@ -157,9 +174,7 @@ void write_latency_json(std::ostream& out, const LatencyHistogram& h) {
 
 }  // namespace
 
-void ServingReport::save_tsv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("ServingReport: cannot write " + path);
+void ServingReport::write_tsv(std::ostream& out) const {
   out.precision(10);
   out << kServingHeader << '\n';
   for (const auto& t : tenants) write_tenant_row(out, t);
@@ -189,7 +204,26 @@ void ServingReport::save_tsv(const std::string& path) const {
       << "\ttrainings=" << totals.trainings << "\tretries=" << totals.retries
       << "\trate_limited=" << totals.rate_limited
       << "\tbackoff_sec=" << totals.backoff_seconds << '\n';
+  // SLO telemetry only exists once a resilience knob was turned; the gate
+  // keeps chaos-off reports byte-identical to the pre-resilience format.
+  if (resilience) {
+    out << "# resilience\tgoodput=" << totals.goodput()
+        << "\tdeadline_missed=" << totals.deadline_missed
+        << "\tfailovers=" << totals.failovers
+        << "\tdegraded_answers=" << totals.degraded_answers
+        << "\tdegraded_rejected=" << totals.degraded_rejected
+        << "\tbreaker_gated=" << totals.breaker_gated
+        << "\tbreaker_trips=" << totals.breaker_trips
+        << "\trefused_sleeps=" << totals.refused_sleeps
+        << "\tflushed_deadline=" << totals.flushed_deadline << '\n';
+  }
   out << "# histogram\t" << totals.latency.encode() << '\n';
+}
+
+void ServingReport::save_tsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ServingReport: cannot write " + path);
+  write_tsv(out);
 }
 
 void ServingReport::save_json(const std::string& path) const {
@@ -218,7 +252,19 @@ void ServingReport::save_json(const std::string& path) const {
       << ", \"throughput_rows_per_sec\": " << totals.throughput_rows_per_sec() << ",\n"
       << "    \"latency_ms\": ";
   write_latency_json(out, totals.latency);
-  out << "\n  },\n  \"histogram\": \"" << json_escape(totals.latency.encode())
+  out << "\n  },\n";
+  if (resilience) {
+    out << "  \"resilience\": {\"goodput\": " << totals.goodput()
+        << ", \"deadline_missed\": " << totals.deadline_missed
+        << ", \"failovers\": " << totals.failovers
+        << ", \"degraded_answers\": " << totals.degraded_answers
+        << ", \"degraded_rejected\": " << totals.degraded_rejected
+        << ", \"breaker_gated\": " << totals.breaker_gated
+        << ", \"breaker_trips\": " << totals.breaker_trips
+        << ", \"refused_sleeps\": " << totals.refused_sleeps
+        << ", \"flushed_deadline\": " << totals.flushed_deadline << "},\n";
+  }
+  out << "  \"histogram\": \"" << json_escape(totals.latency.encode())
       << "\",\n  \"tenants\": [\n";
   for (std::size_t i = 0; i < tenants.size(); ++i) {
     const auto& t = tenants[i];
@@ -246,15 +292,34 @@ QueryRouter::QueryRouter(const std::vector<PlatformPtr>& platforms,
   for (const auto& p : platforms) {
     PlatformState ps;
     ps.platform = p.get();
+    ServiceQuota quota = ::mlaas::quota_profile(quota_profile, p->name());
+    // Chaos threading: extra scalar faults stack on the profile's own rate,
+    // and the correlated-failure schedule is seeded per platform so reruns
+    // of the same router seed see the same storms.  With the defaults (rate
+    // 0, profile "none") the quota is bit-identical to the profile's.
+    quota.fault_rate = std::max(quota.fault_rate, options_.fault_rate);
+    quota.fault_plan = make_fault_plan(options_.chaos_profile, p->name(),
+                                       derive_seed(seed, "serving-chaos-" + p->name()));
     ps.service = std::make_unique<MlaasService>(
-        *p, ::mlaas::quota_profile(quota_profile, p->name()),
-        derive_seed(seed, "serving-" + p->name()));
+        *p, quota, derive_seed(seed, "serving-" + p->name()));
     RetryPolicy policy = options_.retry;
     policy.jitter_seed = derive_seed(seed, "serving-retry-" + p->name());
     ps.client = std::make_unique<RetryingClient>(*ps.service, policy);
+    ps.breaker = CircuitBreaker(options_.breaker);
     platform_index_.emplace(p->name(), platforms_.size());
     platforms_.push_back(std::move(ps));
   }
+  if (!options_.fallback_platform.empty()) {
+    const auto it = platform_index_.find(options_.fallback_platform);
+    if (it == platform_index_.end()) {
+      throw std::invalid_argument("QueryRouter: fallback platform '" +
+                                  options_.fallback_platform + "' not in roster");
+    }
+    fallback_index_ = it->second;
+  }
+  resilience_ = options_.fault_rate > 0.0 || options_.chaos_profile != "none" ||
+                options_.deadline_seconds > 0.0 || fallback_index_.has_value() ||
+                options_.serve_last_known_good || options_.breaker.enabled;
 }
 
 template <typename Fn>
@@ -289,6 +354,12 @@ std::optional<QueryRouter::SessionId> QueryRouter::open_session(
   session.platform = pit->second;
   session.model_key = platform + "|" + train.meta().id + "|" + config.key() + "|" +
                       std::to_string(train_seed);
+  if (fallback_index_) {
+    // Same (dataset, config, seed) on the fallback platform: a distinct
+    // cache key, trained deterministically on first failover.
+    session.fallback_key = options_.fallback_platform + "|" + train.meta().id + "|" +
+                           config.key() + "|" + std::to_string(train_seed);
+  }
   session.train = train;
   session.config = config;
   session.train_seed = train_seed;
@@ -296,7 +367,8 @@ std::optional<QueryRouter::SessionId> QueryRouter::open_session(
   tenant_stats(tenant);  // reserve the tenant's report row in open order
   sessions_.push_back(std::move(session));
   const SessionId id = sessions_.size() - 1;
-  if (acquire_model(id).empty()) {
+  const Session& s = sessions_[id];
+  if (acquire_model(id, s.platform, s.model_key, kNoDeadline).empty()) {
     sessions_[id].open = false;
     return std::nullopt;
   }
@@ -309,25 +381,27 @@ void QueryRouter::close_session(SessionId session) {
   sessions_.at(session).open = false;
 }
 
-std::string QueryRouter::acquire_model(std::size_t session) {
+std::string QueryRouter::acquire_model(std::size_t session, std::size_t platform,
+                                       const std::string& model_key, double deadline) {
   Session& s = sessions_[session];
-  if (const auto it = cache_index_.find(s.model_key); it != cache_index_.end()) {
+  if (const auto it = cache_index_.find(model_key); it != cache_index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);  // most recently used
     ++stats_.cache_hits;
     return it->second->handle;
   }
   ++stats_.cache_misses;
-  PlatformState& ps = platforms_[s.platform];
+  PlatformState& ps = platforms_[platform];
   std::string dataset_handle;
-  ServiceStatus status =
-      timed_call(ps, [&] { return ps.client->upload(s.train, &dataset_handle); });
+  ServiceStatus status = timed_call(
+      ps, [&] { return ps.client->upload(s.train, &dataset_handle, deadline); });
   if (status != ServiceStatus::kOk) {
     last_error_ = "upload:" + to_string(status);
     return {};
   }
   std::string model_handle;
   status = timed_call(ps, [&] {
-    return ps.client->train(dataset_handle, s.config, &model_handle, s.train_seed);
+    return ps.client->train(dataset_handle, s.config, &model_handle, s.train_seed,
+                            nullptr, deadline);
   });
   // The uploaded copy is only needed for the train call; release it on every
   // path so cache churn cannot accumulate dataset copies in the service.
@@ -337,8 +411,14 @@ std::string QueryRouter::acquire_model(std::size_t session) {
     return {};
   }
   ++stats_.trainings;
-  lru_.push_front({s.model_key, s.platform, model_handle});
-  cache_index_[s.model_key] = lru_.begin();
+  if (options_.serve_last_known_good) {
+    // Retain a reference for the bottom serving rung.  The shared_ptr keeps
+    // the model alive through cache eviction and delete_model, and looking
+    // it up later has no admission/clock/RNG effect.
+    last_known_good_[model_key] = ps.service->model(model_handle);
+  }
+  lru_.push_front({model_key, platform, model_handle});
+  cache_index_[model_key] = lru_.begin();
   evict_to_capacity(options_.model_cache_capacity);
   return model_handle;
 }
@@ -354,7 +434,8 @@ void QueryRouter::evict_to_capacity(std::size_t capacity) {
 }
 
 std::optional<QueryRouter::Ticket> QueryRouter::submit(SessionId session,
-                                                       const Matrix& x) {
+                                                       const Matrix& x,
+                                                       double deadline_seconds) {
   Session& s = sessions_.at(session);
   if (!s.open) throw std::logic_error("QueryRouter::submit: session is closed");
   TenantServingStats& ts = tenant_stats(s.tenant);
@@ -366,6 +447,12 @@ std::optional<QueryRouter::Ticket> QueryRouter::submit(SessionId session,
     return std::nullopt;
   }
 
+  // Negative budget = the router default; 0 = explicitly unbounded.
+  const double budget =
+      deadline_seconds < 0.0 ? options_.deadline_seconds : deadline_seconds;
+  const double abs_deadline = budget > 0.0 ? now_ + budget : kNoDeadline;
+  if (abs_deadline != kNoDeadline) resilience_ = true;
+
   ++ts.requests;
   ts.rows += x.rows();
   ++stats_.requests;
@@ -374,10 +461,12 @@ std::optional<QueryRouter::Ticket> QueryRouter::submit(SessionId session,
   const Ticket ticket = results_.size();
   results_.emplace_back();
   results_.back().submit_seconds = now_;
+  results_.back().deadline = abs_deadline;
 
   if (x.rows() == 0) {  // degenerate but legal: complete instantly
     QueryResult& r = results_.back();
     r.done = r.ok = true;
+    r.outcome = QueryOutcome::kOk;
     r.complete_seconds = now_;
     ++ts.ok;
     ++stats_.ok;
@@ -408,7 +497,8 @@ std::optional<QueryRouter::Ticket> QueryRouter::submit(SessionId session,
   Batch& batch = it->second;
   batch.data.insert(batch.data.end(), x.data().begin(), x.data().end());
   batch.rows += x.rows();
-  batch.requests.push_back({ticket, x.rows(), s.tenant});
+  batch.requests.push_back({ticket, x.rows(), s.tenant, abs_deadline});
+  batch.budget_deadline = std::min(batch.budget_deadline, abs_deadline);
   ps.pending_rows += x.rows();
   if (batch.rows >= options_.max_batch_rows) flush(s.model_key, FlushCause::kFull);
   return ticket;
@@ -426,23 +516,101 @@ void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
   switch (cause) {
     case FlushCause::kFull: ++stats_.flushed_full; break;
     case FlushCause::kLinger: ++stats_.flushed_linger; break;
+    case FlushCause::kDeadline: ++stats_.flushed_deadline; break;
     case FlushCause::kForced: ++stats_.flushed_forced; break;
   }
 
-  // Acquire (possibly re-train after an eviction), then one batched predict.
-  const std::string handle = acquire_model(batch.session);
+  const Session& s = sessions_[batch.session];
+  const double budget = batch.budget_deadline;
+  Matrix x(batch.rows, batch.cols);
+  std::copy(batch.data.begin(), batch.data.end(), x.data().begin());
+
+  // Degradation ladder.  Rung 1: the session's own platform — health-gated
+  // by its breaker, retries and training bounded by the batch's tightest
+  // member budget.
   std::vector<int> labels;
-  ServiceStatus status = ServiceStatus::kNotFound;
+  bool have_labels = false;
+  QueryOutcome how = QueryOutcome::kFailed;
   std::string error;
-  if (handle.empty()) {
-    error = last_error_;
-  } else {
-    Matrix x(batch.rows, batch.cols);
-    std::copy(batch.data.begin(), batch.data.end(), x.data().begin());
+  {
     PlatformState& ps = platforms_[batch.platform];
-    status = timed_call(ps, [&] { return ps.client->predict(handle, x, &labels); });
-    if (status != ServiceStatus::kOk) error = "predict:" + to_string(status);
+    const auto decision = ps.breaker.admit(now_);
+    if (decision == CircuitBreaker::Decision::kWait ||
+        decision == CircuitBreaker::Decision::kDefer) {
+      // Open breaker: waiting out the cooldown would burn the budget, so
+      // skip the platform entirely and take the next rung.
+      ++stats_.breaker_gated;
+      error = "breaker:open";
+    } else if (now_ > budget) {
+      error = "deadline:exhausted";  // forced/overflow flush past the budget
+    } else {
+      const std::string handle =
+          acquire_model(batch.session, batch.platform, s.model_key, budget);
+      if (handle.empty()) {
+        error = last_error_;
+        ps.breaker.record_failure(now_);
+      } else {
+        const ServiceStatus status = timed_call(
+            ps, [&] { return ps.client->predict(handle, x, &labels, budget); });
+        if (status == ServiceStatus::kOk) {
+          have_labels = true;
+          how = QueryOutcome::kOk;
+          ps.breaker.record_success();
+        } else {
+          error = "predict:" + to_string(status);
+          ps.breaker.record_failure(now_);
+        }
+      }
+    }
   }
+
+  // Rung 2: failover — re-train (deterministically, from the session seed)
+  // and predict on the fallback platform, under its own breaker and chaos
+  // plan, still within the budget.
+  if (!have_labels && fallback_index_ && *fallback_index_ != batch.platform) {
+    PlatformState& fb = platforms_[*fallback_index_];
+    const auto decision = fb.breaker.admit(now_);
+    if (decision == CircuitBreaker::Decision::kWait ||
+        decision == CircuitBreaker::Decision::kDefer) {
+      ++stats_.breaker_gated;
+    } else if (now_ <= budget) {
+      const std::string handle =
+          acquire_model(batch.session, *fallback_index_, s.fallback_key, budget);
+      if (handle.empty()) {
+        fb.breaker.record_failure(now_);
+      } else {
+        const ServiceStatus status = timed_call(
+            fb, [&] { return fb.client->predict(handle, x, &labels, budget); });
+        if (status == ServiceStatus::kOk) {
+          have_labels = true;
+          how = QueryOutcome::kFailover;
+          fb.breaker.record_success();
+        } else {
+          fb.breaker.record_failure(now_);
+        }
+      }
+    }
+  }
+
+  // Rung 3: last-known-good — serve from the retained model, locally.  No
+  // admission, clock or RNG effect, so it cannot fail and costs no budget;
+  // the answer is just not billed against the platform.
+  if (!have_labels && options_.serve_last_known_good) {
+    auto lkg = last_known_good_.find(s.model_key);
+    if (lkg == last_known_good_.end() && !s.fallback_key.empty()) {
+      lkg = last_known_good_.find(s.fallback_key);
+    }
+    if (lkg != last_known_good_.end()) {
+      labels = lkg->second->predict(x);
+      have_labels = true;
+      how = QueryOutcome::kLastKnownGood;
+    }
+  }
+
+  // Rung 4: degraded reject — but only when a ladder was configured at all;
+  // otherwise this is the classic failure path with its original error text.
+  const bool ladder = fallback_index_.has_value() || options_.serve_last_known_good;
+  if (!have_labels) how = ladder ? QueryOutcome::kDegraded : QueryOutcome::kFailed;
 
   std::size_t offset = 0;
   for (const PendingRequest& req : batch.requests) {
@@ -450,15 +618,29 @@ void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
     r.done = true;
     r.complete_seconds = now_;
     TenantServingStats& ts = tenant_stats(req.tenant);
-    if (status == ServiceStatus::kOk) {
+    if (have_labels) {
       r.ok = true;
       r.labels.assign(labels.begin() + static_cast<std::ptrdiff_t>(offset),
                       labels.begin() + static_cast<std::ptrdiff_t>(offset + req.rows));
-      ++ts.ok;
-      ++stats_.ok;
     } else {
       r.ok = false;
-      r.error = error;
+      r.error = how == QueryOutcome::kDegraded ? "degraded:" + error : error;
+    }
+    // A request that resolved after its own deadline is a deadline miss no
+    // matter which rung answered it; in-budget resolutions keep the rung's
+    // outcome and feed the goodput partition.
+    const bool late = now_ > req.deadline;
+    r.outcome = late ? QueryOutcome::kDeadlineMissed : how;
+    if (late) {
+      ++stats_.deadline_missed;
+    } else if (have_labels) {
+      ++ts.ok;
+      ++stats_.ok;
+      if (how == QueryOutcome::kFailover) ++stats_.failovers;
+      if (how == QueryOutcome::kLastKnownGood) ++stats_.degraded_answers;
+    } else if (how == QueryOutcome::kDegraded) {
+      ++stats_.degraded_rejected;
+    } else {
       ++ts.failed;
       ++stats_.failed;
     }
@@ -469,21 +651,31 @@ void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
   }
 }
 
+double QueryRouter::due_at(const Batch& batch) {
+  // A batch falls due at its linger deadline — or earlier, when the
+  // tightest member budget would otherwise be burned waiting for stragglers.
+  return std::min(batch.deadline, batch.budget_deadline);
+}
+
 void QueryRouter::advance_to(double t) {
-  // Flush every batch whose linger deadline falls due, earliest (deadline,
-  // seq) first — the deterministic replay of what a timer wheel would do.
+  // Flush every batch that falls due, earliest (due time, seq) first — the
+  // deterministic replay of what a timer wheel would do.
   while (true) {
     const Batch* due = nullptr;
+    double due_time = 0.0;
     for (const auto& [key, batch] : batches_) {
-      if (batch.deadline > t) continue;
-      if (due == nullptr || batch.deadline < due->deadline ||
-          (batch.deadline == due->deadline && batch.seq < due->seq)) {
+      const double at = due_at(batch);
+      if (at > t) continue;
+      if (due == nullptr || at < due_time || (at == due_time && batch.seq < due->seq)) {
         due = &batch;
+        due_time = at;
       }
     }
     if (due == nullptr) break;
-    now_ = std::max(now_, due->deadline);
-    flush(due->model_key, FlushCause::kLinger);
+    now_ = std::max(now_, due_time);
+    // Budget strictly before linger = this flush exists to save a deadline.
+    flush(due->model_key, due->budget_deadline < due->deadline ? FlushCause::kDeadline
+                                                               : FlushCause::kLinger);
   }
   now_ = std::max(now_, t);
 }
@@ -491,13 +683,13 @@ void QueryRouter::advance_to(double t) {
 const QueryResult& QueryRouter::wait(Ticket ticket) {
   const QueryResult& r = results_.at(ticket);
   if (r.done) return r;
-  // Find the batch holding the ticket and let the clock run to its linger
-  // deadline; nothing else happens while a closed-loop caller blocks, so
-  // that is exactly when the batch flushes.
+  // Find the batch holding the ticket and let the clock run to its due
+  // time; nothing else happens while a closed-loop caller blocks, so that
+  // is exactly when the batch flushes.
   for (const auto& [key, batch] : batches_) {
     for (const PendingRequest& req : batch.requests) {
       if (req.ticket == ticket) {
-        advance_to(std::max(now_, batch.deadline));
+        advance_to(std::max(now_, due_at(batch)));
         return results_.at(ticket);
       }
     }
@@ -508,13 +700,15 @@ const QueryResult& QueryRouter::wait(Ticket ticket) {
 void QueryRouter::drain() {
   while (!batches_.empty()) {
     const Batch* next = nullptr;
+    double next_at = 0.0;
     for (const auto& [key, batch] : batches_) {
-      if (next == nullptr || batch.deadline < next->deadline ||
-          (batch.deadline == next->deadline && batch.seq < next->seq)) {
+      const double at = due_at(batch);
+      if (next == nullptr || at < next_at || (at == next_at && batch.seq < next->seq)) {
         next = &batch;
+        next_at = at;
       }
     }
-    now_ = std::max(now_, next->deadline);
+    now_ = std::max(now_, next_at);
     flush(next->model_key, FlushCause::kForced);
   }
 }
@@ -526,6 +720,8 @@ ServingStats QueryRouter::stats() const {
     s.retries += ps.client->total_retries();
     s.backoff_seconds += ps.client->total_backoff_seconds();
     s.rate_limited += ps.service->stats().rate_limited;
+    s.refused_sleeps += ps.client->deadline_refusals();
+    s.breaker_trips += ps.breaker.trips();
   }
   return s;
 }
@@ -535,6 +731,7 @@ ServingReport QueryRouter::report() const {
   report.totals = stats();
   report.tenants = tenants_;
   report.max_batch_rows = options_.max_batch_rows;
+  report.resilience = resilience_;
   return report;
 }
 

@@ -17,9 +17,20 @@
 // to direct Platform::train(seed)->predict(rows) for the same seed — for any
 // batch size, linger, cache capacity or tenant interleaving — which is what
 // lets the §6 experiments and the measurement campaign run through it.
+//
+// Fault tolerance (DESIGN.md "Degradation ladder"): every request may carry a
+// deadline budget — batches flush early when the tightest budget falls due,
+// retries refuse sleeps that would overrun it, and late resolutions count as
+// deadline_missed instead of hanging.  Per-platform circuit breakers
+// health-gate dispatch, and a failed (or gated, or budget-exhausted) batch
+// walks a deterministic ladder: fallback platform → retained last-known-good
+// model → degraded reject.  Every knob defaults off, in which case labels and
+// reports are byte-identical to the pre-resilience router; with chaos on,
+// reruns of the same seed are byte-identical to each other.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <map>
 #include <memory>
@@ -27,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "platform/breaker.h"
 #include "platform/service.h"
 
 namespace mlaas {
@@ -82,16 +94,63 @@ struct ServingOptions {
   std::size_t max_pending_rows = 0;
   /// Retry policy for upload/train/predict calls issued by the router.
   RetryPolicy retry;
+
+  // -- Fault tolerance.  Every knob below defaults off; while they stay off
+  // the router's labels, stats and reports are byte-identical to the
+  // pre-resilience code.
+
+  /// Extra i.i.d. transient-fault probability injected into every platform
+  /// service, combined with the quota profile's own rate via max().
+  double fault_rate = 0.0;
+  /// Correlated-failure schedule per platform: "none", "outages", "bursts",
+  /// "latency" or "storm" (see make_fault_plan).  Seeded per platform from
+  /// the router seed, so reruns see the same storms.
+  std::string chaos_profile = "none";
+  /// Default per-request deadline budget in simulated seconds (0 = none;
+  /// submit() can override per request).  A batch flushes early when its
+  /// tightest member budget falls due, retries refuse any sleep that would
+  /// overrun it, and a request that still resolves late counts as
+  /// deadline_missed — it never hangs.
+  double deadline_seconds = 0.0;
+  /// Degradation ladder rung 2: when the primary platform fails, is breaker
+  /// -gated or runs out of budget, re-route the batch here (must be in the
+  /// roster; empty = no failover).  The fallback model is trained from the
+  /// same session train_seed, so failover labels are deterministic.
+  std::string fallback_platform;
+  /// Degradation ladder rung 3: retain the last successfully trained model
+  /// per model key and serve labels from it locally — no service admission,
+  /// no clock or fault-RNG effect — when both primary and fallback are
+  /// unavailable.
+  bool serve_last_known_good = false;
+  /// Health gate: one circuit breaker per (platform, router).  While a
+  /// breaker is open the router skips that platform and takes the next
+  /// ladder rung instead of sleeping out the cooldown on a request budget.
+  BreakerOptions breaker;
 };
+
+/// Where on the serve path / degradation ladder a request was resolved.
+enum class QueryOutcome {
+  kPending,         // not resolved yet
+  kOk,              // primary platform answered within budget
+  kFailover,        // fallback platform answered within budget
+  kLastKnownGood,   // served from the retained last-known-good model
+  kDeadlineMissed,  // resolved after its deadline (labels may still be set)
+  kDegraded,        // ladder exhausted within budget: degraded reject
+  kFailed,          // permanent failure with no ladder rung configured
+};
+
+std::string to_string(QueryOutcome outcome);
 
 /// Outcome of one submitted predict request.
 struct QueryResult {
   bool done = false;   // batch flushed (or request rejected/failed)
-  bool ok = false;
+  bool ok = false;     // labels are valid (even when the deadline was missed)
+  QueryOutcome outcome = QueryOutcome::kPending;
   std::string error;   // service status string when !ok
   std::vector<int> labels;
   double submit_seconds = 0.0;    // router clock at submit
   double complete_seconds = 0.0;  // router clock when the batch flushed
+  double deadline = kNoDeadline;  // absolute router-clock deadline
 };
 
 /// Per-tenant serving telemetry.
@@ -119,6 +178,7 @@ struct ServingStats {
   std::size_t flushed_full = 0;     // flush cause: batch reached max rows
   std::size_t flushed_linger = 0;   // flush cause: linger deadline
   std::size_t flushed_forced = 0;   // flush cause: drain()/wait()
+  std::size_t flushed_deadline = 0; // flush cause: tightest budget fell due
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;     // each miss uploads + trains
   std::size_t cache_evictions = 0;  // delete_model calls from LRU pressure
@@ -129,12 +189,27 @@ struct ServingStats {
   double simulated_seconds = 0.0;   // router clock when the report was cut
   LatencyHistogram latency;
 
+  // SLO telemetry.  Resolved requests partition as
+  //   requests = ok + failed + rejected + deadline_missed + degraded_rejected
+  // where `ok` counts every request answered with labels within budget
+  // (primary, failover and last-known-good alike; the latter two are also
+  // tallied in their own sub-counters below).
+  std::size_t deadline_missed = 0;   // resolved after the request's deadline
+  std::size_t failovers = 0;         // answered by the fallback platform
+  std::size_t degraded_answers = 0;  // answered from last-known-good
+  std::size_t degraded_rejected = 0; // ladder exhausted: degraded reject
+  std::size_t breaker_gated = 0;     // dispatches skipped on an open breaker
+  std::size_t breaker_trips = 0;     // breaker open transitions, all platforms
+  std::size_t refused_sleeps = 0;    // retry sleeps refused by deadline budgets
+
   /// Mean rows per flushed batch.
   double mean_batch_rows() const;
   /// mean_batch_rows / max_batch_rows in [0, 1].
   double batch_occupancy(std::size_t max_batch_rows) const;
   /// Completed rows per simulated second.
   double throughput_rows_per_sec() const;
+  /// Fraction of submitted requests answered with labels within budget.
+  double goodput() const;
 };
 
 /// Telemetry report: totals plus one row per tenant, written through the
@@ -143,7 +218,13 @@ struct ServingReport {
   ServingStats totals;
   std::vector<TenantServingStats> tenants;  // session-open order
   std::size_t max_batch_rows = 0;
+  /// True when any resilience knob was on (or a per-request deadline was
+  /// used).  Gates the "# resilience" TSV trailer and the JSON "resilience"
+  /// block, so chaos-off reports stay byte-identical to the pre-resilience
+  /// format.
+  bool resilience = false;
 
+  void write_tsv(std::ostream& out) const;
   void save_tsv(const std::string& path) const;
   void save_json(const std::string& path) const;
 };
@@ -178,10 +259,14 @@ class QueryRouter {
 
   /// Queue `x` for the session's model.  The request rides the model's
   /// current micro-batch: it flushes when the batch reaches max_batch_rows,
-  /// when the linger deadline passes during advance_to(), or on
-  /// wait()/drain().  Returns nullopt (and counts a rejection) when the
-  /// platform's pending-row cap would be exceeded.
-  std::optional<Ticket> submit(SessionId session, const Matrix& x);
+  /// when the linger deadline passes during advance_to(), when the tightest
+  /// member budget falls due, or on wait()/drain().  Returns nullopt (and
+  /// counts a rejection) when the platform's pending-row cap would be
+  /// exceeded.  `deadline_seconds` is this request's budget in simulated
+  /// seconds from now: negative (the default) uses
+  /// ServingOptions::deadline_seconds, 0 means explicitly unbounded.
+  std::optional<Ticket> submit(SessionId session, const Matrix& x,
+                               double deadline_seconds = -1.0);
 
   /// Advance the simulated clock to `t`, flushing every batch whose linger
   /// deadline falls due, in deterministic (deadline, sequence) order.
@@ -211,13 +296,15 @@ class QueryRouter {
     std::unique_ptr<MlaasService> service;
     std::unique_ptr<RetryingClient> client;
     std::size_t pending_rows = 0;
+    CircuitBreaker breaker{BreakerOptions{}};
   };
 
   struct Session {
     std::string tenant;
     std::size_t platform = 0;
     std::string model_key;
-    Dataset train;          // kept for re-train after LRU eviction
+    std::string fallback_key;  // model key on the fallback platform (ladder)
+    Dataset train;             // kept for re-train after LRU eviction
     PipelineConfig config;
     std::uint64_t train_seed = 0;
     bool open = false;
@@ -227,6 +314,7 @@ class QueryRouter {
     Ticket ticket = 0;
     std::size_t rows = 0;
     std::string tenant;
+    double deadline = kNoDeadline;  // absolute router-clock deadline
   };
 
   struct Batch {
@@ -235,6 +323,7 @@ class QueryRouter {
     std::size_t session = 0;      // any session of this model (for re-train)
     std::uint64_t seq = 0;        // creation order, breaks deadline ties
     double deadline = 0.0;        // first-row time + linger
+    double budget_deadline = kNoDeadline;  // tightest member deadline
     std::size_t rows = 0;
     std::size_t cols = 0;
     std::vector<double> data;     // row-major concatenation
@@ -247,17 +336,23 @@ class QueryRouter {
     std::string handle;
   };
 
-  enum class FlushCause { kFull, kLinger, kForced };
+  enum class FlushCause { kFull, kLinger, kDeadline, kForced };
 
   PlatformState& state_for(std::size_t platform) { return platforms_[platform]; }
+  /// When a batch falls due: its linger deadline or its tightest member
+  /// budget, whichever comes first.
+  static double due_at(const Batch& batch);
   /// Sync a platform service's clock up to the router clock, run `call`,
   /// then fold the service's elapsed time back into the router clock.
   template <typename Fn>
   ServiceStatus timed_call(PlatformState& ps, Fn&& call);
 
-  /// Model handle for `session`, training on a cache miss; empty on failure
-  /// (status recorded in last_error_).
-  std::string acquire_model(std::size_t session);
+  /// Handle for `model_key` on `platform`, training from `session`'s spec on
+  /// a cache miss (within `deadline`); empty on failure (status recorded in
+  /// last_error_).  Used for both the primary and the fallback rung — the
+  /// two differ only in (platform, key).
+  std::string acquire_model(std::size_t session, std::size_t platform,
+                            const std::string& model_key, double deadline);
   void evict_to_capacity(std::size_t capacity);
   void flush(const std::string& model_key, FlushCause cause);
   TenantServingStats& tenant_stats(const std::string& tenant);
@@ -265,6 +360,8 @@ class QueryRouter {
   std::vector<PlatformState> platforms_;
   std::map<std::string, std::size_t> platform_index_;
   ServingOptions options_;
+  std::optional<std::size_t> fallback_index_;  // resolved fallback_platform
+  bool resilience_ = false;  // any resilience knob on / deadline ever used
   double now_ = 0.0;
 
   std::vector<Session> sessions_;
@@ -274,6 +371,9 @@ class QueryRouter {
 
   std::list<CachedModel> lru_;  // front = most recently used
   std::map<std::string, std::list<CachedModel>::iterator> cache_index_;
+  // Last-known-good ladder rung: trained models retained per model key
+  // (shared ownership: they survive delete_model and cache eviction).
+  std::map<std::string, std::shared_ptr<const TrainedModel>> last_known_good_;
 
   ServingStats stats_;
   std::vector<TenantServingStats> tenants_;  // session-open order

@@ -372,30 +372,51 @@ TEST(CircuitBreakerTest, OpensAfterThresholdProbesThenLatches) {
   breaker.record_failure(3.0);  // third consecutive failure: trip
   EXPECT_TRUE(breaker.open());
   EXPECT_EQ(breaker.trips(), 1u);
-  EXPECT_EQ(breaker.admit(3.5), CircuitBreaker::Decision::kProbe);
+  // Open, cooldown still running: admission is time-aware and says wait.
+  EXPECT_EQ(breaker.admit(3.5), CircuitBreaker::Decision::kWait);
   EXPECT_DOUBLE_EQ(breaker.probe_wait_seconds(3.5), 99.5);
+  EXPECT_EQ(breaker.admit(103.0), CircuitBreaker::Decision::kProbe);
   breaker.record_failure(103.5);  // probe 1 fails: re-trip, cooldown restarts
   EXPECT_EQ(breaker.trips(), 2u);
-  EXPECT_EQ(breaker.admit(104.0), CircuitBreaker::Decision::kProbe);
+  EXPECT_EQ(breaker.admit(104.0), CircuitBreaker::Decision::kWait);
+  EXPECT_EQ(breaker.admit(203.5), CircuitBreaker::Decision::kProbe);
   breaker.record_failure(204.0);  // probe 2 fails: out of probes
   EXPECT_EQ(breaker.admit(300.0), CircuitBreaker::Decision::kDefer);
   EXPECT_EQ(breaker.admit(1e9), CircuitBreaker::Decision::kDefer) << "latched open";
+}
+
+TEST(CircuitBreakerTest, CooldownExpiryFlipsWaitToProbe) {
+  BreakerOptions options;
+  options.enabled = true;
+  options.failure_threshold = 1;
+  options.cooldown_seconds = 50.0;
+  CircuitBreaker breaker(options);
+  breaker.record_failure(10.0);  // trip at t=10; cooldown runs until t=60
+  ASSERT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.admit(10.0), CircuitBreaker::Decision::kWait);
+  EXPECT_EQ(breaker.admit(59.999), CircuitBreaker::Decision::kWait);
+  EXPECT_DOUBLE_EQ(breaker.probe_wait_seconds(30.0), 30.0);
+  EXPECT_EQ(breaker.admit(60.0), CircuitBreaker::Decision::kProbe) << "boundary";
+  EXPECT_EQ(breaker.admit(1e6), CircuitBreaker::Decision::kProbe);
+  EXPECT_DOUBLE_EQ(breaker.probe_wait_seconds(60.0), 0.0);
 }
 
 TEST(CircuitBreakerTest, SuccessfulProbeClosesTheBreaker) {
   BreakerOptions options;
   options.enabled = true;
   options.failure_threshold = 2;
+  options.cooldown_seconds = 10.0;
   CircuitBreaker breaker(options);
   breaker.record_failure(1.0);
   breaker.record_failure(2.0);
   ASSERT_TRUE(breaker.open());
-  ASSERT_EQ(breaker.admit(3.0), CircuitBreaker::Decision::kProbe);
+  ASSERT_EQ(breaker.admit(3.0), CircuitBreaker::Decision::kWait) << "cooling down";
+  ASSERT_EQ(breaker.admit(12.0), CircuitBreaker::Decision::kProbe);
   breaker.record_success();  // the half-open probe succeeded
   EXPECT_FALSE(breaker.open());
-  EXPECT_EQ(breaker.admit(4.0), CircuitBreaker::Decision::kProceed);
+  EXPECT_EQ(breaker.admit(13.0), CircuitBreaker::Decision::kProceed);
   // Fully recovered: it takes a fresh run of consecutive failures to re-trip.
-  breaker.record_failure(5.0);
+  breaker.record_failure(14.0);
   EXPECT_FALSE(breaker.open());
 }
 

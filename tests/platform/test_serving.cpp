@@ -19,6 +19,14 @@ Dataset serving_data(std::uint64_t seed = 3) {
   return d;
 }
 
+/// One-row query matrix holding row i (mod size) of the training set.
+Matrix slice_row(const Dataset& d, int i) {
+  Matrix q(1, d.x().cols());
+  const auto src = d.x().row(static_cast<std::size_t>(i) % d.x().rows());
+  std::copy(src.begin(), src.end(), q.row(0).begin());
+  return q;
+}
+
 /// Labels from the direct path the serving layer must reproduce byte for
 /// byte: Platform::train with the explicit seed, then one predict call.
 std::vector<int> direct_labels(const std::string& platform, const Dataset& train,
@@ -330,6 +338,47 @@ TEST(LatencyHistogramTest, OverflowBucketUsesObservedMax) {
   EXPECT_NE(h.encode().find("inf=1"), std::string::npos) << h.encode();
 }
 
+TEST(LatencyHistogramTest, EmptySingleSampleAndDisjointMerge) {
+  // Empty: every quantile (and the mean) is 0, not NaN or a crash.
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max_seconds(), 0.0);
+
+  // One sample: every quantile resolves to that sample's bucket midpoint.
+  LatencyHistogram single;
+  single.record(0.010);
+  const double mid = single.quantile(0.5);
+  EXPECT_DOUBLE_EQ(single.quantile(0.0), mid);
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), mid);
+  EXPECT_NEAR(mid, 0.010, 0.010 * 0.5);
+  EXPECT_DOUBLE_EQ(single.mean_seconds(), 0.010);
+
+  // Merge of histograms occupying disjoint bucket ranges: counts, totals,
+  // max and both tails combine; encode() lists both clusters.
+  LatencyHistogram fast;
+  LatencyHistogram slow;
+  for (int i = 0; i < 10; ++i) fast.record(0.001);
+  for (int i = 0; i < 10; ++i) slow.record(10.0);
+  LatencyHistogram merged = fast;
+  merged.merge(slow);
+  EXPECT_EQ(merged.count(), 20u);
+  EXPECT_DOUBLE_EQ(merged.total_seconds(),
+                   fast.total_seconds() + slow.total_seconds());
+  EXPECT_DOUBLE_EQ(merged.max_seconds(), 10.0);
+  EXPECT_LT(merged.quantile(0.25), 0.01);
+  EXPECT_GT(merged.quantile(0.95), 1.0);
+  EXPECT_NE(merged.encode().find(';'), std::string::npos) << merged.encode();
+  // Merging an empty histogram is the identity.
+  LatencyHistogram copy = merged;
+  copy.merge(empty);
+  EXPECT_EQ(copy.encode(), merged.encode());
+  EXPECT_DOUBLE_EQ(copy.quantile(0.5), merged.quantile(0.5));
+}
+
 TEST(ServingWorkloadTest, SeededWorkloadIsDeterministic) {
   const auto tenants = make_serving_tenants(4, {"Local", "Google"}, 42);
   ASSERT_EQ(tenants.size(), 4u);
@@ -397,6 +446,388 @@ TEST(ServingReportTest, TsvAndJsonRoundOut) {
   EXPECT_NE(json_text.find("\"tenants\""), std::string::npos);
   std::remove(tsv.c_str());
   std::remove(json.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: chaos serving and the degradation ladder.
+
+/// The pre-resilience TSV format, reconstructed field by field.  This is the
+/// byte-lock: with every resilience knob off, ServingReport::write_tsv must
+/// produce exactly these bytes — no new columns, no new trailer lines.
+std::string legacy_tsv(const ServingReport& report) {
+  std::ostringstream out;
+  out.precision(10);
+  out << "tenant\trequests\trows\tok\tfailed\trejected\tmean_ms\tp50_ms\tp95_ms"
+         "\tp99_ms\tmax_ms\n";
+  const auto row = [&out](const TenantServingStats& t) {
+    out << t.tenant << '\t' << t.requests << '\t' << t.rows << '\t' << t.ok << '\t'
+        << t.failed << '\t' << t.rejected << '\t'
+        << t.latency.mean_seconds() * 1000.0 << '\t'
+        << t.latency.quantile(0.50) * 1000.0 << '\t'
+        << t.latency.quantile(0.95) * 1000.0 << '\t'
+        << t.latency.quantile(0.99) * 1000.0 << '\t'
+        << t.latency.max_seconds() * 1000.0 << '\n';
+  };
+  for (const auto& t : report.tenants) row(t);
+  TenantServingStats total;
+  total.tenant = "TOTAL";
+  total.requests = report.totals.requests;
+  total.rows = report.totals.rows;
+  total.ok = report.totals.ok;
+  total.failed = report.totals.failed;
+  total.rejected = report.totals.rejected;
+  total.latency = report.totals.latency;
+  row(total);
+  out << "# serving\tbatches=" << report.totals.batches
+      << "\tmean_batch_rows=" << report.totals.mean_batch_rows()
+      << "\toccupancy=" << report.totals.batch_occupancy(report.max_batch_rows)
+      << "\tthroughput_rows_per_sec=" << report.totals.throughput_rows_per_sec()
+      << "\tsimulated_sec=" << report.totals.simulated_seconds
+      << "\tflushed_full=" << report.totals.flushed_full
+      << "\tflushed_linger=" << report.totals.flushed_linger
+      << "\tflushed_forced=" << report.totals.flushed_forced
+      << "\tcache_hits=" << report.totals.cache_hits
+      << "\tcache_misses=" << report.totals.cache_misses
+      << "\tcache_evictions=" << report.totals.cache_evictions
+      << "\ttrainings=" << report.totals.trainings
+      << "\tretries=" << report.totals.retries
+      << "\trate_limited=" << report.totals.rate_limited
+      << "\tbackoff_sec=" << report.totals.backoff_seconds << '\n';
+  out << "# histogram\t" << report.totals.latency.encode() << '\n';
+  return out.str();
+}
+
+TEST(ChaosServingTest, ChaosOffReportIsByteIdenticalToLegacyFormat) {
+  const auto tenants = make_serving_tenants(3, {"Local", "Google"}, 21);
+  ServingWorkloadOptions options;
+  options.requests = 150;
+  options.seed = 21;
+  const auto result = run_serving_workload(tenants, options);
+  ASSERT_FALSE(result.report.resilience)
+      << "default options must not switch the report into resilience mode";
+  std::ostringstream out;
+  result.report.write_tsv(out);
+  EXPECT_EQ(out.str(), legacy_tsv(result.report));
+}
+
+struct StormRun {
+  std::string tsv;
+  std::vector<QueryResult> results;  // ticket order
+  ServingStats stats;
+};
+
+/// One deterministic chaos-storm serving run: chunked submits over Poisson
+/// -free fixed arrivals, the full ladder armed (deadline + breaker +
+/// failover + last-known-good), chaos profile "storm" plus extra scalar
+/// faults on both platforms.
+StormRun run_storm(std::size_t chunk, std::uint64_t seed) {
+  ServingOptions options;
+  options.max_batch_rows = chunk;
+  options.linger_seconds = 0.05;
+  options.chaos_profile = "storm";
+  options.fault_rate = 0.15;
+  options.deadline_seconds = 30.0;
+  options.fallback_platform = "Google";
+  options.serve_last_known_good = true;
+  options.breaker.enabled = true;
+  options.breaker.failure_threshold = 3;
+  options.breaker.cooldown_seconds = 120.0;
+  options.breaker.max_probes = 4;
+  options.retry.max_attempts = 3;
+
+  std::vector<PlatformPtr> roster;
+  roster.push_back(make_platform("Local"));
+  roster.push_back(make_platform("Google"));
+  QueryRouter router(roster, "default", seed, options);
+  const Dataset train = serving_data(17);
+  const auto session = router.open_session("t0", "Local", train, {}, 55);
+  EXPECT_TRUE(session.has_value()) << router.last_error();
+
+  StormRun run;
+  if (!session) return run;
+  std::vector<QueryRouter::Ticket> tickets;
+  double t = 0.0;
+  for (int i = 0; i < 120; ++i) {
+    t += 2.5;  // fixed arrival spacing: storms sweep over the request stream
+    router.advance_to(t);
+    Matrix q(1, train.x().cols());
+    const auto src = train.x().row(static_cast<std::size_t>(i) % train.x().rows());
+    std::copy(src.begin(), src.end(), q.row(0).begin());
+    const auto ticket = router.submit(*session, q);
+    EXPECT_TRUE(ticket.has_value());
+    if (ticket) tickets.push_back(*ticket);
+  }
+  router.drain();
+
+  for (const auto ticket : tickets) run.results.push_back(router.result(ticket));
+  run.stats = router.stats();
+  std::ostringstream out;
+  router.report().write_tsv(out);
+  run.tsv = out.str();
+  return run;
+}
+
+TEST(ChaosServingTest, StormResolvesEveryRequestAndRerunsAreByteIdentical) {
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    const StormRun a = run_storm(chunk, 9001);
+    const StormRun b = run_storm(chunk, 9001);
+    ASSERT_EQ(a.results.size(), 120u) << "chunk=" << chunk;
+
+    // Liveness under chaos: every accepted request resolves — with labels,
+    // a degraded reject or a deadline miss, but never a hang.
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+      const QueryResult& r = a.results[i];
+      EXPECT_TRUE(r.done) << "chunk=" << chunk << " ticket=" << i;
+      EXPECT_NE(r.outcome, QueryOutcome::kPending) << "chunk=" << chunk;
+      if (r.ok) EXPECT_FALSE(r.labels.empty());
+    }
+    // The resolved requests partition into the SLO buckets exactly.
+    EXPECT_EQ(a.stats.requests,
+              a.stats.ok + a.stats.failed + a.stats.rejected +
+                  a.stats.deadline_missed + a.stats.degraded_rejected)
+        << "chunk=" << chunk;
+    EXPECT_GT(a.stats.goodput(), 0.0) << "chunk=" << chunk;
+
+    // Determinism under chaos: a rerun of the same seed is byte-identical —
+    // same report bytes, same per-ticket outcomes and labels.
+    EXPECT_EQ(a.tsv, b.tsv) << "chunk=" << chunk;
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+      EXPECT_EQ(a.results[i].outcome, b.results[i].outcome) << "ticket " << i;
+      EXPECT_EQ(a.results[i].labels, b.results[i].labels) << "ticket " << i;
+      EXPECT_DOUBLE_EQ(a.results[i].complete_seconds, b.results[i].complete_seconds);
+    }
+  }
+}
+
+TEST(ChaosServingTest, ResilienceTelemetryIsGatedIntoReports) {
+  const StormRun storm = run_storm(7, 77);
+  EXPECT_NE(storm.tsv.find("# resilience\tgoodput="), std::string::npos);
+
+  // And stays out of chaos-off reports (locked byte-exactly above; this is
+  // the cheap smoke check).
+  const auto tenants = make_serving_tenants(2, {"Local"}, 5);
+  ServingWorkloadOptions options;
+  options.requests = 40;
+  const auto result = run_serving_workload(tenants, options);
+  std::ostringstream out;
+  result.report.write_tsv(out);
+  EXPECT_EQ(out.str().find("# resilience"), std::string::npos);
+}
+
+/// Fixture for deterministic ladder-rung tests: the "strict" quota admits 5
+/// requests per rolling minute and retries are disabled, so the primary
+/// platform's bucket drains after exactly 3 predicts (open_session spent 2
+/// on upload+train) and every later dispatch fails the same way, rerun after
+/// rerun — no chaos randomness involved.
+class DegradationLadderTest : public ::testing::Test {
+ protected:
+  ServingOptions ladder_options() {
+    ServingOptions options;
+    options.max_batch_rows = 1;  // flush on every submit
+    options.retry.max_attempts = 1;
+    return options;
+  }
+
+  /// Router over {Local, Google} with one session on Local; submits one-row
+  /// queries and returns the per-request results.
+  std::vector<QueryResult> serve(const ServingOptions& options, int requests,
+                                 ServingStats* stats = nullptr) {
+    std::vector<PlatformPtr> roster;
+    roster.push_back(make_platform("Local"));
+    roster.push_back(make_platform("Google"));
+    QueryRouter router(roster, "strict", 3, options);
+    const Dataset train = serving_data(15);
+    const auto session = router.open_session("t0", "Local", train, {}, 44);
+    EXPECT_TRUE(session.has_value()) << router.last_error();
+    if (!session) return {};
+    std::vector<QueryRouter::Ticket> tickets;
+    for (int i = 0; i < requests; ++i) {
+      Matrix q(1, train.x().cols());
+      const auto src = train.x().row(static_cast<std::size_t>(i) % train.x().rows());
+      std::copy(src.begin(), src.end(), q.row(0).begin());
+      const auto ticket = router.submit(*session, q);
+      EXPECT_TRUE(ticket.has_value());
+      if (ticket) tickets.push_back(*ticket);
+      router.drain();
+    }
+    std::vector<QueryResult> results;
+    for (const auto ticket : tickets) results.push_back(router.result(ticket));
+    if (stats) *stats = router.stats();
+    return results;
+  }
+};
+
+TEST_F(DegradationLadderTest, FailoverRungRetrainsOnFallbackDeterministically) {
+  ServingOptions options = ladder_options();
+  options.fallback_platform = "Google";
+  ServingStats stats;
+  const auto results = serve(options, 6, &stats);
+  ASSERT_EQ(results.size(), 6u);
+
+  const Dataset train = serving_data(15);
+  // Requests 1-3 drain Local's remaining strict-quota budget; 4-6 fail over.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(results[i].outcome, QueryOutcome::kOk) << "request " << i;
+    EXPECT_EQ(results[i].labels,
+              direct_labels("Local", train, slice_row(train, i), 44));
+  }
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_EQ(results[i].outcome, QueryOutcome::kFailover) << "request " << i;
+    EXPECT_TRUE(results[i].ok);
+    // Failover answers come from a Google model trained from the same
+    // session seed: deterministic, and byte-identical to the direct path.
+    EXPECT_EQ(results[i].labels,
+              direct_labels("Google", train, slice_row(train, i), 44));
+  }
+  EXPECT_EQ(stats.failovers, 3u);
+  EXPECT_EQ(stats.ok, 6u);  // failover answers are still in-budget answers
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(DegradationLadderTest, LastKnownGoodRungServesRetainedModel) {
+  // No fallback: once Local's quota drains, the retained model answers.
+  ServingOptions options = ladder_options();
+  options.serve_last_known_good = true;
+  ServingStats stats;
+  const auto results = serve(options, 6, &stats);
+  ASSERT_EQ(results.size(), 6u);
+
+  const Dataset train = serving_data(15);
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_EQ(results[i].outcome, QueryOutcome::kLastKnownGood) << "request " << i;
+    EXPECT_TRUE(results[i].ok);
+    // The retained model is the deterministic seed-44 train, so last-known
+    // -good labels equal the direct path even though no service was touched.
+    EXPECT_EQ(results[i].labels,
+              direct_labels("Local", train, slice_row(train, i), 44));
+  }
+  EXPECT_EQ(stats.degraded_answers, 3u);
+  EXPECT_EQ(stats.failovers, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(DegradationLadderTest, DegradedRejectRungReportsDegradedStatus) {
+  // Ladder configured (failover to Google) but Google's bucket drains too:
+  // after three failovers the bottom rung rejects with the degraded status.
+  ServingOptions options = ladder_options();
+  options.fallback_platform = "Google";
+  ServingStats stats;
+  const auto results = serve(options, 9, &stats);
+  ASSERT_EQ(results.size(), 9u);
+  for (int i = 6; i < 9; ++i) {
+    EXPECT_EQ(results[i].outcome, QueryOutcome::kDegraded) << "request " << i;
+    EXPECT_FALSE(results[i].ok);
+    EXPECT_EQ(results[i].error.rfind("degraded:", 0), 0u) << results[i].error;
+  }
+  EXPECT_EQ(stats.failovers, 3u);
+  EXPECT_EQ(stats.degraded_rejected, 3u);
+  EXPECT_EQ(stats.failed, 0u);  // degraded rejects are not classic failures
+}
+
+TEST_F(DegradationLadderTest, OpenBreakerHealthGatesDispatch) {
+  // With the breaker armed, repeated quota failures trip it; once open, the
+  // router stops issuing requests to the platform instead of burning budget.
+  ServingOptions options = ladder_options();
+  options.breaker.enabled = true;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown_seconds = 1e6;  // never recovers inside the test
+  ServingStats stats;
+
+  std::vector<PlatformPtr> roster;
+  roster.push_back(make_platform("Local"));
+  roster.push_back(make_platform("Google"));
+  QueryRouter router(roster, "strict", 3, options);
+  const Dataset train = serving_data(15);
+  const auto session = router.open_session("t0", "Local", train, {}, 44);
+  ASSERT_TRUE(session.has_value());
+  for (int i = 0; i < 8; ++i) {
+    Matrix q(1, train.x().cols());
+    std::copy(train.x().row(0).begin(), train.x().row(0).end(), q.row(0).begin());
+    const std::size_t before = router.platform_stats("Local").requests;
+    const auto ticket = router.submit(*session, q);
+    ASSERT_TRUE(ticket.has_value());
+    router.drain();
+    if (router.result(*ticket).error == "breaker:open") {
+      // Health-gated: the flush issued no service request at all.
+      EXPECT_EQ(router.platform_stats("Local").requests, before) << "request " << i;
+    }
+  }
+  stats = router.stats();
+  EXPECT_GE(stats.breaker_trips, 1u);
+  EXPECT_GT(stats.breaker_gated, 0u);
+  // 3 served before the quota drained, 2 failures to trip, the rest gated.
+  EXPECT_EQ(stats.breaker_gated, 3u);
+}
+
+TEST_F(DegradationLadderTest, DeadlineBudgetRefusesOverrunningSleeps) {
+  // Strict quota + a 5s budget: the Retry-After stall (~a minute) would
+  // overrun the deadline, so the retry layer refuses the sleep and the
+  // request fails fast — within budget — instead of hanging.
+  ServingOptions options = ladder_options();
+  options.retry.max_attempts = 6;  // retries allowed, but budget-bounded
+  options.deadline_seconds = 5.0;
+  ServingStats stats;
+  const auto results = serve(options, 5, &stats);
+  ASSERT_EQ(results.size(), 5u);
+  for (int i = 3; i < 5; ++i) {
+    EXPECT_EQ(results[i].outcome, QueryOutcome::kFailed) << "request " << i;
+    EXPECT_LE(results[i].complete_seconds, results[i].deadline) << "request " << i;
+  }
+  EXPECT_GT(stats.refused_sleeps, 0u);
+  EXPECT_EQ(stats.deadline_missed, 0u) << "refused in budget, not resolved late";
+}
+
+TEST_F(DegradationLadderTest, SlowPlatformDeadlineOverrunCountsAsMissNotHang) {
+  // ABM's simulated base latency is 2s; a 0.5s budget cannot be met.  The
+  // request still resolves — labels and all — and is counted as a deadline
+  // miss rather than blocking the router.
+  std::vector<PlatformPtr> roster;
+  roster.push_back(make_platform("ABM"));
+  ServingOptions options;
+  options.max_batch_rows = 4;
+  QueryRouter router(roster, "default", 3, options);
+  const Dataset train = serving_data(16);
+  const auto session = router.open_session("t0", "ABM", train, {}, 44);
+  ASSERT_TRUE(session.has_value());
+  Matrix q(1, train.x().cols());
+  std::copy(train.x().row(0).begin(), train.x().row(0).end(), q.row(0).begin());
+  const auto ticket = router.submit(*session, q, /*deadline_seconds=*/0.5);
+  ASSERT_TRUE(ticket.has_value());
+  router.drain();
+  const QueryResult& r = router.result(*ticket);
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(r.ok) << "late answers still carry labels";
+  EXPECT_EQ(r.outcome, QueryOutcome::kDeadlineMissed);
+  EXPECT_GT(r.complete_seconds, r.deadline);
+  const ServingStats stats = router.stats();
+  EXPECT_EQ(stats.deadline_missed, 1u);
+  EXPECT_EQ(stats.ok, 0u);
+  EXPECT_DOUBLE_EQ(stats.goodput(), 0.0);
+}
+
+TEST_F(DegradationLadderTest, BudgetDeadlineFlushesBatchBeforeLingerExpires) {
+  // A request whose budget is tighter than the linger must not sit in the
+  // queue: the batch flushes at the budget deadline (its own flush cause).
+  std::vector<PlatformPtr> roster;
+  roster.push_back(make_platform("Local"));
+  ServingOptions options;
+  options.max_batch_rows = 1000;
+  options.linger_seconds = 1e9;  // linger alone would never flush
+  QueryRouter router(roster, "default", 3, options);
+  const Dataset train = serving_data(15);
+  const auto session = router.open_session("t0", "Local", train, {}, 44);
+  ASSERT_TRUE(session.has_value());
+  Matrix q(1, train.x().cols());
+  std::copy(train.x().row(0).begin(), train.x().row(0).end(), q.row(0).begin());
+  const auto ticket = router.submit(*session, q, /*deadline_seconds=*/1.0);
+  ASSERT_TRUE(ticket.has_value());
+  router.advance_to(router.now() + 10.0);
+  const QueryResult& r = router.result(*ticket);
+  EXPECT_TRUE(r.done) << "budget deadline must flush the lingering batch";
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(router.stats().flushed_deadline, 1u);
+  EXPECT_EQ(router.stats().flushed_linger, 0u);
 }
 
 }  // namespace

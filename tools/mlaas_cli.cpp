@@ -27,11 +27,21 @@
 //              [--requests 2000] [--rate 50] [--closed-loop] [--clients 8]
 //              [--batch 64] [--linger 0.05] [--cache-capacity 8]
 //              [--max-pending 0] [--quota-profile default] [--seed 42]
+//              [--fault-rate 0.1] [--chaos-profile storm] [--deadline-ms 500]
+//              [--fallback Local] [--last-known-good] [--breakers]
+//              [--breaker-threshold 3] [--breaker-cooldown 300]
+//              [--breaker-probes 2]
 //              [--out report.tsv] [--json report.json]
 //       Drive the batched query-serving layer (QueryRouter) with a seeded
 //       multi-tenant workload — Zipf-skewed tenant mix, open-loop Poisson
 //       arrivals at --rate (or --closed-loop with --clients callers) — and
-//       print per-tenant latency percentiles plus router telemetry.
+//       print per-tenant latency percentiles plus router telemetry.  The
+//       fault-tolerance knobs inject seeded chaos (--fault-rate /
+//       --chaos-profile), bound each request by a deadline budget
+//       (--deadline-ms) and arm the degradation ladder (--fallback,
+//       --last-known-good, --breakers); when any of them is on the summary
+//       gains a one-line resilience report (goodput, deadline misses,
+//       failovers, breaker trips).
 #include <filesystem>
 #include <iostream>
 #include <stdexcept>
@@ -258,6 +268,22 @@ int cmd_serve_bench(const CliFlags& flags) {
       static_cast<std::size_t>(flags.int_or("cache-capacity", 8));
   options.serving.max_pending_rows =
       static_cast<std::size_t>(flags.int_or("max-pending", 0));
+  options.serving.fault_rate = flags.double_or("fault-rate", 0.0);
+  options.serving.chaos_profile = flags.get_or("chaos-profile", "none");
+  options.serving.deadline_seconds = flags.double_or("deadline-ms", 0.0) / 1000.0;
+  options.serving.fallback_platform = flags.get_or("fallback", "");
+  options.serving.serve_last_known_good = flags.bool_or("last-known-good", false);
+  options.serving.breaker.enabled = flags.bool_or("breakers", false);
+  options.serving.breaker.failure_threshold =
+      static_cast<int>(flags.int_or("breaker-threshold", 3));
+  options.serving.breaker.cooldown_seconds = flags.double_or("breaker-cooldown", 300.0);
+  options.serving.breaker.max_probes = static_cast<int>(flags.int_or("breaker-probes", 2));
+  if (!options.serving.fallback_platform.empty()) {
+    // The fallback must be part of the roster the router is built over.
+    bool present = false;
+    for (const auto& name : roster) present = present || name == options.serving.fallback_platform;
+    if (!present) roster.push_back(options.serving.fallback_platform);
+  }
 
   const auto n_tenants = static_cast<std::size_t>(flags.int_or("tenants", 6));
   const auto tenants = make_serving_tenants(n_tenants, roster, options.seed);
@@ -290,8 +316,16 @@ int cmd_serve_bench(const CliFlags& flags) {
             << "latency: p50 " << fmt(totals.latency.quantile(0.50) * 1e3, 2) << " ms, p95 "
             << fmt(totals.latency.quantile(0.95) * 1e3, 2) << " ms, p99 "
             << fmt(totals.latency.quantile(0.99) * 1e3, 2) << " ms, max "
-            << fmt(totals.latency.max_seconds() * 1e3, 2) << " ms\n"
-            << "wall time: " << fmt(result.wall_seconds, 3) << " s\n";
+            << fmt(totals.latency.max_seconds() * 1e3, 2) << " ms\n";
+  if (result.report.resilience) {
+    std::cout << "resilience: goodput " << fmt(100.0 * totals.goodput(), 1) << "%, "
+              << totals.deadline_missed << " deadline misses, " << totals.failovers
+              << " failovers, " << totals.degraded_answers << " last-known-good, "
+              << totals.degraded_rejected << " degraded rejects, "
+              << totals.breaker_trips << " breaker trips (" << totals.breaker_gated
+              << " gated), " << totals.refused_sleeps << " refused sleeps\n";
+  }
+  std::cout << "wall time: " << fmt(result.wall_seconds, 3) << " s\n";
 
   if (auto out = flags.get("out")) {
     result.report.save_tsv(*out);

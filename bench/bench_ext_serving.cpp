@@ -12,6 +12,11 @@
 //                      breaker-gated failover and last-known-good serving.
 //                      The scenario runs twice and aborts unless goodput is
 //                      positive and both runs produce byte-identical reports.
+//   traced_storm       chaos_soak with end-to-end tracing on: runs twice and
+//                      aborts unless the Chrome trace_event JSON of both runs
+//                      is byte-identical (the trace determinism gate).  In
+//                      --json mode the trace is written next to the results
+//                      (BENCH_serving_trace.json) for the CI artifact.
 //
 // Modes:
 //   (default)                human-readable table
@@ -26,12 +31,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "platform/serving.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -41,6 +48,7 @@ struct ScenarioResult {
   std::string name;
   ServingReport report;
   double wall_seconds = 0.0;
+  std::shared_ptr<const Trace> trace;  // traced_storm only
 };
 
 ScenarioResult run_scenario(const std::string& name) {
@@ -61,7 +69,7 @@ ScenarioResult run_scenario(const std::string& name) {
     roster = {"Local", "Google", "Amazon", "BigML"};
     options.arrival_rate = 50.0;
     options.serving.model_cache_capacity = 2;
-  } else if (name == "chaos_soak") {
+  } else if (name == "chaos_soak" || name == "traced_storm") {
     roster = {"Local", "Google", "Amazon", "BigML"};
     options.arrival_rate = 50.0;
     options.serving.fault_rate = 0.1;
@@ -73,12 +81,13 @@ ScenarioResult run_scenario(const std::string& name) {
     options.serving.breaker.failure_threshold = 3;
     options.serving.breaker.cooldown_seconds = 120.0;
     options.serving.breaker.max_probes = 4;
+    options.serving.trace = name == "traced_storm";
   } else {
     throw std::invalid_argument("unknown scenario " + name);
   }
   const auto tenants = make_serving_tenants(n_tenants, roster, options.seed);
   const ServingWorkloadResult run = run_serving_workload(tenants, options);
-  if (name == "chaos_soak") {
+  if (name == "chaos_soak" || name == "traced_storm") {
     // Determinism gate: a second pass through the identical seeded storm must
     // reproduce the report byte-for-byte and keep serving useful answers.
     const ServingWorkloadResult rerun = run_serving_workload(tenants, options);
@@ -86,20 +95,31 @@ ScenarioResult run_scenario(const std::string& name) {
     run.report.write_tsv(first);
     rerun.report.write_tsv(second);
     if (first.str() != second.str()) {
-      std::cerr << "chaos_soak: rerun report diverged from first run\n";
+      std::cerr << name << ": rerun report diverged from first run\n";
       std::exit(1);
     }
     if (!(run.report.totals.goodput() > 0.0)) {
-      std::cerr << "chaos_soak: goodput collapsed to zero under the storm\n";
+      std::cerr << name << ": goodput collapsed to zero under the storm\n";
       std::exit(1);
     }
+    if (name == "traced_storm") {
+      // The trace itself must be as deterministic as the report it annotates.
+      std::ostringstream t1, t2;
+      run.trace->write_chrome_json(t1);
+      rerun.trace->write_chrome_json(t2);
+      if (t1.str() != t2.str()) {
+        std::cerr << name << ": rerun trace diverged from first run\n";
+        std::exit(1);
+      }
+    }
   }
-  return {name, run.report, run.wall_seconds};
+  return {name, run.report, run.wall_seconds, run.trace};
 }
 
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {"open_loop_skewed", "closed_loop",
-                                                 "small_cache", "chaos_soak"};
+                                                 "small_cache", "chaos_soak",
+                                                 "traced_storm"};
   return names;
 }
 
@@ -153,6 +173,17 @@ int run_json_mode(const std::vector<std::string>& args) {
   out << json.str();
   out.close();
   std::cout << "wrote " << out_path << "\n" << json.str();
+
+  // Sample Chrome trace from the traced scenario, uploaded as a CI artifact
+  // beside the throughput JSON.
+  for (const auto& r : results) {
+    if (r.trace != nullptr) {
+      const std::string trace_path = "BENCH_serving_trace.json";
+      r.trace->save_json(trace_path);
+      std::cout << "wrote " << trace_path << " (" << r.trace->event_count()
+                << " events on " << r.trace->track_count() << " tracks)\n";
+    }
+  }
 
   if (!baseline_path.empty() && check_factor > 0.0) {
     std::ifstream in(baseline_path);

@@ -24,6 +24,7 @@ MeasurementOptions StudyOptions::measurement_options() const {
   m.threads = threads;
   m.schedule = parse_schedule(schedule);
   m.verbose = verbose;
+  m.trace = trace;
   m.campaign.fault_rate = fault_rate;
   m.campaign.quota_profile = quota_profile;
   m.campaign.retry_budget = retry_budget;

@@ -67,6 +67,11 @@ struct StudyOptions {
   /// Resume a crashed campaign from its write-ahead journal (on by
   /// default; set false to force a fresh run).
   bool resume = true;
+  /// Record a deterministic end-to-end trace of the campaign (service
+  /// spans, retry waits, breaker transitions; Chrome trace_event JSON via
+  /// CampaignResult::trace).  Off by default; does not change any measured
+  /// row, report byte, or cache fingerprint.
+  bool trace = false;
 
   CorpusOptions corpus_options() const;
   MeasurementOptions measurement_options() const;

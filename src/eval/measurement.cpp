@@ -17,8 +17,10 @@
 #include "data/split.h"
 #include "eval/journal.h"
 #include "util/clock.h"
+#include "util/io.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace mlaas {
 
@@ -183,11 +185,11 @@ Measurement measurement_row_from_tsv(const std::string& line, const std::string&
 
 void MeasurementTable::save_csv(const std::string& path,
                                 const std::string& fingerprint) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("MeasurementTable: cannot write " + path);
+  std::ofstream out = open_sidecar(path, "MeasurementTable");
   if (!fingerprint.empty()) out << "# " << fingerprint << '\n';
   out << kCsvHeader << '\n';
   for (const auto& m : rows_) out << measurement_row_to_tsv(m) << '\n';
+  finish_sidecar(out, path, "MeasurementTable");
 }
 
 MeasurementTable MeasurementTable::load_csv(const std::string& path,
@@ -264,17 +266,7 @@ RetryPolicy CampaignOptions::retry_policy(std::uint64_t session_seed) const {
 
 void PlatformCampaignStats::merge(const PlatformCampaignStats& other) {
   service.merge(other.service);
-  retries += other.retries;
-  backoff_seconds += other.backoff_seconds;
-  simulated_seconds += other.simulated_seconds;
-  cells_total += other.cells_total;
-  cells_ok += other.cells_ok;
-  cells_failed += other.cells_failed;
-  cells_rejected += other.cells_rejected;
-  cells_deferred += other.cells_deferred;
-  cells_restored += other.cells_restored;
-  breaker_trips += other.breaker_trips;
-  outage_seconds += other.outage_seconds;
+  merge_stats(*this, other);
   for (const auto& [status, count] : other.failures_by_status) {
     failures_by_status[status] += count;
   }
@@ -295,6 +287,20 @@ PlatformCampaignStats CampaignReport::totals() const {
   return total;
 }
 
+MetricsRegistry CampaignReport::metrics() const {
+  MetricsRegistry registry;
+  for (const auto& p : platforms) {
+    const std::string prefix = "campaign." + p.platform + ".";
+    register_stats(registry, prefix, p);
+    register_stats(registry, prefix + "service.", p.service);
+    for (const auto& [status, count] : p.failures_by_status) {
+      registry.counter(prefix + "failure." + status) += static_cast<double>(count);
+    }
+  }
+  register_stats(registry, "scheduler.", scheduler);
+  return registry;
+}
+
 namespace {
 
 constexpr const char* kReportHeader =
@@ -307,6 +313,10 @@ constexpr const char* kReportHeader =
 // table keeps its fixed 22-column shape (older sidecars without the trailer
 // still load).
 constexpr const char* kSchedulerPrefix = "# scheduler\t";
+
+// Trace summary trailer of a traced campaign; absent entirely when tracing
+// was off, so untraced sidecar bytes are unchanged from pre-trace builds.
+constexpr const char* kTracePrefix = "# trace\t";
 
 std::string encode_failures(const std::map<std::string, std::size_t>& failures) {
   if (failures.empty()) return "-";
@@ -401,17 +411,17 @@ std::string json_escape(const std::string& s) {
 }  // namespace
 
 void CampaignReport::save_tsv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("CampaignReport: cannot write " + path);
+  std::ofstream out = open_sidecar(path, "CampaignReport");
   out.precision(10);
   out << kReportHeader << '\n';
   for (const auto& p : platforms) write_report_row(out, p);
   if (scheduler.workers > 0) write_scheduler_row(out, scheduler);
+  if (!trace_summary.empty()) out << kTracePrefix << trace_summary << '\n';
+  finish_sidecar(out, path, "CampaignReport");
 }
 
 void CampaignReport::save_json(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("CampaignReport: cannot write " + path);
+  std::ofstream out = open_sidecar(path, "CampaignReport");
   out.precision(10);
   out << "{\n  \"platforms\": [\n";
   for (std::size_t i = 0; i < platforms.size(); ++i) {
@@ -458,10 +468,15 @@ void CampaignReport::save_json(const std::string& path) const {
     if (i > 0) out << ", ";
     out << scheduler.worker_busy_seconds[i];
   }
-  out << "]},\n  \"total\": {\"cells_ok\": " << total.cells_ok
+  out << "]},\n";
+  if (!trace_summary.empty()) {
+    out << "  \"trace\": \"" << json_escape(trace_summary) << "\",\n";
+  }
+  out << "  \"total\": {\"cells_ok\": " << total.cells_ok
       << ", \"cells_failed\": " << total.cells_failed
       << ", \"coverage\": " << total.coverage()
       << ", \"simulated_seconds\": " << total.simulated_seconds << "}\n}\n";
+  finish_sidecar(out, path, "CampaignReport");
 }
 
 std::optional<CampaignReport> CampaignReport::load_tsv(const std::string& path) {
@@ -474,6 +489,10 @@ std::optional<CampaignReport> CampaignReport::load_tsv(const std::string& path) 
     if (line.empty()) continue;
     if (line.rfind(kSchedulerPrefix, 0) == 0) {
       if (!parse_scheduler_row(line, &report.scheduler)) return std::nullopt;
+      continue;
+    }
+    if (line.rfind(kTracePrefix, 0) == 0) {
+      report.trace_summary = line.substr(std::string(kTracePrefix).size());
       continue;
     }
     const auto fields = split_tabs(line);
@@ -668,13 +687,25 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
                  const Platform& platform, const std::vector<CellSpec>& cells,
                  const ServiceQuota& quota, const MeasurementOptions& options,
                  MeasurementTable* out, PlatformCampaignStats* stats,
-                 const CellJournal* journal) {
+                 const CellJournal* journal, TraceTrack* trace) {
   const CampaignOptions& campaign = options.campaign;
   const std::uint64_t session_seed =
       derive_seed(options.seed, "campaign-" + platform.name() + "-" + dataset.meta().id);
   MlaasService service(platform, quota, session_seed);
   RetryingClient client(service, campaign.retry_policy(session_seed));
   CircuitBreaker breaker(campaign.breaker);
+  if (trace != nullptr) {
+    // Every event in this session lands on the session's own single-owner
+    // track, timestamped off the session's simulated clock (which starts at
+    // zero), so the track's bytes depend only on (options, dataset,
+    // platform) — never on which worker ran it.
+    service.set_trace(trace);
+    client.set_trace(trace);
+    breaker.set_listener([trace, name = platform.name()](const char* transition,
+                                                         double at) {
+      trace->instant("breaker", transition, at, {{"platform", name}});
+    });
+  }
 
   const auto finish_cell = [&](Measurement m) {
     if (m.ok) {
@@ -761,7 +792,7 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
       }
     }
     if (m.ok) {
-      breaker.record_success();
+      breaker.record_success(service.now());
     } else {
       breaker.record_failure(service.now());
     }
@@ -779,6 +810,17 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
   stats->simulated_seconds += service.now();
   stats->breaker_trips += breaker.trips();
   stats->outage_seconds += quota.fault_plan.outage_seconds(0.0, service.now());
+
+  if (trace != nullptr) {
+    // Session-level span last: it covers the whole simulated timeline of the
+    // session, [0, service.now()).  train_seconds (wall CPU time) stays out
+    // of the trace — it is the one per-cell number that differs between
+    // reruns.
+    trace->span("campaign", "session", 0.0, service.now(),
+                {{"dataset", dataset.meta().id},
+                 {"platform", platform.name()},
+                 {"cells", std::to_string(cells.size())}});
+  }
 }
 
 /// Serializes completed session blocks into the journal in canonical session
@@ -919,6 +961,12 @@ CampaignResult run_campaign(const std::vector<Dataset>& corpus,
   const std::size_t n_sessions = corpus.size() * n_platforms;
   std::vector<MeasurementTable> slots(n_sessions);
   std::vector<PlatformCampaignStats> slot_stats(n_sessions);
+  // Traced campaigns get one standalone single-owner track per session slot,
+  // filled by whichever worker runs the session and adopted into the Trace
+  // in canonical session order after the pool joins — the same assembly
+  // discipline as the measurement slots and the ordered journal.
+  std::vector<std::optional<TraceTrack>> session_tracks(
+      options.trace ? n_sessions : 0);
 
   // The per-dataset split depends only on (study seed, dataset) — §3.1.
   // Sessions of the same dataset on different workers share one memoized
@@ -952,6 +1000,12 @@ CampaignResult run_campaign(const std::vector<Dataset>& corpus,
     PlatformCampaignStats& pstats = slot_stats[s];
     const std::string key =
         CellJournal::session_key(dataset.meta().id, platforms[p]->name());
+    TraceTrack* track = nullptr;
+    if (options.trace) {
+      session_tracks[s].emplace("session:" + dataset.meta().id + "|" +
+                                platforms[p]->name());
+      track = &*session_tracks[s];
+    }
     if (auto it = restored.sessions.find(key); it != restored.sessions.end()) {
       // Session completed before the crash: restore its rows verbatim.
       // Service/request telemetry for restored sessions was lost with the
@@ -970,10 +1024,18 @@ CampaignResult run_campaign(const std::vector<Dataset>& corpus,
         }
         slots[s].add(m);
       }
+      if (track != nullptr) {
+        // The crashed process took the session's event stream with it; the
+        // restoration itself is the only (deterministic) fact left to record.
+        track->instant("campaign", "session-restored", 0.0,
+                       {{"dataset", dataset.meta().id},
+                        {"platform", platforms[p]->name()},
+                        {"cells", std::to_string(it->second.size())}});
+      }
       writer.complete(s, /*write=*/false);  // its bytes are already on disk
     } else {
       run_session(dataset, split_for(d), *platforms[p], cells[p], quotas[p], options,
-                  &slots[s], &pstats, journal.get());
+                  &slots[s], &pstats, journal.get(), track);
       writer.complete(s, /*write=*/journal != nullptr);
     }
     if (dataset_sessions_left[d].fetch_sub(1) == 1) {
@@ -1032,6 +1094,14 @@ CampaignResult run_campaign(const std::vector<Dataset>& corpus,
   result.report.scheduler.sessions_stolen = dispatch.stolen;
   result.report.scheduler.makespan_seconds = dispatch.makespan_seconds;
   result.report.scheduler.worker_busy_seconds = std::move(dispatch.busy_seconds);
+  if (options.trace) {
+    auto trace = std::make_shared<Trace>();
+    for (auto& t : session_tracks) {
+      if (t.has_value()) trace->adopt(std::move(*t));
+    }
+    result.report.trace_summary = trace->summary();
+    result.trace = std::move(trace);
+  }
   return result;
 }
 

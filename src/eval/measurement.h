@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,8 +26,11 @@
 #include "platform/all_platforms.h"
 #include "platform/breaker.h"
 #include "platform/service.h"
+#include "util/metrics.h"
 
 namespace mlaas {
+
+class Trace;
 
 struct Measurement {
   std::string dataset_id;
@@ -189,6 +193,13 @@ struct MeasurementOptions {
   int threads = 0;                    // 0 = hardware concurrency; < 0 rejected
   Schedule schedule = Schedule::kDynamic;  // session dispatch policy
   bool verbose = false;
+  /// Record a deterministic end-to-end trace of every session (service
+  /// spans, retry waits, breaker transitions) — one TraceTrack per session,
+  /// assembled in canonical order after the pool joins.  Off by default;
+  /// tracing changes no measured row and no legacy report byte, and is
+  /// deliberately excluded from measurement_fingerprint so existing caches
+  /// and journals stay valid.
+  bool trace = false;
   CampaignOptions campaign;           // service-transport envelope
 };
 
@@ -210,6 +221,24 @@ struct PlatformCampaignStats {
   double outage_seconds = 0.0;    // simulated seconds inside outage windows
   std::map<std::string, std::size_t> failures_by_status;
 
+  /// Scalar telemetry in declaration order — drives merge() and the metrics
+  /// registry (util/metrics.h).  `service` and `failures_by_status` have
+  /// their own merge paths and are visited separately.
+  template <typename Self, typename Visitor>
+  static void visit_fields(Self& self, Visitor&& visit) {
+    visit("retries", self.retries);
+    visit("backoff_seconds", self.backoff_seconds);
+    visit("simulated_seconds", self.simulated_seconds);
+    visit("cells_total", self.cells_total);
+    visit("cells_ok", self.cells_ok);
+    visit("cells_failed", self.cells_failed);
+    visit("cells_rejected", self.cells_rejected);
+    visit("cells_deferred", self.cells_deferred);
+    visit("cells_restored", self.cells_restored);
+    visit("breaker_trips", self.breaker_trips);
+    visit("outage_seconds", self.outage_seconds);
+  }
+
   void merge(const PlatformCampaignStats& other);
   /// Fraction of attempted cells that produced a measurement.
   double coverage() const;
@@ -228,6 +257,17 @@ struct SchedulerStats {
   double makespan_seconds = 0.0;     // wall seconds of the dispatch
   std::vector<double> worker_busy_seconds;  // per-worker time inside sessions
 
+  /// Scalar telemetry for the metrics registry.  Wall-clock numbers stay
+  /// here (and out of every trace): the registry snapshot of a report is a
+  /// description of the run, not a determinism-checked artifact.
+  template <typename Self, typename Visitor>
+  static void visit_fields(Self& self, Visitor&& visit) {
+    visit("workers", self.workers);
+    visit("sessions", self.sessions);
+    visit("sessions_stolen", self.sessions_stolen);
+    visit("makespan_seconds", self.makespan_seconds);
+  }
+
   double busy_seconds() const;  // sum over workers
   /// max(worker busy) / mean(worker busy); 1.0 = perfectly balanced.
   double imbalance() const;
@@ -237,9 +277,17 @@ struct SchedulerStats {
 struct CampaignReport {
   std::vector<PlatformCampaignStats> platforms;
   SchedulerStats scheduler;
+  /// Trace summary (Trace::summary()) of a traced campaign; empty when
+  /// tracing was off.  Rides the TSV sidecar as a "# trace" trailer line so
+  /// untraced report bytes are unchanged.
+  std::string trace_summary;
 
   PlatformCampaignStats totals() const;
   double coverage() const { return totals().coverage(); }
+
+  /// Every platform's telemetry plus the scheduler's, registered into one
+  /// registry in canonical (roster, field-declaration) order.
+  MetricsRegistry metrics() const;
 
   void save_tsv(const std::string& path) const;
   void save_json(const std::string& path) const;
@@ -258,6 +306,11 @@ std::vector<PipelineConfig> enumerate_configs(const Platform& platform,
 struct CampaignResult {
   MeasurementTable table;   // ok rows and failure rows
   CampaignReport report;
+  /// Full event trace when MeasurementOptions::trace was set; null otherwise.
+  /// Tracks are in canonical session order (dataset-major, platform-minor),
+  /// so Trace::write_chrome_json is byte-identical across thread counts,
+  /// schedules and reruns.
+  std::shared_ptr<const Trace> trace;
 };
 
 /// Run the full study through the simulated service layer: every platform

@@ -48,12 +48,25 @@ double quantile(std::span<const double> v, double q) {
   if (v.empty()) throw std::invalid_argument("quantile: empty");
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of [0,1]");
   std::vector<double> s(v.begin(), v.end());
-  std::sort(s.begin(), s.end());
+  // NaN breaks strict weak ordering: selection would be UB and the result
+  // would depend on element order.  Reject it deterministically instead.
+  for (const double x : s) {
+    if (std::isnan(x)) throw std::invalid_argument("quantile: NaN input");
+  }
   const double pos = q * static_cast<double>(s.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, s.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return s[lo] * (1.0 - frac) + s[hi] * frac;
+  // Selection instead of a full sort: nth_element puts the lo-th order
+  // statistic in place and partitions, so the hi-th order statistic is the
+  // minimum of the upper partition.  Same values as the sorted path, hence
+  // bit-identical interpolation.
+  std::nth_element(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(lo), s.end());
+  const double lo_val = s[lo];
+  const double hi_val =
+      hi == lo ? lo_val
+               : *std::min_element(s.begin() + static_cast<std::ptrdiff_t>(lo) + 1, s.end());
+  return lo_val * (1.0 - frac) + hi_val * frac;
 }
 
 std::vector<double> fractional_ranks(std::span<const double> v) {

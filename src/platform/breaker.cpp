@@ -15,11 +15,12 @@ double CircuitBreaker::probe_wait_seconds(double now) const {
   return std::max(0.0, opened_at_ + options_.cooldown_seconds - now);
 }
 
-void CircuitBreaker::record_success() {
+void CircuitBreaker::record_success(double now) {
   consecutive_failures_ = 0;
   if (open_) {
     open_ = false;
     probes_used_ = 0;
+    notify("close", now);
   }
 }
 
@@ -31,6 +32,7 @@ void CircuitBreaker::record_failure(double now) {
     ++probes_used_;
     opened_at_ = now;
     ++trips_;
+    notify(probes_used_ >= options_.max_probes ? "latch" : "reopen", now);
     return;
   }
   ++consecutive_failures_;
@@ -38,6 +40,7 @@ void CircuitBreaker::record_failure(double now) {
     open_ = true;
     opened_at_ = now;
     ++trips_;
+    notify("open", now);
   }
 }
 

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <utility>
 
 namespace mlaas {
 
@@ -45,14 +47,27 @@ class CircuitBreaker {
   Decision admit(double now) const;
   /// Simulated seconds until the cooldown expires (0 when closed or expired).
   double probe_wait_seconds(double now) const;
-  void record_success();
+  /// `now` only feeds the transition listener's timestamp; pass the
+  /// simulated clock when one is installed.
+  void record_success(double now = 0.0);
   void record_failure(double now);
+
+  /// Observes state transitions: called with "open" (threshold reached),
+  /// "reopen" (failed half-open probe), "latch" (probe budget exhausted) or
+  /// "close" (successful probe) plus the simulated transition time.
+  using TransitionListener = std::function<void(const char* transition, double now)>;
+  void set_listener(TransitionListener listener) { listener_ = std::move(listener); }
 
   bool open() const { return open_; }
   std::size_t trips() const { return trips_; }
 
  private:
+  void notify(const char* transition, double now) {
+    if (listener_) listener_(transition, now);
+  }
+
   BreakerOptions options_;
+  TransitionListener listener_;
   bool open_ = false;
   double opened_at_ = 0.0;
   int consecutive_failures_ = 0;

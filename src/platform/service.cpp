@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "util/clock.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace mlaas {
 
@@ -177,19 +179,7 @@ std::vector<std::string> quota_profile_names() {
   return {"default", "strict", "free-tier", "unlimited"};
 }
 
-void ServiceStats::merge(const ServiceStats& other) {
-  requests += other.requests;
-  uploads += other.uploads;
-  trainings += other.trainings;
-  predictions += other.predictions;
-  datasets_deleted += other.datasets_deleted;
-  models_deleted += other.models_deleted;
-  rate_limited += other.rate_limited;
-  transient_errors += other.transient_errors;
-  server_errors += other.server_errors;
-  unavailable += other.unavailable;
-  train_cpu_seconds += other.train_cpu_seconds;
-}
+void ServiceStats::merge(const ServiceStats& other) { merge_stats(*this, other); }
 
 MlaasService::MlaasService(PlatformPtr platform, ServiceQuota quota, std::uint64_t seed)
     : owned_platform_(std::move(platform)),
@@ -249,14 +239,28 @@ ServiceStatus MlaasService::admit(std::size_t work_samples) {
   return ServiceStatus::kOk;
 }
 
+ServiceStatus MlaasService::traced(const char* op, double start, std::size_t rows,
+                                   ServiceStatus status) {
+  if (trace_ != nullptr) {
+    trace_->span("service", op, start, clock_seconds_ - start,
+                 {{"platform", platform_name_},
+                  {"status", to_string(status)},
+                  {"rows", std::to_string(rows)}});
+  }
+  return status;
+}
+
 ServiceStatus MlaasService::upload(const Dataset& dataset, std::string* handle) {
   if (handle == nullptr) throw std::invalid_argument("upload: null handle out-param");
+  const double start = clock_seconds_;
   const ServiceStatus admitted = admit(dataset.n_samples());
-  if (admitted != ServiceStatus::kOk) return admitted;
+  if (admitted != ServiceStatus::kOk) {
+    return traced("upload", start, dataset.n_samples(), admitted);
+  }
   ++stats_.uploads;
   *handle = "ds-" + std::to_string(next_handle_++);
   datasets_.emplace(*handle, dataset);
-  return ServiceStatus::kOk;
+  return traced("upload", start, dataset.n_samples(), ServiceStatus::kOk);
 }
 
 ServiceStatus MlaasService::train(const std::string& dataset_handle,
@@ -264,13 +268,15 @@ ServiceStatus MlaasService::train(const std::string& dataset_handle,
                                   std::optional<std::uint64_t> seed,
                                   double* train_cpu_seconds) {
   if (model_handle == nullptr) throw std::invalid_argument("train: null handle out-param");
+  const double start = clock_seconds_;
   auto it = datasets_.find(dataset_handle);
-  if (it == datasets_.end()) return ServiceStatus::kNotFound;
+  if (it == datasets_.end()) return traced("train", start, 0, ServiceStatus::kNotFound);
+  const std::size_t rows = it->second.n_samples();
   if (quota_.max_training_jobs > 0 && stats_.trainings >= quota_.max_training_jobs) {
-    return ServiceStatus::kQuotaExhausted;
+    return traced("train", start, rows, ServiceStatus::kQuotaExhausted);
   }
-  const ServiceStatus admitted = admit(it->second.n_samples() * 10);  // training is slow
-  if (admitted != ServiceStatus::kOk) return admitted;
+  const ServiceStatus admitted = admit(rows * 10);  // training is slow
+  if (admitted != ServiceStatus::kOk) return traced("train", start, rows, admitted);
   const std::uint64_t train_seed =
       seed ? *seed : derive_seed(rng_.next(), "service-train");
   try {
@@ -284,37 +290,38 @@ ServiceStatus MlaasService::train(const std::string& dataset_handle,
     ++stats_.trainings;
     *model_handle = "model-" + std::to_string(next_handle_++);
     models_.emplace(*model_handle, std::move(model));
-    return ServiceStatus::kOk;
+    return traced("train", start, rows, ServiceStatus::kOk);
   } catch (const std::invalid_argument&) {
-    return ServiceStatus::kBadRequest;
+    return traced("train", start, rows, ServiceStatus::kBadRequest);
   } catch (const std::exception& e) {
     // Anything else the platform throws is an internal error: report it as
     // HTTP-500 instead of letting it unwind through the campaign's thread
     // pool and kill the run.
     ++stats_.server_errors;
     last_error_ = e.what();
-    return ServiceStatus::kServerError;
+    return traced("train", start, rows, ServiceStatus::kServerError);
   }
 }
 
 ServiceStatus MlaasService::predict(const std::string& model_handle, const Matrix& x,
                                     std::vector<int>* labels) {
   if (labels == nullptr) throw std::invalid_argument("predict: null labels out-param");
+  const double start = clock_seconds_;
   auto it = models_.find(model_handle);
-  if (it == models_.end()) return ServiceStatus::kNotFound;
+  if (it == models_.end()) return traced("predict", start, 0, ServiceStatus::kNotFound);
   const ServiceStatus admitted = admit(x.rows());
-  if (admitted != ServiceStatus::kOk) return admitted;
+  if (admitted != ServiceStatus::kOk) return traced("predict", start, x.rows(), admitted);
   try {
     *labels = it->second->predict(x);
   } catch (const std::exception& e) {
     ++stats_.server_errors;
     last_error_ = e.what();
-    return ServiceStatus::kServerError;
+    return traced("predict", start, x.rows(), ServiceStatus::kServerError);
   }
   // Per-row accounting, matching admit()'s per-sample latency charge: one
   // 64-row call and 64 single-row calls record the same prediction work.
   stats_.predictions += x.rows();
-  return ServiceStatus::kOk;
+  return traced("predict", start, x.rows(), ServiceStatus::kOk);
 }
 
 ServiceStatus MlaasService::delete_dataset(const std::string& handle) {
@@ -367,6 +374,15 @@ ServiceStatus RetryingClient::with_retries(const std::function<ServiceStatus()>&
       // Honour the Retry-After hint so a long window does not eat the whole
       // retry budget one backoff at a time.  The hint may exceed the capped
       // backoff; waiting it out is still cheaper than burning attempts.
+      //
+      // The +1e-6 epsilon is load-bearing: admit() ages window entries out
+      // with a strict `t < window_start` comparison, and the hint is computed
+      // as exactly `front() + window - now`.  Sleeping exactly that long
+      // lands the retry at the instant the oldest entry expires, where
+      // `t == window_start` still counts against the window — the retry
+      // would be rejected again and an attempt burned.  Nudging the wake-up
+      // strictly past expiry admits the retry on its first attempt (locked
+      // by the RetryAfterHintAtExactExpiry* regression tests).
       wait = std::max(backoff, service_.retry_after_seconds() + 1e-6);
     } else if (policy_.jitter) {
       // Decorrelated jitter: uniform in [initial, min(cap, 3 * prev sleep)].
@@ -384,10 +400,23 @@ ServiceStatus RetryingClient::with_retries(const std::function<ServiceStatus()>&
       // request after its deadline has already passed.
       deadline_limited_ = true;
       ++deadline_refusals_;
+      if (trace_ != nullptr) {
+        trace_->instant("retry", "deadline-refused", service_.now(),
+                        {{"status", to_string(status)},
+                         {"wait", format_metric_value(wait)}});
+      }
       break;
     }
     ++retries_;
     backoff_seconds_ += wait;
+    if (trace_ != nullptr) {
+      trace_->span("retry",
+                   status == ServiceStatus::kRateLimited ? "retry-after-wait"
+                                                         : "backoff-wait",
+                   service_.now(), wait,
+                   {{"attempt", std::to_string(attempt + 1)},
+                    {"status", to_string(status)}});
+    }
     service_.advance_clock(wait);
   }
   return status;

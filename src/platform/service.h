@@ -30,6 +30,8 @@
 
 namespace mlaas {
 
+class TraceTrack;
+
 /// One recurring window on the simulated clock: active whenever the time
 /// since `phase` lands inside [0, duration) modulo `period`.  Chaos fault
 /// schedules are built from these so outages repeat deterministically for
@@ -147,6 +149,23 @@ struct ServiceStats {
   /// on how oversubscribed the campaign's thread pool is.
   double train_cpu_seconds = 0.0;
 
+  /// Scalar counters in declaration order, for util/metrics.h's generic
+  /// merge_stats / register_stats (replaces the old hand-rolled merge body).
+  template <typename Self, typename Visitor>
+  static void visit_fields(Self& self, Visitor&& visit) {
+    visit("requests", self.requests);
+    visit("uploads", self.uploads);
+    visit("trainings", self.trainings);
+    visit("predictions", self.predictions);
+    visit("datasets_deleted", self.datasets_deleted);
+    visit("models_deleted", self.models_deleted);
+    visit("rate_limited", self.rate_limited);
+    visit("transient_errors", self.transient_errors);
+    visit("server_errors", self.server_errors);
+    visit("unavailable", self.unavailable);
+    visit("train_cpu_seconds", self.train_cpu_seconds);
+  }
+
   void merge(const ServiceStats& other);
 };
 
@@ -210,9 +229,17 @@ class MlaasService {
 
   const ServiceStats& stats() const { return stats_; }
 
+  /// Attach a trace track: upload/train/predict each emit one "service"
+  /// span per call, timestamped off the simulated clock.  The track must
+  /// outlive the service while attached; nullptr detaches.
+  void set_trace(TraceTrack* track) { trace_ = track; }
+
  private:
   /// Common request admission: clock, rate limit, fault injection.
   ServiceStatus admit(std::size_t work_samples);
+  /// Emit the span for one completed call and pass the status through.
+  ServiceStatus traced(const char* op, double start, std::size_t rows,
+                       ServiceStatus status);
 
   PlatformPtr owned_platform_;       // null when non-owning
   const Platform* platform_;
@@ -224,6 +251,7 @@ class MlaasService {
   std::string last_error_;
   std::vector<double> request_times_;  // within the current window
   ServiceStats stats_;
+  TraceTrack* trace_ = nullptr;
 
   std::map<std::string, Dataset> datasets_;
   // shared_ptr (not TrainedModelPtr) so model() can hand out retained
@@ -300,6 +328,10 @@ class RetryingClient {
   /// Sleeps refused across the client's lifetime (deadline overruns avoided).
   std::size_t deadline_refusals() const { return deadline_refusals_; }
 
+  /// Attach a trace track: every retry sleep becomes a "retry" span
+  /// (backoff vs Retry-After) and every deadline refusal an instant event.
+  void set_trace(TraceTrack* track) { trace_ = track; }
+
  private:
   ServiceStatus with_retries(const std::function<ServiceStatus()>& call,
                              double deadline);
@@ -307,6 +339,7 @@ class RetryingClient {
   MlaasService& service_;
   RetryPolicy policy_;
   Rng jitter_rng_;
+  TraceTrack* trace_ = nullptr;
   std::size_t retries_ = 0;
   double backoff_seconds_ = 0.0;
   bool deadline_limited_ = false;

@@ -9,6 +9,7 @@
 
 #include "data/generators.h"
 #include "platform/all_platforms.h"
+#include "util/io.h"
 #include "util/rng.h"
 
 namespace mlaas {
@@ -104,11 +105,7 @@ std::string to_string(QueryOutcome outcome) {
 }
 
 void TenantServingStats::merge(const TenantServingStats& other) {
-  requests += other.requests;
-  rows += other.rows;
-  ok += other.ok;
-  failed += other.failed;
-  rejected += other.rejected;
+  merge_stats(*this, other);
   latency.merge(other.latency);
 }
 
@@ -218,17 +215,28 @@ void ServingReport::write_tsv(std::ostream& out) const {
         << "\tflushed_deadline=" << totals.flushed_deadline << '\n';
   }
   out << "# histogram\t" << totals.latency.encode() << '\n';
+  // Same gating discipline as "# resilience": the trailer only exists when
+  // tracing ran, so untraced reports keep their historical bytes.
+  if (!trace_summary.empty()) out << "# trace\t" << trace_summary << '\n';
+}
+
+MetricsRegistry ServingReport::metrics() const {
+  MetricsRegistry registry;
+  register_stats(registry, "serving.", totals);
+  for (const auto& t : tenants) {
+    register_stats(registry, "tenant." + t.tenant + ".", t);
+  }
+  return registry;
 }
 
 void ServingReport::save_tsv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("ServingReport: cannot write " + path);
+  std::ofstream out = open_sidecar(path, "ServingReport");
   write_tsv(out);
+  finish_sidecar(out, path, "ServingReport");
 }
 
 void ServingReport::save_json(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("ServingReport: cannot write " + path);
+  std::ofstream out = open_sidecar(path, "ServingReport");
   out.precision(10);
   out << "{\n  \"totals\": {\n"
       << "    \"requests\": " << totals.requests << ", \"rows\": " << totals.rows
@@ -264,6 +272,9 @@ void ServingReport::save_json(const std::string& path) const {
         << ", \"refused_sleeps\": " << totals.refused_sleeps
         << ", \"flushed_deadline\": " << totals.flushed_deadline << "},\n";
   }
+  if (!trace_summary.empty()) {
+    out << "  \"trace\": \"" << json_escape(trace_summary) << "\",\n";
+  }
   out << "  \"histogram\": \"" << json_escape(totals.latency.encode())
       << "\",\n  \"tenants\": [\n";
   for (std::size_t i = 0; i < tenants.size(); ++i) {
@@ -276,6 +287,40 @@ void ServingReport::save_json(const std::string& path) const {
     out << "}" << (i + 1 < tenants.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+  finish_sidecar(out, path, "ServingReport");
+}
+
+void validate_serving_options(const ServingOptions& o) {
+  // `!(x >= 0)` instead of `x < 0` so NaN fails validation too.
+  if (o.max_batch_rows < 1) {
+    throw std::invalid_argument("serving: --batch must be >= 1");
+  }
+  if (!(o.linger_seconds >= 0.0) || !std::isfinite(o.linger_seconds)) {
+    throw std::invalid_argument("serving: --linger must be a finite value >= 0");
+  }
+  if (o.model_cache_capacity < 1) {
+    throw std::invalid_argument("serving: --cache-capacity must be >= 1");
+  }
+  if (!(o.deadline_seconds >= 0.0) || !std::isfinite(o.deadline_seconds)) {
+    throw std::invalid_argument("serving: --deadline-ms must be a finite value >= 0");
+  }
+  if (!(o.fault_rate >= 0.0 && o.fault_rate <= 1.0)) {
+    throw std::invalid_argument("serving: --fault-rate must be in [0,1]");
+  }
+  if (o.retry.max_attempts < 1) {
+    throw std::invalid_argument("serving: retry attempts must be >= 1");
+  }
+  if (o.breaker.enabled) {
+    if (o.breaker.failure_threshold < 1) {
+      throw std::invalid_argument("serving: --breaker-threshold must be >= 1");
+    }
+    if (!(o.breaker.cooldown_seconds >= 0.0)) {
+      throw std::invalid_argument("serving: --breaker-cooldown must be >= 0");
+    }
+    if (o.breaker.max_probes < 0) {
+      throw std::invalid_argument("serving: --breaker-probes must be >= 0");
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -320,6 +365,23 @@ QueryRouter::QueryRouter(const std::vector<PlatformPtr>& platforms,
   resilience_ = options_.fault_rate > 0.0 || options_.chaos_profile != "none" ||
                 options_.deadline_seconds > 0.0 || fallback_index_.has_value() ||
                 options_.serve_last_known_good || options_.breaker.enabled;
+  if (options_.trace) {
+    // Canonical track order: router first, then one per platform in roster
+    // order.  Everything below runs on the single gateway clock, so the
+    // resulting trace bytes are a pure function of (roster, seed, options).
+    trace_ = std::make_unique<Trace>();
+    router_track_ = &trace_->track("router");
+    for (std::size_t i = 0; i < platforms_.size(); ++i) {
+      PlatformState& ps = platforms_[i];
+      const std::string name = ps.platform->name();
+      TraceTrack* track = &trace_->track("service:" + name);
+      ps.service->set_trace(track);
+      ps.client->set_trace(track);
+      ps.breaker.set_listener([track, name](const char* transition, double at) {
+        track->instant("breaker", transition, at, {{"platform", name}});
+      });
+    }
+  }
 }
 
 template <typename Fn>
@@ -513,12 +575,14 @@ void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
 
   ++stats_.batches;
   stats_.batched_rows += batch.rows;
+  const char* cause_name = "";
   switch (cause) {
-    case FlushCause::kFull: ++stats_.flushed_full; break;
-    case FlushCause::kLinger: ++stats_.flushed_linger; break;
-    case FlushCause::kDeadline: ++stats_.flushed_deadline; break;
-    case FlushCause::kForced: ++stats_.flushed_forced; break;
+    case FlushCause::kFull: ++stats_.flushed_full; cause_name = "full"; break;
+    case FlushCause::kLinger: ++stats_.flushed_linger; cause_name = "linger"; break;
+    case FlushCause::kDeadline: ++stats_.flushed_deadline; cause_name = "deadline"; break;
+    case FlushCause::kForced: ++stats_.flushed_forced; cause_name = "forced"; break;
   }
+  const double flush_start = now_;
 
   const Session& s = sessions_[batch.session];
   const double budget = batch.budget_deadline;
@@ -541,8 +605,16 @@ void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
       // skip the platform entirely and take the next rung.
       ++stats_.breaker_gated;
       error = "breaker:open";
+      if (router_track_ != nullptr) {
+        router_track_->instant("ladder", "rung:breaker-gated", now_,
+                               {{"model", s.model_key}});
+      }
     } else if (now_ > budget) {
       error = "deadline:exhausted";  // forced/overflow flush past the budget
+      if (router_track_ != nullptr) {
+        router_track_->instant("ladder", "rung:budget-exhausted", now_,
+                               {{"model", s.model_key}});
+      }
     } else {
       const std::string handle =
           acquire_model(batch.session, batch.platform, s.model_key, budget);
@@ -555,11 +627,15 @@ void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
         if (status == ServiceStatus::kOk) {
           have_labels = true;
           how = QueryOutcome::kOk;
-          ps.breaker.record_success();
+          ps.breaker.record_success(now_);
         } else {
           error = "predict:" + to_string(status);
           ps.breaker.record_failure(now_);
         }
+      }
+      if (!have_labels && router_track_ != nullptr) {
+        router_track_->instant("ladder", "rung:primary-failed", now_,
+                               {{"model", s.model_key}, {"error", error}});
       }
     }
   }
@@ -573,6 +649,10 @@ void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
     if (decision == CircuitBreaker::Decision::kWait ||
         decision == CircuitBreaker::Decision::kDefer) {
       ++stats_.breaker_gated;
+      if (router_track_ != nullptr) {
+        router_track_->instant("ladder", "rung:failover-gated", now_,
+                               {{"model", s.fallback_key}});
+      }
     } else if (now_ <= budget) {
       const std::string handle =
           acquire_model(batch.session, *fallback_index_, s.fallback_key, budget);
@@ -584,10 +664,15 @@ void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
         if (status == ServiceStatus::kOk) {
           have_labels = true;
           how = QueryOutcome::kFailover;
-          fb.breaker.record_success();
+          fb.breaker.record_success(now_);
         } else {
           fb.breaker.record_failure(now_);
         }
+      }
+      if (router_track_ != nullptr) {
+        router_track_->instant("ladder",
+                               have_labels ? "rung:failover" : "rung:failover-failed",
+                               now_, {{"model", s.fallback_key}});
       }
     }
   }
@@ -604,13 +689,23 @@ void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
       labels = lkg->second->predict(x);
       have_labels = true;
       how = QueryOutcome::kLastKnownGood;
+      if (router_track_ != nullptr) {
+        router_track_->instant("ladder", "rung:last-known-good", now_,
+                               {{"model", lkg->first}});
+      }
     }
   }
 
   // Rung 4: degraded reject — but only when a ladder was configured at all;
   // otherwise this is the classic failure path with its original error text.
   const bool ladder = fallback_index_.has_value() || options_.serve_last_known_good;
-  if (!have_labels) how = ladder ? QueryOutcome::kDegraded : QueryOutcome::kFailed;
+  if (!have_labels) {
+    how = ladder ? QueryOutcome::kDegraded : QueryOutcome::kFailed;
+    if (ladder && router_track_ != nullptr) {
+      router_track_->instant("ladder", "rung:degraded", now_,
+                             {{"model", s.model_key}, {"error", error}});
+    }
+  }
 
   std::size_t offset = 0;
   for (const PendingRequest& req : batch.requests) {
@@ -648,6 +743,14 @@ void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
     const double latency = r.complete_seconds - r.submit_seconds;
     ts.latency.record(latency);
     stats_.latency.record(latency);
+  }
+
+  if (router_track_ != nullptr) {
+    router_track_->span("serving", "flush", flush_start, now_ - flush_start,
+                        {{"model", batch.model_key},
+                         {"cause", cause_name},
+                         {"rows", std::to_string(batch.rows)},
+                         {"outcome", to_string(how)}});
   }
 }
 
@@ -732,6 +835,7 @@ ServingReport QueryRouter::report() const {
   report.tenants = tenants_;
   report.max_batch_rows = options_.max_batch_rows;
   report.resilience = resilience_;
+  if (trace_ != nullptr) report.trace_summary = trace_->summary();
   return report;
 }
 
@@ -857,6 +961,9 @@ ServingWorkloadResult run_serving_workload(const std::vector<ServingTenantSpec>&
   ServingWorkloadResult result;
   result.report = router.report();
   result.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  if (router.trace() != nullptr) {
+    result.trace = std::make_shared<Trace>(*router.trace());
+  }
   return result;
 }
 

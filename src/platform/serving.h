@@ -40,6 +40,7 @@
 
 #include "platform/breaker.h"
 #include "platform/service.h"
+#include "util/trace.h"
 
 namespace mlaas {
 
@@ -126,6 +127,13 @@ struct ServingOptions {
   /// breaker is open the router skips that platform and takes the next
   /// ladder rung instead of sleeping out the cooldown on a request budget.
   BreakerOptions breaker;
+
+  /// Deterministic end-to-end tracing: one track for the router (batch
+  /// flushes with FlushCause and ladder-rung annotations) plus one per
+  /// platform (service call spans, retry waits, breaker transitions), all
+  /// timestamped off the simulated gateway clock.  Off by default; while off
+  /// every report/label byte is identical to the untraced router.
+  bool trace = false;
 };
 
 /// Where on the serve path / degradation ladder a request was resolved.
@@ -162,6 +170,17 @@ struct TenantServingStats {
   std::size_t failed = 0;    // batch exhausted retries / permanent error
   std::size_t rejected = 0;  // admission control turned the submit away
   LatencyHistogram latency;
+
+  /// Scalar counters in declaration order, for util/metrics.h's generic
+  /// merge_stats / register_stats (the histogram merges separately).
+  template <typename Self, typename Visitor>
+  static void visit_fields(Self& self, Visitor&& visit) {
+    visit("requests", self.requests);
+    visit("rows", self.rows);
+    visit("ok", self.ok);
+    visit("failed", self.failed);
+    visit("rejected", self.rejected);
+  }
 
   void merge(const TenantServingStats& other);
 };
@@ -202,6 +221,37 @@ struct ServingStats {
   std::size_t breaker_trips = 0;     // breaker open transitions, all platforms
   std::size_t refused_sleeps = 0;    // retry sleeps refused by deadline budgets
 
+  /// Scalar counters in declaration order, for util/metrics.h registration.
+  template <typename Self, typename Visitor>
+  static void visit_fields(Self& self, Visitor&& visit) {
+    visit("requests", self.requests);
+    visit("rows", self.rows);
+    visit("ok", self.ok);
+    visit("failed", self.failed);
+    visit("rejected", self.rejected);
+    visit("batches", self.batches);
+    visit("batched_rows", self.batched_rows);
+    visit("flushed_full", self.flushed_full);
+    visit("flushed_linger", self.flushed_linger);
+    visit("flushed_forced", self.flushed_forced);
+    visit("flushed_deadline", self.flushed_deadline);
+    visit("cache_hits", self.cache_hits);
+    visit("cache_misses", self.cache_misses);
+    visit("cache_evictions", self.cache_evictions);
+    visit("trainings", self.trainings);
+    visit("retries", self.retries);
+    visit("rate_limited", self.rate_limited);
+    visit("backoff_seconds", self.backoff_seconds);
+    visit("simulated_seconds", self.simulated_seconds);
+    visit("deadline_missed", self.deadline_missed);
+    visit("failovers", self.failovers);
+    visit("degraded_answers", self.degraded_answers);
+    visit("degraded_rejected", self.degraded_rejected);
+    visit("breaker_gated", self.breaker_gated);
+    visit("breaker_trips", self.breaker_trips);
+    visit("refused_sleeps", self.refused_sleeps);
+  }
+
   /// Mean rows per flushed batch.
   double mean_batch_rows() const;
   /// mean_batch_rows / max_batch_rows in [0, 1].
@@ -223,11 +273,25 @@ struct ServingReport {
   /// block, so chaos-off reports stay byte-identical to the pre-resilience
   /// format.
   bool resilience = false;
+  /// Trace::summary() of the run's trace; empty when tracing was off.
+  /// Gates the "# trace" TSV trailer and the JSON "trace" field the same
+  /// way `resilience` gates its block.
+  std::string trace_summary;
 
   void write_tsv(std::ostream& out) const;
   void save_tsv(const std::string& path) const;
   void save_json(const std::string& path) const;
+
+  /// Totals and per-tenant counters re-registered into one registry
+  /// (stable order: totals in field order, then tenants in open order).
+  MetricsRegistry metrics() const;
 };
+
+/// Validate the user-facing serving knobs the CLI front ends collect;
+/// throws std::invalid_argument naming the offending flag.  Called at parse
+/// time so nonsense like `--batch 0` or `--linger -5` is a usage error, not
+/// a silently clamped (or undefined) run.
+void validate_serving_options(const ServingOptions& options);
 
 class QueryRouter {
  public:
@@ -289,6 +353,8 @@ class QueryRouter {
   const ServiceStats& platform_stats(const std::string& platform) const;
   std::size_t cached_models() const { return lru_.size(); }
   const std::string& last_error() const { return last_error_; }
+  /// The run's trace (nullptr unless ServingOptions::trace was set).
+  const Trace* trace() const { return trace_.get(); }
 
  private:
   struct PlatformState {
@@ -379,6 +445,13 @@ class QueryRouter {
   std::vector<TenantServingStats> tenants_;  // session-open order
   std::map<std::string, std::size_t> tenant_index_;
   std::string last_error_;
+
+  // Tracing (null when off).  The router is single-threaded over one
+  // simulated clock, so it owns the Trace directly: track 0 is the router
+  // (flush spans + ladder rungs), then one track per platform in roster
+  // order (service spans, retry waits, breaker transitions).
+  std::unique_ptr<Trace> trace_;
+  TraceTrack* router_track_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -421,6 +494,8 @@ struct ServingWorkloadOptions {
 struct ServingWorkloadResult {
   ServingReport report;
   double wall_seconds = 0.0;  // real time spent driving the router
+  /// Copy of the router's trace (null unless options.serving.trace).
+  std::shared_ptr<const Trace> trace;
 };
 
 /// Drive a QueryRouter with a seeded multi-tenant workload.  Deterministic in

@@ -1,7 +1,9 @@
 #include "util/cli.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <string_view>
 
 namespace mlaas {
@@ -82,15 +84,40 @@ BenchOptions parse_bench_options(int argc, const char* const* argv) {
                                 opt.schedule + "'");
   }
   opt.quick = flags.bool_or("quick", false);
+  // Validate the shared campaign knobs at parse time, like --threads above:
+  // each of these used to flow unchecked into the service layer, where a
+  // nonsense value (negative retry budget, fault rate above 1) produced a
+  // silently degenerate campaign instead of a usage error.
+  if (!(opt.scale > 0.0) || !std::isfinite(opt.scale)) {
+    throw std::invalid_argument("--scale must be a finite value > 0");
+  }
   opt.fault_rate = flags.double_or("fault-rate", opt.fault_rate);
+  if (!(opt.fault_rate >= 0.0 && opt.fault_rate <= 1.0)) {
+    throw std::invalid_argument("--fault-rate must be in [0, 1]");
+  }
   opt.quota_profile = flags.get_or("quota-profile", opt.quota_profile);
   opt.retry_budget = static_cast<int>(flags.int_or("retry-budget", opt.retry_budget));
+  if (opt.retry_budget < 1) {
+    throw std::invalid_argument("--retry-budget must be >= 1, got " +
+                                std::to_string(opt.retry_budget));
+  }
   opt.chaos_profile = flags.get_or("chaos-profile", opt.chaos_profile);
   opt.breakers = flags.bool_or("breakers", opt.breakers);
   opt.breaker_threshold =
       static_cast<int>(flags.int_or("breaker-threshold", opt.breaker_threshold));
+  if (opt.breaker_threshold < 1) {
+    throw std::invalid_argument("--breaker-threshold must be >= 1, got " +
+                                std::to_string(opt.breaker_threshold));
+  }
   opt.breaker_cooldown = flags.double_or("breaker-cooldown", opt.breaker_cooldown);
+  if (!(opt.breaker_cooldown >= 0.0) || !std::isfinite(opt.breaker_cooldown)) {
+    throw std::invalid_argument("--breaker-cooldown must be a finite value >= 0");
+  }
   opt.breaker_probes = static_cast<int>(flags.int_or("breaker-probes", opt.breaker_probes));
+  if (opt.breaker_probes < 0) {
+    throw std::invalid_argument("--breaker-probes must be >= 0, got " +
+                                std::to_string(opt.breaker_probes));
+  }
   opt.jitter = flags.bool_or("jitter", opt.jitter);
   opt.resume = flags.bool_or("resume", opt.resume);
   if (flags.bool_or("fresh", false)) opt.resume = false;

@@ -1,0 +1,23 @@
+#include "util/io.h"
+
+#include <stdexcept>
+
+namespace mlaas {
+
+std::ofstream open_sidecar(const std::string& path, const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error(std::string(what) + ": cannot write " + path);
+  }
+  return out;
+}
+
+void finish_sidecar(std::ofstream& out, const std::string& path, const char* what) {
+  out.flush();
+  if (out.fail()) {
+    throw std::runtime_error(std::string(what) + ": write failed (disk full or "
+                             "unwritable): " + path);
+  }
+}
+
+}  // namespace mlaas

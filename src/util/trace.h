@@ -1,0 +1,128 @@
+// Deterministic end-to-end tracing for the service→serving→campaign stack.
+//
+// Every event is timestamped off the *simulated* gateway/service clock, never
+// the wall clock, so a traced run produces byte-identical output for every
+// thread count, schedule and rerun — the same discipline the measurement
+// table and journal already follow.  The scheduler's wall-clock telemetry
+// (steal counts, worker busy seconds) is deliberately excluded: it is the one
+// nondeterministic corner of the stack and lives in SchedulerStats only.
+//
+// Concurrency model (the OrderedJournalWriter pattern applied to traces):
+//   - TraceTrack is single-owner: exactly one worker appends to a track, with
+//     no locks on the hot path.  A bounded ring keeps a runaway session from
+//     growing without bound (overflow evicts the oldest event and counts it).
+//   - Trace assembles finished tracks in canonical order *after* the parallel
+//     section — the campaign driver builds one track per session slot and
+//     adopts them in session order once the pool joins, exactly like the
+//     measurement-table slots and the ordered journal drain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace mlaas {
+
+struct TraceEvent {
+  enum class Phase : std::uint8_t {
+    kSpan,     ///< Chrome "X" complete event: [ts, ts + dur).
+    kInstant,  ///< Chrome "i" instant event at ts.
+  };
+
+  Phase phase = Phase::kSpan;
+  const char* category = "";  ///< Static string: "service", "retry", "breaker", ...
+  std::string name;
+  double ts = 0.0;   ///< Simulated seconds.
+  double dur = 0.0;  ///< Simulated seconds; 0 for instants.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Single-owner bounded event buffer.  Appends are lock-free because only
+/// the owning worker ever touches the track until it is adopted by a Trace.
+class TraceTrack {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceTrack(std::string name, std::size_t capacity = kDefaultCapacity);
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+
+  void span(const char* category, std::string name, double ts, double dur,
+            std::vector<std::pair<std::string, std::string>> args = {});
+  void instant(const char* category, std::string name, double ts,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Surviving events in record order (oldest first).
+  std::size_t size() const { return events_.size(); }
+  /// Events evicted by ring overflow; nonzero means the trace is partial.
+  std::size_t dropped() const { return dropped_; }
+
+  /// Visit surviving events oldest-first.
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      visit(events_[(head_ + i) % events_.size()]);
+    }
+  }
+
+ private:
+  void push(TraceEvent event);
+
+  std::string name_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::size_t head_ = 0;  ///< Oldest surviving event once the ring wraps.
+  std::size_t dropped_ = 0;
+};
+
+/// An ordered collection of tracks plus the exporters.  Not thread-safe:
+/// either use it single-threaded (the serving router) or build standalone
+/// TraceTracks in parallel and adopt() them in canonical order afterwards
+/// (the campaign driver).
+class Trace {
+ public:
+  explicit Trace(std::size_t track_capacity = TraceTrack::kDefaultCapacity);
+
+  /// Create-or-get a track; creation order is the canonical export order.
+  TraceTrack& track(const std::string& name);
+  /// Move a finished standalone track in at the end of the canonical order.
+  void adopt(TraceTrack track);
+
+  std::size_t track_count() const { return tracks_.size(); }
+  std::size_t event_count() const;
+  std::size_t span_count() const;
+  std::size_t instant_count() const;
+  std::size_t dropped() const;
+
+  /// Counters over the whole trace (tracks/spans/instants/dropped plus
+  /// per-category event counts) in canonical first-seen order.
+  MetricsRegistry metrics() const;
+
+  /// Payload of the "# trace" report trailer: metrics().encode().
+  std::string summary() const;
+
+  /// Chrome trace_event JSON ("JSON Object Format"): one thread_name
+  /// metadata record per track, then every event with pid 0 and tid = track
+  /// index.  Timestamps are simulated microseconds with fixed formatting,
+  /// so the bytes are deterministic whenever the simulated run is.
+  void write_chrome_json(std::ostream& out) const;
+
+  /// write_chrome_json to a file, with the stream checked after flush so a
+  /// full disk or unwritable path fails loudly instead of truncating.
+  void save_json(const std::string& path) const;
+
+ private:
+  std::size_t track_capacity_;
+  std::deque<TraceTrack> tracks_;  ///< deque: stable addresses for wiring.
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace mlaas

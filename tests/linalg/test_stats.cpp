@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "util/rng.h"
 
 namespace mlaas {
@@ -44,6 +48,55 @@ TEST(Stats, QuantileInterpolates) {
 TEST(Stats, QuantileRejectsBadInput) {
   EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
   EXPECT_THROW(quantile(std::vector<double>{1.0}, 1.5), std::invalid_argument);
+}
+
+/// The pre-nth_element implementation, kept verbatim as the reference: the
+/// selection-based quantile must reproduce the full-sort answer bit for bit
+/// (same order statistics, same interpolation expression).
+double quantile_by_full_sort(std::vector<double> s, double q) {
+  std::sort(s.begin(), s.end());
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+TEST(Stats, QuantileMatchesFullSortReferenceExactly) {
+  Rng rng(17);
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 64u, 1001u}) {
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.normal(0.0, 100.0);
+    for (const double q :
+         {0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+      // Exact equality, not EXPECT_NEAR: the interpolation arithmetic is
+      // unchanged, only the partial ordering algorithm differs.
+      EXPECT_EQ(quantile(v, q), quantile_by_full_sort(v, q))
+          << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(Stats, QuantileExactOnDuplicateHeavyInput) {
+  // Ties exercise nth_element's partition boundaries hardest.
+  Rng rng(23);
+  std::vector<double> v(500);
+  for (auto& x : v) x = static_cast<double>(rng.index(5));
+  for (const double q : {0.0, 0.1, 0.5, 0.77, 1.0}) {
+    EXPECT_EQ(quantile(v, q), quantile_by_full_sort(v, q)) << "q=" << q;
+  }
+}
+
+TEST(Stats, QuantileRejectsNaN) {
+  // The old full-sort silently produced an order-dependent garbage answer
+  // (NaN breaks strict weak ordering); now it must refuse deterministically.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(quantile(std::vector<double>{1.0, nan, 3.0}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(quantile(std::vector<double>{nan}, 0.0), std::invalid_argument);
+  // Infinities are ordered fine and stay accepted.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(quantile(std::vector<double>{1.0, inf, 3.0}, 0.0), 1.0);
 }
 
 TEST(Stats, FractionalRanksWithTies) {

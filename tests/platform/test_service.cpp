@@ -142,6 +142,51 @@ TEST(RetryingClientTest, PermanentErrorsAreNotRetried) {
   EXPECT_EQ(service.stats().requests, before + 2);
 }
 
+TEST(Service, RetryAfterHintAtExactExpiryStillRejects) {
+  // Boundary contract behind RetryingClient's +1e-6 wake-up epsilon: admit()
+  // ages window entries with a strict `t < window_start` comparison, so a
+  // request landing exactly when the oldest entry expires is still rejected.
+  ServiceQuota quota;
+  quota.requests_per_window = 1;
+  quota.window_seconds = 10.0;
+  quota.base_latency_seconds = 0.0;
+  quota.per_sample_latency_seconds = 0.0;
+  auto service = make_service(quota);
+  std::string ds;
+  ASSERT_EQ(service.upload(small_data(1), &ds), ServiceStatus::kOk);  // t=0
+  ASSERT_EQ(service.upload(small_data(2), &ds), ServiceStatus::kRateLimited);
+  EXPECT_DOUBLE_EQ(service.retry_after_seconds(), 10.0);
+  // Exactly at window expiry the t=0 entry still counts against the window.
+  service.advance_clock(10.0);
+  EXPECT_EQ(service.upload(small_data(3), &ds), ServiceStatus::kRateLimited);
+  EXPECT_DOUBLE_EQ(service.retry_after_seconds(), 0.0);
+  // One tick past expiry the entry has aged out.
+  service.advance_clock(1e-6);
+  EXPECT_EQ(service.upload(small_data(4), &ds), ServiceStatus::kOk);
+}
+
+TEST(RetryingClientTest, RetryAfterHintAtExactExpiryAdmitsWithoutExtraAttempt) {
+  // The client sleeps retry_after_seconds() + 1e-6: strictly past expiry, so
+  // each rate-limited call burns exactly ONE rejected attempt.  Sleeping the
+  // bare hint would land on the t == window_start boundary above and get
+  // rejected a second time per call, doubling rate_limited and the retries.
+  ServiceQuota quota;
+  quota.requests_per_window = 1;
+  quota.window_seconds = 500.0;  // dwarfs exponential backoff: hint decides
+  quota.base_latency_seconds = 0.0;
+  quota.per_sample_latency_seconds = 0.0;
+  auto service = make_service(quota);
+  RetryingClient client(service, /*max_attempts=*/3);
+  const Dataset train = small_data(1);
+  const auto labels = client.train_and_predict(train, {}, train.x());
+  ASSERT_TRUE(labels.has_value());
+  // upload admits at t=0; train and predict each hit the full window once and
+  // succeed on their first retry — no attempt wasted at the exact boundary.
+  EXPECT_EQ(service.stats().rate_limited, 2u);
+  EXPECT_EQ(client.total_retries(), 2u);
+  EXPECT_NEAR(client.total_backoff_seconds(), 2 * (500.0 + 1e-6), 1e-6);
+}
+
 TEST(ServiceStatusTest, Names) {
   EXPECT_EQ(to_string(ServiceStatus::kOk), "ok");
   EXPECT_EQ(to_string(ServiceStatus::kRateLimited), "rate-limited");

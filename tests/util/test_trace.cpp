@@ -1,0 +1,133 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mlaas {
+namespace {
+
+TEST(TraceTrack, RecordsSpansAndInstantsInOrder) {
+  TraceTrack track("t");
+  track.span("service", "upload", 0.0, 1.5, {{"rows", "80"}});
+  track.instant("breaker", "open", 2.0);
+  ASSERT_EQ(track.size(), 2u);
+  EXPECT_EQ(track.dropped(), 0u);
+  std::vector<std::string> names;
+  track.for_each([&](const TraceEvent& e) { names.push_back(e.name); });
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "upload");
+  EXPECT_EQ(names[1], "open");
+}
+
+TEST(TraceTrack, RingOverflowDropsOldestAndCounts) {
+  TraceTrack track("t", /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    track.instant("c", "e" + std::to_string(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(track.size(), 4u);
+  EXPECT_EQ(track.dropped(), 6u);
+  // The four youngest events survive, oldest-first.
+  std::vector<std::string> names;
+  track.for_each([&](const TraceEvent& e) { names.push_back(e.name); });
+  EXPECT_EQ(names, (std::vector<std::string>{"e6", "e7", "e8", "e9"}));
+}
+
+TEST(Trace, TrackIsCreateOrGetInCanonicalOrder) {
+  Trace trace;
+  TraceTrack& a = trace.track("alpha");
+  TraceTrack& b = trace.track("beta");
+  EXPECT_EQ(&trace.track("alpha"), &a);
+  EXPECT_EQ(&trace.track("beta"), &b);
+  EXPECT_EQ(trace.track_count(), 2u);
+}
+
+TEST(Trace, AdoptAppendsFinishedTracks) {
+  Trace trace;
+  TraceTrack standalone("worker");
+  standalone.span("c", "s", 0.0, 1.0);
+  trace.adopt(std::move(standalone));
+  EXPECT_EQ(trace.track_count(), 1u);
+  EXPECT_EQ(trace.span_count(), 1u);
+  EXPECT_EQ(trace.instant_count(), 0u);
+  EXPECT_EQ(trace.event_count(), 1u);
+}
+
+TEST(Trace, MetricsCountPerCategory) {
+  Trace trace;
+  TraceTrack& t = trace.track("t");
+  t.span("service", "upload", 0.0, 1.0);
+  t.span("service", "train", 1.0, 2.0);
+  t.instant("breaker", "open", 3.0);
+  const MetricsRegistry m = trace.metrics();
+  EXPECT_DOUBLE_EQ(m.value("tracks"), 1.0);
+  EXPECT_DOUBLE_EQ(m.value("spans"), 2.0);
+  EXPECT_DOUBLE_EQ(m.value("instants"), 1.0);
+  EXPECT_DOUBLE_EQ(m.value("dropped"), 0.0);
+  EXPECT_DOUBLE_EQ(m.value("cat:service"), 2.0);
+  EXPECT_DOUBLE_EQ(m.value("cat:breaker"), 1.0);
+  EXPECT_EQ(trace.summary(), m.encode());
+}
+
+TEST(Trace, ChromeJsonShape) {
+  Trace trace;
+  TraceTrack& t = trace.track("router");
+  t.span("serving", "flush", 1.0, 0.5, {{"cause", "full"}});
+  t.instant("breaker", "open", 2.0, {{"platform", "Google"}});
+  std::ostringstream out;
+  trace.write_chrome_json(out);
+  const std::string json = out.str();
+  // Metadata record names the track, events carry pid/tid and microsecond
+  // timestamps, instants have the "t" scope, and the document closes with
+  // the display unit.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"router\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"cause\":\"full\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // 1.0 s -> 1e6 us.
+  EXPECT_NE(json.find("\"ts\":1000000"), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonEscapesStrings) {
+  Trace trace;
+  trace.track("t").instant("c", "quote\"back\\slash", 0.0,
+                           {{"k", "line\nbreak\ttab"}});
+  std::ostringstream out;
+  trace.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak\\ttab"), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonIsByteStableAcrossIdenticalBuilds) {
+  auto build = [] {
+    Trace trace;
+    TraceTrack& a = trace.track("a");
+    for (int i = 0; i < 50; ++i) {
+      a.span("c", "s" + std::to_string(i), i * 0.1, 0.05,
+             {{"i", std::to_string(i)}});
+    }
+    trace.track("b").instant("c", "end", 5.0);
+    std::ostringstream out;
+    trace.write_chrome_json(out);
+    return out.str();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Trace, DroppedEventsSurfaceInSummary) {
+  Trace trace(/*track_capacity=*/2);
+  TraceTrack& t = trace.track("t");
+  for (int i = 0; i < 5; ++i) t.instant("c", "e", static_cast<double>(i));
+  EXPECT_EQ(trace.dropped(), 3u);
+  EXPECT_NE(trace.summary().find("dropped=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlaas

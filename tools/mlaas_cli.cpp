@@ -18,7 +18,7 @@
 //              [--chaos-profile storm] [--breakers] [--breaker-threshold 3]
 //              [--breaker-cooldown 300] [--breaker-probes 2] [--jitter]
 //              [--journal PATH] [--resume|--fresh]
-//              [--out report.tsv] [--json report.json]
+//              [--out report.tsv] [--json report.json] [--trace-out trace.json]
 //       Run the measurement campaign through the simulated service layer
 //       and print/write the per-platform telemetry report.  Finished cells
 //       are journaled to PATH (write-ahead, fsync'd); an interrupted
@@ -31,7 +31,7 @@
 //              [--fallback Local] [--last-known-good] [--breakers]
 //              [--breaker-threshold 3] [--breaker-cooldown 300]
 //              [--breaker-probes 2]
-//              [--out report.tsv] [--json report.json]
+//              [--out report.tsv] [--json report.json] [--trace-out trace.json]
 //       Drive the batched query-serving layer (QueryRouter) with a seeded
 //       multi-tenant workload — Zipf-skewed tenant mix, open-loop Poisson
 //       arrivals at --rate (or --closed-loop with --clients callers) — and
@@ -42,9 +42,18 @@
 //       --last-known-good, --breakers); when any of them is on the summary
 //       gains a one-line resilience report (goodput, deadline misses,
 //       failovers, breaker trips).
+//
+//   Both campaign and serve-bench accept --trace-out PATH: record a
+//   deterministic end-to-end trace (service spans, retry waits, breaker
+//   transitions, batch flushes) and write it as Chrome trace_event JSON —
+//   load it in chrome://tracing or Perfetto.  Tracing changes no report
+//   byte and no cache fingerprint.
+#include <cmath>
 #include <filesystem>
 #include <iostream>
 #include <stdexcept>
+
+#include "util/trace.h"
 
 #include "core/study.h"
 #include "data/corpus.h"
@@ -170,17 +179,44 @@ int cmd_campaign(const CliFlags& flags) {
                                 opt.schedule + "'");
   }
   opt.verbose = flags.bool_or("verbose", false);
+  // Parse-time validation, mirroring the --threads fix above: every knob
+  // below used to flow unchecked into the campaign, where nonsense values
+  // (fault rate above 1, zero retry budget) ran a silently degenerate
+  // campaign instead of failing the invocation.
+  if (!(opt.scale > 0.0) || !std::isfinite(opt.scale)) {
+    throw std::invalid_argument("--scale must be a finite value > 0");
+  }
   opt.fault_rate = flags.double_or("fault-rate", 0.0);
+  if (!(opt.fault_rate >= 0.0 && opt.fault_rate <= 1.0)) {
+    throw std::invalid_argument("--fault-rate must be in [0, 1]");
+  }
   opt.quota_profile = flags.get_or("quota-profile", "default");
   opt.retry_budget = static_cast<int>(flags.int_or("retry-budget", 6));
+  if (opt.retry_budget < 1) {
+    throw std::invalid_argument("--retry-budget must be >= 1, got " +
+                                std::to_string(opt.retry_budget));
+  }
   opt.chaos_profile = flags.get_or("chaos-profile", "none");
   opt.breakers = flags.bool_or("breakers", false);
   opt.breaker_threshold = static_cast<int>(flags.int_or("breaker-threshold", 3));
+  if (opt.breaker_threshold < 1) {
+    throw std::invalid_argument("--breaker-threshold must be >= 1, got " +
+                                std::to_string(opt.breaker_threshold));
+  }
   opt.breaker_cooldown = flags.double_or("breaker-cooldown", 300.0);
+  if (!(opt.breaker_cooldown >= 0.0) || !std::isfinite(opt.breaker_cooldown)) {
+    throw std::invalid_argument("--breaker-cooldown must be a finite value >= 0");
+  }
   opt.breaker_probes = static_cast<int>(flags.int_or("breaker-probes", 2));
+  if (opt.breaker_probes < 0) {
+    throw std::invalid_argument("--breaker-probes must be >= 0, got " +
+                                std::to_string(opt.breaker_probes));
+  }
   opt.jitter = flags.bool_or("jitter", false);
   opt.resume = flags.bool_or("resume", true);
   if (flags.bool_or("fresh", false)) opt.resume = false;
+  const auto trace_out = flags.get("trace-out");
+  opt.trace = trace_out.has_value();
 
   Study study(opt);
   MeasurementOptions moptions = opt.measurement_options();
@@ -238,6 +274,11 @@ int cmd_campaign(const CliFlags& flags) {
     result.report.save_json(*json);
     std::cout << "wrote " << *json << "\n";
   }
+  if (trace_out && result.trace != nullptr) {
+    result.trace->save_json(*trace_out);
+    std::cout << "wrote " << *trace_out << " (" << result.trace->event_count()
+              << " events on " << result.trace->track_count() << " tracks)\n";
+  }
   return 0;
 }
 
@@ -257,20 +298,57 @@ int cmd_serve_bench(const CliFlags& flags) {
 
   ServingWorkloadOptions options;
   options.seed = static_cast<std::uint64_t>(flags.int_or("seed", 42));
-  options.requests = static_cast<std::size_t>(flags.int_or("requests", 2000));
+  // Validate raw integer flags before the size_t casts, mirroring the
+  // --threads fix: "--batch -1" used to become a ~2^64-row batch cap.
+  const long long requests = flags.int_or("requests", 2000);
+  if (requests < 0) {
+    throw std::invalid_argument("--requests must be >= 0, got " +
+                                std::to_string(requests));
+  }
+  options.requests = static_cast<std::size_t>(requests);
   options.arrival_rate = flags.double_or("rate", 50.0);
+  if (!(options.arrival_rate > 0.0) || !std::isfinite(options.arrival_rate)) {
+    throw std::invalid_argument("--rate must be a finite value > 0");
+  }
   options.closed_loop = flags.bool_or("closed-loop", false);
-  options.clients = static_cast<std::size_t>(flags.int_or("clients", 8));
+  const long long clients = flags.int_or("clients", 8);
+  if (clients < 1) {
+    throw std::invalid_argument("--clients must be >= 1, got " + std::to_string(clients));
+  }
+  options.clients = static_cast<std::size_t>(clients);
   options.quota_profile = flags.get_or("quota-profile", "default");
-  options.serving.max_batch_rows = static_cast<std::size_t>(flags.int_or("batch", 64));
+  const long long batch = flags.int_or("batch", 64);
+  if (batch < 1) {
+    throw std::invalid_argument("--batch must be >= 1, got " + std::to_string(batch));
+  }
+  options.serving.max_batch_rows = static_cast<std::size_t>(batch);
   options.serving.linger_seconds = flags.double_or("linger", 0.05);
-  options.serving.model_cache_capacity =
-      static_cast<std::size_t>(flags.int_or("cache-capacity", 8));
-  options.serving.max_pending_rows =
-      static_cast<std::size_t>(flags.int_or("max-pending", 0));
+  if (!(options.serving.linger_seconds >= 0.0) ||
+      !std::isfinite(options.serving.linger_seconds)) {
+    throw std::invalid_argument("--linger must be a finite value >= 0");
+  }
+  const long long cache_capacity = flags.int_or("cache-capacity", 8);
+  if (cache_capacity < 1) {
+    throw std::invalid_argument("--cache-capacity must be >= 1, got " +
+                                std::to_string(cache_capacity));
+  }
+  options.serving.model_cache_capacity = static_cast<std::size_t>(cache_capacity);
+  const long long max_pending = flags.int_or("max-pending", 0);
+  if (max_pending < 0) {
+    throw std::invalid_argument("--max-pending must be >= 0 (0 = unbounded), got " +
+                                std::to_string(max_pending));
+  }
+  options.serving.max_pending_rows = static_cast<std::size_t>(max_pending);
   options.serving.fault_rate = flags.double_or("fault-rate", 0.0);
+  if (!(options.serving.fault_rate >= 0.0 && options.serving.fault_rate <= 1.0)) {
+    throw std::invalid_argument("--fault-rate must be in [0, 1]");
+  }
   options.serving.chaos_profile = flags.get_or("chaos-profile", "none");
-  options.serving.deadline_seconds = flags.double_or("deadline-ms", 0.0) / 1000.0;
+  const double deadline_ms = flags.double_or("deadline-ms", 0.0);
+  if (!(deadline_ms >= 0.0) || !std::isfinite(deadline_ms)) {
+    throw std::invalid_argument("--deadline-ms must be a finite value >= 0");
+  }
+  options.serving.deadline_seconds = deadline_ms / 1000.0;
   options.serving.fallback_platform = flags.get_or("fallback", "");
   options.serving.serve_last_known_good = flags.bool_or("last-known-good", false);
   options.serving.breaker.enabled = flags.bool_or("breakers", false);
@@ -278,6 +356,10 @@ int cmd_serve_bench(const CliFlags& flags) {
       static_cast<int>(flags.int_or("breaker-threshold", 3));
   options.serving.breaker.cooldown_seconds = flags.double_or("breaker-cooldown", 300.0);
   options.serving.breaker.max_probes = static_cast<int>(flags.int_or("breaker-probes", 2));
+  const auto trace_out = flags.get("trace-out");
+  options.serving.trace = trace_out.has_value();
+  // Cross-field checks shared with embedders of ServingOptions.
+  validate_serving_options(options.serving);
   if (!options.serving.fallback_platform.empty()) {
     // The fallback must be part of the roster the router is built over.
     bool present = false;
@@ -334,6 +416,11 @@ int cmd_serve_bench(const CliFlags& flags) {
   if (auto json = flags.get("json")) {
     result.report.save_json(*json);
     std::cout << "wrote " << *json << "\n";
+  }
+  if (trace_out && result.trace != nullptr) {
+    result.trace->save_json(*trace_out);
+    std::cout << "wrote " << *trace_out << " (" << result.trace->event_count()
+              << " events on " << result.trace->track_count() << " tracks)\n";
   }
   return 0;
 }

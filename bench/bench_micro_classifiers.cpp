@@ -2,18 +2,25 @@
 // classifier on a fixed synthetic workload.  Not a paper figure — this
 // documents the cost model behind the measurement harness.
 //
-// Two modes:
-//   (default)  google-benchmark train/predict loops over every classifier
-//              at the 400x16 workload (all benchmark flags accepted).
-//   --json     perf-regression harness for the tree-family training kernel:
-//              times each tree-family classifier's fit() at n=2000, d=30
-//              under both the presort kernel and ReferenceTreeBuilder and
-//              writes machine-independent speedup ratios to a JSON file.
+// Three modes:
+//   (default)       google-benchmark train/predict loops over every
+//                   classifier at the 400x16 workload (all benchmark flags
+//                   accepted).
+//   --json          perf-regression harness for the tree-family training
+//                   kernel: times each tree-family classifier's fit() at
+//                   n=2000, d=30 under both the presort kernel and
+//                   ReferenceTreeBuilder and writes machine-independent
+//                   speedup ratios to a JSON file.
+//   --json-predict  same harness shape for the batched prediction kernels:
+//                   fits each model once, then times predict() on a 4000-row
+//                   query batch under PredictKernel::kFlat vs kReference and
+//                   writes BENCH_predict.json.
 //
-// JSON-mode flags:
-//   --out FILE               output path (default BENCH_tree_training.json)
+// JSON-mode flags (shared by --json and --json-predict):
+//   --out FILE               output path (default BENCH_tree_training.json /
+//                            BENCH_predict.json)
 //   --baseline FILE          committed baseline with expected speedups
-//   --check-regression F     exit 1 if any tree-family speedup drops below
+//   --check-regression F     exit 1 if any speedup drops below
 //                            baseline_speedup / F
 #include <benchmark/benchmark.h>
 
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "data/generators.h"
+#include "ml/classifier.h"
 #include "ml/registry.h"
 #include "ml/tree/trainer.h"
 
@@ -220,6 +228,131 @@ int run_json_mode(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --json-predict mode: batched-prediction perf harness.
+
+/// Models timed by the predict harness.  The tree-ensemble rows gate the
+/// FlatForest walk, knn/rbf_svm gate the blocked distance kernels, the rest
+/// document the linear/MLP matvec path.
+const std::vector<TreeBenchCase>& predict_cases() {
+  static const std::vector<TreeBenchCase> cases = {
+      {"decision_tree", "decision_tree", {}},
+      {"random_forest", "random_forest", {}},
+      {"bagging", "bagging", {}},
+      {"boosted_trees", "boosted_trees", {}},
+      {"decision_jungle", "decision_jungle", {}},
+      {"knn", "knn", {}},
+      {"rbf_svm", "rbf_svm", {}},
+      {"mlp", "mlp", {}},
+      {"logistic_regression", "logistic_regression", {}},
+  };
+  return cases;
+}
+
+/// Query batch for the predict harness: same feature geometry as
+/// tree_workload(), different seed so queries are not training points.
+Dataset predict_queries() {
+  MakeClassificationOptions opt;
+  opt.n_samples = 4000;
+  opt.n_features = 30;
+  opt.n_informative = 10;
+  opt.n_redundant = 6;
+  opt.n_clusters_per_class = 2;
+  opt.class_sep = 1.0;
+  return make_classification(opt, 43);
+}
+
+/// Best-of-`repeats` wall time of predict() under the given kernel, in ms.
+double time_predict_ms(const Classifier& clf, const Matrix& x, PredictKernel kernel,
+                       int repeats) {
+  set_active_predict_kernel(kernel);
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto labels = clf.predict(x);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(labels);
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  set_active_predict_kernel(PredictKernel::kFlat);
+  return best;
+}
+
+int run_predict_json_mode(const std::vector<std::string>& args) {
+  std::string out_path = "BENCH_predict.json";
+  std::string baseline_path;
+  double check_factor = 0.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) out_path = args[++i];
+    else if (args[i] == "--baseline" && i + 1 < args.size()) baseline_path = args[++i];
+    else if (args[i] == "--check-regression" && i + 1 < args.size())
+      check_factor = std::strtod(args[++i].c_str(), nullptr);
+  }
+
+  const Dataset train = tree_workload();
+  const Dataset queries = predict_queries();
+  std::vector<TreeBenchRow> rows;
+  for (const auto& c : predict_cases()) {
+    auto clf = make_classifier(c.classifier, c.params, 1);
+    clf->fit(train.x(), train.y());
+    TreeBenchRow row;
+    row.name = c.label;
+    // Flat is the default; one warm-up pass populates scratch buffers before
+    // either side is timed.
+    time_predict_ms(*clf, queries.x(), PredictKernel::kFlat, 1);
+    row.fast_ms = time_predict_ms(*clf, queries.x(), PredictKernel::kFlat, 5);
+    row.reference_ms = time_predict_ms(*clf, queries.x(), PredictKernel::kReference, 3);
+    rows.push_back(row);
+    std::cout << row.name << ": flat " << row.fast_ms << " ms, reference "
+              << row.reference_ms << " ms, speedup " << row.speedup() << "x\n";
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"predict\",\n"
+       << "  \"workload\": {\"n_train\": " << train.n_samples()
+       << ", \"n_queries\": " << queries.n_samples()
+       << ", \"n_features\": " << train.n_features() << "},\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    json << "    {\"name\": \"" << rows[i].name << "\", \"flat_ms\": " << rows[i].fast_ms
+         << ", \"reference_ms\": " << rows[i].reference_ms
+         << ", \"speedup_vs_reference\": " << rows[i].speedup() << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::ofstream out(out_path);
+  out << json.str();
+  out.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!baseline_path.empty() && check_factor > 0.0) {
+    std::ifstream in(baseline_path);
+    if (!in.good()) {
+      std::cerr << "baseline missing: " << baseline_path << "\n";
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string baseline = buf.str();
+    int failures = 0;
+    for (const auto& row : rows) {
+      const double expected = baseline_speedup(baseline, row.name);
+      if (expected <= 0.0) continue;
+      const double floor = expected / check_factor;
+      if (row.speedup() < floor) {
+        std::cerr << "REGRESSION " << row.name << ": speedup " << row.speedup()
+                  << "x below floor " << floor << "x (baseline " << expected
+                  << "x / factor " << check_factor << ")\n";
+        ++failures;
+      }
+    }
+    if (failures > 0) return 1;
+    std::cout << "regression check passed (factor " << check_factor << ")\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,6 +360,10 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--json") {
       std::vector<std::string> args(argv + 1, argv + argc);
       return run_json_mode(args);
+    }
+    if (std::string(argv[i]) == "--json-predict") {
+      std::vector<std::string> args(argv + 1, argv + argc);
+      return run_predict_json_mode(args);
     }
   }
   benchmark::Initialize(&argc, argv);

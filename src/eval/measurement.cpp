@@ -107,7 +107,8 @@ std::vector<const Measurement*> MeasurementTable::best_per_dataset() const {
 namespace {
 
 constexpr const char* kCsvHeader =
-    "dataset\tplatform\tfeat\tclf\tparams\tdefault\tf\tacc\tprec\trec\tsec\tsig\tstatus";
+    "dataset\tplatform\tfeat\tclf\tparams\tdefault\tf\tacc\tprec\trec\tsec\tpsec\tsig\t"
+    "status";
 
 /// Split on tabs, keeping empty fields (istringstream-based getline drops a
 /// trailing empty field, which would mis-count columns on failed rows).
@@ -149,17 +150,18 @@ std::string measurement_row_to_tsv(const Measurement& m) {
   out << m.dataset_id << '\t' << m.platform << '\t' << m.feature_step << '\t'
       << m.classifier << '\t' << m.params << '\t' << (m.default_params ? 1 : 0) << '\t'
       << m.test.f_score << '\t' << m.test.accuracy << '\t' << m.test.precision << '\t'
-      << m.test.recall << '\t' << m.train_seconds << '\t' << m.label_signature << '\t'
-      << (m.ok ? "ok" : m.failure);
+      << m.test.recall << '\t' << m.train_seconds << '\t' << m.predict_seconds << '\t'
+      << m.label_signature << '\t' << (m.ok ? "ok" : m.failure);
   return out.str();
 }
 
 Measurement measurement_row_from_tsv(const std::string& line, const std::string& context) {
   const auto fields = split_tabs(line);
-  // v1 caches have 12 columns (no status); v2 append a status column.
-  if (fields.size() != 12 && fields.size() != 13) {
+  // v1 caches have 12 columns (no status); v2 append a status column; v3
+  // insert a psec (predict CPU seconds) column between sec and sig.
+  if (fields.size() != 12 && fields.size() != 13 && fields.size() != 14) {
     throw std::runtime_error("MeasurementTable: " + context +
-                             ": expected 12 or 13 columns, got " +
+                             ": expected 12, 13 or 14 columns, got " +
                              std::to_string(fields.size()));
   }
   Measurement m;
@@ -175,10 +177,19 @@ Measurement measurement_row_from_tsv(const std::string& line, const std::string&
   m.test.recall = parse_double_field(context, "rec", fields[9]);
   m.train_seconds =
       fields[10].empty() ? 0.0 : parse_double_field(context, "sec", fields[10]);
-  m.label_signature = fields[11];
-  if (fields.size() == 13 && fields[12] != "ok" && !fields[12].empty()) {
-    m.ok = false;
-    m.failure = fields[12];
+  std::size_t next = 11;
+  if (fields.size() == 14) {
+    m.predict_seconds =
+        fields[11].empty() ? 0.0 : parse_double_field(context, "psec", fields[11]);
+    next = 12;
+  }
+  m.label_signature = fields[next];
+  if (fields.size() >= 13) {
+    const std::string& status = fields[next + 1];
+    if (status != "ok" && !status.empty()) {
+      m.ok = false;
+      m.failure = status;
+    }
   }
   return m;
 }
@@ -307,6 +318,14 @@ constexpr const char* kReportHeader =
     "platform\tcells_total\tcells_ok\tcells_failed\tcells_rejected\tcells_deferred\t"
     "cells_restored\trequests\tuploads\ttrainings\tpredictions\trate_limited\t"
     "transient_errors\tserver_errors\tunavailable\tretries\tbreaker_trips\tbackoff_sec\t"
+    "outage_sec\tsimulated_sec\ttrain_cpu_sec\tpredict_cpu_sec\tfailures";
+
+// Pre-predict_cpu_sec header (22 columns); still loadable so existing report
+// sidecars survive the format bump.
+constexpr const char* kReportHeaderV1 =
+    "platform\tcells_total\tcells_ok\tcells_failed\tcells_rejected\tcells_deferred\t"
+    "cells_restored\trequests\tuploads\ttrainings\tpredictions\trate_limited\t"
+    "transient_errors\tserver_errors\tunavailable\tretries\tbreaker_trips\tbackoff_sec\t"
     "outage_sec\tsimulated_sec\ttrain_cpu_sec\tfailures";
 
 // Scheduler telemetry rides along as a marked trailer line so the platform
@@ -337,7 +356,8 @@ void write_report_row(std::ostream& out, const PlatformCampaignStats& p) {
       << p.service.server_errors << '\t' << p.service.unavailable << '\t' << p.retries
       << '\t' << p.breaker_trips << '\t' << p.backoff_seconds << '\t' << p.outage_seconds
       << '\t' << p.simulated_seconds << '\t' << p.service.train_cpu_seconds << '\t'
-      << encode_failures(p.failures_by_status) << '\n';
+      << p.service.predict_cpu_seconds << '\t' << encode_failures(p.failures_by_status)
+      << '\n';
 }
 
 std::string encode_worker_busy(const std::vector<double>& busy) {
@@ -446,7 +466,8 @@ void CampaignReport::save_json(const std::string& path) const {
         << "      \"backoff_seconds\": " << p.backoff_seconds
         << ", \"outage_seconds\": " << p.outage_seconds
         << ", \"simulated_seconds\": " << p.simulated_seconds
-        << ", \"train_cpu_seconds\": " << p.service.train_cpu_seconds << ",\n"
+        << ", \"train_cpu_seconds\": " << p.service.train_cpu_seconds
+        << ", \"predict_cpu_seconds\": " << p.service.predict_cpu_seconds << ",\n"
         << "      \"failures_by_status\": {";
     bool first = true;
     for (const auto& [status, count] : p.failures_by_status) {
@@ -483,7 +504,8 @@ std::optional<CampaignReport> CampaignReport::load_tsv(const std::string& path) 
   std::ifstream in(path);
   if (!in) return std::nullopt;
   std::string line;
-  if (!std::getline(in, line) || line != kReportHeader) return std::nullopt;
+  if (!std::getline(in, line)) return std::nullopt;
+  if (line != kReportHeader && line != kReportHeaderV1) return std::nullopt;
   CampaignReport report;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -496,7 +518,7 @@ std::optional<CampaignReport> CampaignReport::load_tsv(const std::string& path) 
       continue;
     }
     const auto fields = split_tabs(line);
-    if (fields.size() != 22) return std::nullopt;
+    if (fields.size() != 22 && fields.size() != 23) return std::nullopt;
     try {
       PlatformCampaignStats p;
       p.platform = fields[0];
@@ -520,8 +542,13 @@ std::optional<CampaignReport> CampaignReport::load_tsv(const std::string& path) 
       p.outage_seconds = std::stod(fields[18]);
       p.simulated_seconds = std::stod(fields[19]);
       p.service.train_cpu_seconds = std::stod(fields[20]);
-      if (fields[21] != "-") {
-        std::istringstream fs(fields[21]);
+      std::size_t next = 21;
+      if (fields.size() == 23) {
+        p.service.predict_cpu_seconds = std::stod(fields[21]);
+        next = 22;
+      }
+      if (fields[next] != "-") {
+        std::istringstream fs(fields[next]);
         std::string item;
         while (std::getline(fs, item, ';')) {
           const std::size_t eq = item.find('=');
@@ -772,8 +799,10 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
         }
       } else {
         std::vector<int> labels;
+        double predict_cpu = 0.0;
         const ServiceStatus predicted =
-            client.predict(model_handle, split.test.x(), &labels);
+            client.predict(model_handle, split.test.x(), &labels, &predict_cpu);
+        m.predict_seconds = predict_cpu;
         // The model is single-use: release its handle whether or not the
         // predict succeeded, so a campaign session holds at most one live
         // model instead of growing `models_` by one per cell.
@@ -890,7 +919,9 @@ std::optional<Measurement> measure_one(const Dataset& dataset, const Platform& p
         split.train, config,
         derive_seed(options.seed, "train-" + dataset.meta().id + "-" + config.key()));
     m.train_seconds = thread_cpu_seconds() - t0;
+    const double p0 = thread_cpu_seconds();
     const auto predictions = model->predict(split.test.x());
+    m.predict_seconds = thread_cpu_seconds() - p0;
     m.test = compute_metrics(split.test.y(), predictions);
     const std::size_t sig = std::min(kLabelSignatureSize, predictions.size());
     m.label_signature.reserve(sig);

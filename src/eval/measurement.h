@@ -46,6 +46,10 @@ struct Measurement {
   /// above the core count) must not inflate the measured training cost of
   /// the configuration it happened to deschedule.
   double train_seconds = 0.0;
+  /// Prediction cost over the full test split, in the same per-thread CPU
+  /// seconds as train_seconds — the query-side half of the cost picture,
+  /// measured under whichever PredictKernel is active.
+  double predict_seconds = 0.0;
   /// Predicted labels on the first kLabelSignatureSize test samples (a '0'/
   /// '1' string).  §6.2 trains the classifier-family meta-predictor on
   /// "aggregated performance metrics and the predicted labels"; the
@@ -328,7 +332,7 @@ struct CampaignResult {
 /// made it to disk before a crash are restored from the journal; sessions
 /// caught mid-flight re-run from scratch (each session's request stream is
 /// independently seeded, so a re-run is bit-identical to the uninterrupted
-/// run — wall-clock train_seconds excepted).
+/// run — wall-clock train_seconds / predict_seconds excepted).
 CampaignResult run_campaign(const std::vector<Dataset>& corpus,
                             const std::vector<PlatformPtr>& platforms,
                             const MeasurementOptions& options);

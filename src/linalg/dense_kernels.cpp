@@ -1,0 +1,235 @@
+#include "linalg/dense_kernels.h"
+
+#include <cassert>
+
+namespace mlaas {
+
+void matvec_into(const Matrix& x, std::span<const double> w, std::span<double> out) {
+  assert(w.size() == x.cols());
+  assert(out.size() >= x.rows());
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const double* data = x.data().data();
+  const double* wp = w.data();
+  std::size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const double* p0 = data + r * d;
+    const double* p1 = p0 + d;
+    const double* p2 = p1 + d;
+    const double* p3 = p2 + d;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double wc = wp[c];
+      s0 += p0[c] * wc;
+      s1 += p1[c] * wc;
+      s2 += p2[c] * wc;
+      s3 += p3[c] * wc;
+    }
+    out[r] = s0;
+    out[r + 1] = s1;
+    out[r + 2] = s2;
+    out[r + 3] = s3;
+  }
+  for (; r < n; ++r) {
+    const double* p = data + r * d;
+    double s = 0.0;
+    for (std::size_t c = 0; c < d; ++c) s += p[c] * wp[c];
+    out[r] = s;
+  }
+}
+
+void dense_layer_into(const Matrix& w, std::span<const double> v,
+                      std::span<const double> bias, std::span<double> out) {
+  assert(v.size() == w.cols());
+  assert(bias.size() == w.rows() && out.size() >= w.rows());
+  // Same shape as matvec_into: the layer's weight rows are the "matrix
+  // rows", the incoming activation is the shared vector.
+  matvec_into(w, v, out);
+  for (std::size_t i = 0; i < w.rows(); ++i) out[i] += bias[i];
+}
+
+void squared_distance_block(std::span<const double> q, const Matrix& rows,
+                            std::span<double> out) {
+  assert(q.size() == rows.cols());
+  assert(out.size() >= rows.rows());
+  const std::size_t n = rows.rows();
+  const std::size_t d = rows.cols();
+  const double* data = rows.data().data();
+  const double* qp = q.data();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* p0 = data + i * d;
+    const double* p1 = p0 + d;
+    const double* p2 = p1 + d;
+    const double* p3 = p2 + d;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double qc = qp[c];
+      const double d0 = qc - p0[c];
+      const double d1 = qc - p1[c];
+      const double d2 = qc - p2[c];
+      const double d3 = qc - p3[c];
+      s0 += d0 * d0;
+      s1 += d1 * d1;
+      s2 += d2 * d2;
+      s3 += d3 * d3;
+    }
+    out[i] = s0;
+    out[i + 1] = s1;
+    out[i + 2] = s2;
+    out[i + 3] = s3;
+  }
+  for (; i < n; ++i) {
+    const double* p = data + i * d;
+    double s = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = qp[c] - p[c];
+      s += diff * diff;
+    }
+    out[i] = s;
+  }
+}
+
+void squared_distance_block2(std::span<const double> q0,
+                             std::span<const double> q1, const Matrix& rows,
+                             std::span<double> out0, std::span<double> out1) {
+  assert(q0.size() == rows.cols() && q1.size() == rows.cols());
+  assert(out0.size() >= rows.rows() && out1.size() >= rows.rows());
+  const std::size_t n = rows.rows();
+  const std::size_t d = rows.cols();
+  const double* data = rows.data().data();
+  const double* qa = q0.data();
+  const double* qb = q1.data();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const double* p0 = data + i * d;
+    const double* p1 = p0 + d;
+    double a0 = 0.0, a1 = 0.0, b0 = 0.0, b1 = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double x0 = p0[c];
+      const double x1 = p1[c];
+      const double da0 = qa[c] - x0;
+      const double da1 = qa[c] - x1;
+      const double db0 = qb[c] - x0;
+      const double db1 = qb[c] - x1;
+      a0 += da0 * da0;
+      a1 += da1 * da1;
+      b0 += db0 * db0;
+      b1 += db1 * db1;
+    }
+    out0[i] = a0;
+    out0[i + 1] = a1;
+    out1[i] = b0;
+    out1[i + 1] = b1;
+  }
+  for (; i < n; ++i) {
+    const double* p = data + i * d;
+    double sa = 0.0, sb = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double da = qa[c] - p[c];
+      const double db = qb[c] - p[c];
+      sa += da * da;
+      sb += db * db;
+    }
+    out0[i] = sa;
+    out1[i] = sb;
+  }
+}
+
+void squared_distance_from_norms_block(std::span<const double> q, double q_sq,
+                                       const Matrix& rows,
+                                       std::span<const double> row_sq,
+                                       std::span<double> out) {
+  assert(q.size() == rows.cols());
+  assert(row_sq.size() == rows.rows() && out.size() >= rows.rows());
+  const std::size_t n = rows.rows();
+  const std::size_t d = rows.cols();
+  const double* data = rows.data().data();
+  const double* qp = q.data();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* p0 = data + i * d;
+    const double* p1 = p0 + d;
+    const double* p2 = p1 + d;
+    const double* p3 = p2 + d;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double qc = qp[c];
+      s0 += qc * p0[c];
+      s1 += qc * p1[c];
+      s2 += qc * p2[c];
+      s3 += qc * p3[c];
+    }
+    out[i] = q_sq - 2.0 * s0 + row_sq[i];
+    out[i + 1] = q_sq - 2.0 * s1 + row_sq[i + 1];
+    out[i + 2] = q_sq - 2.0 * s2 + row_sq[i + 2];
+    out[i + 3] = q_sq - 2.0 * s3 + row_sq[i + 3];
+  }
+  for (; i < n; ++i) {
+    const double* p = data + i * d;
+    double s = 0.0;
+    for (std::size_t c = 0; c < d; ++c) s += qp[c] * p[c];
+    out[i] = q_sq - 2.0 * s + row_sq[i];
+  }
+}
+
+void squared_distance_from_norms_block2(std::span<const double> q0, double q0_sq,
+                                        std::span<const double> q1, double q1_sq,
+                                        const Matrix& rows,
+                                        std::span<const double> row_sq,
+                                        std::span<double> out0,
+                                        std::span<double> out1) {
+  assert(q0.size() == rows.cols() && q1.size() == rows.cols());
+  assert(row_sq.size() == rows.rows());
+  assert(out0.size() >= rows.rows() && out1.size() >= rows.rows());
+  const std::size_t n = rows.rows();
+  const std::size_t d = rows.cols();
+  const double* data = rows.data().data();
+  const double* qa = q0.data();
+  const double* qb = q1.data();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* p0 = data + i * d;
+    const double* p1 = p0 + d;
+    const double* p2 = p1 + d;
+    const double* p3 = p2 + d;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    double b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double x0 = p0[c];
+      const double x1 = p1[c];
+      const double x2 = p2[c];
+      const double x3 = p3[c];
+      const double ca = qa[c];
+      const double cb = qb[c];
+      a0 += ca * x0;
+      a1 += ca * x1;
+      a2 += ca * x2;
+      a3 += ca * x3;
+      b0 += cb * x0;
+      b1 += cb * x1;
+      b2 += cb * x2;
+      b3 += cb * x3;
+    }
+    out0[i] = q0_sq - 2.0 * a0 + row_sq[i];
+    out0[i + 1] = q0_sq - 2.0 * a1 + row_sq[i + 1];
+    out0[i + 2] = q0_sq - 2.0 * a2 + row_sq[i + 2];
+    out0[i + 3] = q0_sq - 2.0 * a3 + row_sq[i + 3];
+    out1[i] = q1_sq - 2.0 * b0 + row_sq[i];
+    out1[i + 1] = q1_sq - 2.0 * b1 + row_sq[i + 1];
+    out1[i + 2] = q1_sq - 2.0 * b2 + row_sq[i + 2];
+    out1[i + 3] = q1_sq - 2.0 * b3 + row_sq[i + 3];
+  }
+  for (; i < n; ++i) {
+    const double* p = data + i * d;
+    double sa = 0.0, sb = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      sa += qa[c] * p[c];
+      sb += qb[c] * p[c];
+    }
+    out0[i] = q0_sq - 2.0 * sa + row_sq[i];
+    out1[i] = q1_sq - 2.0 * sb + row_sq[i];
+  }
+}
+
+}  // namespace mlaas

@@ -1,0 +1,72 @@
+// Blocked dense inference kernels shared by the prediction paths.
+//
+// Every kernel here is an exact-equivalence rewrite of a naive per-row
+// loop: the accumulation order *per output element* is strictly sequential
+// (index 0, 1, 2, ... — the same order dot()/squared_distance() use), so
+// each output double is bit-identical to the reference loop it replaces.
+// The speedup comes from instruction-level parallelism, not reassociation:
+// the naive loops are latency-bound on one floating-point accumulation
+// chain per output, and processing four independent outputs per iteration
+// runs four chains concurrently without touching any chain's internal
+// order.  See DESIGN.md "Prediction kernels".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mlaas {
+
+/// out[r] = dot(x.row(r), w) for every row — the linear-family margin
+/// kernel.  Four rows per block share one pass over w; each row's
+/// accumulation is sequential in column order, bit-identical to
+/// Matrix::multiply(w)[r].
+void matvec_into(const Matrix& x, std::span<const double> w, std::span<double> out);
+
+/// out[i] = dot(w.row(i), v) + bias[i] for every row of w — one dense layer
+/// of the MLP forward pass over a single activation vector.  Bit-identical
+/// to w.multiply(v)[i] + bias[i].
+void dense_layer_into(const Matrix& w, std::span<const double> v,
+                      std::span<const double> bias, std::span<double> out);
+
+/// out[i] = sum_c (q[c] - rows.row(i)[c])^2 — the subtract-square distance
+/// block (RBF-SVM form).  Four candidate rows per iteration; per-pair
+/// accumulation is sequential in c, bit-identical to squared_distance().
+void squared_distance_block(std::span<const double> q, const Matrix& rows,
+                            std::span<double> out);
+
+/// Two-query variant of squared_distance_block: distance rows of q0 and q1
+/// against the same candidate matrix in one pass.  Each candidate row is
+/// loaded once and feeds both queries' accumulation chains; each
+/// (query, row) accumulation is sequential in c, so out0/out1 are
+/// bit-identical to two calls of the single-query kernel.
+void squared_distance_block2(std::span<const double> q0,
+                             std::span<const double> q1, const Matrix& rows,
+                             std::span<double> out0, std::span<double> out1);
+
+/// out[i] = q_sq - 2 * dot(q, rows.row(i)) + row_sq[i] — the cached-norms
+/// distance block (|a-b|^2 = |a|^2 + |b|^2 - 2 a.b), the kNN euclidean fast
+/// path.  Four candidate rows per iteration; each dot is sequential in c,
+/// and the surrounding expression matches the scalar form exactly, so every
+/// out[i] is bit-identical to the per-row loop.
+void squared_distance_from_norms_block(std::span<const double> q, double q_sq,
+                                       const Matrix& rows,
+                                       std::span<const double> row_sq,
+                                       std::span<double> out);
+
+/// Two-query variant of squared_distance_from_norms_block: computes the
+/// distance rows of q0 and q1 against the same candidate matrix in one
+/// pass.  Each candidate row is loaded once and fed to both queries' dot
+/// chains (half the memory traffic of two single-query passes, eight
+/// independent accumulation chains instead of four); each (query, row)
+/// dot still runs feature 0, 1, 2, ... sequentially, so out0/out1 are
+/// bit-identical to two calls of the single-query kernel.
+void squared_distance_from_norms_block2(std::span<const double> q0, double q0_sq,
+                                        std::span<const double> q1, double q1_sq,
+                                        const Matrix& rows,
+                                        std::span<const double> row_sq,
+                                        std::span<double> out0,
+                                        std::span<double> out1);
+
+}  // namespace mlaas

@@ -1,10 +1,23 @@
 #include "ml/classifier.h"
 
+#include <atomic>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
 namespace mlaas {
+
+namespace {
+std::atomic<PredictKernel> g_predict_kernel{PredictKernel::kFlat};
+}  // namespace
+
+PredictKernel active_predict_kernel() {
+  return g_predict_kernel.load(std::memory_order_relaxed);
+}
+
+void set_active_predict_kernel(PredictKernel kernel) {
+  g_predict_kernel.store(kernel, std::memory_order_relaxed);
+}
 
 void Classifier::save_base(std::ostream& out) const {
   out << (single_class_ ? 1 : 0) << ' ' << single_class_label_ << '\n';
@@ -17,11 +30,30 @@ void Classifier::load_base(std::istream& in) {
   single_class_ = flag != 0;
 }
 
+void Classifier::predict_score_into(const Matrix& x, std::vector<double>& out) const {
+  out = predict_score(x);
+}
+
 std::vector<int> Classifier::predict(const Matrix& x) const {
   const auto scores = predict_score(x);
   std::vector<int> labels(scores.size());
   for (std::size_t i = 0; i < scores.size(); ++i) labels[i] = scores[i] > 0.5 ? 1 : 0;
   return labels;
+}
+
+void Classifier::predict_into(const Matrix& x, std::vector<double>& score_scratch,
+                              std::vector<int>& labels) const {
+  predict_score_into(x, score_scratch);
+  labels.resize(score_scratch.size());
+  for (std::size_t i = 0; i < score_scratch.size(); ++i) {
+    labels[i] = score_scratch[i] > 0.5 ? 1 : 0;
+  }
+}
+
+bool Classifier::fill_single_class(std::size_t rows, std::vector<double>& out) const {
+  if (!single_class_) return false;
+  out.assign(rows, single_class_score());
+  return true;
 }
 
 bool Classifier::check_single_class(const std::vector<int>& y) {

@@ -17,6 +17,18 @@
 
 namespace mlaas {
 
+/// Which inference kernel predict_score()/predict_score_into() dispatch to.
+/// kFlat runs the batched kernels (flattened struct-of-arrays ensembles,
+/// blocked matvec/distance tiles); kReference runs each classifier's
+/// original per-row scoring loop, preserved verbatim so tests can assert
+/// bit-identity and benchmarks can measure the speedup.  Mirrors
+/// set_active_tree_builder() on the training side; not meant to be flipped
+/// while predicts are in flight.
+enum class PredictKernel { kFlat, kReference };
+
+PredictKernel active_predict_kernel();
+void set_active_predict_kernel(PredictKernel kernel);
+
 class Classifier {
  public:
   virtual ~Classifier() = default;
@@ -29,8 +41,22 @@ class Classifier {
   /// fit().
   virtual std::vector<double> predict_score(const Matrix& x) const = 0;
 
+  /// Scores written into `out` (resized to x.rows()).  The serving-path
+  /// variant of predict_score(): a caller that keeps `out` alive across
+  /// calls predicts repeatedly without reallocating.  Scores are identical
+  /// (bit for bit) to predict_score().  The default forwards to
+  /// predict_score(); optimized classifiers override this with their real
+  /// kernel and implement predict_score() on top of it.
+  virtual void predict_score_into(const Matrix& x, std::vector<double>& out) const;
+
   /// Hard labels; default thresholds score at 0.5.
   virtual std::vector<int> predict(const Matrix& x) const;
+
+  /// predict() with caller-owned score scratch: `labels` is resized and
+  /// filled, `score_scratch` is reused across calls.  Labels are identical
+  /// to predict().
+  void predict_into(const Matrix& x, std::vector<double>& score_scratch,
+                    std::vector<int>& labels) const;
 
   /// Registry name, e.g. "logistic_regression".
   virtual std::string name() const = 0;
@@ -50,6 +76,10 @@ class Classifier {
   bool check_single_class(const std::vector<int>& y);
   bool single_class() const { return single_class_; }
   double single_class_score() const { return single_class_label_ == 1 ? 1.0 : 0.0; }
+
+  /// Shared predict_score_into() prologue: when the training set was
+  /// single-class, fills `out` with the constant score and returns true.
+  bool fill_single_class(std::size_t rows, std::vector<double>& out) const;
 
   /// Serialize/restore the shared single-class state; every concrete
   /// save()/load() implementation calls these first.

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/dense_kernels.h"
 #include "linalg/vector_ops.h"
 #include "ml/feature/scalers.h"
 #include "util/rng.h"
@@ -98,22 +99,70 @@ void RbfSvm::fit(const Matrix& x, const std::vector<int>& y) {
 }
 
 std::vector<double> RbfSvm::predict_score(const Matrix& x) const {
-  std::vector<double> out(x.rows(), single_class_score());
-  if (single_class()) return out;
-  std::vector<double> row(x.cols());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    for (std::size_t c = 0; c < x.cols(); ++c) {
-      row[c] = (x(r, c) - feat_mean_[c]) / feat_std_[c];
-    }
-    double f = 0.0;
-    for (std::size_t i = 0; i < support_x_.rows(); ++i) {
-      if (alpha_[i] != 0.0) {
-        f += alpha_[i] * std::exp(-gamma_ * squared_distance(row, support_x_.row(i)));
-      }
-    }
-    out[r] = sigmoid(f);
-  }
+  std::vector<double> out;
+  predict_score_into(x, out);
   return out;
+}
+
+void RbfSvm::predict_score_into(const Matrix& x, std::vector<double>& out) const {
+  if (fill_single_class(x.rows(), out)) return;
+  if (active_predict_kernel() == PredictKernel::kReference) {
+    out.resize(x.rows());
+    std::vector<double> row(x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        row[c] = (x(r, c) - feat_mean_[c]) / feat_std_[c];
+      }
+      double f = 0.0;
+      for (std::size_t i = 0; i < support_x_.rows(); ++i) {
+        if (alpha_[i] != 0.0) {
+          f += alpha_[i] * std::exp(-gamma_ * squared_distance(row, support_x_.row(i)));
+        }
+      }
+      out[r] = sigmoid(f);
+    }
+    return;
+  }
+  out.resize(x.rows());
+  // All query-to-support distances are computed as blocked tiles, two query
+  // rows per pass over the support matrix (bit-identical to
+  // squared_distance per pair); the remaining exp accumulation runs over
+  // each distance vector in the same support order.
+  const std::size_t m = support_x_.rows();
+  thread_local std::vector<double> q0;
+  thread_local std::vector<double> q1;
+  thread_local std::vector<double> d2a;
+  thread_local std::vector<double> d2b;
+  q0.resize(x.cols());
+  q1.resize(x.cols());
+  d2a.resize(m);
+  d2b.resize(m);
+  const auto scale_row = [&](std::size_t r, std::vector<double>& q) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      q[c] = (row[c] - feat_mean_[c]) / feat_std_[c];
+    }
+  };
+  const auto score = [&](std::span<const double> d2) {
+    double f = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (alpha_[i] != 0.0) f += alpha_[i] * std::exp(-gamma_ * d2[i]);
+    }
+    return sigmoid(f);
+  };
+  std::size_t r = 0;
+  for (; r + 2 <= x.rows(); r += 2) {
+    scale_row(r, q0);
+    scale_row(r + 1, q1);
+    squared_distance_block2(q0, q1, support_x_, d2a, d2b);
+    out[r] = score(d2a);
+    out[r + 1] = score(d2b);
+  }
+  for (; r < x.rows(); ++r) {
+    scale_row(r, q0);
+    squared_distance_block(q0, support_x_, d2a);
+    out[r] = score(d2a);
+  }
 }
 
 

@@ -19,6 +19,7 @@ class BayesPointMachine final : public Classifier {
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
   std::vector<double> predict_score(const Matrix& x) const override;
+  void predict_score_into(const Matrix& x, std::vector<double>& out) const override;
   std::string name() const override { return "bayes_point_machine"; }
   bool is_linear() const override { return true; }
 

@@ -21,6 +21,7 @@ class LinearSvm final : public Classifier {
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
   std::vector<double> predict_score(const Matrix& x) const override;
+  void predict_score_into(const Matrix& x, std::vector<double>& out) const override;
   std::string name() const override { return "linear_svm"; }
   bool is_linear() const override { return true; }
 

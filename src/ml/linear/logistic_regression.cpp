@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/dense_kernels.h"
 #include "linalg/vector_ops.h"
 #include "ml/feature/scalers.h"
 #include "util/rng.h"
@@ -134,11 +135,23 @@ void LogisticRegression::fit(const Matrix& x, const std::vector<int>& y) {
 }
 
 std::vector<double> LogisticRegression::predict_score(const Matrix& x) const {
-  std::vector<double> out(x.rows(), single_class_score());
-  if (single_class()) return out;
-  const auto z = x.multiply(w_);
-  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = sigmoid(z[i] + b_);
+  std::vector<double> out;
+  predict_score_into(x, out);
   return out;
+}
+
+void LogisticRegression::predict_score_into(const Matrix& x,
+                                            std::vector<double>& out) const {
+  if (fill_single_class(x.rows(), out)) return;
+  if (active_predict_kernel() == PredictKernel::kReference) {
+    const auto z = x.multiply(w_);
+    out.resize(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) out[i] = sigmoid(z[i] + b_);
+    return;
+  }
+  out.resize(x.rows());
+  matvec_into(x, w_, out);  // bit-identical to x.multiply(w_), no temporary
+  for (double& v : out) v = sigmoid(v + b_);
 }
 
 

@@ -10,6 +10,9 @@
 // classifiers; that behaviour is preserved).
 #pragma once
 
+#include <span>
+#include <utility>
+
 #include "ml/classifier.h"
 
 namespace mlaas {
@@ -20,6 +23,7 @@ class KNearestNeighbors final : public Classifier {
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
   std::vector<double> predict_score(const Matrix& x) const override;
+  void predict_score_into(const Matrix& x, std::vector<double>& out) const override;
   std::string name() const override { return "knn"; }
   bool is_linear() const override { return false; }
 
@@ -37,6 +41,18 @@ class KNearestNeighbors final : public Classifier {
   // sqrt(||q||^2 - 2 q.x_i + ||x_i||^2) — one dot product per pair instead
   // of a subtract-square pass.  Recomputed on fit()/load(), not serialized.
   std::vector<double> train_sq_norms_;
+
+  // Shared body of predict_score_into: sqrt + (distance, index) pairing,
+  // neighbor selection and vote for one query whose squared distances are
+  // already in d2.
+  double score_from_squared_distances(std::span<const double> d2,
+                                      std::size_t k, bool reference,
+                                      std::vector<std::pair<double, std::size_t>>& dist) const;
+
+  // (Weighted) vote over the k nearest entries of an already-selected,
+  // sorted (distance, train index) prefix.
+  double vote(const std::vector<std::pair<double, std::size_t>>& dist,
+              std::size_t k) const;
 };
 
 }  // namespace mlaas

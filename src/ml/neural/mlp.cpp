@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/dense_kernels.h"
 #include "linalg/vector_ops.h"
 #include "ml/feature/scalers.h"
 #include "util/rng.h"
@@ -148,26 +149,64 @@ void MultiLayerPerceptron::fit(const Matrix& x, const std::vector<int>& y) {
 }
 
 std::vector<double> MultiLayerPerceptron::predict_score(const Matrix& x) const {
-  std::vector<double> out(x.rows(), single_class_score());
-  if (single_class()) return out;
+  std::vector<double> out;
+  predict_score_into(x, out);
+  return out;
+}
+
+void MultiLayerPerceptron::predict_score_into(const Matrix& x,
+                                              std::vector<double>& out) const {
+  if (fill_single_class(x.rows(), out)) return;
   const std::size_t n_layers = weights_.size();
-  std::vector<double> act;
+  if (active_predict_kernel() == PredictKernel::kReference) {
+    out.resize(x.rows());
+    std::vector<double> act;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      act.assign(x.row(r).begin(), x.row(r).end());
+      for (std::size_t c = 0; c < act.size(); ++c) {
+        act[c] = (act[c] - feat_mean_[c]) / feat_std_[c];
+      }
+      for (std::size_t l = 0; l < n_layers; ++l) {
+        auto next = weights_[l].multiply(act);
+        for (std::size_t j = 0; j < next.size(); ++j) {
+          const double z = next[j] + biases_[l][j];
+          next[j] = l + 1 == n_layers ? sigmoid(z) : activate(z, activation_);
+        }
+        act = std::move(next);
+      }
+      out[r] = act[0];
+    }
+    return;
+  }
+  out.resize(x.rows());
+  // Resolve the activation once per call (the reference path string-compares
+  // per neuron) and double-buffer the activations — same math, no per-layer
+  // allocation.  dense_layer_into is bit-identical to multiply + bias.
+  const int kind = activation_ == "relu" ? 0 : activation_ == "tanh" ? 1 : 2;
+  thread_local std::vector<double> act;
+  thread_local std::vector<double> next;
   for (std::size_t r = 0; r < x.rows(); ++r) {
-    act.assign(x.row(r).begin(), x.row(r).end());
-    for (std::size_t c = 0; c < act.size(); ++c) {
-      act[c] = (act[c] - feat_mean_[c]) / feat_std_[c];
+    const auto row = x.row(r);
+    act.resize(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      act[c] = (row[c] - feat_mean_[c]) / feat_std_[c];
     }
     for (std::size_t l = 0; l < n_layers; ++l) {
-      auto next = weights_[l].multiply(act);
-      for (std::size_t j = 0; j < next.size(); ++j) {
-        const double z = next[j] + biases_[l][j];
-        next[j] = l + 1 == n_layers ? sigmoid(z) : activate(z, activation_);
+      next.resize(weights_[l].rows());
+      dense_layer_into(weights_[l], act, biases_[l], next);
+      if (l + 1 == n_layers) {
+        for (double& z : next) z = sigmoid(z);
+      } else if (kind == 0) {
+        for (double& z : next) z = z > 0 ? z : 0.0;
+      } else if (kind == 1) {
+        for (double& z : next) z = std::tanh(z);
+      } else {
+        for (double& z : next) z = sigmoid(z);
       }
-      act = std::move(next);
+      std::swap(act, next);
     }
     out[r] = act[0];
   }
-  return out;
 }
 
 

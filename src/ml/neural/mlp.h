@@ -24,6 +24,7 @@ class MultiLayerPerceptron final : public Classifier {
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
   std::vector<double> predict_score(const Matrix& x) const override;
+  void predict_score_into(const Matrix& x, std::vector<double>& out) const override;
   std::string name() const override { return "mlp"; }
   bool is_linear() const override { return false; }
 

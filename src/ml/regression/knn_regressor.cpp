@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/vector_ops.h"
+#include "ml/classifier.h"  // active_predict_kernel()
 
 namespace mlaas {
 
@@ -31,7 +32,18 @@ std::vector<double> KnnRegressor::predict(const Matrix& x) const {
     for (std::size_t i = 0; i < n_train; ++i) {
       dist[i] = {minkowski_distance(query, train_x_.row(i), p_), i};
     }
-    std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k), dist.end());
+    if (active_predict_kernel() == PredictKernel::kReference || k * 16 < n_train) {
+      // (distance, index) is a total order, so every exact k-smallest
+      // algorithm selects the identical sorted neighbor list; the bounded
+      // heap wins for small k (one compare per candidate, no moves).
+      std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k),
+                        dist.end());
+    } else {
+      // Large k: nth_element + sorting the front, O(n + k log k).
+      const auto kth = dist.begin() + static_cast<std::ptrdiff_t>(k);
+      std::nth_element(dist.begin(), kth - 1, dist.end());
+      std::sort(dist.begin(), kth);
+    }
     double sum = 0.0, total_weight = 0.0;
     for (std::size_t j = 0; j < k; ++j) {
       const double w = distance_weighted_ ? 1.0 / (dist[j].first + 1e-9) : 1.0;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/stats.h"
+#include "ml/classifier.h"  // active_predict_kernel()
 #include "ml/tree/decision_tree.h"
 #include "ml/tree/trainer.h"
 #include "util/rng.h"
@@ -35,9 +36,18 @@ void RegressionTree::fit(const Matrix& x, const std::vector<double>& y) {
   check_sizes(x, y, "RegressionTree");
   tree_ = TreeModel();
   tree_.fit(x, y, {}, regression_options(params_, x.cols(), seed_));
+  flat_.clear();
+  flat_.add_tree(tree_);
 }
 
-std::vector<double> RegressionTree::predict(const Matrix& x) const { return tree_.predict(x); }
+std::vector<double> RegressionTree::predict(const Matrix& x) const {
+  if (active_predict_kernel() == PredictKernel::kReference || flat_.empty()) {
+    return tree_.predict(x);
+  }
+  std::vector<double> out(x.rows());
+  flat_.predict_into(x, out);
+  return out;
+}
 
 RandomForestRegressor::RandomForestRegressor(const ParamMap& params, std::uint64_t seed)
     : params_(params), seed_(seed) {}
@@ -65,11 +75,17 @@ void RandomForestRegressor::fit(const Matrix& x, const std::vector<double>& y) {
     }
     train_tree(trees_[t], workspace, x, boot_targets, {}, opt, boot_rows);
   }
+  flat_.clear();
+  for (const auto& tree : trees_) flat_.add_tree(tree);
 }
 
 std::vector<double> RandomForestRegressor::predict(const Matrix& x) const {
   std::vector<double> out(x.rows(), 0.0);
-  for (const auto& tree : trees_) tree.predict_accumulate(x, 1.0, out);
+  if (active_predict_kernel() == PredictKernel::kReference || flat_.empty()) {
+    for (const auto& tree : trees_) tree.predict_accumulate(x, 1.0, out);
+  } else {
+    flat_.predict_accumulate(x, 1.0, out);
+  }
   const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, trees_.size()));
   for (double& v : out) v *= inv;
   return out;
@@ -109,11 +125,17 @@ void BoostedTreesRegressor::fit(const Matrix& x, const std::vector<double>& y) {
     tree.predict_accumulate(x, learning_rate_, raw);
     trees_.push_back(std::move(tree));
   }
+  flat_.clear();
+  for (const auto& tree : trees_) flat_.add_tree(tree);
 }
 
 std::vector<double> BoostedTreesRegressor::predict(const Matrix& x) const {
   std::vector<double> out(x.rows(), base_prediction_);
-  for (const auto& tree : trees_) tree.predict_accumulate(x, learning_rate_, out);
+  if (active_predict_kernel() == PredictKernel::kReference || flat_.empty()) {
+    for (const auto& tree : trees_) tree.predict_accumulate(x, learning_rate_, out);
+  } else {
+    flat_.predict_accumulate(x, learning_rate_, out);
+  }
   return out;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "ml/regression/regressor.h"
+#include "ml/tree/flat_forest.h"
 #include "ml/tree/tree_model.h"
 
 namespace mlaas {
@@ -29,6 +30,7 @@ class RegressionTree final : public Regressor {
   ParamMap params_;
   std::uint64_t seed_;
   TreeModel tree_;
+  FlatForest flat_;  // inference layout, rebuilt by fit()
 };
 
 class RandomForestRegressor final : public Regressor {
@@ -45,6 +47,7 @@ class RandomForestRegressor final : public Regressor {
   ParamMap params_;
   std::uint64_t seed_;
   std::vector<TreeModel> trees_;
+  FlatForest flat_;  // inference layout, rebuilt by fit()
 };
 
 class BoostedTreesRegressor final : public Regressor {
@@ -63,6 +66,7 @@ class BoostedTreesRegressor final : public Regressor {
   double learning_rate_ = 0.1;
   double base_prediction_ = 0.0;
   std::vector<TreeModel> trees_;
+  FlatForest flat_;  // inference layout, rebuilt by fit()
 };
 
 }  // namespace mlaas

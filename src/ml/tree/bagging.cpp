@@ -16,6 +16,7 @@ BaggedTrees::BaggedTrees(const ParamMap& params, std::uint64_t seed)
 
 void BaggedTrees::fit(const Matrix& x, const std::vector<int>& y) {
   members_.clear();
+  flat_.clear();
   if (check_single_class(y)) return;
 
   const auto n_estimators = static_cast<std::size_t>(
@@ -54,18 +55,42 @@ void BaggedTrees::fit(const Matrix& x, const std::vector<int>& y) {
     train_tree(member.tree, workspace, x, boot_targets, {}, opt, boot_rows,
                member.features);
   }
+  rebuild_flat();
+}
+
+void BaggedTrees::rebuild_flat() {
+  flat_.clear();
+  // Each member's column subset is baked into its node feature indices, so
+  // the flat walk reads the full matrix with no per-node indirection.
+  for (const auto& member : members_) flat_.add_tree(member.tree, member.features);
 }
 
 std::vector<double> BaggedTrees::predict_score(const Matrix& x) const {
-  std::vector<double> out(x.rows(), single_class_score());
-  if (single_class()) return out;
-  std::fill(out.begin(), out.end(), 0.0);
+  std::vector<double> out;
+  predict_score_into(x, out);
+  return out;
+}
+
+void BaggedTrees::predict_score_into(const Matrix& x, std::vector<double>& out) const {
+  if (fill_single_class(x.rows(), out)) return;
+  if (active_predict_kernel() == PredictKernel::kReference) {
+    reference_predict_score_into(x, out);
+    return;
+  }
+  out.assign(x.rows(), 0.0);
+  flat_.predict_accumulate(x, 1.0, out);
+  const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, members_.size()));
+  for (double& v : out) v *= inv;
+}
+
+void BaggedTrees::reference_predict_score_into(const Matrix& x,
+                                               std::vector<double>& out) const {
+  out.assign(x.rows(), 0.0);
   for (const auto& member : members_) {
     member.tree.predict_accumulate(x, 1.0, out, member.features);
   }
   const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, members_.size()));
   for (double& v : out) v *= inv;
-  return out;
 }
 
 
@@ -87,6 +112,7 @@ void BaggedTrees::load(std::istream& in) {
     member.features.assign(features.begin(), features.end());
     member.tree.load(in);
   }
+  rebuild_flat();
 }
 
 }  // namespace mlaas

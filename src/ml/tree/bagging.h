@@ -13,6 +13,7 @@
 #pragma once
 
 #include "ml/classifier.h"
+#include "ml/tree/flat_forest.h"
 #include "ml/tree/tree_model.h"
 
 namespace mlaas {
@@ -23,6 +24,7 @@ class BaggedTrees final : public Classifier {
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
   std::vector<double> predict_score(const Matrix& x) const override;
+  void predict_score_into(const Matrix& x, std::vector<double>& out) const override;
   std::string name() const override { return "bagging"; }
   bool is_linear() const override { return false; }
 
@@ -37,9 +39,13 @@ class BaggedTrees final : public Classifier {
     std::vector<std::size_t> features;  // column subset the tree was fit on
   };
 
+  void rebuild_flat();
+  void reference_predict_score_into(const Matrix& x, std::vector<double>& out) const;
+
   ParamMap params_;
   std::uint64_t seed_;
   std::vector<Member> members_;
+  FlatForest flat_;  // inference layout (feature subsets baked in), rebuilt by fit()/load()
 };
 
 }  // namespace mlaas

@@ -17,6 +17,7 @@ BoostedDecisionTrees::BoostedDecisionTrees(const ParamMap& params, std::uint64_t
 
 void BoostedDecisionTrees::fit(const Matrix& x, const std::vector<int>& y) {
   trees_.clear();
+  flat_.clear();
   if (check_single_class(y)) return;
 
   const auto n_estimators = static_cast<std::size_t>(
@@ -59,15 +60,40 @@ void BoostedDecisionTrees::fit(const Matrix& x, const std::vector<int>& y) {
     tree.predict_accumulate(x, learning_rate_, raw);
     trees_.push_back(std::move(tree));
   }
+  rebuild_flat();
+}
+
+void BoostedDecisionTrees::rebuild_flat() {
+  flat_.clear();
+  for (const auto& tree : trees_) flat_.add_tree(tree);
 }
 
 std::vector<double> BoostedDecisionTrees::predict_score(const Matrix& x) const {
-  std::vector<double> out(x.rows(), single_class_score());
-  if (single_class()) return out;
+  std::vector<double> out;
+  predict_score_into(x, out);
+  return out;
+}
+
+void BoostedDecisionTrees::predict_score_into(const Matrix& x,
+                                              std::vector<double>& out) const {
+  if (fill_single_class(x.rows(), out)) return;
+  if (active_predict_kernel() == PredictKernel::kReference) {
+    reference_predict_score_into(x, out);
+    return;
+  }
+  // `out` doubles as the raw-score buffer (seeded with the log-odds prior,
+  // squashed in place) — no per-call scratch vector.
+  out.assign(x.rows(), base_score_);
+  flat_.predict_accumulate(x, learning_rate_, out);
+  for (double& v : out) v = sigmoid(v);
+}
+
+void BoostedDecisionTrees::reference_predict_score_into(const Matrix& x,
+                                                        std::vector<double>& out) const {
+  out.resize(x.rows());
   std::vector<double> raw(x.rows(), base_score_);
   for (const auto& tree : trees_) tree.predict_accumulate(x, learning_rate_, raw);
   for (std::size_t i = 0; i < raw.size(); ++i) out[i] = sigmoid(raw[i]);
-  return out;
 }
 
 
@@ -85,6 +111,7 @@ void BoostedDecisionTrees::load(std::istream& in) {
   base_score_ = model_io::read_double(in);
   trees_.assign(static_cast<std::size_t>(model_io::read_int(in)), TreeModel{});
   for (auto& tree : trees_) tree.load(in);
+  rebuild_flat();
 }
 
 }  // namespace mlaas

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "ml/classifier.h"
+#include "ml/tree/flat_forest.h"
 #include "ml/tree/tree_model.h"
 
 namespace mlaas {
@@ -24,6 +25,7 @@ class BoostedDecisionTrees final : public Classifier {
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
   std::vector<double> predict_score(const Matrix& x) const override;
+  void predict_score_into(const Matrix& x, std::vector<double>& out) const override;
   std::string name() const override { return "boosted_trees"; }
   bool is_linear() const override { return false; }
 
@@ -33,11 +35,15 @@ class BoostedDecisionTrees final : public Classifier {
   std::size_t tree_count() const { return trees_.size(); }
 
  private:
+  void rebuild_flat();
+  void reference_predict_score_into(const Matrix& x, std::vector<double>& out) const;
+
   ParamMap params_;
   std::uint64_t seed_;
   double learning_rate_ = 0.2;
   double base_score_ = 0.0;  // log-odds prior
   std::vector<TreeModel> trees_;
+  FlatForest flat_;  // inference layout, rebuilt by fit()/load()
 };
 
 }  // namespace mlaas

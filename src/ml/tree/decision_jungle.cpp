@@ -15,6 +15,7 @@ DecisionJungle::DecisionJungle(const ParamMap& params, std::uint64_t seed)
 
 void DecisionJungle::fit(const Matrix& x, const std::vector<int>& y) {
   dags_.clear();
+  flat_.clear();
   if (check_single_class(y)) return;
 
   const auto n_dags = static_cast<std::size_t>(
@@ -53,16 +54,38 @@ void DecisionJungle::fit(const Matrix& x, const std::vector<int>& y) {
       train_tree(dags_[t], workspace, x, targets, {}, opt);
     }
   }
+  rebuild_flat();
+}
+
+void DecisionJungle::rebuild_flat() {
+  flat_.clear();
+  for (const auto& dag : dags_) flat_.add_tree(dag);
 }
 
 std::vector<double> DecisionJungle::predict_score(const Matrix& x) const {
-  std::vector<double> out(x.rows(), single_class_score());
-  if (single_class()) return out;
-  std::fill(out.begin(), out.end(), 0.0);
+  std::vector<double> out;
+  predict_score_into(x, out);
+  return out;
+}
+
+void DecisionJungle::predict_score_into(const Matrix& x, std::vector<double>& out) const {
+  if (fill_single_class(x.rows(), out)) return;
+  if (active_predict_kernel() == PredictKernel::kReference) {
+    reference_predict_score_into(x, out);
+    return;
+  }
+  out.assign(x.rows(), 0.0);
+  flat_.predict_accumulate(x, 1.0, out);
+  const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, dags_.size()));
+  for (double& v : out) v *= inv;
+}
+
+void DecisionJungle::reference_predict_score_into(const Matrix& x,
+                                                  std::vector<double>& out) const {
+  out.assign(x.rows(), 0.0);
   for (const auto& dag : dags_) dag.predict_accumulate(x, 1.0, out);
   const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, dags_.size()));
   for (double& v : out) v *= inv;
-  return out;
 }
 
 
@@ -76,6 +99,7 @@ void DecisionJungle::load(std::istream& in) {
   load_base(in);
   dags_.assign(static_cast<std::size_t>(model_io::read_int(in)), TreeModel{});
   for (auto& dag : dags_) dag.load(in);
+  rebuild_flat();
 }
 
 }  // namespace mlaas

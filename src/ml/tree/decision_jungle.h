@@ -18,6 +18,7 @@
 #pragma once
 
 #include "ml/classifier.h"
+#include "ml/tree/flat_forest.h"
 #include "ml/tree/tree_model.h"
 
 namespace mlaas {
@@ -28,6 +29,7 @@ class DecisionJungle final : public Classifier {
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
   std::vector<double> predict_score(const Matrix& x) const override;
+  void predict_score_into(const Matrix& x, std::vector<double>& out) const override;
   std::string name() const override { return "decision_jungle"; }
   bool is_linear() const override { return false; }
 
@@ -35,9 +37,13 @@ class DecisionJungle final : public Classifier {
   void load(std::istream& in) override;
 
  private:
+  void rebuild_flat();
+  void reference_predict_score_into(const Matrix& x, std::vector<double>& out) const;
+
   ParamMap params_;
   std::uint64_t seed_;
   std::vector<TreeModel> dags_;
+  FlatForest flat_;  // inference layout, rebuilt by fit()/load()
 };
 
 }  // namespace mlaas

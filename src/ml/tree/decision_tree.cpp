@@ -56,15 +56,33 @@ DecisionTree::DecisionTree(const ParamMap& params, std::uint64_t seed)
 
 void DecisionTree::fit(const Matrix& x, const std::vector<int>& y) {
   tree_ = TreeModel();
+  flat_.clear();
   if (check_single_class(y)) return;
   std::vector<double> targets(y.size());
   for (std::size_t i = 0; i < y.size(); ++i) targets[i] = y[i] == 1 ? 1.0 : 0.0;
   tree_.fit(x, targets, {}, tree_options_from_params(params_, x.cols(), seed_));
+  rebuild_flat();
+}
+
+void DecisionTree::rebuild_flat() {
+  flat_.clear();
+  flat_.add_tree(tree_);
 }
 
 std::vector<double> DecisionTree::predict_score(const Matrix& x) const {
-  if (single_class()) return std::vector<double>(x.rows(), single_class_score());
-  return tree_.predict(x);
+  std::vector<double> out;
+  predict_score_into(x, out);
+  return out;
+}
+
+void DecisionTree::predict_score_into(const Matrix& x, std::vector<double>& out) const {
+  if (fill_single_class(x.rows(), out)) return;
+  if (active_predict_kernel() == PredictKernel::kReference) {
+    out = tree_.predict(x);
+    return;
+  }
+  out.resize(x.rows());
+  flat_.predict_into(x, out);
 }
 
 
@@ -76,6 +94,7 @@ void DecisionTree::save(std::ostream& out) const {
 void DecisionTree::load(std::istream& in) {
   load_base(in);
   tree_.load(in);
+  rebuild_flat();
 }
 
 }  // namespace mlaas

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "ml/classifier.h"
+#include "ml/tree/flat_forest.h"
 #include "ml/tree/tree_model.h"
 
 namespace mlaas {
@@ -28,6 +29,7 @@ class DecisionTree final : public Classifier {
 
   void fit(const Matrix& x, const std::vector<int>& y) override;
   std::vector<double> predict_score(const Matrix& x) const override;
+  void predict_score_into(const Matrix& x, std::vector<double>& out) const override;
   std::string name() const override { return "decision_tree"; }
   bool is_linear() const override { return false; }
 
@@ -37,9 +39,12 @@ class DecisionTree final : public Classifier {
   const TreeModel& tree() const { return tree_; }
 
  private:
+  void rebuild_flat();
+
   ParamMap params_;
   std::uint64_t seed_;
   TreeModel tree_;
+  FlatForest flat_;  // inference layout, rebuilt by fit()/load()
 };
 
 }  // namespace mlaas

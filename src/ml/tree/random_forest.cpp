@@ -16,6 +16,7 @@ RandomForest::RandomForest(const ParamMap& params, std::uint64_t seed)
 
 void RandomForest::fit(const Matrix& x, const std::vector<int>& y) {
   trees_.clear();
+  flat_.clear();
   if (check_single_class(y)) return;
 
   const auto n_estimators = static_cast<std::size_t>(
@@ -50,16 +51,38 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y) {
       train_tree(trees_[t], workspace, x, targets, {}, opt);
     }
   }
+  rebuild_flat();
+}
+
+void RandomForest::rebuild_flat() {
+  flat_.clear();
+  for (const auto& tree : trees_) flat_.add_tree(tree);
 }
 
 std::vector<double> RandomForest::predict_score(const Matrix& x) const {
-  std::vector<double> out(x.rows(), single_class_score());
-  if (single_class()) return out;
-  std::fill(out.begin(), out.end(), 0.0);
+  std::vector<double> out;
+  predict_score_into(x, out);
+  return out;
+}
+
+void RandomForest::predict_score_into(const Matrix& x, std::vector<double>& out) const {
+  if (fill_single_class(x.rows(), out)) return;
+  if (active_predict_kernel() == PredictKernel::kReference) {
+    reference_predict_score_into(x, out);
+    return;
+  }
+  out.assign(x.rows(), 0.0);
+  flat_.predict_accumulate(x, 1.0, out);
+  const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, trees_.size()));
+  for (double& v : out) v *= inv;
+}
+
+void RandomForest::reference_predict_score_into(const Matrix& x,
+                                                std::vector<double>& out) const {
+  out.assign(x.rows(), 0.0);
   for (const auto& tree : trees_) tree.predict_accumulate(x, 1.0, out);
   const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, trees_.size()));
   for (double& v : out) v *= inv;
-  return out;
 }
 
 
@@ -73,6 +96,7 @@ void RandomForest::load(std::istream& in) {
   load_base(in);
   trees_.assign(static_cast<std::size_t>(model_io::read_int(in)), TreeModel{});
   for (auto& tree : trees_) tree.load(in);
+  rebuild_flat();
 }
 
 }  // namespace mlaas

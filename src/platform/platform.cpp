@@ -48,12 +48,16 @@ void PipelineModel::fit(const Dataset& train) {
   classifier_->fit(apply_feature_step(train.x()), train.y());
 }
 
-Matrix PipelineModel::apply_feature_step(const Matrix& x) const {
-  return feature_step_ ? feature_step_->transform(x) : x;
+const Matrix& PipelineModel::apply_feature_step(const Matrix& x) const {
+  if (!feature_step_) return x;  // no copy on the no-FEAT fast path
+  feat_scratch_ = feature_step_->transform(x);
+  return feat_scratch_;
 }
 
 std::vector<int> PipelineModel::predict(const Matrix& x) const {
-  return classifier_->predict(apply_feature_step(x));
+  std::vector<int> labels;
+  classifier_->predict_into(apply_feature_step(x), score_scratch_, labels);
+  return labels;
 }
 
 std::vector<double> PipelineModel::predict_score(const Matrix& x) const {

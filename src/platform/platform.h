@@ -94,11 +94,18 @@ class PipelineModel final : public TrainedModel {
   const Classifier& classifier() const { return *classifier_; }
 
  private:
-  Matrix apply_feature_step(const Matrix& x) const;
+  /// Returns x itself when there is no feature step (no copy), otherwise the
+  /// transform result cached in feat_scratch_.
+  const Matrix& apply_feature_step(const Matrix& x) const;
 
   TransformerPtr feature_step_;  // may be null
   ClassifierPtr classifier_;
   bool expose_scores_;
+  // Predict-path scratch, reused across calls.  A model serves queries from
+  // one thread at a time (router worker / campaign session), so plain
+  // mutable members suffice.
+  mutable Matrix feat_scratch_;
+  mutable std::vector<double> score_scratch_;
 };
 
 /// Helper used by white-box platforms: validate `config` against `surface`,

@@ -304,7 +304,7 @@ ServiceStatus MlaasService::train(const std::string& dataset_handle,
 }
 
 ServiceStatus MlaasService::predict(const std::string& model_handle, const Matrix& x,
-                                    std::vector<int>* labels) {
+                                    std::vector<int>* labels, double* predict_cpu_seconds) {
   if (labels == nullptr) throw std::invalid_argument("predict: null labels out-param");
   const double start = clock_seconds_;
   auto it = models_.find(model_handle);
@@ -312,7 +312,13 @@ ServiceStatus MlaasService::predict(const std::string& model_handle, const Matri
   const ServiceStatus admitted = admit(x.rows());
   if (admitted != ServiceStatus::kOk) return traced("predict", start, x.rows(), admitted);
   try {
+    // Same real-CPU-time accounting as train: per-thread CPU seconds, so the
+    // measured query cost is independent of thread-pool oversubscription.
+    const double t0 = thread_cpu_seconds();
     *labels = it->second->predict(x);
+    const double elapsed = thread_cpu_seconds() - t0;
+    stats_.predict_cpu_seconds += elapsed;
+    if (predict_cpu_seconds != nullptr) *predict_cpu_seconds = elapsed;
   } catch (const std::exception& e) {
     ++stats_.server_errors;
     last_error_ = e.what();
@@ -438,8 +444,11 @@ ServiceStatus RetryingClient::train(const std::string& dataset_handle,
 }
 
 ServiceStatus RetryingClient::predict(const std::string& model_handle, const Matrix& x,
-                                      std::vector<int>* labels, double deadline) {
-  return with_retries([&] { return service_.predict(model_handle, x, labels); }, deadline);
+                                      std::vector<int>* labels, double* predict_cpu_seconds,
+                                      double deadline) {
+  return with_retries(
+      [&] { return service_.predict(model_handle, x, labels, predict_cpu_seconds); },
+      deadline);
 }
 
 std::optional<std::vector<int>> RetryingClient::train_and_predict(

@@ -148,6 +148,10 @@ struct ServiceStats {
   /// CPU time, not wall time, so the measured training cost does not depend
   /// on how oversubscribed the campaign's thread pool is.
   double train_cpu_seconds = 0.0;
+  /// Real per-thread CPU time spent inside TrainedModel::predict, the
+  /// prediction-side counterpart of train_cpu_seconds (same clock, same
+  /// oversubscription argument).
+  double predict_cpu_seconds = 0.0;
 
   /// Scalar counters in declaration order, for util/metrics.h's generic
   /// merge_stats / register_stats (replaces the old hand-rolled merge body).
@@ -164,6 +168,7 @@ struct ServiceStats {
     visit("server_errors", self.server_errors);
     visit("unavailable", self.unavailable);
     visit("train_cpu_seconds", self.train_cpu_seconds);
+    visit("predict_cpu_seconds", self.predict_cpu_seconds);
   }
 
   void merge(const ServiceStats& other);
@@ -198,8 +203,11 @@ class MlaasService {
   /// Query a trained model; on kOk fills `labels`.  Admission charges
   /// latency per row and ServiceStats::predictions counts rows, so one
   /// batched call and N single-row calls account the same work.
+  /// `predict_cpu_seconds` (optional) receives the per-thread CPU time
+  /// spent in TrainedModel::predict.
   ServiceStatus predict(const std::string& model_handle, const Matrix& x,
-                        std::vector<int>* labels);
+                        std::vector<int>* labels,
+                        double* predict_cpu_seconds = nullptr);
 
   /// Release an uploaded dataset / trained model.  Returns kNotFound for an
   /// unknown handle, kOk otherwise.  Deletes are local bookkeeping: they do
@@ -308,7 +316,9 @@ class RetryingClient {
                       double* train_cpu_seconds = nullptr,
                       double deadline = kNoDeadline);
   ServiceStatus predict(const std::string& model_handle, const Matrix& x,
-                        std::vector<int>* labels, double deadline = kNoDeadline);
+                        std::vector<int>* labels,
+                        double* predict_cpu_seconds = nullptr,
+                        double deadline = kNoDeadline);
 
   /// Convenience end-to-end call: upload + train + predict with retries.
   /// Returns labels, or nullopt if any step exhausted its retries or hit a

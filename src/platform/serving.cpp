@@ -623,7 +623,7 @@ void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
         ps.breaker.record_failure(now_);
       } else {
         const ServiceStatus status = timed_call(
-            ps, [&] { return ps.client->predict(handle, x, &labels, budget); });
+            ps, [&] { return ps.client->predict(handle, x, &labels, nullptr, budget); });
         if (status == ServiceStatus::kOk) {
           have_labels = true;
           how = QueryOutcome::kOk;
@@ -660,7 +660,7 @@ void QueryRouter::flush(const std::string& model_key, FlushCause cause) {
         fb.breaker.record_failure(now_);
       } else {
         const ServiceStatus status = timed_call(
-            fb, [&] { return fb.client->predict(handle, x, &labels, budget); });
+            fb, [&] { return fb.client->predict(handle, x, &labels, nullptr, budget); });
         if (status == ServiceStatus::kOk) {
           have_labels = true;
           how = QueryOutcome::kFailover;

@@ -14,6 +14,7 @@
 #include "data/generators.h"
 #include "eval/journal.h"
 #include "eval/measurement.h"
+#include "ml/classifier.h"
 #include "ml/tree/trainer.h"
 
 namespace mlaas {
@@ -48,18 +49,19 @@ std::vector<PlatformPtr> small_roster() {
   return platforms;
 }
 
-// The campaign table with the train-CPU column zeroed, one row per line.
+// The campaign table with the real-CPU-time columns zeroed, one row per line.
 std::string masked_table(const MeasurementTable& table) {
   std::ostringstream out;
   for (const auto& row : table.rows()) {
     Measurement copy = row;
     copy.train_seconds = 0.0;
+    copy.predict_seconds = 0.0;
     out << measurement_row_to_tsv(copy) << '\n';
   }
   return out.str();
 }
 
-// Journal bytes with the sec field of each row line masked.  Marker and
+// Journal bytes with the sec/psec fields of each row line masked.  Marker and
 // header lines pass through untouched.
 std::string masked_journal(const std::string& path) {
   std::ifstream in(path);
@@ -82,8 +84,11 @@ std::string masked_journal(const std::string& path) {
       fields.push_back(line.substr(start, tab - start));
       start = tab + 1;
     }
-    EXPECT_EQ(fields.size(), 13u) << "unexpected journal row: " << line;
-    if (fields.size() == 13) fields[10] = "X";  // sec column
+    EXPECT_EQ(fields.size(), 14u) << "unexpected journal row: " << line;
+    if (fields.size() == 14) {
+      fields[10] = "X";  // sec column
+      fields[11] = "X";  // psec column
+    }
     for (std::size_t i = 0; i < fields.size(); ++i) {
       out << (i > 0 ? "\t" : "") << fields[i];
     }
@@ -99,7 +104,14 @@ struct RunArtifacts {
 };
 
 RunArtifacts run_once(const MeasurementOptions& base, int threads, Schedule schedule) {
-  const std::string path = ::testing::TempDir() + "/scheduler_det_t" +
+  // The journal path embeds the running test's name: several tests in this
+  // file call run_once with the same (threads, schedule) pair, and ctest runs
+  // them as concurrent processes sharing TempDir — a fixed name lets one
+  // test std::remove the journal another is about to read.
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string path = ::testing::TempDir() + "/scheduler_det_" +
+                           (info ? info->name() : "unknown") + "_t" +
                            std::to_string(threads) + "_" + to_string(schedule) +
                            ".journal";
   std::remove(path.c_str());
@@ -148,6 +160,20 @@ TEST(CampaignScheduler, TableAndJournalBytesInvariantAcrossTreeBuilders) {
   const RunArtifacts fast = run_once(opt, 2, Schedule::kStatic);
   EXPECT_EQ(fast.table, reference.table);
   EXPECT_EQ(fast.journal, reference.journal);
+}
+
+TEST(CampaignScheduler, TableAndJournalBytesInvariantAcrossPredictKernels) {
+  // The flat prediction kernels must be invisible at campaign level: a run
+  // under PredictKernel::kReference (the pre-kernel per-row walks) produces
+  // the same masked table and journal bytes as the flat default.
+  const MeasurementOptions opt = fast_options();
+  set_active_predict_kernel(PredictKernel::kReference);
+  const RunArtifacts reference = run_once(opt, 2, Schedule::kStatic);
+  set_active_predict_kernel(PredictKernel::kFlat);
+  ASSERT_FALSE(reference.table.empty());
+  const RunArtifacts flat = run_once(opt, 2, Schedule::kStatic);
+  EXPECT_EQ(flat.table, reference.table);
+  EXPECT_EQ(flat.journal, reference.journal);
 }
 
 TEST(CampaignScheduler, InvariantUnderFaultsChaosAndBreakers) {

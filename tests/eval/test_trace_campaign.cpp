@@ -169,7 +169,10 @@ TEST(CampaignTrace, TracingOffLeavesReportBytesIdentical) {
         fields.push_back(line.substr(start, tab - start));
         start = tab + 1;
       }
-      if (fields.size() == 22) fields[20] = "X";  // train_cpu_sec
+      if (fields.size() == 23) {
+        fields[20] = "X";  // train_cpu_sec
+        fields[21] = "X";  // predict_cpu_sec
+      }
       for (std::size_t i = 0; i < fields.size(); ++i) {
         out << (i > 0 ? "\t" : "") << fields[i];
       }
@@ -179,13 +182,14 @@ TEST(CampaignTrace, TracingOffLeavesReportBytesIdentical) {
   };
   EXPECT_EQ(masked_tsv(on_tsv), masked_tsv(off_tsv));
 
-  // The measurement table itself is untouched by tracing (train-CPU seconds
-  // masked: the one run-to-run nondeterministic column).
+  // The measurement table itself is untouched by tracing (real-CPU-seconds
+  // columns masked: the run-to-run nondeterministic fields).
   auto masked = [](const MeasurementTable& table) {
     std::ostringstream out;
     for (const auto& row : table.rows()) {
       Measurement copy = row;
       copy.train_seconds = 0.0;
+      copy.predict_seconds = 0.0;
       out << measurement_row_to_tsv(copy) << '\n';
     }
     return out.str();

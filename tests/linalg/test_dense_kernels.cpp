@@ -1,0 +1,180 @@
+// The blocked dense prediction kernels promise exact equivalence: every
+// output element must be BIT-identical to the naive sequential loop it
+// replaces, across sizes that exercise both the blocked body and the
+// scalar remainder.
+#include "linalg/dense_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mlaas {
+namespace {
+
+void expect_bits_equal(const std::vector<double>& got,
+                       const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i]),
+              std::bit_cast<std::uint64_t>(want[i]))
+        << what << " differs at element " << i << ": " << got[i] << " vs "
+        << want[i];
+  }
+}
+
+Matrix random_matrix(std::size_t n, std::size_t d, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::normal_distribution<double> dist;
+  Matrix m(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < d; ++c) m(i, c) = dist(gen);
+  }
+  return m;
+}
+
+std::vector<double> random_vector(std::size_t d, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::normal_distribution<double> dist;
+  std::vector<double> v(d);
+  for (auto& x : v) x = dist(gen);
+  return v;
+}
+
+// Sizes chosen so each kernel runs its blocked body, its scalar remainder,
+// and the degenerate all-remainder case.
+const std::size_t kRowCounts[] = {1, 2, 3, 4, 5, 7, 8, 9, 64, 101};
+const std::size_t kColCounts[] = {1, 3, 17};
+
+TEST(PredictDenseKernels, MatvecMatchesSequentialDot) {
+  for (const std::size_t n : kRowCounts) {
+    for (const std::size_t d : kColCounts) {
+      const Matrix x = random_matrix(n, d, 1000 + n * 31 + d);
+      const std::vector<double> w = random_vector(d, 2000 + d);
+      std::vector<double> got(n);
+      matvec_into(x, w, got);
+      std::vector<double> want(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < d; ++c) s += x(r, c) * w[c];
+        want[r] = s;
+      }
+      expect_bits_equal(got, want, "matvec_into");
+    }
+  }
+}
+
+TEST(PredictDenseKernels, DenseLayerMatchesManualLoop) {
+  for (const std::size_t n : kRowCounts) {
+    for (const std::size_t d : kColCounts) {
+      const Matrix w = random_matrix(n, d, 3000 + n * 31 + d);
+      const std::vector<double> v = random_vector(d, 4000 + d);
+      const std::vector<double> bias = random_vector(n, 5000 + n);
+      std::vector<double> got(n);
+      dense_layer_into(w, v, bias, got);
+      std::vector<double> want(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < d; ++c) s += w(r, c) * v[c];
+        want[r] = s + bias[r];
+      }
+      expect_bits_equal(got, want, "dense_layer_into");
+    }
+  }
+}
+
+TEST(PredictDenseKernels, SquaredDistanceBlockMatchesScalar) {
+  for (const std::size_t n : kRowCounts) {
+    for (const std::size_t d : kColCounts) {
+      const Matrix rows = random_matrix(n, d, 6000 + n * 31 + d);
+      const std::vector<double> q = random_vector(d, 7000 + d);
+      std::vector<double> got(n);
+      squared_distance_block(q, rows, got);
+      std::vector<double> want(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < d; ++c) {
+          const double diff = q[c] - rows(r, c);
+          s += diff * diff;
+        }
+        want[r] = s;
+      }
+      expect_bits_equal(got, want, "squared_distance_block");
+    }
+  }
+}
+
+TEST(PredictDenseKernels, SquaredDistanceBlock2MatchesSingleQueryKernel) {
+  for (const std::size_t n : kRowCounts) {
+    for (const std::size_t d : kColCounts) {
+      const Matrix rows = random_matrix(n, d, 8000 + n * 31 + d);
+      const std::vector<double> q0 = random_vector(d, 9000 + d);
+      const std::vector<double> q1 = random_vector(d, 9500 + d);
+      std::vector<double> got0(n), got1(n), want0(n), want1(n);
+      squared_distance_block2(q0, q1, rows, got0, got1);
+      squared_distance_block(q0, rows, want0);
+      squared_distance_block(q1, rows, want1);
+      expect_bits_equal(got0, want0, "squared_distance_block2 (q0)");
+      expect_bits_equal(got1, want1, "squared_distance_block2 (q1)");
+    }
+  }
+}
+
+TEST(PredictDenseKernels, FromNormsBlockMatchesScalarExpression) {
+  for (const std::size_t n : kRowCounts) {
+    for (const std::size_t d : kColCounts) {
+      const Matrix rows = random_matrix(n, d, 10000 + n * 31 + d);
+      const std::vector<double> q = random_vector(d, 11000 + d);
+      double q_sq = 0.0;
+      for (const double v : q) q_sq += v * v;
+      std::vector<double> row_sq(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < d; ++c) s += rows(r, c) * rows(r, c);
+        row_sq[r] = s;
+      }
+      std::vector<double> got(n);
+      squared_distance_from_norms_block(q, q_sq, rows, row_sq, got);
+      std::vector<double> want(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < d; ++c) s += q[c] * rows(r, c);
+        want[r] = q_sq - 2.0 * s + row_sq[r];
+      }
+      expect_bits_equal(got, want, "squared_distance_from_norms_block");
+    }
+  }
+}
+
+TEST(PredictDenseKernels, FromNormsBlock2MatchesSingleQueryKernel) {
+  for (const std::size_t n : kRowCounts) {
+    for (const std::size_t d : kColCounts) {
+      const Matrix rows = random_matrix(n, d, 12000 + n * 31 + d);
+      const std::vector<double> q0 = random_vector(d, 13000 + d);
+      const std::vector<double> q1 = random_vector(d, 13500 + d);
+      double q0_sq = 0.0, q1_sq = 0.0;
+      for (const double v : q0) q0_sq += v * v;
+      for (const double v : q1) q1_sq += v * v;
+      std::vector<double> row_sq(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < d; ++c) s += rows(r, c) * rows(r, c);
+        row_sq[r] = s;
+      }
+      std::vector<double> got0(n), got1(n), want0(n), want1(n);
+      squared_distance_from_norms_block2(q0, q0_sq, q1, q1_sq, rows, row_sq,
+                                         got0, got1);
+      squared_distance_from_norms_block(q0, q0_sq, rows, row_sq, want0);
+      squared_distance_from_norms_block(q1, q1_sq, rows, row_sq, want1);
+      expect_bits_equal(got0, want0, "squared_distance_from_norms_block2 (q0)");
+      expect_bits_equal(got1, want1, "squared_distance_from_norms_block2 (q1)");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlaas

@@ -212,8 +212,11 @@ TEST(Service, ExplicitTrainSeedReproducesDirectCall) {
   EXPECT_GE(train_cpu, 0.0);
   EXPECT_GT(service.stats().train_cpu_seconds, 0.0);
   std::vector<int> labels;
-  ASSERT_EQ(service.predict(model, data.x(), &labels), ServiceStatus::kOk);
+  double predict_cpu = -1.0;
+  ASSERT_EQ(service.predict(model, data.x(), &labels, &predict_cpu), ServiceStatus::kOk);
   EXPECT_EQ(labels, direct_labels);
+  EXPECT_GE(predict_cpu, 0.0);
+  EXPECT_GE(service.stats().predict_cpu_seconds, predict_cpu);
 }
 
 /// A platform whose training always blows up with a non-config error.

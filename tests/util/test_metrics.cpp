@@ -114,6 +114,7 @@ TEST(MetricsStats, ServiceStatsMergeMatchesLegacyFieldList) {
   a.requests = 3;
   a.uploads = 1;
   a.train_cpu_seconds = 0.5;
+  a.predict_cpu_seconds = 0.125;
   b.requests = 2;
   b.trainings = 4;
   b.predictions = 9;
@@ -124,6 +125,7 @@ TEST(MetricsStats, ServiceStatsMergeMatchesLegacyFieldList) {
   b.server_errors = 7;
   b.unavailable = 8;
   b.train_cpu_seconds = 0.25;
+  b.predict_cpu_seconds = 0.375;
   a.merge(b);
   EXPECT_EQ(a.requests, 5u);
   EXPECT_EQ(a.uploads, 1u);
@@ -136,6 +138,7 @@ TEST(MetricsStats, ServiceStatsMergeMatchesLegacyFieldList) {
   EXPECT_EQ(a.server_errors, 7u);
   EXPECT_EQ(a.unavailable, 8u);
   EXPECT_DOUBLE_EQ(a.train_cpu_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(a.predict_cpu_seconds, 0.5);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 
 #include "data/split.h"
 #include "eval/journal.h"
+#include "ml/tree/trainer.h"
 #include "util/clock.h"
 #include "util/io.h"
 #include "util/rng.h"
@@ -755,6 +756,18 @@ void run_session(const Dataset& dataset, const TrainTestSplit& split,
   stats->cells_total += cells.size();
   std::string dataset_handle;
   const ServiceStatus uploaded = client.upload(split.train, &dataset_handle);
+
+  // Every cell trains on the session's one uploaded split (the service's
+  // stored Dataset copy, address-stable until delete_dataset), so a
+  // session-scoped TrainContext lets the whole cell loop share one presort /
+  // norms build per distinct training matrix.  Feature-step cells transform
+  // into temporaries; the context's content-hash guard keeps a reused
+  // allocation from ever serving stale state.  Data-only reuse: no
+  // admission, clock or fault-RNG effect, so every measured byte is
+  // identical with the context on or off.
+  TrainContext train_context;
+  std::optional<ScopedTrainContext> train_scope;
+  if (options.reuse_train_state) train_scope.emplace(&train_context);
 
   for (const CellSpec& cell : cells) {
     Measurement m = base_row(cell, dataset.meta().id, platform.name());

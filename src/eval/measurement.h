@@ -204,6 +204,13 @@ struct MeasurementOptions {
   /// deliberately excluded from measurement_fingerprint so existing caches
   /// and journals stay valid.
   bool trace = false;
+  /// Install a session-scoped TrainContext so every cell training on the
+  /// session's one uploaded train split reuses the tree family's column
+  /// cache + presorted orders and kNN's cached norms (ml/tree/trainer.h).
+  /// Data-only state with no admission, clock or fault-RNG effect: tables,
+  /// journals and traces are byte-identical with it on or off, so it is
+  /// excluded from measurement_fingerprint like `trace`.
+  bool reuse_train_state = true;
   CampaignOptions campaign;           // service-transport envelope
 };
 

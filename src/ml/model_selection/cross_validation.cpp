@@ -3,41 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
-#include "data/split.h"
 #include "ml/registry.h"
 #include "util/rng.h"
 
 namespace mlaas {
 
-CvResult cross_validate(const ClassifierFactory& factory, const Dataset& dataset, int k,
-                        std::uint64_t seed) {
-  const std::size_t n = dataset.n_samples();
-  const std::size_t pos = count_positive(dataset.y());
-  const std::size_t minority = std::min(pos, n - pos);
-  k = std::max(2, std::min<int>(k, static_cast<int>(std::max<std::size_t>(2, minority))));
-
-  const auto folds = kfold_assignment(dataset.y(), k, derive_seed(seed, "cv"));
+CvResult cross_validate(const ClassifierFactory& factory, const FoldPlan& plan) {
   CvResult result;
-  result.folds = k;
+  result.folds = plan.k;
   std::vector<double> f_scores;
-  for (int fold = 0; fold < k; ++fold) {
-    std::vector<std::size_t> train_idx, test_idx;
-    for (std::size_t i = 0; i < n; ++i) {
-      (folds[i] == fold ? test_idx : train_idx).push_back(i);
-    }
-    if (train_idx.empty() || test_idx.empty()) continue;
-    const Dataset train = dataset.subset(train_idx);
-    const Dataset test = dataset.subset(test_idx);
+  for (const FoldPlan::Fold& fold : plan.folds) {
+    if (fold.degenerate) continue;
     auto clf = factory();
-    clf->fit(train.x(), train.y());
-    const Metrics m = compute_metrics(test.y(), clf->predict(test.x()));
+    clf->fit(fold.train.x(), fold.train.y());
+    const Metrics m = compute_metrics(fold.test.y(), clf->predict(fold.test.x()));
     result.mean.accuracy += m.accuracy;
     result.mean.precision += m.precision;
     result.mean.recall += m.recall;
     result.mean.f_score += m.f_score;
     f_scores.push_back(m.f_score);
   }
-  const double inv = 1.0 / static_cast<double>(std::max<std::size_t>(1, f_scores.size()));
+  result.evaluated_folds = static_cast<int>(f_scores.size());
+  const double inv = 1.0 / static_cast<double>(std::max(1, result.evaluated_folds));
   result.mean.accuracy *= inv;
   result.mean.precision *= inv;
   result.mean.recall *= inv;
@@ -46,6 +33,18 @@ CvResult cross_validate(const ClassifierFactory& factory, const Dataset& dataset
   for (double f : f_scores) var += (f - result.mean.f_score) * (f - result.mean.f_score);
   result.f_score_std = f_scores.empty() ? 0.0 : std::sqrt(var * inv);
   return result;
+}
+
+CvResult cross_validate(const std::string& classifier, const ParamMap& params,
+                        const FoldPlan& plan, std::uint64_t seed) {
+  return cross_validate(
+      [&] { return make_classifier(classifier, params, derive_seed(seed, "cv-clf")); },
+      plan);
+}
+
+CvResult cross_validate(const ClassifierFactory& factory, const Dataset& dataset, int k,
+                        std::uint64_t seed) {
+  return cross_validate(factory, *FoldPlan::compute(dataset, k, seed));
 }
 
 CvResult cross_validate(const std::string& classifier, const ParamMap& params,

@@ -8,6 +8,7 @@
 #include "data/dataset.h"
 #include "ml/classifier.h"
 #include "ml/metrics.h"
+#include "ml/model_selection/fold_plan.h"
 
 namespace mlaas {
 
@@ -15,9 +16,10 @@ namespace mlaas {
 using ClassifierFactory = std::function<ClassifierPtr()>;
 
 struct CvResult {
-  Metrics mean;        // metric means across folds
+  Metrics mean;        // metric means across evaluated folds
   double f_score_std = 0.0;
-  int folds = 0;
+  int folds = 0;            // effective k after the minority-class clamp
+  int evaluated_folds = 0;  // folds actually scored (both sides non-empty)
 };
 
 /// k-fold CV of a classifier on a dataset; returns averaged test-fold
@@ -29,5 +31,16 @@ CvResult cross_validate(const ClassifierFactory& factory, const Dataset& dataset
 /// Convenience: CV by registry name + params.
 CvResult cross_validate(const std::string& classifier, const ParamMap& params,
                         const Dataset& dataset, int k, std::uint64_t seed);
+
+/// CV over a pre-materialized FoldPlan: no re-partitioning or subset copies.
+/// Evaluating plan = FoldPlan::compute(dataset, k, seed) is bit-identical to
+/// cross_validate(factory, dataset, k, seed).
+CvResult cross_validate(const ClassifierFactory& factory, const FoldPlan& plan);
+
+/// Registry convenience over a FoldPlan.  `seed` is the per-configuration
+/// seed; the classifier is built with derive_seed(seed, "cv-clf"), matching
+/// the dataset overload above.
+CvResult cross_validate(const std::string& classifier, const ParamMap& params,
+                        const FoldPlan& plan, std::uint64_t seed);
 
 }  // namespace mlaas

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
+#include "linalg/vector_ops.h"
 #include "util/rng.h"
 
 namespace mlaas {
@@ -388,19 +390,18 @@ void set_active_tree_builder(TreeBuilder builder) {
   g_builder.store(builder, std::memory_order_relaxed);
 }
 
-void TreeWorkspace::bind_base(const Matrix& x) {
-  if (base_ == &x && base_rows_ == x.rows() && base_cols_ == x.cols()) return;
-  base_ = &x;
-  base_rows_ = x.rows();
-  base_cols_ = x.cols();
+std::shared_ptr<const TreeTrainBase> TreeTrainBase::build(const Matrix& x) {
+  auto base = std::make_shared<TreeTrainBase>();
+  base->rows = x.rows();
+  base->cols = x.cols();
 
   // Feature-major column cache: contiguous reads in split scans and
   // partition predicates instead of strided row-major access.
-  base_columns_.resize(base_rows_ * base_cols_);
-  for (std::size_t r = 0; r < base_rows_; ++r) {
+  base->columns.resize(base->rows * base->cols);
+  for (std::size_t r = 0; r < base->rows; ++r) {
     const auto row = x.row(r);
-    for (std::size_t f = 0; f < base_cols_; ++f) {
-      base_columns_[f * base_rows_ + r] = row[f];
+    for (std::size_t f = 0; f < base->cols; ++f) {
+      base->columns[f * base->rows + r] = row[f];
     }
   }
 
@@ -409,24 +410,150 @@ void TreeWorkspace::bind_base(const Matrix& x) {
   // Sorting contiguous (value, index) pairs — default lexicographic compare
   // is exactly that order — beats an indirect comparator into the column:
   // every hot comparison reads the keys from the sort's own working set.
-  pristine_.resize(base_rows_ * base_cols_);
-  std::vector<std::pair<double, std::uint32_t>> keyed(base_rows_);
-  for (std::size_t f = 0; f < base_cols_; ++f) {
-    const double* col = base_columns_.data() + f * base_rows_;
-    for (std::size_t r = 0; r < base_rows_; ++r) {
+  base->pristine.resize(base->rows * base->cols);
+  std::vector<std::pair<double, std::uint32_t>> keyed(base->rows);
+  for (std::size_t f = 0; f < base->cols; ++f) {
+    const double* col = base->columns.data() + f * base->rows;
+    for (std::size_t r = 0; r < base->rows; ++r) {
       keyed[r] = {col[r], static_cast<std::uint32_t>(r)};
     }
     std::sort(keyed.begin(), keyed.end());
-    std::uint32_t* ord = pristine_.data() + f * base_rows_;
-    for (std::size_t r = 0; r < base_rows_; ++r) ord[r] = keyed[r].second;
+    std::uint32_t* ord = base->pristine.data() + f * base->rows;
+    for (std::size_t r = 0; r < base->rows; ++r) ord[r] = keyed[r].second;
+  }
+  return base;
+}
+
+namespace {
+
+thread_local TrainContext* t_active_context = nullptr;
+
+/// Bound on TrainContext entries: a grid search touches one matrix per fold
+/// and a campaign session one per feature step, both far below this; the
+/// cap only guards pathological callers from unbounded column-cache memory.
+constexpr std::size_t kMaxContextEntries = 16;
+
+/// Full content hash of a matrix (splitmix64 over the raw double bits plus
+/// the dimensions).  Collision-resistant enough that a stale cache entry
+/// whose address was reused by different data is detected in practice; the
+/// dimensions are mixed in so a truncated reuse cannot alias.
+std::uint64_t matrix_content_hash(const Matrix& x) {
+  std::uint64_t state = x.rows() * 0x9e3779b97f4a7c15ull + x.cols();
+  std::uint64_t h = splitmix64(state);
+  for (const double v : x.data()) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    state = h ^ bits;
+    h = splitmix64(state);
+  }
+  return h;
+}
+
+}  // namespace
+
+TrainContext::Entry& TrainContext::touch(const Matrix& x, std::uint64_t hash) {
+  const void* key = x.data().data();
+  for (Entry& e : entries_) {
+    if (e.data == key && e.rows == x.rows() && e.cols == x.cols()) {
+      if (e.content_hash != hash) {
+        // Address reused by different contents: drop the stale artifacts.
+        e = Entry{};
+        e.data = key;
+        e.rows = x.rows();
+        e.cols = x.cols();
+        e.content_hash = hash;
+      }
+      e.last_used = ++tick_;
+      return e;
+    }
+  }
+  if (entries_.size() >= kMaxContextEntries) {
+    auto lru = std::min_element(entries_.begin(), entries_.end(),
+                                [](const Entry& a, const Entry& b) {
+                                  return a.last_used < b.last_used;
+                                });
+    entries_.erase(lru);
+  }
+  Entry e;
+  e.data = key;
+  e.rows = x.rows();
+  e.cols = x.cols();
+  e.content_hash = hash;
+  e.last_used = ++tick_;
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+std::shared_ptr<const TreeTrainBase> TrainContext::tree_base(const Matrix& x) {
+  const std::uint64_t hash = matrix_content_hash(x);
+  std::lock_guard lock(mu_);
+  Entry& e = touch(x, hash);
+  if (e.base) {
+    ++stats_.tree_base_hits;
+    return e.base;
+  }
+  ++stats_.tree_base_misses;
+  e.base = TreeTrainBase::build(x);
+  return e.base;
+}
+
+std::shared_ptr<const std::vector<double>> TrainContext::row_squared_norms(
+    const Matrix& x) {
+  const std::uint64_t hash = matrix_content_hash(x);
+  std::lock_guard lock(mu_);
+  Entry& e = touch(x, hash);
+  if (e.norms) {
+    ++stats_.norms_hits;
+    return e.norms;
+  }
+  ++stats_.norms_misses;
+  // Same per-row dot as KNearestNeighbors::fit computed, so cached norms
+  // are bit-identical to freshly computed ones.
+  auto norms = std::make_shared<std::vector<double>>(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    (*norms)[i] = dot(row, row);
+  }
+  e.norms = std::move(norms);
+  return e.norms;
+}
+
+TrainContext::Stats TrainContext::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+TrainContext* active_train_context() { return t_active_context; }
+
+ScopedTrainContext::ScopedTrainContext(TrainContext* context) : prev_(t_active_context) {
+  t_active_context = context;
+}
+
+ScopedTrainContext::~ScopedTrainContext() { t_active_context = prev_; }
+
+void TreeWorkspace::bind_base(const Matrix& x) {
+  // Same-matrix early-out: ensembles re-bind per tree.  The identity check
+  // (address + dims) matches the pre-context behaviour; an installed
+  // TrainContext additionally content-hashes on a fresh bind, so cross-fit
+  // reuse never survives an address reused by different data.
+  if (base_matrix_ == &x && base_ != nullptr && base_->rows == x.rows() &&
+      base_->cols == x.cols()) {
+    return;
+  }
+  base_matrix_ = &x;
+  if (TrainContext* context = active_train_context()) {
+    base_ = context->tree_base(x);
+  } else {
+    base_ = TreeTrainBase::build(x);
   }
 }
 
 void TreeWorkspace::bind(const Matrix& x, std::span<const std::size_t> rows,
                          std::span<const std::size_t> features) {
   bind_base(x);
-  view_rows_ = rows.empty() ? base_rows_ : rows.size();
-  view_cols_ = features.empty() ? base_cols_ : features.size();
+  const std::size_t base_rows = base_->rows;
+  view_rows_ = rows.empty() ? base_rows : rows.size();
+  view_cols_ = features.empty() ? base_->cols : features.size();
   view_is_base_ = rows.empty() && features.empty();
   order_.resize(view_rows_ * view_cols_);
 
@@ -434,10 +561,10 @@ void TreeWorkspace::bind(const Matrix& x, std::span<const std::size_t> rows,
     view_columns_.resize(view_rows_ * view_cols_);
     for (std::size_t j = 0; j < view_cols_; ++j) {
       const std::size_t f = features.empty() ? j : features[j];
-      const double* src = base_columns_.data() + f * base_rows_;
+      const double* src = base_->columns.data() + f * base_rows;
       double* dst = view_columns_.data() + j * view_rows_;
       if (rows.empty()) {
-        std::copy(src, src + base_rows_, dst);
+        std::copy(src, src + base_rows, dst);
       } else {
         for (std::size_t i = 0; i < view_rows_; ++i) dst[i] = src[rows[i]];
       }
@@ -446,35 +573,36 @@ void TreeWorkspace::bind(const Matrix& x, std::span<const std::size_t> rows,
 
   if (rows.empty()) {
     // Same sample set as the base: restore the pristine orders with a copy.
+    const auto& pristine = base_->pristine;
     for (std::size_t j = 0; j < view_cols_; ++j) {
       const std::size_t f = features.empty() ? j : features[j];
-      std::copy(pristine_.begin() + static_cast<std::ptrdiff_t>(f * base_rows_),
-                pristine_.begin() + static_cast<std::ptrdiff_t>((f + 1) * base_rows_),
+      std::copy(pristine.begin() + static_cast<std::ptrdiff_t>(f * base_rows),
+                pristine.begin() + static_cast<std::ptrdiff_t>((f + 1) * base_rows),
                 order_.begin() + static_cast<std::ptrdiff_t>(j * view_rows_));
     }
   } else {
     // Bootstrap: derive each feature's presorted order from the base order
     // by a counting pass — walk base rows in sorted order and emit every
     // bootstrap position that drew that row, ascending.  O(d x n), no sort.
-    row_count_.assign(base_rows_, 0);
+    row_count_.assign(base_rows, 0);
     for (const std::size_t r : rows) ++row_count_[r];
-    row_offset_.resize(base_rows_ + 1);
+    row_offset_.resize(base_rows + 1);
     row_offset_[0] = 0;
-    for (std::size_t r = 0; r < base_rows_; ++r) {
+    for (std::size_t r = 0; r < base_rows; ++r) {
       row_offset_[r + 1] = row_offset_[r] + row_count_[r];
     }
     row_positions_.resize(view_rows_);
-    row_count_.assign(base_rows_, 0);
+    row_count_.assign(base_rows, 0);
     for (std::size_t i = 0; i < view_rows_; ++i) {
       const std::size_t r = rows[i];
       row_positions_[row_offset_[r] + row_count_[r]++] = static_cast<std::uint32_t>(i);
     }
     for (std::size_t j = 0; j < view_cols_; ++j) {
       const std::size_t f = features.empty() ? j : features[j];
-      const std::uint32_t* base_ord = pristine_.data() + f * base_rows_;
+      const std::uint32_t* base_ord = base_->pristine.data() + f * base_rows;
       std::uint32_t* ord = order_.data() + j * view_rows_;
       std::size_t w = 0;
-      for (std::size_t k = 0; k < base_rows_; ++k) {
+      for (std::size_t k = 0; k < base_rows; ++k) {
         const std::uint32_t r = base_ord[k];
         for (std::uint32_t o = row_offset_[r]; o < row_offset_[r + 1]; ++o) {
           ord[w++] = row_positions_[o];

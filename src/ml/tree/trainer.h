@@ -28,6 +28,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -46,9 +48,93 @@ enum class TreeBuilder { kFast, kReference };
 TreeBuilder active_tree_builder();
 void set_active_tree_builder(TreeBuilder builder);
 
-/// Per-ensemble training workspace: column cache, presorted per-feature
-/// orders and scratch buffers.  bind() is called by train_tree(); the
-/// bound matrix must stay alive and unchanged while the workspace uses it.
+/// The immutable, matrix-only half of the presort scheme: the feature-major
+/// column cache and the per-feature presorted base orders.  Depends only on
+/// the training matrix's contents, so one build can be shared (shared_ptr)
+/// by every workspace — and every classifier fit — training on that matrix.
+struct TreeTrainBase {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> columns;          // feature-major base matrix
+  std::vector<std::uint32_t> pristine;  // per-feature presorted base orders
+
+  /// Transpose + presort `x`.  Deterministic: ascending value with row index
+  /// as tie-break, so two builds of equal matrices are byte-identical.
+  static std::shared_ptr<const TreeTrainBase> build(const Matrix& x);
+};
+
+/// Cross-fit cache of data-only training state, shared between every config
+/// a tuner or campaign session fits on the same training matrix: the tree
+/// family's TreeTrainBase and kNN's cached squared row norms.
+///
+/// Entries are keyed on matrix identity (data pointer, rows, cols) and
+/// guarded by a full content hash verified on every lookup — a freed matrix
+/// whose address is reused by different data (e.g. per-config feature-step
+/// temporaries) hashes differently and rebuilds instead of silently serving
+/// a stale presort.  The hash pass is O(n·d); the presort it saves is
+/// O(d · n log n), and a wrong hit would corrupt results, so the guard is
+/// cheap insurance.  A small LRU cap bounds memory.
+///
+/// Thread-safe: grid_search workers on different folds share one context.
+/// Cached artifacts are immutable and returned by shared_ptr, so they stay
+/// valid even after eviction.  Using a context never changes results: the
+/// cached state is bit-identical to what each fit would rebuild.
+class TrainContext {
+ public:
+  std::shared_ptr<const TreeTrainBase> tree_base(const Matrix& x);
+  std::shared_ptr<const std::vector<double>> row_squared_norms(const Matrix& x);
+
+  struct Stats {
+    std::size_t tree_base_hits = 0;
+    std::size_t tree_base_misses = 0;
+    std::size_t norms_hits = 0;
+    std::size_t norms_misses = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    const void* data = nullptr;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::uint64_t content_hash = 0;
+    std::uint64_t last_used = 0;
+    std::shared_ptr<const TreeTrainBase> base;
+    std::shared_ptr<const std::vector<double>> norms;
+  };
+  /// Find-or-create the entry for `x` (hash already computed); resets a
+  /// stale entry whose address was reused by different contents.  mu_ held.
+  Entry& touch(const Matrix& x, std::uint64_t hash);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+/// The calling thread's installed TrainContext (nullptr when none).
+/// Consulted by TreeWorkspace::bind and KNearestNeighbors::fit.
+TrainContext* active_train_context();
+
+/// RAII installer for the thread-local active context.  Passing nullptr
+/// masks any outer context for the scope; the previous value is restored on
+/// destruction.  Install the same TrainContext on each worker thread to
+/// share state across a parallel sweep.
+class ScopedTrainContext {
+ public:
+  explicit ScopedTrainContext(TrainContext* context);
+  ~ScopedTrainContext();
+  ScopedTrainContext(const ScopedTrainContext&) = delete;
+  ScopedTrainContext& operator=(const ScopedTrainContext&) = delete;
+
+ private:
+  TrainContext* prev_;
+};
+
+/// Per-ensemble training workspace: shared column cache + presorted orders
+/// (TreeTrainBase) and per-tree working orders and scratch buffers.  bind()
+/// is called by train_tree(); the bound matrix must stay alive and
+/// unchanged while the workspace uses it.
 class TreeWorkspace {
  public:
   /// Bind a training view of `x`: the full matrix (rows/features empty), a
@@ -63,7 +149,7 @@ class TreeWorkspace {
 
   /// Contiguous column of the bound view.
   const double* column(std::size_t f) const {
-    return (view_is_base_ ? base_columns_.data() : view_columns_.data()) +
+    return (view_is_base_ ? base_->columns.data() : view_columns_.data()) +
            f * view_rows_;
   }
   /// Working sample order of feature f (positions into the view).
@@ -82,11 +168,8 @@ class TreeWorkspace {
  private:
   void bind_base(const Matrix& x);
 
-  const Matrix* base_ = nullptr;
-  std::size_t base_rows_ = 0;
-  std::size_t base_cols_ = 0;
-  std::vector<double> base_columns_;      // feature-major base matrix
-  std::vector<std::uint32_t> pristine_;   // per-feature presorted base orders
+  const Matrix* base_matrix_ = nullptr;             // identity of the bound base
+  std::shared_ptr<const TreeTrainBase> base_;       // columns + pristine orders
 
   std::size_t view_rows_ = 0;
   std::size_t view_cols_ = 0;

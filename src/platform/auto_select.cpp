@@ -24,12 +24,19 @@ AutoSelectResult auto_select_family(const Dataset& train, const AutoSelectOption
     probe = &subsampled;
   }
 
+  // Both probes race on ONE shared fold plan: the assignment and fold
+  // subsets are derived once (they depend only on the probe data), and
+  // scoring the families on identical folds makes the race a paired
+  // comparison instead of two independently-folded estimates.  Classifier
+  // seeds keep their historical per-probe derivation.
+  const FoldPlanPtr plan =
+      FoldPlan::compute(*probe, options.folds, derive_seed(seed, "probe"));
   ParamMap lr_params{{"max_iter", 50LL}};
   ParamMap dt_params{{"max_depth", 10LL}, {"min_samples_leaf", 2LL}};
-  const CvResult linear = cross_validate("logistic_regression", lr_params, *probe,
-                                         options.folds, derive_seed(seed, "probe-linear"));
-  const CvResult nonlinear = cross_validate("decision_tree", dt_params, *probe,
-                                            options.folds, derive_seed(seed, "probe-nonlinear"));
+  const CvResult linear = cross_validate("logistic_regression", lr_params, *plan,
+                                         derive_seed(seed, "probe-linear"));
+  const CvResult nonlinear = cross_validate("decision_tree", dt_params, *plan,
+                                            derive_seed(seed, "probe-nonlinear"));
 
   AutoSelectResult result;
   result.linear_cv_f = linear.mean.f_score;

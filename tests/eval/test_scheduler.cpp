@@ -162,6 +162,22 @@ TEST(CampaignScheduler, TableAndJournalBytesInvariantAcrossTreeBuilders) {
   EXPECT_EQ(fast.journal, reference.journal);
 }
 
+TEST(CampaignScheduler, TableAndJournalBytesInvariantAcrossTrainStateReuse) {
+  // The session-scoped TrainContext (shared tree presorts + kNN norms
+  // across a session's cells) must be invisible at campaign level: with
+  // reuse disabled every fit rebuilds its state from scratch, and the
+  // masked table and journal bytes must not move.
+  MeasurementOptions fresh = fast_options();
+  fresh.reuse_train_state = false;
+  const RunArtifacts reference = run_once(fresh, 2, Schedule::kStatic);
+  ASSERT_FALSE(reference.table.empty());
+  MeasurementOptions reused = fast_options();
+  reused.reuse_train_state = true;
+  const RunArtifacts run = run_once(reused, 2, Schedule::kStatic);
+  EXPECT_EQ(run.table, reference.table);
+  EXPECT_EQ(run.journal, reference.journal);
+}
+
 TEST(CampaignScheduler, TableAndJournalBytesInvariantAcrossPredictKernels) {
   // The flat prediction kernels must be invisible at campaign level: a run
   // under PredictKernel::kReference (the pre-kernel per-row walks) produces

@@ -3,6 +3,7 @@
 #include "ml/model_selection/cross_validation.h"
 #include "ml/model_selection/grid_search.h"
 #include "tests/ml/test_helpers.h"
+#include "util/rng.h"
 
 namespace mlaas {
 namespace {
@@ -84,6 +85,69 @@ TEST(GridSearch, WinnerIsDeterministicAcrossRepeatedCalls) {
   const GridSearchResult b = grid_search(spec, ds, 3, 7);
   EXPECT_EQ(a.best_params.to_string(), b.best_params.to_string());
   EXPECT_DOUBLE_EQ(a.best_cv_f_score, b.best_cv_f_score);
+}
+
+TEST(GridSearch, BitIdenticalAcrossThreadCountsAndReuseToggle) {
+  // The engine contract: the winner and its score are a function of (spec,
+  // data, seed) only — never of the worker count or of whether fold/state
+  // reuse is on.  Exact double equality, not tolerance.
+  const Dataset ds = testing::circles(300, 28);
+  ClassifierGridSpec spec;
+  spec.classifier = "decision_tree";
+  spec.params = {ParamSpec::integer("max_depth", 5, 1, 30),
+                 ParamSpec::integer("min_samples_leaf", 4, 1, 64)};
+
+  GridSearchOptions serial_fresh;
+  serial_fresh.cv_folds = 3;
+  serial_fresh.threads = 1;
+  serial_fresh.reuse = false;
+  const GridSearchResult reference = grid_search(spec, ds, serial_fresh, 7);
+  ASSERT_EQ(reference.n_configs, 9u);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    for (const bool reuse : {false, true}) {
+      GridSearchOptions options;
+      options.cv_folds = 3;
+      options.threads = threads;
+      options.reuse = reuse;
+      const GridSearchResult run = grid_search(spec, ds, options, 7);
+      EXPECT_EQ(run.n_configs, reference.n_configs);
+      EXPECT_EQ(run.best_params.to_string(), reference.best_params.to_string())
+          << "threads=" << threads << " reuse=" << reuse;
+      EXPECT_EQ(run.best_cv_f_score, reference.best_cv_f_score)
+          << "threads=" << threads << " reuse=" << reuse;
+    }
+  }
+}
+
+TEST(GridSearch, BackCompatSignatureMatchesOptionsForm) {
+  const Dataset ds = testing::circles(240, 29);
+  ClassifierGridSpec spec;
+  spec.classifier = "knn";
+  spec.params = {ParamSpec::integer("n_neighbors", 3, 1, 9)};
+  const GridSearchResult old_form = grid_search(spec, ds, 3, 5);
+  GridSearchOptions options;
+  options.cv_folds = 3;
+  const GridSearchResult new_form = grid_search(spec, ds, options, 5);
+  EXPECT_EQ(old_form.best_params.to_string(), new_form.best_params.to_string());
+  EXPECT_EQ(old_form.best_cv_f_score, new_form.best_cv_f_score);
+  EXPECT_EQ(old_form.n_configs, new_form.n_configs);
+}
+
+TEST(GridSearch, SharedFoldsMatchDatasetLevelCv) {
+  // Documented fold-seeding contract: every config is scored on the folds a
+  // direct cross_validate(..., ds, k, seed) call would draw, so a
+  // single-config grid reproduces that CV score exactly.
+  const Dataset ds = testing::circles(200, 30);
+  ClassifierGridSpec spec;
+  spec.classifier = "decision_tree";  // no swept params -> one default config
+  const GridSearchResult result = grid_search(spec, ds, 3, 11);
+  ASSERT_EQ(result.n_configs, 1u);
+  const ParamMap config = spec.default_config();
+  const CvResult cv = cross_validate(
+      spec.classifier, config, *FoldPlan::compute(ds, 3, 11),
+      derive_seed(11, config.to_string()));
+  EXPECT_EQ(result.best_cv_f_score, cv.mean.f_score);
 }
 
 }  // namespace
